@@ -1,0 +1,265 @@
+/**
+ * @file
+ * google-benchmark micro suite for the bit-serial ALU (§III-B/C).
+ *
+ * Two things are reported per operation:
+ *  - wall time of the functional simulation (host performance of the
+ *    simulator itself), and
+ *  - `cycles` / `elems_per_kcycle` counters: the modeled array cycles
+ *    and the SIMD throughput they imply — the paper's argument that
+ *    256-lane bit-serial beats element-serial despite long per-op
+ *    latency.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bitserial/alu.hh"
+#include "bitserial/extensions.hh"
+#include "common/rng.hh"
+#include "sram/tmu.hh"
+
+namespace
+{
+
+using namespace nc::bitserial;
+using nc::sram::Array;
+
+struct Rig
+{
+    Array arr{256, 256};
+    RowAllocator rows{256};
+    unsigned zrow;
+    nc::Rng rng{1};
+
+    Rig() : zrow(rows.zeroRow()) {}
+
+    VecSlice
+    filled(unsigned bits)
+    {
+        VecSlice s = rows.alloc(bits);
+        storeVector(arr, s, rng.bitVector(arr.cols(), bits));
+        return s;
+    }
+};
+
+void
+reportCycles(benchmark::State &state, uint64_t cycles_per_iter,
+             unsigned lanes)
+{
+    state.counters["cycles"] =
+        benchmark::Counter(static_cast<double>(cycles_per_iter));
+    state.counters["elems_per_kcycle"] = benchmark::Counter(
+        1000.0 * lanes / static_cast<double>(cycles_per_iter));
+}
+
+void
+BM_Add(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    Rig rig;
+    VecSlice a = rig.filled(n), b = rig.filled(n);
+    VecSlice out = rig.rows.alloc(n + 1);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles = add(rig.arr, a, b, out);
+    reportCycles(state, cycles, rig.arr.cols());
+}
+BENCHMARK(BM_Add)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_Multiply(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    Rig rig;
+    VecSlice a = rig.filled(n), b = rig.filled(n);
+    VecSlice p = rig.rows.alloc(2 * n);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles = multiply(rig.arr, a, b, p);
+    reportCycles(state, cycles, rig.arr.cols());
+}
+BENCHMARK(BM_Multiply)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_MacScratch(benchmark::State &state)
+{
+    Rig rig;
+    VecSlice a = rig.filled(8), b = rig.filled(8);
+    VecSlice acc = rig.rows.alloc(24);
+    VecSlice scratch = rig.rows.alloc(16);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles = macScratch(rig.arr, a, b, acc, scratch, rig.zrow);
+    reportCycles(state, cycles, rig.arr.cols());
+}
+BENCHMARK(BM_MacScratch);
+
+void
+BM_ReduceSum(benchmark::State &state)
+{
+    unsigned lanes = static_cast<unsigned>(state.range(0));
+    Rig rig;
+    unsigned steps = nc::log2Ceil(lanes);
+    VecSlice acc = rig.rows.alloc(24 + steps);
+    VecSlice scratch = rig.rows.alloc(24 + steps);
+    storeVector(rig.arr, acc.slice(0, 24),
+                rig.rng.bitVector(rig.arr.cols(), 24));
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles = reduceSum(rig.arr, acc, 24, lanes, scratch);
+    reportCycles(state, cycles, lanes);
+}
+BENCHMARK(BM_ReduceSum)->Arg(8)->Arg(32)->Arg(128)->Arg(256);
+
+void
+BM_Divide(benchmark::State &state)
+{
+    unsigned n = static_cast<unsigned>(state.range(0));
+    Rig rig;
+    VecSlice num = rig.filled(n);
+    VecSlice den = rig.rows.alloc(4);
+    std::vector<uint64_t> dv(rig.arr.cols());
+    for (auto &x : dv)
+        x = rig.rng.uniformInt(1, 15);
+    storeVector(rig.arr, den, dv);
+    VecSlice quot = rig.rows.alloc(n);
+    VecSlice rwork = rig.rows.alloc(n + 4);
+    VecSlice twork = rig.rows.alloc(5), dwork = rig.rows.alloc(5);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles =
+            divide(rig.arr, num, den, quot, rwork, twork, dwork);
+    reportCycles(state, cycles, rig.arr.cols());
+}
+BENCHMARK(BM_Divide)->Arg(8)->Arg(16);
+
+void
+BM_ReduceMax(benchmark::State &state)
+{
+    unsigned lanes = static_cast<unsigned>(state.range(0));
+    Rig rig;
+    VecSlice data = rig.filled(8);
+    VecSlice mv = rig.rows.alloc(8), cmp = rig.rows.alloc(8);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles = reduceMax(rig.arr, data, lanes, mv, cmp);
+    reportCycles(state, cycles, lanes);
+}
+BENCHMARK(BM_ReduceMax)->Arg(32)->Arg(256);
+
+void
+BM_Relu(benchmark::State &state)
+{
+    Rig rig;
+    VecSlice v = rig.filled(8);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles = relu(rig.arr, v);
+    reportCycles(state, cycles, rig.arr.cols());
+}
+BENCHMARK(BM_Relu);
+
+void
+BM_SearchKey(benchmark::State &state)
+{
+    Rig rig;
+    VecSlice v = rig.filled(8);
+    uint64_t cycles = 0;
+    uint64_t key = 0;
+    for (auto _ : state) {
+        cycles = searchKey(rig.arr, v, key);
+        key = (key + 1) & 0xff;
+    }
+    reportCycles(state, cycles, rig.arr.cols());
+}
+BENCHMARK(BM_SearchKey);
+
+void
+BM_EqualCompare(benchmark::State &state)
+{
+    Rig rig;
+    VecSlice a = rig.filled(8), b = rig.filled(8);
+    VecSlice s = rig.rows.alloc(1);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles = equalCompare(rig.arr, a, b, s);
+    reportCycles(state, cycles, rig.arr.cols());
+}
+BENCHMARK(BM_EqualCompare);
+
+void
+BM_BatchNorm(benchmark::State &state)
+{
+    Rig rig;
+    VecSlice x = rig.filled(8);
+    VecSlice gamma = rig.filled(8), beta = rig.filled(8);
+    VecSlice prod = rig.rows.alloc(16);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles = batchNorm(rig.arr, x, gamma, beta, 8, prod, rig.zrow);
+    reportCycles(state, cycles, rig.arr.cols());
+}
+BENCHMARK(BM_BatchNorm);
+
+void
+BM_TmuStream(benchmark::State &state)
+{
+    // Functional transpose of one batch of 256 8-bit elements.
+    nc::Rng rng(7);
+    auto elems = rng.bitVector(256, 8);
+    for (auto _ : state) {
+        auto slices =
+            nc::sram::TransposeUnit::transposeElements(elems, 8, 256);
+        benchmark::DoNotOptimize(slices);
+    }
+    nc::sram::TransposeUnit proto(256, 64);
+    state.counters["cycles"] = benchmark::Counter(
+        static_cast<double>(proto.streamCycles(256, 8)));
+}
+BENCHMARK(BM_TmuStream);
+
+void
+BM_LaneShiftMove(benchmark::State &state)
+{
+    Rig rig;
+    VecSlice v = rig.filled(24);
+    VecSlice dst = rig.rows.alloc(24);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        cycles = 0;
+        for (unsigned j = 0; j < 24; ++j) {
+            rig.arr.opLaneShift(v.row(j), dst.row(j), 16, 2);
+            cycles += 2;
+        }
+    }
+    reportCycles(state, cycles, rig.arr.cols());
+}
+BENCHMARK(BM_LaneShiftMove);
+
+/** One full conv window: 9 MACs + a 32-lane reduction. */
+void
+BM_ConvWindow(benchmark::State &state)
+{
+    Rig rig;
+    std::vector<VecSlice> f, in;
+    for (int k = 0; k < 9; ++k)
+        f.push_back(rig.filled(8));
+    for (int k = 0; k < 9; ++k)
+        in.push_back(rig.filled(8));
+    VecSlice acc = rig.rows.alloc(29);
+    VecSlice scratch = rig.rows.alloc(28);
+    VecSlice pscratch = rig.rows.alloc(16);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        cycles = zero(rig.arr, acc);
+        for (int k = 0; k < 9; ++k)
+            cycles += macScratch(rig.arr, f[k], in[k],
+                                 acc.slice(0, 24), pscratch,
+                                 rig.zrow);
+        cycles += reduceSum(rig.arr, acc, 24, 32, scratch);
+    }
+    reportCycles(state, cycles, rig.arr.cols());
+}
+BENCHMARK(BM_ConvWindow);
+
+} // namespace

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * §III-A headline numbers: arrays per slice, total arrays, bit-serial
+ * ALU slots, capacity — printed for each Table IV geometry preset.
+ */
+
+#include <cstdio>
+
+#include "cache/geometry.hh"
+#include "common/units.hh"
+
+int
+main()
+{
+    using nc::cache::Geometry;
+
+    std::printf("=== Cache geometry (paper §II-C / §III-A) ===\n");
+    std::printf("%-18s %7s %12s %12s %14s %10s\n", "config", "slices",
+                "arrays/slice", "total arrays", "alu slots",
+                "capacity");
+    for (const Geometry &g :
+         {Geometry::xeonE5_35MB(), Geometry::scaled45MB(),
+          Geometry::scaled60MB()}) {
+        std::printf("%-18s %7u %12u %12u %14llu %8.0f MB\n",
+                    g.name.c_str(), g.slices, g.arraysPerSlice(),
+                    g.totalArrays(),
+                    static_cast<unsigned long long>(g.aluSlots()),
+                    nc::bytesToMiB(g.capacityBytes()));
+    }
+
+    Geometry g = Geometry::xeonE5_35MB();
+    std::printf("\npaper check: 320 arrays/slice -> %u\n",
+                g.arraysPerSlice());
+    std::printf("paper check: 4480 arrays       -> %u\n",
+                g.totalArrays());
+    std::printf("paper check: 1,146,880 slots   -> %llu\n",
+                static_cast<unsigned long long>(g.aluSlots()));
+    std::printf("compute resources: %u ways, %u arrays, %llu slots "
+                "(ways 19/20 reserved)\n",
+                g.computeWays(), g.computeArrays(),
+                static_cast<unsigned long long>(g.computeAluSlots()));
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table II: baseline CPU/GPU configurations as modeled, plus the
+ * Neural Cache host configuration, with the calibration anchors.
+ */
+
+#include <cstdio>
+
+#include "baselines/device_model.hh"
+#include "cache/geometry.hh"
+#include "dnn/inception_v3.hh"
+
+int
+main()
+{
+    using namespace nc;
+
+    auto net = dnn::inceptionV3();
+    auto cpu = baselines::DeviceModel::xeonE5_2697v3(net);
+    auto gpu = baselines::DeviceModel::titanXp(net);
+
+    std::printf("=== Table II: baseline configurations ===\n\n");
+    auto print = [](const baselines::DeviceModel &m) {
+        const auto &p = m.params();
+        std::printf("%s\n", p.name.c_str());
+        std::printf("  peak FP32            %8.2f TFLOP/s\n",
+                    p.peakFlops * 1e-12);
+        std::printf("  memory bandwidth     %8.1f GB/s\n",
+                    p.memBwBytesPerSec * 1e-9);
+        std::printf("  sustained efficiency %8.2f %% of peak\n",
+                    p.computeEfficiency * 100);
+        std::printf("  per-op overhead      %8.1f us\n",
+                    p.perOpOverheadPs * 1e-6);
+        std::printf("  measured power       %8.2f W (paper "
+                    "RAPL/SMI)\n",
+                    p.measuredPowerW);
+        std::printf("  calibration scale    %8.3f\n\n",
+                    m.calibrationScale());
+    };
+    print(cpu);
+    print(gpu);
+
+    cache::Geometry g = cache::Geometry::xeonE5_35MB();
+    std::printf("neural-cache host (Xeon E5-2697 v3 LLC)\n");
+    std::printf("  slices x ways x banks %5u x %u x %u\n", g.slices,
+                g.waysPerSlice, g.banksPerWay);
+    std::printf("  8KB arrays            %8u\n", g.totalArrays());
+    std::printf("  compute clock         %8.1f GHz "
+                "(4.0 GHz access)\n",
+                2.5);
+    std::printf("  bit-serial ALU slots  %8llu\n",
+                static_cast<unsigned long long>(g.aluSlots()));
+    return 0;
+}

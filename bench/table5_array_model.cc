@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The SRAM array model card (Figure 12 and the §V SPICE table):
+ * circuit delays, clocks, per-cycle energy at both process nodes,
+ * area overheads, and the bit-serial cycle formulas in both variants.
+ */
+
+#include <cstdio>
+
+#include "bitserial/cost.hh"
+#include "cache/cbox.hh"
+#include "sram/timing.hh"
+
+int
+main()
+{
+    using namespace nc;
+
+    sram::TimingParams t;
+    sram::EnergyParams e28 = sram::EnergyParams::node28nm();
+    sram::EnergyParams e22 = sram::EnergyParams::node22nm();
+    sram::AreaParams a;
+
+    std::printf("=== SRAM array model card (paper §V / Figure 12) "
+                "===\n");
+    std::printf("compute cycle delay      %8.0f ps (paper 1022)\n",
+                t.computeDelayPs);
+    std::printf("normal read delay        %8.0f ps (paper 654)\n",
+                t.readDelayPs);
+    std::printf("compute/read slowdown    %8.2fx (paper ~1.6x)\n",
+                t.computeSlowdown());
+    std::printf("compute clock            %8.2f GHz\n",
+                t.computeClock.freqHz * 1e-9);
+    std::printf("access clock             %8.2f GHz\n",
+                t.accessClock.freqHz * 1e-9);
+    std::printf("256-bit access energy    %8.1f pJ @28nm, %.1f pJ "
+                "@22nm\n",
+                e28.accessPj, e22.accessPj);
+    std::printf("256-lane compute energy  %8.1f pJ @28nm, %.1f pJ "
+                "@22nm\n",
+                e28.computePj, e22.computePj);
+    std::printf("array area overhead      %8.1f %% (die: <%.0f %%)\n",
+                a.peripheralOverhead * 100, a.dieOverhead * 100);
+    std::printf("TMU macro area           %8.3f mm^2\n", a.tmuAreaMm2);
+
+    cache::CBox cbox;
+    std::printf("bank control FSM         %8.0f um^2 x %u/slice "
+                "= %.2f mm^2 chip-wide (paper 0.23)\n",
+                cbox.fsmAreaUm2, cbox.fsmsPerSlice,
+                cbox.fsmAreaMm2(14));
+
+    std::printf("\n=== bit-serial cycle formulas (8-bit) ===\n");
+    std::printf("%-16s %10s %10s\n", "op", "ours", "paper");
+    std::printf("%-16s %10llu %10llu\n", "add",
+                (unsigned long long)bitserial::implAddCycles(8, true),
+                (unsigned long long)bitserial::paperAddCycles(8));
+    std::printf("%-16s %10llu %10llu\n", "multiply",
+                (unsigned long long)bitserial::implMulCycles(8),
+                (unsigned long long)bitserial::paperMulCycles(8));
+    std::printf("%-16s %10llu %10.0f\n", "divide",
+                (unsigned long long)bitserial::implDivCycles(8, 8),
+                bitserial::paperDivCycles(8));
+    std::printf("%-16s %10llu %10s\n", "mac (24b acc)",
+                (unsigned long long)bitserial::implMacScratchCycles(
+                    8, 24),
+                "236*");
+    std::printf("%-16s %10llu %10s\n", "reduce 128ch",
+                (unsigned long long)bitserial::implReduceSumCycles(
+                    24, 128, 2),
+                "660*");
+    std::printf("(*: the paper's calibrated per-conv constants, used "
+                "by the default cost-model mode)\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A non-DNN use of the compute cache: classic image filtering.
+ *
+ * The paper pitches Neural Cache as a general data-parallel
+ * co-processor ("improves performance of many other workloads when
+ * not functioning as a DNN accelerator", §VII). This example runs a
+ * 3x3 box blur over a synthetic image as an in-cache convolution,
+ * normalizes it with the in-cache requantizer (x 227 >> 11 ~ divide
+ * by 9), then extracts a bright-region mask with a bit-serial
+ * compare — and renders the stages as ASCII art.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bitserial/alu.hh"
+#include "core/executor.hh"
+
+namespace
+{
+
+/** A synthetic 24x24 image: two bright blobs on a dark gradient. */
+nc::dnn::QTensor
+makeImage()
+{
+    nc::dnn::QTensor img(1, 24, 24);
+    for (unsigned y = 0; y < 24; ++y)
+        for (unsigned x = 0; x < 24; ++x) {
+            int v = static_cast<int>(2 * y);
+            auto blob = [&](int cy, int cx, int bright) {
+                int dy = int(y) - cy, dx = int(x) - cx;
+                if (dy * dy + dx * dx < 20)
+                    v += bright;
+            };
+            blob(7, 6, 180);
+            blob(16, 17, 120);
+            img.at(0, y, x) =
+                static_cast<uint8_t>(std::min(v, 255));
+        }
+    return img;
+}
+
+void
+render(const char *title, const std::vector<uint8_t> &pix, unsigned h,
+       unsigned w)
+{
+    static const char shades[] = " .:-=+*#%@";
+    std::printf("%s\n", title);
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 0; x < w; ++x)
+            std::putchar(shades[pix[y * w + x] * 9 / 255]);
+        std::putchar('\n');
+    }
+    std::putchar('\n');
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace nc;
+    namespace bs = bitserial;
+
+    auto img = makeImage();
+    render("input (synthetic, 24x24):",
+           {img.data().begin(), img.data().end()}, 24, 24);
+
+    cache::ComputeCache cc;
+    core::Executor ex(cc);
+
+    // 3x3 box blur: an all-ones kernel through the conv path.
+    dnn::QWeights box(1, 1, 3, 3);
+    for (auto &v : box.data)
+        v = 1;
+    unsigned oh, ow;
+    auto acc = ex.conv(img, box, 1, true, oh, ow);
+
+    // Normalize in-cache: x * 227 >> 11 is 1/9.02.
+    auto blurred = ex.requantize(acc, 227, 11);
+    render("3x3 box blur (in-cache conv + requantize /9):", blurred,
+           oh, ow);
+
+    // Threshold: mask = blurred >= 140, via bit-serial compareGE and
+    // a predicated write of white.
+    std::vector<uint8_t> mask(blurred.size(), 0);
+    unsigned cols = cc.geometry().arrayCols;
+    sram::Array &arr = cc.array(cc.coordOf(1));
+    bs::RowAllocator rows(cc.geometry().arrayRows);
+    bs::VecSlice v = rows.alloc(8), thr = rows.alloc(8);
+    bs::VecSlice cmp = rows.alloc(8), out = rows.alloc(8);
+    for (size_t base = 0; base < blurred.size(); base += cols) {
+        size_t n = std::min<size_t>(cols, blurred.size() - base);
+        std::vector<uint64_t> vals(n);
+        for (size_t i = 0; i < n; ++i)
+            vals[i] = blurred[base + i];
+        bs::storeVector(arr, v, vals);
+        bs::storeVector(arr, thr,
+                        std::vector<uint64_t>(n, 140));
+        bs::zero(arr, out);
+        bs::compareGE(arr, v, thr, cmp); // tag = (pixel >= 140)
+        for (unsigned j = 0; j < 8; ++j)
+            arr.opOnes(out.row(j), /*pred=*/true);
+        for (size_t i = 0; i < n; ++i)
+            mask[base + i] = static_cast<uint8_t>(
+                bs::loadLane(arr, out, static_cast<unsigned>(i)));
+    }
+    render("bright-region mask (compareGE 140 + predicated write):",
+           mask, oh, ow);
+
+    std::printf("lock-step compute cycles for the whole pipeline: "
+                "%llu (%.1f us at 2.5 GHz)\n",
+                (unsigned long long)cc.lockstepCycles(),
+                cc.lockstepCycles() / 2.5e9 * 1e6);
+    return 0;
+}

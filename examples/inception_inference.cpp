@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Full Inception v3 inference study: per-layer latency against the
+ * CPU/GPU baselines, the Figure-14 phase breakdown, energy, and a
+ * batching sweep — everything the paper's evaluation section reports,
+ * in one run.
+ *
+ * Usage: inception_inference [batch]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/device_model.hh"
+#include "core/neural_cache.hh"
+#include "core/report.hh"
+#include "dnn/inception_v3.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nc;
+
+    unsigned batch = argc > 1 ? std::atoi(argv[1]) : 1;
+    if (batch < 1)
+        batch = 1;
+
+    auto net = dnn::inceptionV3();
+    core::NeuralCache sim;
+    auto rep = sim.inferBatch(net, batch);
+
+    std::printf("== Neural Cache: %s, batch %u ==\n\n",
+                net.name.c_str(), batch);
+    core::printStageTable(std::cout, rep);
+
+    std::printf("\nphase breakdown (per image):\n");
+    core::printBreakdown(std::cout, rep);
+
+    std::printf("\nenergy & power:\n");
+    core::printEnergy(std::cout, rep);
+
+    auto cpu = baselines::DeviceModel::xeonE5_2697v3(net);
+    auto gpu = baselines::DeviceModel::titanXp(net);
+    std::printf("\nbaselines: cpu %.1f ms, gpu %.1f ms -> speedups "
+                "%.1fx / %.1fx\n",
+                cpu.totalLatencyMs(net), gpu.totalLatencyMs(net),
+                cpu.totalLatencyMs(net) / rep.latencyMs(),
+                gpu.totalLatencyMs(net) / rep.latencyMs());
+
+    std::printf("\nbatch sweep (dual socket):\n");
+    std::printf("%8s %14s %12s\n", "batch", "throughput", "ms/batch");
+    for (unsigned b : {1u, 4u, 16u, 64u, 256u}) {
+        auto r = sim.inferBatch(net, b);
+        std::printf("%8u %11.0f inf/s %12.1f\n", b, r.throughput(),
+                    r.batchMs());
+    }
+    return 0;
+}

@@ -1,0 +1,141 @@
+#include "baselines/device_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nc::baselines
+{
+
+double
+DeviceModel::opLatencyPs(const dnn::Op &op) const
+{
+    double flops;
+    double bytes;
+    if (op.isConv()) {
+        flops = static_cast<double>(op.conv.flops());
+        bytes = static_cast<double>(op.conv.inputBytes() +
+                                    op.conv.filterBytes() +
+                                    op.conv.outputBytes()) *
+                4.0; // FP32 baselines (the unquantized model is faster
+                     // on the CPU, per the paper's methodology)
+    } else {
+        flops = static_cast<double>(op.pool.windowCount()) *
+                op.pool.r * op.pool.s;
+        bytes = static_cast<double>(op.pool.inputBytes() +
+                                    op.pool.outputBytes()) *
+                4.0;
+    }
+    double compute_ps =
+        flops / (prm.peakFlops * prm.computeEfficiency) * 1e12;
+    double mem_ps =
+        bytes / (prm.memBwBytesPerSec * prm.memEfficiency) * 1e12;
+    return std::max(compute_ps, mem_ps) + prm.perOpOverheadPs;
+}
+
+double
+DeviceModel::stageLatencyPs(const dnn::Stage &stage) const
+{
+    double total = 0;
+    for (const auto &b : stage.branches)
+        for (const auto &op : b.ops)
+            total += opLatencyPs(op);
+    return total;
+}
+
+double
+DeviceModel::networkLatencyPs(const dnn::Network &net) const
+{
+    double total = 0;
+    for (const auto &st : net.stages)
+        total += stageLatencyPs(st);
+    return total;
+}
+
+void
+DeviceModel::calibrate(const dnn::Network &net, double target_ms)
+{
+    double raw_ms = networkLatencyPs(net) * picoToMs;
+    nc_assert(raw_ms > 0, "cannot calibrate against an empty network");
+    scale = target_ms / raw_ms;
+}
+
+std::vector<double>
+DeviceModel::stageLatenciesMs(const dnn::Network &net) const
+{
+    std::vector<double> out;
+    out.reserve(net.stages.size());
+    for (const auto &st : net.stages)
+        out.push_back(stageLatencyPs(st) * picoToMs * scale);
+    return out;
+}
+
+double
+DeviceModel::totalLatencyMs(const dnn::Network &net) const
+{
+    return networkLatencyPs(net) * picoToMs * scale;
+}
+
+double
+DeviceModel::energyJ(const dnn::Network &net) const
+{
+    return prm.measuredPowerW * totalLatencyMs(net) * 1e-3;
+}
+
+DeviceModel
+DeviceModel::xeonE5_2697v3(const dnn::Network &inception)
+{
+    Params p;
+    p.name = "cpu-xeon-e5-2697v3";
+    // 14 cores x 2.6 GHz x 32 FP32 flops/cycle (2x 8-wide FMA).
+    p.peakFlops = 14 * 2.6e9 * 32.0;
+    p.memBwBytesPerSec = 68e9; // 4-channel DDR4-2133
+    // TensorFlow CPU inference sustains a small fraction of peak on
+    // conv kernels; memory path is comparatively efficient.
+    p.computeEfficiency = 0.06;
+    p.memEfficiency = 0.5;
+    p.perOpOverheadPs = 50e6; // 50 us framework dispatch per op
+    p.measuredPowerW = 105.56; // RAPL (Table III)
+
+    DeviceModel m(p);
+    // Published Inception v3 total: 86 ms (paper §V / Figure 15).
+    m.calibrate(inception, 86.0);
+    return m;
+}
+
+DeviceModel
+DeviceModel::titanXp(const dnn::Network &inception)
+{
+    Params p;
+    p.name = "gpu-titan-xp";
+    // 3840 CUDA cores x ~1.58 GHz boost x 2 flops (FMA).
+    p.peakFlops = 3840 * 1.58e9 * 2.0;
+    p.memBwBytesPerSec = 547.6e9; // GDDR5X
+    p.computeEfficiency = 0.25;
+    p.memEfficiency = 0.6;
+    p.perOpOverheadPs = 80e6; // kernel launch + cuDNN dispatch per op
+    p.measuredPowerW = 112.87; // nvidia-smi (Table III)
+
+    DeviceModel m(p);
+    // Figure 15: Neural Cache is 18.3x over CPU and 7.7x over GPU, so
+    // the GPU batch-1 latency is 86 / 18.3 * 7.7 = 36.2 ms.
+    m.calibrate(inception, 86.0 / 18.3 * 7.7);
+    return m;
+}
+
+BatchCurve
+BatchCurve::fit(double batch1_lat_ms, double peak_inf_per_sec)
+{
+    nc_assert(batch1_lat_ms > 0 && peak_inf_per_sec > 0,
+              "degenerate batch curve");
+    BatchCurve c;
+    c.peakInfPerSec = peak_inf_per_sec;
+    // thr(1) = 1000 / batch1_lat_ms = peak / (1 + n50).
+    double thr1 = 1000.0 / batch1_lat_ms;
+    nc_assert(thr1 < peak_inf_per_sec,
+              "batch-1 throughput already exceeds the peak");
+    c.n50 = peak_inf_per_sec / thr1 - 1.0;
+    return c;
+}
+
+} // namespace nc::baselines

@@ -1,0 +1,78 @@
+#include "bitserial/layout.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nc::bitserial
+{
+
+RowAllocator::RowAllocator(unsigned total_rows)
+    : nrows(total_rows), top(total_rows)
+{
+    nc_assert(total_rows > 0, "allocator over empty array");
+}
+
+VecSlice
+RowAllocator::alloc(unsigned bits)
+{
+    nc_assert(bits > 0, "zero-width slice");
+    if (next + bits > top) {
+        nc_fatal("row allocator exhausted: want %u rows, %u free",
+                 bits, top - next);
+    }
+    VecSlice s{next, bits};
+    next += bits;
+    return s;
+}
+
+unsigned
+RowAllocator::zeroRow()
+{
+    if (zrow == kNoRow) {
+        nc_assert(top > next, "no room for zero row");
+        zrow = --top;
+    }
+    return zrow;
+}
+
+void
+RowAllocator::reset()
+{
+    next = 0;
+    top = nrows;
+    zrow = kNoRow;
+}
+
+void
+storeVector(sram::Array &arr, const VecSlice &slice,
+            const std::vector<uint64_t> &values)
+{
+    nc_assert(values.size() <= arr.cols(),
+              "%zu values exceed %u lanes", values.size(), arr.cols());
+    for (unsigned lane = 0; lane < arr.cols(); ++lane) {
+        uint64_t v = lane < values.size() ? values[lane] : 0;
+        for (unsigned b = 0; b < slice.bits; ++b)
+            arr.poke(slice.row(b), lane, bit(v, b));
+    }
+}
+
+std::vector<uint64_t>
+loadVector(const sram::Array &arr, const VecSlice &slice)
+{
+    std::vector<uint64_t> out(arr.cols(), 0);
+    for (unsigned lane = 0; lane < arr.cols(); ++lane)
+        out[lane] = loadLane(arr, slice, lane);
+    return out;
+}
+
+uint64_t
+loadLane(const sram::Array &arr, const VecSlice &slice, unsigned lane)
+{
+    nc_assert(slice.bits <= 64, "lane wider than 64 bits");
+    uint64_t v = 0;
+    for (unsigned b = 0; b < slice.bits; ++b)
+        v = setBit(v, b, arr.peek(slice.row(b), lane));
+    return v;
+}
+
+} // namespace nc::bitserial

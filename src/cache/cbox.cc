@@ -1,0 +1,8 @@
+#include "cache/cbox.hh"
+
+// CBox is header-only today; the translation unit compile-checks the
+// header and anchors future non-inline additions.
+
+namespace nc::cache
+{
+} // namespace nc::cache

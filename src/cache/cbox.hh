@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cache control box: transpose gateway and instruction sequencing
+ * (paper §III-F and §IV-F).
+ *
+ * Each slice's C-BOX hosts a few Transpose Memory Units that convert
+ * bus data between regular and transposed layout, and the control FSM
+ * that broadcasts in-cache compute instructions over the intra-slice
+ * address bus (one FSM per bank, 204 um^2 each, 0.23 mm^2 chip-wide).
+ */
+
+#ifndef NC_CACHE_CBOX_HH
+#define NC_CACHE_CBOX_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "sram/tmu.hh"
+
+namespace nc::cache
+{
+
+/** Per-slice control box with its transpose gateway. */
+struct CBox
+{
+    /** TMUs per slice; a few saturate the intra-slice bus. */
+    unsigned tmus = 2;
+    /** Geometry of each TMU macro. */
+    unsigned tmuRows = 256;
+    unsigned tmuCols = 64;
+    /** TMU port clock (matches the access clock domain). */
+    Clock clock{4.0_GHz};
+
+    /** Control FSM area bookkeeping (paper §IV-F). */
+    double fsmAreaUm2 = 204.0;
+    unsigned fsmsPerSlice = 80; // one per bank
+
+    /**
+     * Time for this slice's TMUs to transpose @p bytes of 8-bit
+     * elements arriving in regular layout. TMUs work independently on
+     * disjoint element batches.
+     */
+    double
+    transposePs(uint64_t bytes) const
+    {
+        sram::TransposeUnit proto(tmuRows, tmuCols);
+        uint64_t per_tmu = (bytes + tmus - 1) / tmus;
+        uint64_t cycles = proto.streamCycles(per_tmu, 8);
+        return clock.cyclesToPs(static_cast<double>(cycles));
+    }
+
+    /** Chip-wide FSM area in mm^2 for @p slices slices. */
+    double
+    fsmAreaMm2(unsigned slices) const
+    {
+        return fsmAreaUm2 * fsmsPerSlice * slices * 1e-6;
+    }
+};
+
+} // namespace nc::cache
+
+#endif // NC_CACHE_CBOX_HH

@@ -1,0 +1,99 @@
+#include "cache/compute_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nc::cache
+{
+
+ComputeCache::ComputeCache(Geometry geom_) : geom(std::move(geom_))
+{
+    ringNet.stops = geom.slices;
+}
+
+uint64_t
+ComputeCache::flatIndex(const ArrayCoord &c) const
+{
+    nc_assert(c.slice < geom.slices && c.way < geom.waysPerSlice &&
+                  c.bank < geom.banksPerWay &&
+                  c.array < geom.arraysPerBank(),
+              "bad array coordinate (%u,%u,%u,%u)", c.slice, c.way,
+              c.bank, c.array);
+    return ((uint64_t(c.slice) * geom.waysPerSlice + c.way) *
+                geom.banksPerWay +
+            c.bank) *
+               geom.arraysPerBank() +
+           c.array;
+}
+
+ArrayCoord
+ComputeCache::coordOf(uint64_t flat) const
+{
+    nc_assert(flat < geom.totalArrays(), "flat index %llu out of range",
+              static_cast<unsigned long long>(flat));
+    ArrayCoord c;
+    c.array = flat % geom.arraysPerBank();
+    flat /= geom.arraysPerBank();
+    c.bank = flat % geom.banksPerWay;
+    flat /= geom.banksPerWay;
+    c.way = flat % geom.waysPerSlice;
+    c.slice = static_cast<unsigned>(flat / geom.waysPerSlice);
+    return c;
+}
+
+sram::Array &
+ComputeCache::array(const ArrayCoord &c)
+{
+    uint64_t idx = flatIndex(c);
+    auto it = arrays.find(idx);
+    if (it == arrays.end()) {
+        it = arrays
+                 .emplace(idx, std::make_unique<sram::Array>(
+                                   geom.arrayRows, geom.arrayCols))
+                 .first;
+    }
+    return *it->second;
+}
+
+bool
+ComputeCache::materialized(const ArrayCoord &c) const
+{
+    return arrays.count(flatIndex(c)) != 0;
+}
+
+uint64_t
+ComputeCache::lockstepCycles() const
+{
+    uint64_t worst = 0;
+    for (const auto &[idx, arr] : arrays)
+        worst = std::max(worst, arr->computeCycles());
+    return worst;
+}
+
+uint64_t
+ComputeCache::totalComputeCycles() const
+{
+    uint64_t total = 0;
+    for (const auto &[idx, arr] : arrays)
+        total += arr->computeCycles();
+    return total;
+}
+
+uint64_t
+ComputeCache::totalAccessCycles() const
+{
+    uint64_t total = 0;
+    for (const auto &[idx, arr] : arrays)
+        total += arr->accessCycles();
+    return total;
+}
+
+void
+ComputeCache::resetCycles()
+{
+    for (auto &[idx, arr] : arrays)
+        arr->resetCycles();
+}
+
+} // namespace nc::cache

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ComputeCache: the LLC with every SRAM array morphed into a vector
+ * unit.
+ *
+ * The container instantiates arrays lazily: timing-only studies never
+ * touch bits (the analytic cost model works from the geometry alone),
+ * while the functional executor materializes just the arrays it maps
+ * data onto. All arrays execute in SIMD lock-step when computing — the
+ * controller broadcasts one instruction stream — so the compute-cycle
+ * clock of the whole cache is the maximum over member arrays, which
+ * lockstepCycles() reports.
+ */
+
+#ifndef NC_CACHE_COMPUTE_CACHE_HH
+#define NC_CACHE_COMPUTE_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "cache/cbox.hh"
+#include "cache/dram.hh"
+#include "cache/geometry.hh"
+#include "cache/interconnect.hh"
+#include "sram/array.hh"
+
+namespace nc::cache
+{
+
+/** Coordinates of one array inside the LLC. */
+struct ArrayCoord
+{
+    unsigned slice = 0;
+    unsigned way = 0;
+    unsigned bank = 0;
+    unsigned array = 0; ///< index within the bank [0, 4)
+
+    auto operator<=>(const ArrayCoord &) const = default;
+};
+
+/** The whole compute-capable LLC. */
+class ComputeCache
+{
+  public:
+    explicit ComputeCache(Geometry geom = Geometry::xeonE5_35MB());
+
+    const Geometry &geometry() const { return geom; }
+    const IntraSliceBus &bus() const { return sliceBus; }
+    const Ring &ring() const { return ringNet; }
+    const DramModel &dram() const { return dramModel; }
+    const CBox &cbox() const { return cboxModel; }
+
+    /** Flat index of @p c in [0, totalArrays). */
+    uint64_t flatIndex(const ArrayCoord &c) const;
+    /** Inverse of flatIndex(). */
+    ArrayCoord coordOf(uint64_t flat) const;
+
+    /** Lazily materialize and return the array at @p c. */
+    sram::Array &array(const ArrayCoord &c);
+    /** Test whether @p c has been materialized. */
+    bool materialized(const ArrayCoord &c) const;
+    size_t materializedCount() const { return arrays.size(); }
+
+    /**
+     * SIMD lock-step compute cycles: the maximum compute-cycle count
+     * over all materialized arrays (every array sees every broadcast
+     * instruction, so the slowest defines the wall clock).
+     */
+    uint64_t lockstepCycles() const;
+
+    /** Sum of compute cycles over materialized arrays (for energy). */
+    uint64_t totalComputeCycles() const;
+    /** Sum of access cycles over materialized arrays. */
+    uint64_t totalAccessCycles() const;
+
+    void resetCycles();
+
+  private:
+    Geometry geom;
+    IntraSliceBus sliceBus;
+    Ring ringNet;
+    DramModel dramModel;
+    CBox cboxModel;
+    std::map<uint64_t, std::unique_ptr<sram::Array>> arrays;
+};
+
+} // namespace nc::cache
+
+#endif // NC_CACHE_COMPUTE_CACHE_HH

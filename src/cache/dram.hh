@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Main-memory channel model.
+ *
+ * The paper times way-loading with a micro-benchmark on the real
+ * machine (set-address decoding reverse-engineered, VTune-profiled).
+ * We substitute a bandwidth/latency channel model (DESIGN.md §4.3): an
+ * effective bandwidth that reflects the strided set-granular access
+ * pattern rather than peak DDR4 numbers, calibrated so filter loading
+ * lands at ~46% of batch-1 inference latency (paper Figure 14).
+ */
+
+#ifndef NC_CACHE_DRAM_HH
+#define NC_CACHE_DRAM_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace nc::cache
+{
+
+/** Effective DRAM channel seen by filter/input loading. */
+struct DramModel
+{
+    /**
+     * Effective bandwidth of way-granular streaming loads. The 64 GB
+     * DDR4 system peaks far higher, but set-decoded strided fills
+     * sustain roughly this much (calibrated so filter loading is ~46%
+     * of batch-1 latency, Figure 14).
+     */
+    Bandwidth effectiveBw{11.0e9};
+
+    /** First-access latency of a stream, picoseconds. */
+    double streamLatencyPs = 80e3; // 80 ns
+
+    /** DRAM access energy per byte moved, picojoules. */
+    double energyPjPerByte = 40.0;
+
+    /** Time to stream @p bytes into (or out of) the cache. */
+    double
+    transferPs(uint64_t bytes) const
+    {
+        if (bytes == 0)
+            return 0.0;
+        return streamLatencyPs +
+               effectiveBw.transferPs(static_cast<double>(bytes));
+    }
+
+    /** Energy to move @p bytes, picojoules. */
+    double
+    transferPj(uint64_t bytes) const
+    {
+        return energyPjPerByte * static_cast<double>(bytes);
+    }
+};
+
+} // namespace nc::cache
+
+#endif // NC_CACHE_DRAM_HH

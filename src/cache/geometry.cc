@@ -1,0 +1,30 @@
+#include "cache/geometry.hh"
+
+namespace nc::cache
+{
+
+Geometry
+Geometry::xeonE5_35MB()
+{
+    return Geometry{};
+}
+
+Geometry
+Geometry::scaled45MB()
+{
+    Geometry g;
+    g.name = "scaled-45mb";
+    g.slices = 18;
+    return g;
+}
+
+Geometry
+Geometry::scaled60MB()
+{
+    Geometry g;
+    g.name = "scaled-60mb";
+    g.slices = 24;
+    return g;
+}
+
+} // namespace nc::cache

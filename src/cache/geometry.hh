@@ -1,0 +1,139 @@
+/**
+ * @file
+ * LLC geometry (paper Figure 3 / §II-C).
+ *
+ * The modeled hierarchy, following the Xeon E5-2697 v3 LLC:
+ *
+ *   processor
+ *     `- 14 slices of 2.5 MB on a bidirectional ring
+ *          `- 20 ways per slice
+ *               `- 4 banks (32 KB) per way, one per bus quadrant
+ *                    `- 2 sub-arrays (16 KB) per bank
+ *                         `- 2 SRAM arrays (8 KB, 256x256) per sub-array
+ *
+ * 20 ways x 4 banks x 4 arrays = 320 arrays per slice; 14 slices = 4480
+ * arrays = 1,146,880 bit lines = the paper's ALU-slot headline. Way 20
+ * stays a normal cache for the CPU and way 19 buffers inputs/outputs, so
+ * 18 ways (288 arrays/slice) compute.
+ */
+
+#ifndef NC_CACHE_GEOMETRY_HH
+#define NC_CACHE_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nc::cache
+{
+
+/** Static description of one LLC configuration. */
+struct Geometry
+{
+    std::string name = "xeon-e5-2697v3-35mb";
+
+    unsigned slices = 14;
+    unsigned waysPerSlice = 20;
+    unsigned banksPerWay = 4;
+    unsigned subarraysPerBank = 2;
+    unsigned arraysPerSubarray = 2;
+    unsigned arrayRows = 256;
+    unsigned arrayCols = 256;
+
+    /** Ways kept out of compute: one for the CPU, one for I/O. */
+    unsigned reservedWays = 2;
+
+    /** @name Derived counts */
+    /// @{
+    unsigned
+    arraysPerBank() const
+    {
+        return subarraysPerBank * arraysPerSubarray;
+    }
+
+    unsigned
+    arraysPerWay() const
+    {
+        return banksPerWay * arraysPerBank();
+    }
+
+    unsigned
+    arraysPerSlice() const
+    {
+        return waysPerSlice * arraysPerWay();
+    }
+
+    unsigned
+    totalArrays() const
+    {
+        return slices * arraysPerSlice();
+    }
+
+    unsigned
+    computeWays() const
+    {
+        return waysPerSlice - reservedWays;
+    }
+
+    unsigned
+    computeArraysPerSlice() const
+    {
+        return computeWays() * arraysPerWay();
+    }
+
+    unsigned
+    computeArrays() const
+    {
+        return slices * computeArraysPerSlice();
+    }
+
+    uint64_t
+    arrayBytes() const
+    {
+        return uint64_t(arrayRows) * arrayCols / 8;
+    }
+
+    uint64_t
+    sliceBytes() const
+    {
+        return uint64_t(arraysPerSlice()) * arrayBytes();
+    }
+
+    uint64_t
+    capacityBytes() const
+    {
+        return uint64_t(slices) * sliceBytes();
+    }
+
+    /** Bit-serial ALU slots: one per bit line of every array. */
+    uint64_t
+    aluSlots() const
+    {
+        return uint64_t(totalArrays()) * arrayCols;
+    }
+
+    /** ALU slots usable for DNN compute (reserved ways excluded). */
+    uint64_t
+    computeAluSlots() const
+    {
+        return uint64_t(computeArrays()) * arrayCols;
+    }
+
+    /** Bytes of the per-slice I/O way (way 19). */
+    uint64_t
+    reservedWayBytes() const
+    {
+        return uint64_t(arraysPerWay()) * arrayBytes();
+    }
+    /// @}
+
+    /** @name Presets used by the paper's evaluation (Table IV) */
+    /// @{
+    static Geometry xeonE5_35MB();
+    static Geometry scaled45MB();
+    static Geometry scaled60MB();
+    /// @}
+};
+
+} // namespace nc::cache
+
+#endif // NC_CACHE_GEOMETRY_HH

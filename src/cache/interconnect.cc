@@ -1,0 +1,72 @@
+#include "cache/interconnect.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nc::cache
+{
+
+uint64_t
+IntraSliceBus::quadrantCycles(uint64_t bits) const
+{
+    return divCeil(bits, quadrantBits);
+}
+
+uint64_t
+IntraSliceBus::fillWayCycles(unsigned rows, unsigned row_bits,
+                             bool replicated_in_bank) const
+{
+    // One bank: four arrays = two sense-amp pairs. Each pair drinks
+    // arrayPortBits per cycle, the two pairs in parallel off the 64-bit
+    // quadrant. Distinct data: 2 pairs x 2 arrays x rows x row_bits
+    // total bits through a 64-bit pipe at 64 b/cycle -> but each pair
+    // can only absorb 32 b/cycle, so the pair is the bottleneck:
+    // (2 arrays x rows x row_bits) / 32 cycles.
+    uint64_t bits_per_pair = uint64_t(2) * rows * row_bits;
+    uint64_t cycles = divCeil(bits_per_pair, arrayPortBits);
+    if (replicated_in_bank && bankLatch)
+        cycles = divCeil(cycles, 2);
+    return cycles;
+}
+
+double
+IntraSliceBus::fillWayPs(unsigned rows, unsigned row_bits,
+                         bool replicated_in_bank) const
+{
+    return clock.cyclesToPs(static_cast<double>(
+        fillWayCycles(rows, row_bits, replicated_in_bank)));
+}
+
+double
+IntraSliceBus::streamPs(uint64_t bytes) const
+{
+    return clock.cyclesToPs(
+        static_cast<double>(divCeil(bytes * 8, widthBits)));
+}
+
+double
+Ring::broadcastPs(uint64_t bytes) const
+{
+    uint64_t flits = divCeil(bytes * 8, linkBits);
+    double serialization = clock.cyclesToPs(static_cast<double>(flits));
+    double tail = clock.cyclesToPs(
+        static_cast<double>(hopCycles) * (stops / 2.0));
+    return serialization + tail;
+}
+
+double
+Ring::transferPs(uint64_t bytes, unsigned hops) const
+{
+    nc_assert(hops <= stops, "hops %u exceed ring stops %u", hops, stops);
+    uint64_t flits = divCeil(bytes * 8, linkBits);
+    return clock.cyclesToPs(static_cast<double>(flits) +
+                            static_cast<double>(hopCycles) * hops);
+}
+
+double
+Ring::perSliceBandwidthBytesPerSec() const
+{
+    return clock.freqHz * (linkBits / 8.0);
+}
+
+} // namespace nc::cache

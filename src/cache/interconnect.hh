@@ -1,0 +1,93 @@
+/**
+ * @file
+ * On-chip interconnect models (paper §IV-C).
+ *
+ * Two levels:
+ *
+ *  - IntraSliceBus: the 256-bit data bus inside one slice, organized as
+ *    four 64-bit quadrant buses; each quadrant feeds one 32 KB bank per
+ *    way, and the two 8 KB arrays of a sub-array share sense amps and
+ *    receive 32 bits per bus cycle. A 64-bit latch per bank lets data
+ *    that is replicated across a bank's arrays be sent once and played
+ *    back twice, halving transfer time. The bus broadcasts naturally,
+ *    so filters/inputs replicated across ways cost one transfer.
+ *
+ *  - Ring: the bidirectional inter-slice ring. Broadcast is a single
+ *    traversal; point-to-point pays hop latency plus serialization.
+ *
+ * All methods return picoseconds so the cost model can mix them freely
+ * with array cycle counts.
+ */
+
+#ifndef NC_CACHE_INTERCONNECT_HH
+#define NC_CACHE_INTERCONNECT_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace nc::cache
+{
+
+/** The 256-bit intra-slice data bus (4 x 64-bit quadrants). */
+struct IntraSliceBus
+{
+    unsigned widthBits = 256;
+    unsigned quadrantBits = 64;
+    /** Bits an array pair (shared sense amps) absorbs per bus cycle. */
+    unsigned arrayPortBits = 32;
+    /** Bus clock (compute-mode clock of the slice). */
+    Clock clock{2.5_GHz};
+    /** 64-bit replay latch per bank (halves replicated fills). */
+    bool bankLatch = true;
+
+    /** Cycles for one quadrant to deliver @p bits to its bank. */
+    uint64_t quadrantCycles(uint64_t bits) const;
+
+    /**
+     * Cycles to fill @p rows word lines of @p row_bits bits in every
+     * array of one way, with distinct data per array. Banks stream in
+     * parallel (one per quadrant); inside a bank the four arrays are
+     * two sense-amp pairs, each absorbing arrayPortBits per cycle.
+     * @p replicated_in_bank uses the bank latch to halve the stream
+     * when both pairs want the same data.
+     */
+    uint64_t fillWayCycles(unsigned rows, unsigned row_bits,
+                           bool replicated_in_bank = false) const;
+
+    /** Picosecond version of fillWayCycles(). */
+    double fillWayPs(unsigned rows, unsigned row_bits,
+                     bool replicated_in_bank = false) const;
+
+    /** Time to stream @p bytes over the full 256-bit bus once. */
+    double streamPs(uint64_t bytes) const;
+};
+
+/** The bidirectional inter-slice ring. */
+struct Ring
+{
+    /** Payload width of one ring message, bits (Intel ring: 32 B). */
+    unsigned linkBits = 256;
+    Clock clock{2.5_GHz};
+    /** Per-hop latency, cycles. */
+    unsigned hopCycles = 1;
+    unsigned stops = 14;
+
+    /**
+     * Time to broadcast @p bytes from one stop to all stops: the
+     * message circulates half the ring in each direction while every
+     * stop snoops it, so serialization dominates and the propagation
+     * tail is stops/2 hops.
+     */
+    double broadcastPs(uint64_t bytes) const;
+
+    /** Point-to-point transfer across @p hops stops. */
+    double transferPs(uint64_t bytes, unsigned hops) const;
+
+    /** Aggregate bandwidth available for slice-local, parallel moves. */
+    double perSliceBandwidthBytesPerSec() const;
+};
+
+} // namespace nc::cache
+
+#endif // NC_CACHE_INTERCONNECT_HH

@@ -1,0 +1,64 @@
+#include "cache/set_decode.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nc::cache
+{
+
+SetDecoder::SetDecoder(Geometry geom_) : geom(std::move(geom_)) {}
+
+unsigned
+SetDecoder::setsPerSlice() const
+{
+    return static_cast<unsigned>(geom.sliceBytes() /
+                                 (geom.waysPerSlice * lineBytes()));
+}
+
+unsigned
+SetDecoder::sliceOf(uint64_t paddr) const
+{
+    // Documented stand-in for Intel's undisclosed hash: XOR-fold the
+    // line address so that consecutive lines spread across slices and
+    // upper bits participate (the real hash has both properties).
+    uint64_t la = paddr / lineBytes();
+    uint64_t h = la ^ (la >> 7) ^ (la >> 13) ^ (la >> 21);
+    return static_cast<unsigned>(h % geom.slices);
+}
+
+unsigned
+SetDecoder::setOf(uint64_t paddr) const
+{
+    return static_cast<unsigned>((paddr / lineBytes()) %
+                                 setsPerSlice());
+}
+
+unsigned
+SetDecoder::offsetOf(uint64_t paddr) const
+{
+    return static_cast<unsigned>(paddr % lineBytes());
+}
+
+uint64_t
+SetDecoder::composeAddress(unsigned slice, unsigned set) const
+{
+    nc_assert(slice < geom.slices, "slice %u out of %u", slice,
+              geom.slices);
+    nc_assert(set < setsPerSlice(), "set %u out of %u", set,
+              setsPerSlice());
+    unsigned sets = setsPerSlice();
+    // Walk the cosets above the set bits until the hash lands on the
+    // requested slice; the fold mixes the coset index mod `slices`,
+    // so a match appears within a few multiples of the slice count.
+    for (uint64_t u = 0; u < 64 * uint64_t(geom.slices); ++u) {
+        uint64_t la = u * sets + set;
+        uint64_t paddr = la * lineBytes();
+        if (sliceOf(paddr) == slice)
+            return paddr;
+    }
+    nc_panic("no address found for slice %u set %u", slice, set);
+}
+
+} // namespace nc::cache

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Physical-address decoding and transposed weight placement (§IV-C,
+ * §V).
+ *
+ * The paper's data-loading micro-benchmark depends on knowing which
+ * LLC slice and set a physical address maps to ("The set decoding was
+ * reverse engineered based on Intel's last level cache
+ * architecture"), and assumes "filter weights are preprocessed to a
+ * transpose format and laid out in DRAM such that they map to correct
+ * bitlines and word-lines."
+ *
+ * Intel's slice hash is undisclosed; SetDecoder substitutes a
+ * documented XOR-fold over the line-address bits that preserves the
+ * properties the model needs (deterministic, uniform across slices
+ * for streams, invertible per (slice, set) pair via search). On top
+ * of it, WeightLayout assigns every byte of a convolution's filter
+ * bank a home (array coordinate, word line, bit line) consistent with
+ * the mapper's Figure-10 layout, which is exactly the order the
+ * preprocessed DRAM image must follow.
+ */
+
+#ifndef NC_CACHE_SET_DECODE_HH
+#define NC_CACHE_SET_DECODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hh"
+
+namespace nc::cache
+{
+
+/** Slice/set/line decomposition of physical addresses. */
+class SetDecoder
+{
+  public:
+    explicit SetDecoder(Geometry geom = Geometry::xeonE5_35MB());
+
+    unsigned lineBytes() const { return 64; }
+    /** Cache sets per slice (sliceBytes / (ways x line)). */
+    unsigned setsPerSlice() const;
+
+    /** Slice a physical address hashes to. */
+    unsigned sliceOf(uint64_t paddr) const;
+    /** Set index within the slice. */
+    unsigned setOf(uint64_t paddr) const;
+    /** Offset within the line. */
+    unsigned offsetOf(uint64_t paddr) const;
+
+    /**
+     * Find a physical address that decodes to (slice, set) — what the
+     * paper's micro-benchmark does to touch exactly the sets of one
+     * way. Searches the hash cosets; always succeeds.
+     */
+    uint64_t composeAddress(unsigned slice, unsigned set) const;
+
+  private:
+    Geometry geom;
+};
+
+} // namespace nc::cache
+
+#endif // NC_CACHE_SET_DECODE_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ *
+ * Bit-serial arithmetic constantly slices integers into individual bits
+ * (LSB first, matching the order in which the column peripherals consume
+ * them) and reassembles them. These helpers keep that logic in one place.
+ */
+
+#ifndef NC_COMMON_BITS_HH
+#define NC_COMMON_BITS_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace nc
+{
+
+/** Extract bit @p pos (0 = LSB) of @p value. */
+template <typename T>
+constexpr bool
+bit(T value, unsigned pos)
+{
+    using U = std::make_unsigned_t<T>;
+    return (static_cast<U>(value) >> pos) & 1u;
+}
+
+/** Return @p value with bit @p pos set to @p b. */
+template <typename T>
+constexpr T
+setBit(T value, unsigned pos, bool b)
+{
+    using U = std::make_unsigned_t<T>;
+    U u = static_cast<U>(value);
+    U mask = U(1) << pos;
+    return static_cast<T>(b ? (u | mask) : (u & ~mask));
+}
+
+/** Mask covering the low @p nbits bits (nbits in [0, 64]). */
+constexpr uint64_t
+lowMask(unsigned nbits)
+{
+    return nbits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << nbits) - 1);
+}
+
+/** Truncate @p value to its low @p nbits bits. */
+constexpr uint64_t
+truncate(uint64_t value, unsigned nbits)
+{
+    return value & lowMask(nbits);
+}
+
+/** Sign-extend the low @p nbits bits of @p value to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned nbits)
+{
+    if (nbits == 0 || nbits >= 64)
+        return static_cast<int64_t>(value);
+    uint64_t sign = uint64_t(1) << (nbits - 1);
+    uint64_t v = truncate(value, nbits);
+    return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** ceil(log2(v)); log2Ceil(1) == 0. @pre v >= 1 */
+constexpr unsigned
+log2Ceil(uint64_t v)
+{
+    unsigned r = 0;
+    uint64_t p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** floor(log2(v)). @pre v >= 1 */
+constexpr unsigned
+log2Floor(uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Smallest power of two >= v. @pre v >= 1 */
+constexpr uint64_t
+roundUpPow2(uint64_t v)
+{
+    return uint64_t(1) << log2Ceil(v);
+}
+
+/** ceil(a / b) for positive integers. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+constexpr uint64_t
+roundUp(uint64_t a, uint64_t b)
+{
+    return divCeil(a, b) * b;
+}
+
+} // namespace nc
+
+#endif // NC_COMMON_BITS_HH

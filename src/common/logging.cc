@@ -1,0 +1,85 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace nc
+{
+
+namespace
+{
+bool verboseFlag = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+namespace detail
+{
+
+void
+emit(const char *severity, const std::string &msg,
+     const char *file, int line)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", severity, msg.c_str(),
+                 file, line);
+}
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    emit("panic", msg, file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    emit("fatal", msg, file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg, const char *file, int line)
+{
+    emit("warn", msg, file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (verboseFlag)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+} // namespace detail
+
+} // namespace nc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * gem5-style status/error reporting for the Neural Cache simulator.
+ *
+ * Four severities, mirroring gem5's src/base/logging.hh contract:
+ *  - panic():  a simulator bug; never the user's fault. Aborts.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments). Exits with code 1.
+ *  - warn():   something is questionable but the run continues.
+ *  - inform(): plain status output.
+ */
+
+#ifndef NC_COMMON_LOGGING_HH
+#define NC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace nc
+{
+
+/** Verbosity knob: when false, inform() output is suppressed. */
+void setVerbose(bool verbose);
+bool verbose();
+
+namespace detail
+{
+
+/** Compose "severity: message (file:line)" and emit it to stderr. */
+void emit(const char *severity, const std::string &msg,
+          const char *file, int line);
+
+[[noreturn]] void panicImpl(const std::string &msg,
+                            const char *file, int line);
+[[noreturn]] void fatalImpl(const std::string &msg,
+                            const char *file, int line);
+void warnImpl(const std::string &msg, const char *file, int line);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace nc
+
+/** Unrecoverable simulator bug. Aborts so a core dump is available. */
+#define nc_panic(...) \
+    ::nc::detail::panicImpl(::nc::detail::format(__VA_ARGS__), \
+                            __FILE__, __LINE__)
+
+/** Unrecoverable user error (bad config / arguments). Exits cleanly. */
+#define nc_fatal(...) \
+    ::nc::detail::fatalImpl(::nc::detail::format(__VA_ARGS__), \
+                            __FILE__, __LINE__)
+
+/** Suspicious condition; simulation continues. */
+#define nc_warn(...) \
+    ::nc::detail::warnImpl(::nc::detail::format(__VA_ARGS__), \
+                           __FILE__, __LINE__)
+
+/** Status message (suppressed unless verbose). */
+#define nc_inform(...) \
+    ::nc::detail::informImpl(::nc::detail::format(__VA_ARGS__))
+
+/** panic() unless the invariant holds. */
+#define nc_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::nc::detail::panicImpl( \
+                std::string("assertion '" #cond "' failed: ") + \
+                ::nc::detail::format(__VA_ARGS__), __FILE__, __LINE__); \
+        } \
+    } while (0)
+
+#endif // NC_COMMON_LOGGING_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic random number generation for workloads and tests.
+ *
+ * Everything in the repository that needs randomness goes through Rng so
+ * that experiments are reproducible from a single seed.
+ */
+
+#ifndef NC_COMMON_RNG_HH
+#define NC_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace nc
+{
+
+/** A seeded mersenne-twister wrapper with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed) : engine(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        std::uniform_int_distribution<int64_t> d(lo, hi);
+        return d(engine);
+    }
+
+    /** Uniform unsigned value of exactly @p nbits bits. */
+    uint64_t
+    uniformBits(unsigned nbits)
+    {
+        if (nbits == 0)
+            return 0;
+        std::uniform_int_distribution<uint64_t> d(
+            0, nbits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << nbits) - 1));
+        return d(engine);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        std::uniform_real_distribution<double> d(lo, hi);
+        return d(engine);
+    }
+
+    /** Vector of @p n uniform unsigned @p nbits-bit values. */
+    std::vector<uint64_t>
+    bitVector(size_t n, unsigned nbits)
+    {
+        std::vector<uint64_t> v(n);
+        for (auto &x : v)
+            x = uniformBits(nbits);
+        return v;
+    }
+
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace nc
+
+#endif // NC_COMMON_RNG_HH

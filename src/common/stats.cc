@@ -1,0 +1,43 @@
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+
+namespace nc
+{
+
+void
+StatGroup::addScalar(const std::string &name, const Scalar *s)
+{
+    nc_assert(s != nullptr, "null scalar '%s'", name.c_str());
+    scalars[name] = s;
+}
+
+void
+StatGroup::addDistribution(const std::string &name, const Distribution *d)
+{
+    nc_assert(d != nullptr, "null distribution '%s'", name.c_str());
+    dists[name] = d;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, s] : scalars)
+        os << groupName << "." << name << " " << s->value() << "\n";
+    for (const auto &[name, d] : dists) {
+        os << groupName << "." << name << ".samples " << d->samples()
+           << "\n";
+        os << groupName << "." << name << ".mean " << d->mean() << "\n";
+        os << groupName << "." << name << ".min " << d->min() << "\n";
+        os << groupName << "." << name << ".max " << d->max() << "\n";
+    }
+}
+
+uint64_t
+StatGroup::scalarValue(const std::string &name) const
+{
+    auto it = scalars.find(name);
+    return it == scalars.end() ? 0 : it->second->value();
+}
+
+} // namespace nc

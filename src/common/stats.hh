@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal statistics package, in the spirit of gem5's Stats.
+ *
+ * Components own Scalar counters registered against a StatGroup; groups
+ * can be dumped as a flat name/value listing. This is intentionally much
+ * smaller than gem5's package — the simulator is deterministic and
+ * single-threaded, so scalars and simple distributions are enough.
+ */
+
+#ifndef NC_COMMON_STATS_HH
+#define NC_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nc
+{
+
+/** A named 64-bit event counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(uint64_t n) { count += n; return *this; }
+    Scalar &operator++() { ++count; return *this; }
+    void reset() { count = 0; }
+
+    uint64_t value() const { return count; }
+
+  private:
+    uint64_t count = 0;
+};
+
+/** Running mean/min/max over double-valued samples. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++n;
+        total += v;
+        lo = n == 1 ? v : std::min(lo, v);
+        hi = n == 1 ? v : std::max(hi, v);
+    }
+
+    void reset() { n = 0; total = 0; lo = 0; hi = 0; }
+
+    uint64_t samples() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0; }
+    double min() const { return lo; }
+    double max() const { return hi; }
+
+  private:
+    uint64_t n = 0;
+    double total = 0;
+    double lo = 0;
+    double hi = 0;
+};
+
+/**
+ * A registry of named statistics belonging to one component.
+ *
+ * Pointers handed to add*() must outlive the group; the usual pattern is
+ * for a component to own both its stats and its StatGroup as members.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name_) : groupName(std::move(name_)) {}
+
+    void addScalar(const std::string &name, const Scalar *s);
+    void addDistribution(const std::string &name, const Distribution *d);
+
+    /** Emit "group.stat value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return groupName; }
+
+    /** Look up a registered scalar's value (0 if absent). */
+    uint64_t scalarValue(const std::string &name) const;
+
+  private:
+    std::string groupName;
+    std::map<std::string, const Scalar *> scalars;
+    std::map<std::string, const Distribution *> dists;
+};
+
+} // namespace nc
+
+#endif // NC_COMMON_STATS_HH

@@ -1,0 +1,87 @@
+#include "common/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace nc::trace
+{
+
+namespace
+{
+
+std::set<std::string> &
+flags()
+{
+    static std::set<std::string> f;
+    return f;
+}
+
+/** Parse NC_DEBUG once per reset. */
+void
+readEnv()
+{
+    const char *env = std::getenv("NC_DEBUG");
+    if (!env)
+        return;
+    std::istringstream ss(env);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            flags().insert(item);
+}
+
+bool &
+envLoaded()
+{
+    static bool loaded = false;
+    return loaded;
+}
+
+void
+ensureEnv()
+{
+    if (!envLoaded()) {
+        readEnv();
+        envLoaded() = true;
+    }
+}
+
+} // namespace
+
+void
+enable(const std::string &flag)
+{
+    ensureEnv();
+    flags().insert(flag);
+}
+
+void
+disable(const std::string &flag)
+{
+    ensureEnv();
+    flags().erase(flag);
+}
+
+bool
+enabled(const std::string &flag)
+{
+    ensureEnv();
+    return flags().count("All") != 0 || flags().count(flag) != 0;
+}
+
+void
+reset()
+{
+    flags().clear();
+    envLoaded() = false;
+}
+
+void
+emit(const std::string &flag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", flag.c_str(), msg.c_str());
+}
+
+} // namespace nc::trace

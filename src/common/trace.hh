@@ -1,0 +1,46 @@
+/**
+ * @file
+ * gem5-style debug tracing.
+ *
+ * Components print through nc_dprintf(flag, ...) guarded by named
+ * debug flags, exactly like gem5's DPRINTF machinery: nothing is
+ * emitted unless the flag is enabled, either programmatically
+ * (trace::enable) or through the NC_DEBUG environment variable
+ * (comma-separated flag names, read once at startup; "All" enables
+ * everything).
+ */
+
+#ifndef NC_COMMON_TRACE_HH
+#define NC_COMMON_TRACE_HH
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace nc::trace
+{
+
+/** Enable/disable one flag (or "All"). */
+void enable(const std::string &flag);
+void disable(const std::string &flag);
+
+/** Is the flag (or "All") currently enabled? */
+bool enabled(const std::string &flag);
+
+/** Drop every programmatic flag and re-read NC_DEBUG. */
+void reset();
+
+/** Emit one trace line ("flag: message") to stderr. */
+void emit(const std::string &flag, const std::string &msg);
+
+} // namespace nc::trace
+
+/** Print iff @p flag is enabled. Usage mirrors gem5's DPRINTF. */
+#define nc_dprintf(flag, ...) \
+    do { \
+        if (::nc::trace::enabled(flag)) \
+            ::nc::trace::emit(flag, \
+                              ::nc::detail::format(__VA_ARGS__)); \
+    } while (0)
+
+#endif // NC_COMMON_TRACE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Physical-unit helpers (time, energy, frequency, data size).
+ *
+ * The simulator keeps time in picoseconds and energy in picojoules as
+ * plain doubles; these helpers make the conversion points explicit and
+ * self-documenting instead of scattering magic 1e-12 factors around.
+ */
+
+#ifndef NC_COMMON_UNITS_HH
+#define NC_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace nc
+{
+
+/** Seconds per picosecond. */
+constexpr double picoToSec = 1e-12;
+/** Milliseconds per picosecond. */
+constexpr double picoToMs = 1e-9;
+/** Joules per picojoule. */
+constexpr double pjToJoule = 1e-12;
+
+/** A clock described by its frequency in hertz. */
+struct Clock
+{
+    double freqHz = 0.0;
+
+    /** Period in picoseconds. */
+    double periodPs() const { return 1e12 / freqHz; }
+
+    /** Convert a cycle count to picoseconds. */
+    double cyclesToPs(double cycles) const { return cycles * periodPs(); }
+
+    /** Convert a cycle count to milliseconds. */
+    double cyclesToMs(double cycles) const
+    {
+        return cyclesToPs(cycles) * picoToMs;
+    }
+};
+
+constexpr double operator"" _GHz(long double v)
+{
+    return static_cast<double>(v) * 1e9;
+}
+constexpr double operator"" _MHz(long double v)
+{
+    return static_cast<double>(v) * 1e6;
+}
+
+constexpr uint64_t operator"" _KiB(unsigned long long v) { return v << 10; }
+constexpr uint64_t operator"" _MiB(unsigned long long v) { return v << 20; }
+constexpr uint64_t operator"" _GiB(unsigned long long v) { return v << 30; }
+
+/** Bytes -> MiB as a double (for report printing). */
+constexpr double
+bytesToMiB(uint64_t bytes)
+{
+    return static_cast<double>(bytes) / static_cast<double>(1_MiB);
+}
+
+/** Bandwidth expressed in bytes per second. */
+struct Bandwidth
+{
+    double bytesPerSec = 0.0;
+
+    /** Time in picoseconds to move @p bytes at this bandwidth. */
+    double transferPs(double bytes) const
+    {
+        return bytes / bytesPerSec * 1e12;
+    }
+};
+
+constexpr Bandwidth operator"" _GBps(long double v)
+{
+    return Bandwidth{static_cast<double>(v) * 1e9};
+}
+
+} // namespace nc
+
+#endif // NC_COMMON_UNITS_HH

@@ -1,0 +1,106 @@
+#include "core/controller.hh"
+
+#include "bitserial/alu.hh"
+#include "bitserial/extensions.hh"
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace nc::core
+{
+
+namespace bs = bitserial;
+
+void
+Controller::enroll(const cache::ArrayCoord &coord)
+{
+    cc.array(coord); // materialize
+    group.push_back(coord);
+}
+
+uint64_t
+Controller::broadcast(const Instruction &inst)
+{
+    nc_assert(!group.empty(), "broadcast to an empty array group");
+    uint64_t cycles = 0;
+    bool first = true;
+    for (const auto &coord : group) {
+        uint64_t c = execute(cc.array(coord), inst);
+        if (first) {
+            cycles = c;
+            first = false;
+        } else if (c != cycles) {
+            nc_panic("lock-step divergence on %s: %llu vs %llu cycles",
+                     opcodeName(inst.op),
+                     static_cast<unsigned long long>(c),
+                     static_cast<unsigned long long>(cycles));
+        }
+    }
+    issued += cycles;
+    nc_dprintf("Controller", "%s -> %llu cycles across %zu arrays",
+               opcodeName(inst.op),
+               static_cast<unsigned long long>(cycles), group.size());
+    return cycles;
+}
+
+uint64_t
+Controller::run(const std::vector<Instruction> &program)
+{
+    uint64_t total = 0;
+    for (const auto &inst : program)
+        total += broadcast(inst);
+    return total;
+}
+
+uint64_t
+Controller::execute(sram::Array &arr, const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Copy:
+        return bs::copy(arr, inst.a, inst.out, inst.pred);
+      case Opcode::CopyInv:
+        return bs::copyInv(arr, inst.a, inst.out, inst.pred);
+      case Opcode::Zero:
+        return bs::zero(arr, inst.out, inst.pred);
+      case Opcode::Add:
+        return bs::add(arr, inst.a, inst.b, inst.out, inst.zeroRow,
+                       inst.pred);
+      case Opcode::Sub:
+        return bs::sub(arr, inst.a, inst.b, inst.out, inst.scratch,
+                       inst.zeroRow, inst.pred);
+      case Opcode::Multiply:
+        return bs::multiply(arr, inst.a, inst.b, inst.out);
+      case Opcode::Mac:
+        return bs::macScratch(arr, inst.a, inst.b, inst.out,
+                              inst.scratch, inst.zeroRow);
+      case Opcode::ReduceSum:
+        return bs::reduceSum(arr, inst.a, inst.imm2, inst.imm,
+                             inst.scratch);
+      case Opcode::ReduceMax:
+        return bs::reduceMax(arr, inst.a, inst.imm, inst.scratch,
+                             inst.scratch2);
+      case Opcode::MaxInto:
+        return bs::maxInto(arr, inst.a, inst.b, inst.scratch);
+      case Opcode::MinInto:
+        return bs::minInto(arr, inst.a, inst.b, inst.scratch);
+      case Opcode::Relu:
+        return bs::relu(arr, inst.a);
+      case Opcode::ShiftUp:
+        return bs::shiftUp(arr, inst.a, inst.imm);
+      case Opcode::ShiftDown:
+        return bs::shiftDown(arr, inst.a, inst.imm);
+      case Opcode::Divide:
+        return bs::divide(arr, inst.a, inst.b, inst.out, inst.scratch,
+                          inst.scratch2, inst.c);
+      case Opcode::BatchNorm:
+        return bs::batchNorm(arr, inst.a, inst.b, inst.c, inst.imm,
+                             inst.scratch, inst.zeroRow);
+      case Opcode::Search:
+        return bs::searchKey(arr, inst.a, inst.key);
+      case Opcode::LoadTag:
+        arr.opLoadTag(inst.a.base);
+        return 1;
+    }
+    nc_panic("undecodable opcode %d", static_cast<int>(inst.op));
+}
+
+} // namespace nc::core

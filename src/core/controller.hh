@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The broadcast controller (paper §IV-F).
+ *
+ * The intra-slice address bus carries one compute instruction to
+ * every bank; a small per-bank FSM (204 um^2) expands it into word
+ * line / sense / write-back control sequences. This class models
+ * that: a group of enrolled arrays receives each Instruction and
+ * executes the identical micro-op sequence, so the whole group stays
+ * in SIMD lock-step — which the controller asserts after every
+ * broadcast.
+ */
+
+#ifndef NC_CORE_CONTROLLER_HH
+#define NC_CORE_CONTROLLER_HH
+
+#include <vector>
+
+#include "cache/compute_cache.hh"
+#include "core/isa.hh"
+
+namespace nc::core
+{
+
+/** Broadcasts in-cache instructions to a lock-step array group. */
+class Controller
+{
+  public:
+    explicit Controller(cache::ComputeCache &cc_) : cc(cc_) {}
+
+    /** Add an array to the broadcast group (materializes it). */
+    void enroll(const cache::ArrayCoord &coord);
+
+    size_t groupSize() const { return group.size(); }
+
+    /**
+     * Issue one instruction to every enrolled array. Returns the
+     * compute cycles the instruction took (identical across the
+     * group by construction; panics if an array diverges).
+     */
+    uint64_t broadcast(const Instruction &inst);
+
+    /** Issue a whole program; returns total cycles. */
+    uint64_t run(const std::vector<Instruction> &program);
+
+    /** Cycles issued by this controller so far. */
+    uint64_t cyclesIssued() const { return issued; }
+
+  private:
+    /** Expand @p inst on one array (the per-bank FSM). */
+    uint64_t execute(sram::Array &arr, const Instruction &inst);
+
+    cache::ComputeCache &cc;
+    std::vector<cache::ArrayCoord> group;
+    uint64_t issued = 0;
+};
+
+} // namespace nc::core
+
+#endif // NC_CORE_CONTROLLER_HH

@@ -1,0 +1,27 @@
+#include "core/energy.hh"
+
+#include "common/units.hh"
+
+namespace nc::core
+{
+
+EnergyReport
+meterEnergy(const std::vector<StageCost> &stages, double total_ps,
+            const EnergyConfig &cfg)
+{
+    EnergyReport rep;
+    for (const auto &st : stages) {
+        rep.computeJ += static_cast<double>(st.activeArrayCycles) *
+                        cfg.array.computePj * pjToJoule;
+        rep.accessJ += static_cast<double>(st.streamedRows) *
+                       cfg.array.accessPj * pjToJoule;
+        rep.dramJ += static_cast<double>(st.dramBytes) *
+                     cfg.dramPjPerByte * pjToJoule;
+        rep.wireJ += static_cast<double>(st.wireBytes) *
+                     cfg.wirePjPerByte * pjToJoule;
+    }
+    rep.backgroundJ = cfg.backgroundPowerW * total_ps * picoToSec;
+    return rep;
+}
+
+} // namespace nc::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Energy / power accounting (paper §V, Table III).
+ *
+ * Four metered components plus a background term:
+ *  - compute:    active-array compute cycles x 15.4 pJ (22 nm SPICE)
+ *  - access:     conventional row reads/writes x 8.6 pJ
+ *  - dram:       bytes moved to/from memory x per-byte energy
+ *  - wire:       on-chip bus/ring movement x per-byte energy
+ *  - background: the rest of the package (uncore, reserved way
+ *    serving the cores, clocks) drawing a constant power for the
+ *    duration of the inference.
+ */
+
+#ifndef NC_CORE_ENERGY_HH
+#define NC_CORE_ENERGY_HH
+
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "sram/timing.hh"
+
+namespace nc::core
+{
+
+/** Energy model parameters. */
+struct EnergyConfig
+{
+    sram::EnergyParams array = sram::EnergyParams::node22nm();
+    /** DRAM channel energy per byte, picojoules. */
+    double dramPjPerByte = 40.0;
+    /** On-chip interconnect energy per byte moved, picojoules. */
+    double wirePjPerByte = 6.0;
+    /** Constant package draw while the accelerator runs, watts
+     * (calibrated so Inception v3 lands at Table III's 0.246 J /
+     * 52.9 W). */
+    double backgroundPowerW = 15.0;
+};
+
+/** Metered energy of one inference. */
+struct EnergyReport
+{
+    double computeJ = 0;
+    double accessJ = 0;
+    double dramJ = 0;
+    double wireJ = 0;
+    double backgroundJ = 0;
+
+    double
+    totalJ() const
+    {
+        return computeJ + accessJ + dramJ + wireJ + backgroundJ;
+    }
+
+    /** Average power over @p seconds. */
+    double
+    avgPowerW(double seconds) const
+    {
+        return seconds > 0 ? totalJ() / seconds : 0.0;
+    }
+};
+
+/** Meter @p stages, whose wall clock was @p total_ps. */
+EnergyReport meterEnergy(const std::vector<StageCost> &stages,
+                         double total_ps, const EnergyConfig &cfg = {});
+
+} // namespace nc::core
+
+#endif // NC_CORE_ENERGY_HH

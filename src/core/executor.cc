@@ -1,0 +1,329 @@
+#include "core/executor.hh"
+
+
+#include <algorithm>
+#include <utility>
+#include "bitserial/alu.hh"
+#include "bitserial/extensions.hh"
+#include "bitserial/layout.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "dnn/layers.hh"
+
+namespace nc::core
+{
+
+namespace bs = bitserial;
+
+namespace
+{
+
+unsigned
+padBefore(unsigned in, unsigned window, unsigned stride, bool same_pad)
+{
+    if (!same_pad)
+        return 0;
+    unsigned out = dnn::outDim(in, window, stride, true);
+    unsigned covered = (out - 1) * stride + window;
+    unsigned total = covered > in ? covered - in : 0;
+    return total / 2;
+}
+
+} // namespace
+
+std::vector<uint32_t>
+Executor::conv(const dnn::QTensor &in, const dnn::QWeights &w,
+               unsigned stride, bool same_pad, unsigned &out_h,
+               unsigned &out_w)
+{
+    const unsigned bits = 8;
+    const unsigned acc_bits = 24;
+    unsigned rs = w.r * w.s;
+    unsigned cols = cc.geometry().arrayCols;
+    unsigned lanes = static_cast<unsigned>(roundUpPow2(w.c));
+    nc_assert(lanes <= cols, "executor: %u channels exceed %u lanes",
+              w.c, cols);
+
+    out_h = dnn::outDim(in.height(), w.r, stride, same_pad);
+    out_w = dnn::outDim(in.width(), w.s, stride, same_pad);
+    unsigned ph = padBefore(in.height(), w.r, stride, same_pad);
+    unsigned pw = padBefore(in.width(), w.s, stride, same_pad);
+    unsigned red_bits = acc_bits + log2Ceil(lanes);
+
+    std::vector<uint32_t> out(static_cast<size_t>(w.m) * out_h * out_w,
+                              0);
+
+    for (unsigned mi = 0; mi < w.m; ++mi) {
+        // One array per filter batch, spread across the cache the way
+        // the mapper replicates M's over ways (Figure 9).
+        sram::Array &arr = cc.array(cc.coordOf(mi));
+        bs::RowAllocator rows(cc.geometry().arrayRows);
+
+        // Figure 10 layout: filter band, input band, scratchpad,
+        // partial sum (with reduction headroom), reduction scratch.
+        std::vector<bs::VecSlice> filt(rs), inp(rs);
+        for (unsigned k = 0; k < rs; ++k)
+            filt[k] = rows.alloc(bits);
+        for (unsigned k = 0; k < rs; ++k)
+            inp[k] = rows.alloc(bits);
+        bs::VecSlice scratch = rows.alloc(2 * bits);
+        bs::VecSlice partial = rows.alloc(red_bits);
+        bs::VecSlice red_scratch =
+            rows.alloc(red_bits > 0 ? red_bits - 1 : 1);
+        unsigned zrow = rows.zeroRow();
+
+        // Filters are stationary for the whole layer.
+        for (unsigned k = 0; k < rs; ++k) {
+            std::vector<uint64_t> fv(lanes, 0);
+            for (unsigned ci = 0; ci < w.c; ++ci)
+                fv[ci] = w.at(mi, ci, k / w.s, k % w.s);
+            bs::storeVector(arr, filt[k], fv);
+        }
+
+        for (unsigned y = 0; y < out_h; ++y) {
+            for (unsigned x = 0; x < out_w; ++x) {
+                // Stream the input window (zero padding stays zero).
+                for (unsigned k = 0; k < rs; ++k) {
+                    int iy = static_cast<int>(y * stride + k / w.s) -
+                             static_cast<int>(ph);
+                    int ix = static_cast<int>(x * stride + k % w.s) -
+                             static_cast<int>(pw);
+                    std::vector<uint64_t> iv(lanes, 0);
+                    if (iy >= 0 && ix >= 0 &&
+                        iy < static_cast<int>(in.height()) &&
+                        ix < static_cast<int>(in.width())) {
+                        for (unsigned ci = 0; ci < w.c; ++ci)
+                            iv[ci] = in.at(ci, iy, ix);
+                    }
+                    bs::storeVector(arr, inp[k], iv);
+                }
+
+                // RxS MACs per bit line, then the channel reduction.
+                bs::zero(arr, partial);
+                for (unsigned k = 0; k < rs; ++k) {
+                    bs::macScratch(arr, filt[k], inp[k],
+                                   partial.slice(0, acc_bits), scratch,
+                                   zrow);
+                }
+                bs::reduceSum(arr, partial, acc_bits, lanes,
+                              red_scratch);
+
+                uint64_t sum = bs::loadLane(arr, partial, 0);
+                out[(static_cast<size_t>(mi) * out_h + y) * out_w + x] =
+                    static_cast<uint32_t>(sum);
+            }
+        }
+    }
+    return out;
+}
+
+dnn::QTensor
+Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
+                  unsigned stride, bool same_pad)
+{
+    const unsigned bits = 8;
+    unsigned cols = cc.geometry().arrayCols;
+    unsigned lanes = static_cast<unsigned>(roundUpPow2(in.channels()));
+    nc_assert(lanes <= cols, "maxPool: %u channels exceed %u lanes",
+              in.channels(), cols);
+
+    unsigned oh = dnn::outDim(in.height(), r, stride, same_pad);
+    unsigned ow = dnn::outDim(in.width(), s, stride, same_pad);
+    unsigned ph = padBefore(in.height(), r, stride, same_pad);
+    unsigned pw = padBefore(in.width(), s, stride, same_pad);
+
+    sram::Array &arr = cc.array(cc.coordOf(0));
+    bs::RowAllocator rows(cc.geometry().arrayRows);
+    bs::VecSlice cur = rows.alloc(bits);
+    bs::VecSlice best = rows.alloc(bits);
+    bs::VecSlice cmp = rows.alloc(bits);
+
+    dnn::QTensor out(in.channels(), oh, ow, in.params());
+    for (unsigned y = 0; y < oh; ++y) {
+        for (unsigned x = 0; x < ow; ++x) {
+            bool first = true;
+            for (unsigned ri = 0; ri < r; ++ri) {
+                for (unsigned si = 0; si < s; ++si) {
+                    int iy = static_cast<int>(y * stride + ri) -
+                             static_cast<int>(ph);
+                    int ix = static_cast<int>(x * stride + si) -
+                             static_cast<int>(pw);
+                    if (iy < 0 || ix < 0 ||
+                        iy >= static_cast<int>(in.height()) ||
+                        ix >= static_cast<int>(in.width()))
+                        continue;
+                    std::vector<uint64_t> iv(lanes, 0);
+                    for (unsigned ci = 0; ci < in.channels(); ++ci)
+                        iv[ci] = in.at(ci, iy, ix);
+                    bs::storeVector(arr, cur, iv);
+                    if (first) {
+                        bs::copy(arr, cur, best);
+                        first = false;
+                    } else {
+                        bs::maxInto(arr, best, cur, cmp);
+                    }
+                }
+            }
+            for (unsigned ci = 0; ci < in.channels(); ++ci) {
+                out.at(ci, y, x) = static_cast<uint8_t>(
+                    bs::loadLane(arr, best, ci));
+            }
+        }
+    }
+    return out;
+}
+
+dnn::QTensor
+Executor::avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
+                  unsigned stride)
+{
+    const unsigned bits = 8;
+    const unsigned acc_bits = 2 * bits;
+    unsigned ws = r * s;
+    unsigned cols = cc.geometry().arrayCols;
+    unsigned lanes = static_cast<unsigned>(roundUpPow2(in.channels()));
+    nc_assert(lanes <= cols, "avgPool: %u channels exceed %u lanes",
+              in.channels(), cols);
+    nc_assert(ws <= 256, "window too large");
+
+    unsigned oh = dnn::outDim(in.height(), r, stride, false);
+    unsigned ow = dnn::outDim(in.width(), s, stride, false);
+
+    sram::Array &arr = cc.array(cc.coordOf(0));
+    bs::RowAllocator rows(cc.geometry().arrayRows);
+    bs::VecSlice cur = rows.alloc(bits);
+    bs::VecSlice acc = rows.alloc(acc_bits);
+    unsigned zrow = rows.zeroRow();
+
+    bool pow2 = isPow2(ws);
+    unsigned dbits = pow2 ? 0 : log2Ceil(uint64_t(ws) + 1);
+    bs::VecSlice den, quot, rwork, twork, dwork;
+    if (!pow2) {
+        den = rows.alloc(dbits);
+        quot = rows.alloc(acc_bits);
+        rwork = rows.alloc(acc_bits + dbits);
+        twork = rows.alloc(dbits + 1);
+        dwork = rows.alloc(dbits + 1);
+        bs::storeVector(arr, den,
+                        std::vector<uint64_t>(lanes, ws));
+    }
+
+    dnn::QTensor out(in.channels(), oh, ow, in.params());
+    for (unsigned y = 0; y < oh; ++y) {
+        for (unsigned x = 0; x < ow; ++x) {
+            bs::zero(arr, acc);
+            for (unsigned ri = 0; ri < r; ++ri) {
+                for (unsigned si = 0; si < s; ++si) {
+                    std::vector<uint64_t> iv(lanes, 0);
+                    for (unsigned ci = 0; ci < in.channels(); ++ci)
+                        iv[ci] = in.at(ci, y * stride + ri,
+                                       x * stride + si);
+                    bs::storeVector(arr, cur, iv);
+                    bs::add(arr, acc, cur, acc, zrow);
+                }
+            }
+            const bs::VecSlice *result = &acc;
+            if (pow2) {
+                bs::shiftDown(arr, acc, log2Ceil(ws));
+            } else {
+                bs::divide(arr, acc, den, quot, rwork, twork, dwork);
+                result = &quot;
+            }
+            for (unsigned ci = 0; ci < in.channels(); ++ci) {
+                out.at(ci, y, x) = static_cast<uint8_t>(
+                    bs::loadLane(arr, *result, ci));
+            }
+        }
+    }
+    return out;
+}
+
+std::pair<uint64_t, uint64_t>
+Executor::minMax(const std::vector<uint64_t> &vals, unsigned bits)
+{
+    unsigned cols = cc.geometry().arrayCols;
+    nc_assert(!vals.empty() && vals.size() <= cols,
+              "minMax over %zu values", vals.size());
+    unsigned lanes =
+        static_cast<unsigned>(roundUpPow2(vals.size()));
+
+    sram::Array &arr = cc.array(cc.coordOf(0));
+    bs::RowAllocator rows(cc.geometry().arrayRows);
+    bs::VecSlice mx = rows.alloc(bits);
+    bs::VecSlice mn = rows.alloc(bits);
+    bs::VecSlice mv = rows.alloc(bits);
+    bs::VecSlice cmp = rows.alloc(bits);
+
+    // Max tree pads with 0, min tree pads with all-ones.
+    std::vector<uint64_t> vmax(lanes, 0);
+    std::vector<uint64_t> vmin(lanes, lowMask(bits));
+    for (size_t i = 0; i < vals.size(); ++i)
+        vmax[i] = vmin[i] = vals[i];
+    bs::storeVector(arr, mx, vmax);
+    bs::reduceMax(arr, mx, lanes, mv, cmp, /*take_min=*/false);
+    bs::storeVector(arr, mn, vmin);
+    bs::reduceMax(arr, mn, lanes, mv, cmp, /*take_min=*/true);
+
+    return {bs::loadLane(arr, mn, 0), bs::loadLane(arr, mx, 0)};
+}
+
+std::vector<uint8_t>
+Executor::requantize(const std::vector<uint32_t> &acc, uint8_t mult,
+                     unsigned shift)
+{
+    const unsigned vbits = 32;
+    const unsigned gbits = 8;
+    unsigned cols = cc.geometry().arrayCols;
+
+    sram::Array &arr = cc.array(cc.coordOf(0));
+    bs::RowAllocator rows(cc.geometry().arrayRows);
+    bs::VecSlice v = rows.alloc(vbits);
+    bs::VecSlice g = rows.alloc(gbits);
+    bs::VecSlice prod = rows.alloc(vbits + gbits);
+
+    std::vector<uint8_t> out(acc.size());
+    for (size_t base = 0; base < acc.size(); base += cols) {
+        size_t n = std::min<size_t>(cols, acc.size() - base);
+        std::vector<uint64_t> vv(n);
+        for (size_t i = 0; i < n; ++i)
+            vv[i] = acc[base + i];
+        bs::storeVector(arr, v, vv);
+        bs::storeVector(arr, g,
+                        std::vector<uint64_t>(n, mult));
+        bs::multiply(arr, v, g, prod);
+        bs::shiftDown(arr, prod, shift);
+        // In-array clamp: lanes whose value exceeds 8 bits saturate
+        // to 255 (the §IV-D clamp, done with a tag-OR overflow fold).
+        bs::saturate(arr, prod, 8);
+        for (size_t i = 0; i < n; ++i) {
+            out[base + i] = static_cast<uint8_t>(bs::loadLane(
+                arr, prod.slice(0, 8), static_cast<unsigned>(i)));
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+Executor::relu(const std::vector<uint8_t> &vals)
+{
+    const unsigned bits = 8;
+    unsigned cols = cc.geometry().arrayCols;
+    nc_assert(vals.size() <= cols, "relu: %zu values exceed %u lanes",
+              vals.size(), cols);
+
+    sram::Array &arr = cc.array(cc.coordOf(0));
+    bs::RowAllocator rows(cc.geometry().arrayRows);
+    bs::VecSlice v = rows.alloc(bits);
+
+    std::vector<uint64_t> iv(vals.begin(), vals.end());
+    bs::storeVector(arr, v, iv);
+    bs::relu(arr, v);
+
+    std::vector<uint8_t> out(vals.size());
+    for (size_t i = 0; i < vals.size(); ++i)
+        out[i] = static_cast<uint8_t>(
+            bs::loadLane(arr, v, static_cast<unsigned>(i)));
+    return out;
+}
+
+} // namespace nc::core

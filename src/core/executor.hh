@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Functional executor: run DNN primitives through real bit-serial
+ * array operations.
+ *
+ * This is the verification half of the simulator (the cost model is
+ * the timing half): layers are mapped channel-per-bit-line exactly as
+ * §IV-A describes, every MAC and reduction executes through
+ * bitserial::* micro-ops on sram::Array bit cells, and the result is
+ * read back and compared against dnn::convQuantUnsigned ground truth
+ * in the tests. Timing falls out of the same run via the arrays'
+ * cycle counters, which keeps the functional and analytic models
+ * honest with each other.
+ *
+ * Scope: one array per filter batch (padded channels <= 256 bit
+ * lines, RxS <= 12 so the Figure 10 layout fits), which covers the
+ * small end-to-end networks the integration tests and examples use.
+ */
+
+#ifndef NC_CORE_EXECUTOR_HH
+#define NC_CORE_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/compute_cache.hh"
+#include "dnn/reference.hh"
+#include "dnn/tensor.hh"
+
+namespace nc::core
+{
+
+/** Executes quantized layers on compute-cache arrays. */
+class Executor
+{
+  public:
+    explicit Executor(cache::ComputeCache &cc_) : cc(cc_) {}
+
+    /**
+     * Quantized convolution (unsigned, zero-point-free): returns the
+     * raw accumulators in [m][oh][ow] order, exactly like
+     * dnn::convQuantUnsigned.
+     */
+    std::vector<uint32_t> conv(const dnn::QTensor &in,
+                               const dnn::QWeights &w, unsigned stride,
+                               bool same_pad, unsigned &out_h,
+                               unsigned &out_w);
+
+    /** Max pooling through bit-serial compare/select. */
+    dnn::QTensor maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
+                         unsigned stride, bool same_pad);
+
+    /**
+     * Average pooling: bit-serial window summation followed by
+     * in-array division (a shift when the window is a power of two,
+     * restoring division otherwise — paper §IV-D notes Inception's
+     * divisors are 4 bits). VALID windows only (every window full),
+     * matching Inception's 8x8 head.
+     */
+    dnn::QTensor avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
+                         unsigned stride);
+
+    /** ReLU on int8-style values stored as two's complement bytes. */
+    std::vector<uint8_t> relu(const std::vector<uint8_t> &vals);
+
+    /**
+     * In-array min/max over a set of @p bits-wide values (the
+     * quantization range search of §IV-D). Lane padding uses 0 for
+     * the max tree and all-ones for the min tree.
+     */
+    std::pair<uint64_t, uint64_t> minMax(
+        const std::vector<uint64_t> &vals, unsigned bits);
+
+    /**
+     * In-cache requantization (§IV-D): q = (acc * mult) >> shift for
+     * every accumulator, via bit-serial multiply and shift, with the
+     * CPU-provided 8-bit multiplier broadcast to every lane. The
+     * result is truncated (the hardware sequence has no rounding
+     * add) and saturated to 8 bits on read-out.
+     */
+    std::vector<uint8_t> requantize(const std::vector<uint32_t> &acc,
+                                    uint8_t mult, unsigned shift);
+
+    /** Lock-step compute cycles consumed so far. */
+    uint64_t lockstepCycles() const { return cc.lockstepCycles(); }
+
+  private:
+    cache::ComputeCache &cc;
+};
+
+} // namespace nc::core
+
+#endif // NC_CORE_EXECUTOR_HH

@@ -1,0 +1,156 @@
+#include "core/isa.hh"
+
+namespace nc::core
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Copy:
+        return "copy";
+      case Opcode::CopyInv:
+        return "copyinv";
+      case Opcode::Zero:
+        return "zero";
+      case Opcode::Add:
+        return "add";
+      case Opcode::Sub:
+        return "sub";
+      case Opcode::Multiply:
+        return "multiply";
+      case Opcode::Mac:
+        return "mac";
+      case Opcode::ReduceSum:
+        return "reducesum";
+      case Opcode::ReduceMax:
+        return "reducemax";
+      case Opcode::MaxInto:
+        return "maxinto";
+      case Opcode::MinInto:
+        return "mininto";
+      case Opcode::Relu:
+        return "relu";
+      case Opcode::ShiftUp:
+        return "shiftup";
+      case Opcode::ShiftDown:
+        return "shiftdown";
+      case Opcode::Divide:
+        return "divide";
+      case Opcode::BatchNorm:
+        return "batchnorm";
+      case Opcode::Search:
+        return "search";
+      case Opcode::LoadTag:
+        return "loadtag";
+    }
+    return "?";
+}
+
+Instruction
+Instruction::copy(bitserial::VecSlice a, bitserial::VecSlice out,
+                  bool pred)
+{
+    Instruction i;
+    i.op = Opcode::Copy;
+    i.a = a;
+    i.out = out;
+    i.pred = pred;
+    return i;
+}
+
+Instruction
+Instruction::zero(bitserial::VecSlice out)
+{
+    Instruction i;
+    i.op = Opcode::Zero;
+    i.out = out;
+    return i;
+}
+
+Instruction
+Instruction::add(bitserial::VecSlice a, bitserial::VecSlice b,
+                 bitserial::VecSlice out, unsigned zero_row)
+{
+    Instruction i;
+    i.op = Opcode::Add;
+    i.a = a;
+    i.b = b;
+    i.out = out;
+    i.zeroRow = zero_row;
+    return i;
+}
+
+Instruction
+Instruction::sub(bitserial::VecSlice a, bitserial::VecSlice b,
+                 bitserial::VecSlice out, bitserial::VecSlice scratch)
+{
+    Instruction i;
+    i.op = Opcode::Sub;
+    i.a = a;
+    i.b = b;
+    i.out = out;
+    i.scratch = scratch;
+    return i;
+}
+
+Instruction
+Instruction::multiply(bitserial::VecSlice a, bitserial::VecSlice b,
+                      bitserial::VecSlice out)
+{
+    Instruction i;
+    i.op = Opcode::Multiply;
+    i.a = a;
+    i.b = b;
+    i.out = out;
+    return i;
+}
+
+Instruction
+Instruction::mac(bitserial::VecSlice a, bitserial::VecSlice b,
+                 bitserial::VecSlice acc, bitserial::VecSlice scratch,
+                 unsigned zero_row)
+{
+    Instruction i;
+    i.op = Opcode::Mac;
+    i.a = a;
+    i.b = b;
+    i.out = acc;
+    i.scratch = scratch;
+    i.zeroRow = zero_row;
+    return i;
+}
+
+Instruction
+Instruction::reduceSum(bitserial::VecSlice acc, unsigned w0,
+                       unsigned lanes, bitserial::VecSlice scratch)
+{
+    Instruction i;
+    i.op = Opcode::ReduceSum;
+    i.a = acc;
+    i.scratch = scratch;
+    i.imm = lanes;
+    i.imm2 = w0;
+    return i;
+}
+
+Instruction
+Instruction::relu(bitserial::VecSlice a)
+{
+    Instruction i;
+    i.op = Opcode::Relu;
+    i.a = a;
+    return i;
+}
+
+Instruction
+Instruction::search(bitserial::VecSlice a, uint64_t key)
+{
+    Instruction i;
+    i.op = Opcode::Search;
+    i.a = a;
+    i.key = key;
+    return i;
+}
+
+} // namespace nc::core

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The in-cache instruction set (paper §IV-F).
+ *
+ * "Neural Cache requires supporting a few new instructions: in-cache
+ * addition, multiplication, reduction, and moves. Since, at any given
+ * time only one layer in the network is being operated on, all
+ * compute arrays execute the same in-cache compute instruction."
+ *
+ * An Instruction names an ALU macro-op and its operand slices; the
+ * Controller (controller.hh) broadcasts it over the intra-slice
+ * address bus to every enrolled array, where the per-bank FSM expands
+ * it into the bit-serial micro-op sequence. Because operands are
+ * slice-relative and every array holds the same layout, one encoding
+ * drives thousands of arrays in lock-step.
+ */
+
+#ifndef NC_CORE_ISA_HH
+#define NC_CORE_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "bitserial/layout.hh"
+
+namespace nc::core
+{
+
+/** Macro-opcodes the bank FSM can expand. */
+enum class Opcode
+{
+    Copy,      ///< out <= a
+    CopyInv,   ///< out <= ~a
+    Zero,      ///< out <= 0
+    Add,       ///< out <= a + b
+    Sub,       ///< out <= a - b (scratch: b.bits)
+    Multiply,  ///< out <= a * b (out = a.bits + b.bits)
+    Mac,       ///< out += a * b through scratch (Fig 10 flow)
+    ReduceSum, ///< lane-tree sum over imm lanes (a live in low bits)
+    ReduceMax, ///< lane-tree max over imm lanes
+    MaxInto,   ///< a <= max(a, b)
+    MinInto,   ///< a <= min(a, b)
+    Relu,      ///< a <= max(a, 0), two's complement
+    ShiftUp,   ///< a <<= imm
+    ShiftDown, ///< a >>= imm
+    Divide,    ///< out <= a / b (scratch bands required)
+    BatchNorm, ///< a <= ((a * b) >> imm) + c (paper §IV-D)
+    Search,    ///< tag <= (a == key)
+    LoadTag,   ///< tag <= row a.base
+};
+
+const char *opcodeName(Opcode op);
+
+/** One broadcast instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Zero;
+    bitserial::VecSlice a;       ///< first operand / in-place target
+    bitserial::VecSlice b;       ///< second operand
+    bitserial::VecSlice c;       ///< third operand (BatchNorm beta)
+    bitserial::VecSlice out;     ///< destination
+    bitserial::VecSlice scratch; ///< primary scratch band
+    bitserial::VecSlice scratch2; ///< secondary scratch band
+    unsigned imm = 0;            ///< lanes / shift amount
+    unsigned imm2 = 0;           ///< ReduceSum live width w0
+    uint64_t key = 0;            ///< Search key
+    unsigned zeroRow = bitserial::kNoRow;
+    bool pred = false;           ///< tag-predicated write-back
+
+    /** @name Assembly-style factories */
+    /// @{
+    static Instruction copy(bitserial::VecSlice a,
+                            bitserial::VecSlice out,
+                            bool pred = false);
+    static Instruction zero(bitserial::VecSlice out);
+    static Instruction add(bitserial::VecSlice a, bitserial::VecSlice b,
+                           bitserial::VecSlice out,
+                           unsigned zero_row = bitserial::kNoRow);
+    static Instruction sub(bitserial::VecSlice a, bitserial::VecSlice b,
+                           bitserial::VecSlice out,
+                           bitserial::VecSlice scratch);
+    static Instruction multiply(bitserial::VecSlice a,
+                                bitserial::VecSlice b,
+                                bitserial::VecSlice out);
+    static Instruction mac(bitserial::VecSlice a, bitserial::VecSlice b,
+                           bitserial::VecSlice acc,
+                           bitserial::VecSlice scratch,
+                           unsigned zero_row);
+    static Instruction reduceSum(bitserial::VecSlice acc, unsigned w0,
+                                 unsigned lanes,
+                                 bitserial::VecSlice scratch);
+    static Instruction relu(bitserial::VecSlice a);
+    static Instruction search(bitserial::VecSlice a, uint64_t key);
+    /// @}
+};
+
+} // namespace nc::core
+
+#endif // NC_CORE_ISA_HH

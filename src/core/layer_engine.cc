@@ -1,0 +1,168 @@
+#include "core/layer_engine.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "dnn/layers.hh"
+
+namespace nc::core
+{
+
+namespace bs = bitserial;
+
+std::vector<uint32_t>
+LayerEngine::convLayer(const dnn::QTensor &in, const dnn::QWeights &w,
+                       unsigned stride, bool same_pad, unsigned &out_h,
+                       unsigned &out_w)
+{
+    const unsigned bits = 8;
+    const unsigned acc_bits = 24;
+    unsigned rs = w.r * w.s;
+    unsigned cols = cc.geometry().arrayCols;
+    unsigned lanes = static_cast<unsigned>(roundUpPow2(w.c));
+    nc_assert(lanes <= cols, "layer engine: %u channels exceed %u "
+              "lanes", w.c, cols);
+
+    out_h = dnn::outDim(in.height(), w.r, stride, same_pad);
+    out_w = dnn::outDim(in.width(), w.s, stride, same_pad);
+    unsigned pad_h = 0, pad_w = 0;
+    if (same_pad) {
+        unsigned cov_h = (out_h - 1) * stride + w.r;
+        unsigned cov_w = (out_w - 1) * stride + w.s;
+        pad_h = cov_h > in.height() ? (cov_h - in.height()) / 2 : 0;
+        pad_w = cov_w > in.width() ? (cov_w - in.width()) / 2 : 0;
+    }
+    unsigned red_bits = acc_bits + log2Ceil(lanes);
+
+    // The shared slice map (identical in every array — that is what
+    // makes one instruction stream sufficient).
+    bs::RowAllocator rows(cc.geometry().arrayRows);
+    std::vector<bs::VecSlice> filt(rs), inp(rs);
+    for (unsigned k = 0; k < rs; ++k)
+        filt[k] = rows.alloc(bits);
+    for (unsigned k = 0; k < rs; ++k)
+        inp[k] = rows.alloc(bits);
+    bs::VecSlice scratch = rows.alloc(2 * bits);
+    bs::VecSlice partial = rows.alloc(red_bits);
+    bs::VecSlice red_scratch =
+        rows.alloc(red_bits > 1 ? red_bits - 1 : 1);
+    unsigned zrow = rows.zeroRow();
+
+    // Enroll one array per filter batch and pin its weights.
+    for (unsigned mi = 0; mi < w.m; ++mi) {
+        cache::ArrayCoord coord = cc.coordOf(mi);
+        ctrl.enroll(coord);
+        sram::Array &arr = cc.array(coord);
+        for (unsigned k = 0; k < rs; ++k) {
+            std::vector<uint64_t> fv(lanes, 0);
+            for (unsigned ci = 0; ci < w.c; ++ci)
+                fv[ci] = w.at(mi, ci, k / w.s, k % w.s);
+            bs::storeVector(arr, filt[k], fv);
+        }
+    }
+
+    // The per-window broadcast program (identical every window).
+    std::vector<Instruction> program;
+    program.push_back(Instruction::zero(partial));
+    for (unsigned k = 0; k < rs; ++k)
+        program.push_back(Instruction::mac(
+            filt[k], inp[k], partial.slice(0, acc_bits), scratch,
+            zrow));
+    program.push_back(
+        Instruction::reduceSum(partial, acc_bits, lanes, red_scratch));
+
+    std::vector<uint32_t> out(static_cast<size_t>(w.m) * out_h * out_w,
+                              0);
+    for (unsigned y = 0; y < out_h; ++y) {
+        for (unsigned x = 0; x < out_w; ++x) {
+            // Stream the window — the same bytes reach every array
+            // (one intra-slice broadcast per §IV-C).
+            for (unsigned k = 0; k < rs; ++k) {
+                int iy = static_cast<int>(y * stride + k / w.s) -
+                         static_cast<int>(pad_h);
+                int ix = static_cast<int>(x * stride + k % w.s) -
+                         static_cast<int>(pad_w);
+                std::vector<uint64_t> iv(lanes, 0);
+                if (iy >= 0 && ix >= 0 &&
+                    iy < static_cast<int>(in.height()) &&
+                    ix < static_cast<int>(in.width())) {
+                    for (unsigned ci = 0; ci < w.c; ++ci)
+                        iv[ci] = in.at(ci, iy, ix);
+                }
+                for (unsigned mi = 0; mi < w.m; ++mi)
+                    bs::storeVector(cc.array(cc.coordOf(mi)), inp[k],
+                                    iv);
+            }
+
+            uint64_t cycles = ctrl.run(program);
+            ++nPrograms;
+            nc_dprintf("LayerEngine",
+                       "window (%u,%u): %llu cycles on %zu arrays", y,
+                       x, static_cast<unsigned long long>(cycles),
+                       ctrl.groupSize());
+
+            for (unsigned mi = 0; mi < w.m; ++mi) {
+                uint64_t sum = bs::loadLane(
+                    cc.array(cc.coordOf(mi)), partial, 0);
+                out[(static_cast<size_t>(mi) * out_h + y) * out_w +
+                    x] = static_cast<uint32_t>(sum);
+            }
+        }
+    }
+    return out;
+}
+
+dnn::QTensor
+LayerEngine::maxPoolLayer(const dnn::QTensor &in, unsigned r,
+                          unsigned s, unsigned stride)
+{
+    const unsigned bits = 8;
+    unsigned cols = cc.geometry().arrayCols;
+    unsigned lanes = static_cast<unsigned>(roundUpPow2(in.channels()));
+    nc_assert(lanes <= cols, "maxPoolLayer: %u channels exceed %u "
+              "lanes", in.channels(), cols);
+
+    unsigned oh = dnn::outDim(in.height(), r, stride, false);
+    unsigned ow = dnn::outDim(in.width(), s, stride, false);
+
+    bs::RowAllocator rows(cc.geometry().arrayRows);
+    bs::VecSlice cur = rows.alloc(bits);
+    bs::VecSlice best = rows.alloc(bits);
+    bs::VecSlice cmp = rows.alloc(bits);
+
+    if (ctrl.groupSize() == 0)
+        ctrl.enroll(cc.coordOf(0));
+    sram::Array &arr = cc.array(cc.coordOf(0));
+
+    Instruction take_first = Instruction::copy(cur, best);
+    Instruction fold;
+    fold.op = Opcode::MaxInto;
+    fold.a = best;
+    fold.b = cur;
+    fold.scratch = cmp;
+
+    dnn::QTensor out(in.channels(), oh, ow, in.params());
+    for (unsigned y = 0; y < oh; ++y) {
+        for (unsigned x = 0; x < ow; ++x) {
+            bool first = true;
+            for (unsigned ri = 0; ri < r; ++ri) {
+                for (unsigned si = 0; si < s; ++si) {
+                    std::vector<uint64_t> iv(lanes, 0);
+                    for (unsigned ci = 0; ci < in.channels(); ++ci)
+                        iv[ci] = in.at(ci, y * stride + ri,
+                                       x * stride + si);
+                    bs::storeVector(arr, cur, iv);
+                    ctrl.broadcast(first ? take_first : fold);
+                    first = false;
+                }
+            }
+            ++nPrograms;
+            for (unsigned ci = 0; ci < in.channels(); ++ci)
+                out.at(ci, y, x) = static_cast<uint8_t>(
+                    bs::loadLane(arr, best, ci));
+        }
+    }
+    return out;
+}
+
+} // namespace nc::core

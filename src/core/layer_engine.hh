@@ -1,0 +1,77 @@
+/**
+ * @file
+ * LayerEngine: a whole convolution layer through the broadcast ISA.
+ *
+ * This is the §IV execution model in miniature, one level above the
+ * Executor: filter batches (M's) spread across arrays that enroll in
+ * one Controller group; every output window becomes one broadcast
+ * program (zero the partial sums, RxS MAC macro-ops, one channel
+ * reduction) that the per-bank FSMs expand identically everywhere, so
+ * the entire layer runs in SIMD lock-step exactly as §IV-F describes
+ * ("all compute arrays execute the same in-cache compute
+ * instruction").
+ *
+ * Functionally it must agree bit-for-bit with Executor::conv (which
+ * drives the ALU directly) and with the reference executor — the
+ * integration tests pin all three against each other.
+ */
+
+#ifndef NC_CORE_LAYER_ENGINE_HH
+#define NC_CORE_LAYER_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/compute_cache.hh"
+#include "core/controller.hh"
+#include "dnn/reference.hh"
+#include "dnn/tensor.hh"
+
+namespace nc::core
+{
+
+/** ISA-level layer runner. */
+class LayerEngine
+{
+  public:
+    explicit LayerEngine(cache::ComputeCache &cc_)
+        : cc(cc_), ctrl(cc_)
+    {
+    }
+
+    /**
+     * Execute a quantized (unsigned) convolution layer; returns the
+     * raw accumulators in [m][oh][ow] order.
+     */
+    std::vector<uint32_t> convLayer(const dnn::QTensor &in,
+                                    const dnn::QWeights &w,
+                                    unsigned stride, bool same_pad,
+                                    unsigned &out_h, unsigned &out_w);
+
+    /**
+     * Max pooling through the ISA: the window's inputs stream in and
+     * a broadcast MaxInto program runs per element (paper §IV-D's
+     * "designating a temporary maximum ... selective copy"). VALID
+     * windows only.
+     */
+    dnn::QTensor maxPoolLayer(const dnn::QTensor &in, unsigned r,
+                              unsigned s, unsigned stride);
+
+    /** Compute cycles issued over the instruction bus. */
+    uint64_t instructionCycles() const { return ctrl.cyclesIssued(); }
+
+    /** Broadcast programs executed (one per output window). */
+    uint64_t programsIssued() const { return nPrograms; }
+
+    /** Arrays enrolled in the lock-step group. */
+    size_t groupSize() const { return ctrl.groupSize(); }
+
+  private:
+    cache::ComputeCache &cc;
+    Controller ctrl;
+    uint64_t nPrograms = 0;
+};
+
+} // namespace nc::core
+
+#endif // NC_CORE_LAYER_ENGINE_HH

@@ -1,0 +1,87 @@
+#include "core/neural_cache.hh"
+
+#include "common/logging.hh"
+
+namespace nc::core
+{
+
+double
+InferenceReport::avgPowerW() const
+{
+    double span = batchPs > 0 ? batchPs : latencyPs;
+    return energy.avgPowerW(span * picoToSec);
+}
+
+NeuralCache::NeuralCache(Config cfg_)
+    : cfg(std::move(cfg_)),
+      model(cfg.geometry, cfg.cost, cfg.dram)
+{
+}
+
+InferenceReport
+NeuralCache::infer(const dnn::Network &net) const
+{
+    return inferBatch(net, 1);
+}
+
+InferenceReport
+NeuralCache::inferBatch(const dnn::Network &net, unsigned batch) const
+{
+    nc_assert(batch >= 1, "empty batch");
+
+    InferenceReport rep;
+    rep.networkName = net.name;
+    rep.batch = batch;
+    rep.sockets = cfg.sockets;
+
+    double filter_ps = 0; // paid once per layer for the whole batch
+    double per_image_ps = 0;
+    double spill_ps = 0;
+
+    // Reserved-way capacity across all slices buffers layer outputs.
+    double reserved_bytes = static_cast<double>(cfg.geometry.slices) *
+                            cfg.geometry.reservedWayBytes();
+
+    for (const auto &stage : net.stages) {
+        StageCost c = model.stageCost(stage);
+
+        filter_ps += c.phases.filterLoadPs;
+        per_image_ps += c.totalPs() - c.phases.filterLoadPs;
+
+        // Batch outputs that overflow the reserved way spill to DRAM
+        // and return for the next layer (paper §IV-E); only the
+        // overflow beyond the buffered capacity pays the round trip.
+        double batch_out =
+            static_cast<double>(stage.outputBytes()) * batch;
+        if (batch > 1 && batch_out > reserved_bytes) {
+            auto overflow =
+                static_cast<uint64_t>(batch_out - reserved_bytes);
+            spill_ps += model.dram().transferPs(overflow) * 2.0;
+            c.dramBytes += 2 * overflow;
+        }
+
+        rep.stages.push_back(c);
+        rep.phases += c.phases;
+    }
+
+    // First-layer input arrives from DRAM through the TMUs.
+    uint64_t image_bytes =
+        net.stages.empty() ? 0 : net.stages.front().inputBytes();
+    double input_dram_ps =
+        model.dram().transferPs(image_bytes) * batch;
+    if (!rep.stages.empty()) {
+        rep.stages.front().dramBytes += image_bytes * batch;
+        double per_image_share = input_dram_ps / batch;
+        rep.stages.front().phases.inputStreamPs += per_image_share;
+        rep.phases.inputStreamPs += per_image_share;
+        per_image_ps += per_image_share;
+    }
+
+    rep.latencyPs = filter_ps + per_image_ps;
+    rep.batchPs = filter_ps + per_image_ps * batch + spill_ps;
+    rep.spillPs = spill_ps;
+    rep.energy = meterEnergy(rep.stages, rep.batchPs, cfg.energy);
+    return rep;
+}
+
+} // namespace nc::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * NeuralCache: the public facade of the accelerator model.
+ *
+ * Construct one with a cache geometry and configuration, hand it a
+ * dnn::Network, and receive an InferenceReport: per-stage latency with
+ * the Figure-14 phase breakdown, totals, energy, power, and batched
+ * throughput (paper §IV-E: filter loading is paid once per layer and
+ * amortized across the batch; batch outputs that overflow the
+ * reserved-way capacity spill to DRAM and are re-loaded, which is why
+ * the heavy early layers dump under batching).
+ */
+
+#ifndef NC_CORE_NEURAL_CACHE_HH
+#define NC_CORE_NEURAL_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "core/energy.hh"
+#include "dnn/layers.hh"
+
+namespace nc::core
+{
+
+/** Result of one (possibly batched) inference simulation. */
+struct InferenceReport
+{
+    std::string networkName;
+    unsigned batch = 1;
+    unsigned sockets = 1;
+
+    std::vector<StageCost> stages;
+    PhaseBreakdown phases; ///< summed over stages (per image)
+
+    /** Batch-1 equivalent per-image latency, picoseconds. */
+    double latencyPs = 0;
+    /** Whole-batch wall time, picoseconds (one socket). */
+    double batchPs = 0;
+    /** Extra DRAM spill time per batch (reserved way overflow). */
+    double spillPs = 0;
+
+    EnergyReport energy;
+
+    double latencyMs() const { return latencyPs * picoToMs; }
+    double batchMs() const { return batchPs * picoToMs; }
+
+    /** Inferences per second across all sockets. */
+    double
+    throughput() const
+    {
+        return batchPs > 0
+                   ? static_cast<double>(batch) * sockets /
+                         (batchPs * picoToSec)
+                   : 0.0;
+    }
+
+    double avgPowerW() const;
+};
+
+/** Configuration of the accelerator model. */
+struct NeuralCacheConfig
+{
+    cache::Geometry geometry = cache::Geometry::xeonE5_35MB();
+    CostConfig cost;
+    EnergyConfig energy;
+    cache::DramModel dram;
+    /** Sockets contributing throughput (paper: dual socket). */
+    unsigned sockets = 2;
+};
+
+/** The accelerator model. */
+class NeuralCache
+{
+  public:
+    using Config = NeuralCacheConfig;
+
+    explicit NeuralCache(Config cfg = {});
+
+    const Config &config() const { return cfg; }
+    const CostModel &costModel() const { return model; }
+
+    /** Simulate one inference (batch 1). */
+    InferenceReport infer(const dnn::Network &net) const;
+
+    /** Simulate a batched inference (paper §IV-E). */
+    InferenceReport inferBatch(const dnn::Network &net,
+                               unsigned batch) const;
+
+  private:
+    Config cfg;
+    CostModel model;
+};
+
+} // namespace nc::core
+
+#endif // NC_CORE_NEURAL_CACHE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Human-readable report printers for inference results.
+ *
+ * Benches and examples share these so every table/figure binary emits
+ * the same row format the paper's evaluation uses.
+ */
+
+#ifndef NC_CORE_REPORT_HH
+#define NC_CORE_REPORT_HH
+
+#include <ostream>
+
+#include "core/neural_cache.hh"
+
+namespace nc::core
+{
+
+/** Per-stage latency table (Figure 13 rows for one device). */
+void printStageTable(std::ostream &os, const InferenceReport &rep);
+
+/** Phase breakdown with percentages (Figure 14). */
+void printBreakdown(std::ostream &os, const InferenceReport &rep);
+
+/** Energy / power summary (Table III row). */
+void printEnergy(std::ostream &os, const InferenceReport &rep);
+
+/**
+ * Machine-readable flat dump ("key value" per line, gem5 stats
+ * style): totals, phases, per-stage latencies, energy components.
+ */
+void dumpStats(std::ostream &os, const InferenceReport &rep);
+
+/**
+ * Dump every parameter of a NeuralCache configuration (geometry,
+ * clocks, calibration constants, energy model) so a run is fully
+ * reproducible from its log.
+ */
+void printConfig(std::ostream &os, const NeuralCacheConfig &cfg);
+
+} // namespace nc::core
+
+#endif // NC_CORE_REPORT_HH

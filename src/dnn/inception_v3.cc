@@ -1,0 +1,246 @@
+#include "dnn/inception_v3.hh"
+
+namespace nc::dnn
+{
+
+namespace
+{
+
+/** The four-tower 35x35 block (Mixed_5b/5c/5d). */
+Stage
+mixed5(const std::string &name, unsigned cin, unsigned pool_proj)
+{
+    const unsigned hw = 35;
+    Stage st;
+    st.name = name;
+
+    Branch b0{"b0_1x1", {conv(name + "/b0/1x1", hw, hw, cin, 1, 1, 64)}};
+
+    Branch b1{"b1_5x5",
+              {conv(name + "/b1/1x1", hw, hw, cin, 1, 1, 48),
+               conv(name + "/b1/5x5", hw, hw, 48, 5, 5, 64)}};
+
+    Branch b2{"b2_3x3dbl",
+              {conv(name + "/b2/1x1", hw, hw, cin, 1, 1, 64),
+               conv(name + "/b2/3x3a", hw, hw, 64, 3, 3, 96),
+               conv(name + "/b2/3x3b", hw, hw, 96, 3, 3, 96)}};
+
+    Branch b3{"b3_pool",
+              {avgPool(name + "/b3/pool", hw, hw, cin, 3, 3, 1),
+               conv(name + "/b3/1x1", hw, hw, cin, 1, 1, pool_proj)}};
+
+    st.branches = {b0, b1, b2, b3};
+    return st;
+}
+
+/** The 35->17 reduction block (Mixed_6a). */
+Stage
+mixed6a(unsigned cin)
+{
+    const unsigned hw = 35;
+    Stage st;
+    st.name = "Mixed_6a";
+
+    Branch b0{"b0_3x3",
+              {conv("Mixed_6a/b0/3x3", hw, hw, cin, 3, 3, 384, 2,
+                    /*same_pad=*/false)}};
+
+    Branch b1{"b1_3x3dbl",
+              {conv("Mixed_6a/b1/1x1", hw, hw, cin, 1, 1, 64),
+               conv("Mixed_6a/b1/3x3a", hw, hw, 64, 3, 3, 96),
+               conv("Mixed_6a/b1/3x3b", hw, hw, 96, 3, 3, 96, 2,
+                    /*same_pad=*/false)}};
+
+    Branch b2{"b2_pool",
+              {maxPool("Mixed_6a/b2/pool", hw, hw, cin, 3, 3, 2)}};
+
+    st.branches = {b0, b1, b2};
+    return st;
+}
+
+/** The four-tower 17x17 factorized-7x7 block (Mixed_6b..6e). */
+Stage
+mixed6(const std::string &name, unsigned cin, unsigned mid)
+{
+    const unsigned hw = 17;
+    Stage st;
+    st.name = name;
+
+    Branch b0{"b0_1x1", {conv(name + "/b0/1x1", hw, hw, cin, 1, 1, 192)}};
+
+    Branch b1{"b1_7x7",
+              {conv(name + "/b1/1x1", hw, hw, cin, 1, 1, mid),
+               conv(name + "/b1/1x7", hw, hw, mid, 1, 7, mid),
+               conv(name + "/b1/7x1", hw, hw, mid, 7, 1, 192)}};
+
+    Branch b2{"b2_7x7dbl",
+              {conv(name + "/b2/1x1", hw, hw, cin, 1, 1, mid),
+               conv(name + "/b2/7x1a", hw, hw, mid, 7, 1, mid),
+               conv(name + "/b2/1x7a", hw, hw, mid, 1, 7, mid),
+               conv(name + "/b2/7x1b", hw, hw, mid, 7, 1, mid),
+               conv(name + "/b2/1x7b", hw, hw, mid, 1, 7, 192)}};
+
+    Branch b3{"b3_pool",
+              {avgPool(name + "/b3/pool", hw, hw, cin, 3, 3, 1),
+               conv(name + "/b3/1x1", hw, hw, cin, 1, 1, 192)}};
+
+    st.branches = {b0, b1, b2, b3};
+    return st;
+}
+
+/** The 17->8 reduction block (Mixed_7a). */
+Stage
+mixed7a(unsigned cin)
+{
+    const unsigned hw = 17;
+    Stage st;
+    st.name = "Mixed_7a";
+
+    Branch b0{"b0_3x3",
+              {conv("Mixed_7a/b0/1x1", hw, hw, cin, 1, 1, 192),
+               conv("Mixed_7a/b0/3x3", hw, hw, 192, 3, 3, 320, 2,
+                    /*same_pad=*/false)}};
+
+    Branch b1{"b1_7x7x3",
+              {conv("Mixed_7a/b1/1x1", hw, hw, cin, 1, 1, 192),
+               conv("Mixed_7a/b1/1x7", hw, hw, 192, 1, 7, 192),
+               conv("Mixed_7a/b1/7x1", hw, hw, 192, 7, 1, 192),
+               conv("Mixed_7a/b1/3x3", hw, hw, 192, 3, 3, 192, 2,
+                    /*same_pad=*/false)}};
+
+    Branch b2{"b2_pool",
+              {maxPool("Mixed_7a/b2/pool", hw, hw, cin, 3, 3, 2)}};
+
+    st.branches = {b0, b1, b2};
+    return st;
+}
+
+/**
+ * The four-tower 8x8 expanded block (Mixed_7b/7c).
+ *
+ * Towers b1 and b2 end in a fan-out pair (1x3 and 3x1 both reading the
+ * same intermediate). A Branch is a sequence, so the pair is encoded
+ * back-to-back: both ops see a 384-channel 8x8 input, which preserves
+ * every count the cost model consumes (convolutions, MACs, filter and
+ * activation bytes); only the (unused here) value semantics differ.
+ */
+Stage
+mixed7(const std::string &name, unsigned cin)
+{
+    const unsigned hw = 8;
+    Stage st;
+    st.name = name;
+
+    Branch b0{"b0_1x1", {conv(name + "/b0/1x1", hw, hw, cin, 1, 1, 320)}};
+
+    Branch b1{"b1_3x3split",
+              {conv(name + "/b1/1x1", hw, hw, cin, 1, 1, 384),
+               conv(name + "/b1/1x3", hw, hw, 384, 1, 3, 384),
+               conv(name + "/b1/3x1", hw, hw, 384, 3, 1, 384)},
+              /*splitTail=*/true};
+
+    Branch b2{"b2_3x3dblsplit",
+              {conv(name + "/b2/1x1", hw, hw, cin, 1, 1, 448),
+               conv(name + "/b2/3x3", hw, hw, 448, 3, 3, 384),
+               conv(name + "/b2/1x3", hw, hw, 384, 1, 3, 384),
+               conv(name + "/b2/3x1", hw, hw, 384, 3, 1, 384)},
+              /*splitTail=*/true};
+
+    Branch b3{"b3_pool",
+              {avgPool(name + "/b3/pool", hw, hw, cin, 3, 3, 1),
+               conv(name + "/b3/1x1", hw, hw, cin, 1, 1, 192)}};
+
+    st.branches = {b0, b1, b2, b3};
+    return st;
+}
+
+} // namespace
+
+Network
+inceptionV3()
+{
+    Network net;
+    net.name = "inception-v3";
+
+    // Stem (VALID padding except 2b, per TF-slim).
+    net.stages.push_back(singleOpStage(
+        "Conv2D_1a_3x3",
+        conv("Conv2D_1a_3x3", 299, 299, 3, 3, 3, 32, 2, false)));
+    net.stages.push_back(singleOpStage(
+        "Conv2D_2a_3x3",
+        conv("Conv2D_2a_3x3", 149, 149, 32, 3, 3, 32, 1, false)));
+    net.stages.push_back(singleOpStage(
+        "Conv2D_2b_3x3",
+        conv("Conv2D_2b_3x3", 147, 147, 32, 3, 3, 64, 1, true)));
+    net.stages.push_back(singleOpStage(
+        "MaxPool_3a_3x3", maxPool("MaxPool_3a_3x3", 147, 147, 64, 3, 3,
+                                  2)));
+    net.stages.push_back(singleOpStage(
+        "Conv2D_3b_1x1",
+        conv("Conv2D_3b_1x1", 73, 73, 64, 1, 1, 80, 1, true)));
+    net.stages.push_back(singleOpStage(
+        "Conv2D_4a_3x3",
+        conv("Conv2D_4a_3x3", 73, 73, 80, 3, 3, 192, 1, false)));
+    net.stages.push_back(singleOpStage(
+        "MaxPool_5a_3x3", maxPool("MaxPool_5a_3x3", 71, 71, 192, 3, 3,
+                                  2)));
+
+    // 35x35 blocks.
+    net.stages.push_back(mixed5("Mixed_5b", 192, 32));
+    net.stages.push_back(mixed5("Mixed_5c", 256, 64));
+    net.stages.push_back(mixed5("Mixed_5d", 288, 64));
+
+    // 17x17 blocks.
+    net.stages.push_back(mixed6a(288));
+    net.stages.push_back(mixed6("Mixed_6b", 768, 128));
+    net.stages.push_back(mixed6("Mixed_6c", 768, 160));
+    net.stages.push_back(mixed6("Mixed_6d", 768, 160));
+    net.stages.push_back(mixed6("Mixed_6e", 768, 192));
+
+    // 8x8 blocks.
+    net.stages.push_back(mixed7a(768));
+    net.stages.push_back(mixed7("Mixed_7b", 1280));
+    net.stages.push_back(mixed7("Mixed_7c", 2048));
+
+    // Head.
+    net.stages.push_back(singleOpStage(
+        "AvgPool", avgPool("AvgPool", 8, 8, 2048, 8, 8, 1, false)));
+    net.stages.push_back(singleOpStage(
+        "FullyConnected", fullyConnected("FullyConnected", 2048, 1001)));
+
+    return net;
+}
+
+std::vector<Table1Row>
+paperTable1()
+{
+    // name, H, E, convs, filter MiB, input MiB, convsTypo, filterTypo
+    return {
+        {"Conv2D_1a_3x3", 299, 149, 710432, 0.001, 0.256, false, false},
+        {"Conv2D_2a_3x3", 149, 147, 691488, 0.009, 0.678, false, false},
+        {"Conv2D_2b_3x3", 147, 147, 1382976, 0.018, 0.659, false, false},
+        {"MaxPool_3a_3x3", 147, 73, 0, 0.000, 1.319, false, false},
+        {"Conv2D_3b_1x1", 73, 73, 426320, 0.005, 0.325, false, false},
+        {"Conv2D_4a_3x3", 73, 71, 967872, 0.132, 0.407, false, false},
+        {"MaxPool_5a_3x3", 71, 35, 0, 0.000, 0.923, false, false},
+        {"Mixed_5b", 35, 35, 568400, 0.243, 0.897, false, false},
+        {"Mixed_5c", 35, 35, 607600, 0.264, 1.196, false, false},
+        {"Mixed_5d", 35, 35, 607600, 0.271, 1.346, false, false},
+        // Filter column understates the 384-filter reduction conv.
+        {"Mixed_6a", 35, 17, 334720, 0.255, 1.009, false, true},
+        {"Mixed_6b", 17, 17, 443904, 1.234, 0.847, false, false},
+        {"Mixed_6c", 17, 17, 499392, 1.609, 0.847, false, false},
+        {"Mixed_6d", 17, 17, 499392, 1.609, 0.847, false, false},
+        // Both columns are inconsistent with the 192-wide tower
+        // structure: convs should be 554880 and the filter bank holds
+        // 4x 1x1 projections plus 6x 7-taps = 2.039 MiB.
+        {"Mixed_6e", 17, 17, 499392, 1.898, 0.847, true, true},
+        {"Mixed_7a", 17, 8, 254720, 1.617, 0.635, false, false},
+        {"Mixed_7b", 8, 8, 208896, 4.805, 0.313, false, false},
+        {"Mixed_7c", 8, 8, 208896, 5.789, 0.500, false, false},
+        {"AvgPool", 8, 1, 0, 0.000, 0.125, false, false},
+        {"FullyConnected", 1, 1, 1001, 1.955, 0.002, false, false},
+    };
+}
+
+} // namespace nc::dnn

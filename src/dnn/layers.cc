@@ -1,0 +1,323 @@
+#include "dnn/layers.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nc::dnn
+{
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Conv:
+        return "conv";
+      case OpKind::MaxPool:
+        return "maxpool";
+      case OpKind::AvgPool:
+        return "avgpool";
+      case OpKind::FullyConnected:
+        return "fc";
+      case OpKind::EltwiseAdd:
+        return "eltwise-add";
+    }
+    return "?";
+}
+
+const std::string &
+Op::name() const
+{
+    if (isConv())
+        return conv.name;
+    if (isPool())
+        return pool.name;
+    return elt.name;
+}
+
+unsigned
+outDim(unsigned in, unsigned window, unsigned stride, bool same_pad)
+{
+    nc_assert(stride >= 1, "zero stride");
+    if (same_pad)
+        return static_cast<unsigned>(divCeil(in, stride));
+    nc_assert(in >= window, "window %u larger than input %u (VALID)",
+              window, in);
+    return (in - window) / stride + 1;
+}
+
+uint64_t
+Op::inputBytes() const
+{
+    if (isConv())
+        return conv.inputBytes();
+    if (isPool())
+        return pool.inputBytes();
+    return elt.inputBytes();
+}
+
+uint64_t
+Op::outputBytes() const
+{
+    if (isConv())
+        return conv.outputBytes();
+    if (isPool())
+        return pool.outputBytes();
+    return elt.outputBytes();
+}
+
+uint64_t
+Stage::convCount() const
+{
+    uint64_t n = 0;
+    for (const auto &b : branches)
+        for (const auto &op : b.ops)
+            if (op.isConv())
+                n += op.conv.convCount();
+    return n;
+}
+
+uint64_t
+Stage::filterBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &b : branches)
+        for (const auto &op : b.ops)
+            if (op.isConv())
+                n += op.conv.filterBytes();
+    return n;
+}
+
+uint64_t
+Stage::inputBytes() const
+{
+    // Table I counts the stage's input feature map once per branch
+    // (every tower re-reads it); intermediate tensors within a branch
+    // stay in the compute arrays and are not part of this column.
+    uint64_t n = 0;
+    for (const auto &b : branches) {
+        if (!b.ops.empty())
+            n += b.ops.front().inputBytes();
+    }
+    return n;
+}
+
+uint64_t
+Stage::activationBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &b : branches)
+        for (const auto &op : b.ops)
+            n += op.inputBytes();
+    return n;
+}
+
+uint64_t
+Stage::outputBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &b : branches) {
+        if (b.ops.empty() || b.shortcut)
+            continue;
+        n += b.ops.back().outputBytes();
+        if (b.splitTail && b.ops.size() >= 2)
+            n += b.ops[b.ops.size() - 2].outputBytes();
+    }
+    return n;
+}
+
+uint64_t
+Stage::macs() const
+{
+    uint64_t n = 0;
+    for (const auto &b : branches)
+        for (const auto &op : b.ops)
+            if (op.isConv())
+                n += op.conv.macs();
+    return n;
+}
+
+uint64_t
+Stage::flops() const
+{
+    return 2 * macs();
+}
+
+unsigned
+Stage::inputHeight() const
+{
+    nc_assert(!branches.empty() && !branches[0].ops.empty(),
+              "empty stage '%s'", name.c_str());
+    const Op &op = branches[0].ops[0];
+    if (op.isConv())
+        return op.conv.h;
+    return op.isPool() ? op.pool.h : op.elt.h;
+}
+
+unsigned
+Stage::outputHeight() const
+{
+    nc_assert(!branches.empty() && !branches[0].ops.empty(),
+              "empty stage '%s'", name.c_str());
+    const Op &op = branches[0].ops.back();
+    if (op.isConv())
+        return op.conv.outH();
+    return op.isPool() ? op.pool.outH() : op.elt.h;
+}
+
+unsigned
+Stage::minFilterRS() const
+{
+    unsigned best = 0;
+    for (const auto &b : branches)
+        for (const auto &op : b.ops)
+            if (op.isConv()) {
+                unsigned rs = op.conv.r * op.conv.s;
+                best = best == 0 ? rs : std::min(best, rs);
+            }
+    return best;
+}
+
+unsigned
+Stage::maxFilterRS() const
+{
+    unsigned best = 0;
+    for (const auto &b : branches)
+        for (const auto &op : b.ops)
+            if (op.isConv())
+                best = std::max(best, op.conv.r * op.conv.s);
+    return best;
+}
+
+uint64_t
+Network::convCount() const
+{
+    uint64_t n = 0;
+    for (const auto &s : stages)
+        n += s.convCount();
+    return n;
+}
+
+uint64_t
+Network::filterBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &s : stages)
+        n += s.filterBytes();
+    return n;
+}
+
+uint64_t
+Network::inputBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &s : stages)
+        n += s.inputBytes();
+    return n;
+}
+
+uint64_t
+Network::macs() const
+{
+    uint64_t n = 0;
+    for (const auto &s : stages)
+        n += s.macs();
+    return n;
+}
+
+uint64_t
+Network::flops() const
+{
+    return 2 * macs();
+}
+
+Op
+conv(const std::string &name, unsigned h, unsigned w, unsigned c,
+     unsigned r, unsigned s, unsigned m, unsigned stride, bool same_pad)
+{
+    ConvOp op;
+    op.name = name;
+    op.h = h;
+    op.w = w;
+    op.c = c;
+    op.r = r;
+    op.s = s;
+    op.m = m;
+    op.stride = stride;
+    op.samePad = same_pad;
+    return Op::makeConv(op);
+}
+
+Op
+fullyConnected(const std::string &name, unsigned c, unsigned m)
+{
+    ConvOp op;
+    op.name = name;
+    op.h = 1;
+    op.w = 1;
+    op.c = c;
+    op.r = 1;
+    op.s = 1;
+    op.m = m;
+    op.stride = 1;
+    op.samePad = true;
+    op.isFullyConnected = true;
+    return Op::makeConv(op);
+}
+
+Op
+maxPool(const std::string &name, unsigned h, unsigned w, unsigned c,
+        unsigned r, unsigned s, unsigned stride, bool same_pad)
+{
+    PoolOp op;
+    op.name = name;
+    op.isAvg = false;
+    op.h = h;
+    op.w = w;
+    op.c = c;
+    op.r = r;
+    op.s = s;
+    op.stride = stride;
+    op.samePad = same_pad;
+    return Op::makePool(op);
+}
+
+Op
+avgPool(const std::string &name, unsigned h, unsigned w, unsigned c,
+        unsigned r, unsigned s, unsigned stride, bool same_pad)
+{
+    PoolOp op;
+    op.name = name;
+    op.isAvg = true;
+    op.h = h;
+    op.w = w;
+    op.c = c;
+    op.r = r;
+    op.s = s;
+    op.stride = stride;
+    op.samePad = same_pad;
+    return Op::makePool(op);
+}
+
+Op
+eltwiseAdd(const std::string &name, unsigned h, unsigned w, unsigned c)
+{
+    EltwiseOp op;
+    op.name = name;
+    op.h = h;
+    op.w = w;
+    op.c = c;
+    return Op::makeEltwise(op);
+}
+
+Stage
+singleOpStage(const std::string &name, Op op)
+{
+    Stage st;
+    st.name = name;
+    st.branches.push_back(Branch{name, {std::move(op)}});
+    return st;
+}
+
+} // namespace nc::dnn

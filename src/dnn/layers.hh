@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Layer descriptors and the network graph (paper §II-A, Table I).
+ *
+ * A Network is a serial list of Stages (the 20 rows of Table I). A
+ * Stage contains one or more Branches (the parallel towers of an
+ * Inception "mixed" block); Neural Cache executes stages, and branches
+ * within a stage, serially (paper §IV). A Branch is a sequence of Ops
+ * (convolutions or poolings). Fully connected layers are expressed as
+ * 1x1 convolutions over a 1x1 input, exactly as TensorFlow converts
+ * them (paper §IV-D).
+ *
+ * All byte quantities assume the 8-bit quantized representation the
+ * accelerator operates on (1 byte per element).
+ */
+
+#ifndef NC_DNN_LAYERS_HH
+#define NC_DNN_LAYERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nc::dnn
+{
+
+/** Kinds of primitive operations Neural Cache executes in-cache. */
+enum class OpKind
+{
+    Conv,
+    MaxPool,
+    AvgPool,
+    FullyConnected,
+    EltwiseAdd, ///< residual-connection merge (ResNet-style)
+};
+
+const char *opKindName(OpKind k);
+
+/** Spatial output size of a windowed op. */
+unsigned outDim(unsigned in, unsigned window, unsigned stride,
+                bool same_pad);
+
+/** A convolution (or FC-as-1x1-conv) over an HxWxC input. */
+struct ConvOp
+{
+    std::string name;
+    unsigned h = 0, w = 0, c = 0; ///< input height/width/channels
+    unsigned r = 0, s = 0;        ///< filter height/width
+    unsigned m = 0;               ///< output channels (filter batches)
+    unsigned stride = 1;
+    bool samePad = true;
+    bool isFullyConnected = false;
+
+    unsigned outH() const { return outDim(h, r, stride, samePad); }
+    unsigned outW() const { return outDim(w, s, stride, samePad); }
+
+    /** One convolution = one output element (paper's counting). */
+    uint64_t
+    convCount() const
+    {
+        return uint64_t(outH()) * outW() * m;
+    }
+
+    uint64_t macsPerConv() const { return uint64_t(r) * s * c; }
+    uint64_t macs() const { return convCount() * macsPerConv(); }
+    uint64_t flops() const { return 2 * macs(); }
+
+    uint64_t filterBytes() const { return uint64_t(r) * s * c * m; }
+    uint64_t inputBytes() const { return uint64_t(h) * w * c; }
+    uint64_t
+    outputBytes() const
+    {
+        return uint64_t(outH()) * outW() * m;
+    }
+};
+
+/**
+ * Element-wise addition of two same-shape tensors (a residual merge).
+ * Maps trivially onto bit lines: every lane adds one element pair.
+ */
+struct EltwiseOp
+{
+    std::string name;
+    unsigned h = 0, w = 0, c = 0;
+
+    uint64_t elements() const { return uint64_t(h) * w * c; }
+    /** Both operands stream in. */
+    uint64_t inputBytes() const { return 2 * elements(); }
+    uint64_t outputBytes() const { return elements(); }
+};
+
+/** A max/avg pooling over an HxWxC input. */
+struct PoolOp
+{
+    std::string name;
+    bool isAvg = false;
+    unsigned h = 0, w = 0, c = 0;
+    unsigned r = 0, s = 0;
+    unsigned stride = 1;
+    bool samePad = true;
+
+    unsigned outH() const { return outDim(h, r, stride, samePad); }
+    unsigned outW() const { return outDim(w, s, stride, samePad); }
+
+    uint64_t inputBytes() const { return uint64_t(h) * w * c; }
+    uint64_t
+    outputBytes() const
+    {
+        return uint64_t(outH()) * outW() * c;
+    }
+    /** Pooled windows (outputs), the pool analogue of convCount(). */
+    uint64_t
+    windowCount() const
+    {
+        return uint64_t(outH()) * outW() * c;
+    }
+};
+
+/** Tagged union of the primitive ops. */
+struct Op
+{
+    OpKind kind = OpKind::Conv;
+    ConvOp conv;    ///< valid for Conv / FullyConnected
+    PoolOp pool;    ///< valid for MaxPool / AvgPool
+    EltwiseOp elt;  ///< valid for EltwiseAdd
+
+    bool
+    isConv() const
+    {
+        return kind == OpKind::Conv || kind == OpKind::FullyConnected;
+    }
+
+    bool
+    isPool() const
+    {
+        return kind == OpKind::MaxPool || kind == OpKind::AvgPool;
+    }
+
+    const std::string &name() const;
+
+    uint64_t inputBytes() const;
+    uint64_t outputBytes() const;
+
+    static Op
+    makeConv(ConvOp c)
+    {
+        Op o;
+        o.kind = c.isFullyConnected ? OpKind::FullyConnected
+                                    : OpKind::Conv;
+        o.conv = std::move(c);
+        return o;
+    }
+
+    static Op
+    makePool(PoolOp p)
+    {
+        Op o;
+        o.kind = p.isAvg ? OpKind::AvgPool : OpKind::MaxPool;
+        o.pool = std::move(p);
+        return o;
+    }
+
+    static Op
+    makeEltwise(EltwiseOp e)
+    {
+        Op o;
+        o.kind = OpKind::EltwiseAdd;
+        o.elt = std::move(e);
+        return o;
+    }
+};
+
+/** One tower of an inception block (executed serially). */
+struct Branch
+{
+    std::string name;
+    std::vector<Op> ops;
+    /**
+     * Expanded towers (Mixed_7b/7c) end in a fan-out pair: the last
+     * two ops both read the penultimate tensor and their outputs
+     * concatenate. Encoded as a sequence plus this flag so byte/count
+     * aggregates stay exact.
+     */
+    bool splitTail = false;
+    /**
+     * Residual shortcuts (ResNet) merge into the main branch's
+     * element-wise add instead of concatenating, so they do not
+     * contribute to the stage's output bytes.
+     */
+    bool shortcut = false;
+};
+
+/** One row of Table I: a stem op or a whole mixed block. */
+struct Stage
+{
+    std::string name;
+    std::vector<Branch> branches;
+
+    /** @name Table I aggregates */
+    /// @{
+    uint64_t convCount() const;  ///< "Conv" column
+    uint64_t filterBytes() const; ///< "Filter Size" column
+    /** "Input Size" column: the stage input, once per branch. */
+    uint64_t inputBytes() const;
+    /** Every op's input (intermediates included); streaming lower
+     * bound for in-cache data movement. */
+    uint64_t activationBytes() const;
+    uint64_t outputBytes() const; ///< concat of branch outputs
+    uint64_t macs() const;
+    uint64_t flops() const;
+    /// @}
+
+    /** Height of the stage's input feature map ("H" column). */
+    unsigned inputHeight() const;
+    /** Output feature-map height ("E" column). */
+    unsigned outputHeight() const;
+    /** Smallest/largest filter footprint RxS over the stage's convs. */
+    unsigned minFilterRS() const;
+    unsigned maxFilterRS() const;
+
+    bool
+    isPoolOnly() const
+    {
+        return convCount() == 0;
+    }
+};
+
+/** A whole model. */
+struct Network
+{
+    std::string name;
+    std::vector<Stage> stages;
+
+    uint64_t convCount() const;
+    uint64_t filterBytes() const;
+    uint64_t inputBytes() const;
+    uint64_t macs() const;
+    uint64_t flops() const;
+};
+
+/** @name Builder helpers */
+/// @{
+Op conv(const std::string &name, unsigned h, unsigned w, unsigned c,
+        unsigned r, unsigned s, unsigned m, unsigned stride = 1,
+        bool same_pad = true);
+Op fullyConnected(const std::string &name, unsigned c, unsigned m);
+Op maxPool(const std::string &name, unsigned h, unsigned w, unsigned c,
+           unsigned r, unsigned s, unsigned stride, bool same_pad = false);
+Op avgPool(const std::string &name, unsigned h, unsigned w, unsigned c,
+           unsigned r, unsigned s, unsigned stride, bool same_pad = true);
+Op eltwiseAdd(const std::string &name, unsigned h, unsigned w,
+              unsigned c);
+
+/** A stage holding exactly one op. */
+Stage singleOpStage(const std::string &name, Op op);
+/// @}
+
+} // namespace nc::dnn
+
+#endif // NC_DNN_LAYERS_HH

@@ -1,0 +1,152 @@
+#include "dnn/models_extra.hh"
+
+namespace nc::dnn
+{
+
+Network
+alexNet()
+{
+    Network net;
+    net.name = "alexnet";
+
+    // conv1: 96 x 11x11 / 4, VALID on 227 -> 55.
+    net.stages.push_back(singleOpStage(
+        "conv1", conv("conv1", 227, 227, 3, 11, 11, 96, 4, false)));
+    net.stages.push_back(singleOpStage(
+        "pool1", maxPool("pool1", 55, 55, 96, 3, 3, 2)));
+    // conv2: 256 x 5x5, SAME on 27.
+    net.stages.push_back(singleOpStage(
+        "conv2", conv("conv2", 27, 27, 96, 5, 5, 256, 1, true)));
+    net.stages.push_back(singleOpStage(
+        "pool2", maxPool("pool2", 27, 27, 256, 3, 3, 2)));
+    net.stages.push_back(singleOpStage(
+        "conv3", conv("conv3", 13, 13, 256, 3, 3, 384, 1, true)));
+    net.stages.push_back(singleOpStage(
+        "conv4", conv("conv4", 13, 13, 384, 3, 3, 384, 1, true)));
+    net.stages.push_back(singleOpStage(
+        "conv5", conv("conv5", 13, 13, 384, 3, 3, 256, 1, true)));
+    net.stages.push_back(singleOpStage(
+        "pool5", maxPool("pool5", 13, 13, 256, 3, 3, 2)));
+    // FC layers as 1x1 convs over the flattened activations
+    // (9216 = 256 x 6 x 6), the same conversion TF applies.
+    net.stages.push_back(
+        singleOpStage("fc6", fullyConnected("fc6", 9216, 4096)));
+    net.stages.push_back(
+        singleOpStage("fc7", fullyConnected("fc7", 4096, 4096)));
+    net.stages.push_back(
+        singleOpStage("fc8", fullyConnected("fc8", 4096, 1000)));
+    return net;
+}
+
+namespace
+{
+
+/** One VGG conv block: n 3x3 SAME convs then a 2x2/2 max pool. */
+void
+vggBlock(Network &net, const std::string &name, unsigned hw,
+         unsigned cin, unsigned cout, unsigned convs)
+{
+    unsigned c = cin;
+    for (unsigned i = 0; i < convs; ++i) {
+        net.stages.push_back(singleOpStage(
+            name + "_conv" + std::to_string(i + 1),
+            conv(name + "_conv" + std::to_string(i + 1), hw, hw, c, 3,
+                 3, cout, 1, true)));
+        c = cout;
+    }
+    net.stages.push_back(singleOpStage(
+        name + "_pool",
+        maxPool(name + "_pool", hw, hw, cout, 2, 2, 2)));
+}
+
+} // namespace
+
+Network
+vgg16()
+{
+    Network net;
+    net.name = "vgg16";
+    vggBlock(net, "block1", 224, 3, 64, 2);
+    vggBlock(net, "block2", 112, 64, 128, 2);
+    vggBlock(net, "block3", 56, 128, 256, 3);
+    vggBlock(net, "block4", 28, 256, 512, 3);
+    vggBlock(net, "block5", 14, 512, 512, 3);
+    // 25088 = 512 x 7 x 7.
+    net.stages.push_back(
+        singleOpStage("fc6", fullyConnected("fc6", 25088, 4096)));
+    net.stages.push_back(
+        singleOpStage("fc7", fullyConnected("fc7", 4096, 4096)));
+    net.stages.push_back(
+        singleOpStage("fc8", fullyConnected("fc8", 4096, 1000)));
+    return net;
+}
+
+namespace
+{
+
+/**
+ * One ResNet basic block: two 3x3 convs plus the residual merge; the
+ * stride-2 variant downsamples and projects the shortcut with a 1x1.
+ */
+Stage
+basicBlock(const std::string &name, unsigned hw, unsigned cin,
+           unsigned cout, unsigned stride)
+{
+    unsigned out_hw = outDim(hw, 3, stride, true);
+    Stage st;
+    st.name = name;
+
+    Branch main{"main",
+                {conv(name + "/conv1", hw, hw, cin, 3, 3, cout, stride,
+                      true),
+                 conv(name + "/conv2", out_hw, out_hw, cout, 3, 3,
+                      cout, 1, true),
+                 eltwiseAdd(name + "/add", out_hw, out_hw, cout)}};
+    st.branches.push_back(main);
+
+    if (stride != 1 || cin != cout) {
+        Branch proj{"proj",
+                    {conv(name + "/proj", hw, hw, cin, 1, 1, cout,
+                          stride, true)}};
+        proj.shortcut = true;
+        st.branches.push_back(proj);
+    }
+    return st;
+}
+
+} // namespace
+
+Network
+resNet18()
+{
+    Network net;
+    net.name = "resnet18";
+
+    net.stages.push_back(singleOpStage(
+        "conv1", conv("conv1", 224, 224, 3, 7, 7, 64, 2, true)));
+    net.stages.push_back(singleOpStage(
+        "pool1", maxPool("pool1", 112, 112, 64, 3, 3, 2, true)));
+
+    struct Layer
+    {
+        const char *name;
+        unsigned hw, cin, cout, stride;
+    };
+    const Layer layers[] = {
+        {"layer1_0", 56, 64, 64, 1},   {"layer1_1", 56, 64, 64, 1},
+        {"layer2_0", 56, 64, 128, 2},  {"layer2_1", 28, 128, 128, 1},
+        {"layer3_0", 28, 128, 256, 2}, {"layer3_1", 14, 256, 256, 1},
+        {"layer4_0", 14, 256, 512, 2}, {"layer4_1", 7, 512, 512, 1},
+    };
+    for (const Layer &l : layers)
+        net.stages.push_back(
+            basicBlock(l.name, l.hw, l.cin, l.cout, l.stride));
+
+    net.stages.push_back(singleOpStage(
+        "avgpool", avgPool("avgpool", 7, 7, 512, 7, 7, 1, false)));
+    net.stages.push_back(
+        singleOpStage("fc", fullyConnected("fc", 512, 1000)));
+    return net;
+}
+
+} // namespace nc::dnn

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Additional classic CNN workloads.
+ *
+ * The paper evaluates Inception v3 but positions Neural Cache as a
+ * general DNN accelerator ("While Neural Cache can accelerate the
+ * broader class of DNNs, this paper focuses on CNNs", §II-A). AlexNet
+ * and VGG-16 exercise very different corners of the mapper: AlexNet's
+ * 11x11/5x5 filters stress filter splitting, VGG's 3x3-everywhere
+ * stacks stress input reuse, and both end in enormous FC layers that
+ * stress filter packing.
+ */
+
+#ifndef NC_DNN_MODELS_EXTRA_HH
+#define NC_DNN_MODELS_EXTRA_HH
+
+#include "dnn/layers.hh"
+
+namespace nc::dnn
+{
+
+/** AlexNet (Krizhevsky et al., 2012), 227x227x3 input. */
+Network alexNet();
+
+/** VGG-16 configuration D (Simonyan & Zisserman, 2015), 224x224x3. */
+Network vgg16();
+
+/**
+ * ResNet-18 (He et al., 2016), 224x224x3. Residual shortcuts use the
+ * EltwiseAdd op — a natural fit for bit-serial vector addition —
+ * with projection convs on the stride-2 blocks.
+ */
+Network resNet18();
+
+} // namespace nc::dnn
+
+#endif // NC_DNN_MODELS_EXTRA_HH

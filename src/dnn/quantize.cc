@@ -1,0 +1,92 @@
+#include "dnn/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nc::dnn
+{
+
+float
+QuantParams::scale() const
+{
+    return (maxVal - minVal) / 255.0f;
+}
+
+int32_t
+QuantParams::zeroPoint() const
+{
+    float z = -minVal / scale();
+    return static_cast<int32_t>(
+        std::clamp(std::lround(z), 0l, 255l));
+}
+
+uint8_t
+QuantParams::quantize(float x) const
+{
+    long q = std::lround(x / scale()) + zeroPoint();
+    return static_cast<uint8_t>(std::clamp(q, 0l, 255l));
+}
+
+float
+QuantParams::dequantize(uint8_t q) const
+{
+    return scale() * (static_cast<int32_t>(q) - zeroPoint());
+}
+
+QuantParams
+QuantParams::fromRange(float lo, float hi)
+{
+    // Always include zero so padding quantizes exactly, and keep the
+    // range non-degenerate.
+    lo = std::min(lo, 0.0f);
+    hi = std::max(hi, 0.0f);
+    if (hi - lo < 1e-6f)
+        hi = lo + 1e-6f;
+
+    QuantParams qp{lo, hi};
+    // Nudge min so the zero point is an integer (TF's scheme).
+    float z = -lo / qp.scale();
+    float zr = std::round(z);
+    qp.minVal = -zr * qp.scale();
+    return qp;
+}
+
+void
+quantizeMultiplier(double m, int32_t &mult, int &shift)
+{
+    nc_assert(m > 0.0, "multiplier must be positive, got %f", m);
+    shift = 0;
+    while (m < 0.5) {
+        m *= 2.0;
+        ++shift;
+    }
+    while (m >= 1.0) {
+        m /= 2.0;
+        --shift;
+    }
+    // m in [0.5, 1): mult in [2^30, 2^31).
+    auto q = static_cast<int64_t>(std::llround(m * (int64_t(1) << 31)));
+    if (q == (int64_t(1) << 31)) {
+        q /= 2;
+        --shift;
+    }
+    mult = static_cast<int32_t>(q);
+    shift += 31;
+}
+
+uint8_t
+requantize(int32_t acc, int32_t mult, int shift, int32_t zero_point)
+{
+    nc_assert(shift >= 0 && shift < 64, "bad requantize shift %d", shift);
+    // Rounded multiply-shift in 64-bit, exactly what a widened
+    // bit-serial multiply + shift performs.
+    int64_t prod = static_cast<int64_t>(acc) * mult;
+    int64_t rounding = int64_t(1) << (shift - 1);
+    int64_t shifted = (prod + rounding) >> shift;
+    int64_t q = shifted + zero_point;
+    return static_cast<uint8_t>(std::clamp<int64_t>(q, 0, 255));
+}
+
+} // namespace nc::dnn

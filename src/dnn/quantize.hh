@@ -1,0 +1,60 @@
+/**
+ * @file
+ * TF-style 8-bit affine quantization (paper §IV, §IV-D).
+ *
+ * Neural Cache assumes 8-bit quantized inputs and weights. A real
+ * number x maps to a uint8 q via x ~= scale * (q - zeroPoint), with
+ * scale/zeroPoint derived from the observed [min, max] of the layer
+ * (TensorFlow's quantization scheme). Re-quantization after a layer
+ * multiplies the 32-bit accumulator by a fixed-point multiplier and
+ * shifts right — the exact operations the cache performs in-situ with
+ * bit-serial multiply/add/shift, using two scalars computed on the CPU.
+ */
+
+#ifndef NC_DNN_QUANTIZE_HH
+#define NC_DNN_QUANTIZE_HH
+
+#include <cstdint>
+
+namespace nc::dnn
+{
+
+/** Affine uint8 quantization parameters. */
+struct QuantParams
+{
+    float minVal = 0.0f;
+    float maxVal = 1.0f;
+
+    float scale() const;
+    int32_t zeroPoint() const;
+
+    uint8_t quantize(float x) const;
+    float dequantize(uint8_t q) const;
+
+    /**
+     * Build parameters from an observed range, nudged so that 0.0 is
+     * exactly representable (TF requirement: zero padding must be
+     * exact).
+     */
+    static QuantParams fromRange(float lo, float hi);
+};
+
+/**
+ * Decompose a positive real multiplier into a 31-bit fixed-point
+ * integer multiplier and a right shift: m ~= mult * 2^-shift with
+ * mult in [2^30, 2^31).
+ */
+void quantizeMultiplier(double m, int32_t &mult, int &shift);
+
+/**
+ * Apply a fixed-point requantization to an int32 accumulator:
+ * clamp(round(acc * mult * 2^-shift) + zero_point) to uint8. This is
+ * the integer-only op sequence the cache executes after computing a
+ * layer (multiply, add, shift).
+ */
+uint8_t requantize(int32_t acc, int32_t mult, int shift,
+                   int32_t zero_point);
+
+} // namespace nc::dnn
+
+#endif // NC_DNN_QUANTIZE_HH

@@ -1,0 +1,42 @@
+#include "dnn/tensor.hh"
+
+#include <algorithm>
+
+namespace nc::dnn
+{
+
+float
+Tensor::minValue() const
+{
+    if (buf.empty())
+        return 0.0f;
+    return *std::min_element(buf.begin(), buf.end());
+}
+
+float
+Tensor::maxValue() const
+{
+    if (buf.empty())
+        return 0.0f;
+    return *std::max_element(buf.begin(), buf.end());
+}
+
+QTensor
+QTensor::fromFloat(const Tensor &t, const QuantParams &qp)
+{
+    QTensor q(t.channels(), t.height(), t.width(), qp);
+    for (size_t i = 0; i < t.size(); ++i)
+        q.data()[i] = qp.quantize(t.data()[i]);
+    return q;
+}
+
+Tensor
+QTensor::toFloat() const
+{
+    Tensor t(nc_, nh, nw);
+    for (size_t i = 0; i < buf.size(); ++i)
+        t.data()[i] = qp.dequantize(buf[i]);
+    return t;
+}
+
+} // namespace nc::dnn

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Minimal CHW tensors for the DNN substrate.
+ *
+ * Two flavours: float Tensor for reference math, and QTensor (uint8 +
+ * quantization parameters) for the 8-bit path Neural Cache executes.
+ * Layout is channel-major (c, h, w), matching how the mapper walks
+ * channels across bit lines.
+ */
+
+#ifndef NC_DNN_TENSOR_HH
+#define NC_DNN_TENSOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dnn/quantize.hh"
+
+namespace nc::dnn
+{
+
+/** Dense float tensor, CHW layout. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+    Tensor(unsigned c_, unsigned h_, unsigned w_)
+        : nc_(c_), nh(h_), nw(w_),
+          buf(static_cast<size_t>(c_) * h_ * w_, 0.0f)
+    {
+    }
+
+    unsigned channels() const { return nc_; }
+    unsigned height() const { return nh; }
+    unsigned width() const { return nw; }
+    size_t size() const { return buf.size(); }
+
+    float &
+    at(unsigned c, unsigned h, unsigned w)
+    {
+        return buf[index(c, h, w)];
+    }
+
+    float
+    at(unsigned c, unsigned h, unsigned w) const
+    {
+        return buf[index(c, h, w)];
+    }
+
+    const std::vector<float> &data() const { return buf; }
+    std::vector<float> &data() { return buf; }
+
+    /** Min/max over all elements (0,0 for empty). */
+    float minValue() const;
+    float maxValue() const;
+
+  private:
+    size_t
+    index(unsigned c, unsigned h, unsigned w) const
+    {
+        return (static_cast<size_t>(c) * nh + h) * nw + w;
+    }
+
+    unsigned nc_ = 0;
+    unsigned nh = 0;
+    unsigned nw = 0;
+    std::vector<float> buf;
+};
+
+/** Dense uint8 tensor with its affine quantization parameters. */
+class QTensor
+{
+  public:
+    QTensor() = default;
+    QTensor(unsigned c_, unsigned h_, unsigned w_, QuantParams qp_ = {})
+        : nc_(c_), nh(h_), nw(w_), qp(qp_),
+          buf(static_cast<size_t>(c_) * h_ * w_, 0)
+    {
+    }
+
+    unsigned channels() const { return nc_; }
+    unsigned height() const { return nh; }
+    unsigned width() const { return nw; }
+    size_t size() const { return buf.size(); }
+
+    uint8_t &
+    at(unsigned c, unsigned h, unsigned w)
+    {
+        return buf[index(c, h, w)];
+    }
+
+    uint8_t
+    at(unsigned c, unsigned h, unsigned w) const
+    {
+        return buf[index(c, h, w)];
+    }
+
+    const QuantParams &params() const { return qp; }
+    QuantParams &params() { return qp; }
+
+    const std::vector<uint8_t> &data() const { return buf; }
+    std::vector<uint8_t> &data() { return buf; }
+
+    /** Quantize a float tensor with the given parameters. */
+    static QTensor fromFloat(const Tensor &t, const QuantParams &qp);
+    /** Dequantize back to float. */
+    Tensor toFloat() const;
+
+  private:
+    size_t
+    index(unsigned c, unsigned h, unsigned w) const
+    {
+        return (static_cast<size_t>(c) * nh + h) * nw + w;
+    }
+
+    unsigned nc_ = 0;
+    unsigned nh = 0;
+    unsigned nw = 0;
+    QuantParams qp;
+    std::vector<uint8_t> buf;
+};
+
+} // namespace nc::dnn
+
+#endif // NC_DNN_TENSOR_HH

@@ -1,0 +1,42 @@
+#include "mapping/filter_transform.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nc::mapping
+{
+
+FilterTransform
+transformFilter(const dnn::ConvOp &op, const TransformLimits &lim)
+{
+    nc_assert(op.c > 0 && op.r > 0 && op.s > 0, "degenerate conv '%s'",
+              op.name.c_str());
+
+    FilterTransform ft;
+    ft.rs = op.r * op.s;
+
+    if (ft.rs > lim.maxFilterBytes) {
+        // Split across bit lines.
+        ft.splitFactor =
+            static_cast<unsigned>(divCeil(ft.rs, lim.maxFilterBytes));
+        ft.effRS = static_cast<unsigned>(divCeil(ft.rs, ft.splitFactor));
+        ft.effChannels = op.c * ft.splitFactor;
+    } else if (ft.rs == 1 && lim.packTarget > 1) {
+        // Pack channels of pointwise filters.
+        ft.packFactor = std::min(lim.packTarget, op.c);
+        ft.effRS = ft.packFactor;
+        ft.effChannels =
+            static_cast<unsigned>(divCeil(op.c, ft.packFactor));
+    } else {
+        ft.effRS = ft.rs;
+        ft.effChannels = op.c;
+    }
+
+    ft.paddedChannels =
+        static_cast<unsigned>(roundUpPow2(ft.effChannels));
+    return ft;
+}
+
+} // namespace nc::mapping

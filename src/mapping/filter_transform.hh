@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Filter packing and splitting (paper §IV-A).
+ *
+ * A bit line computes one channel's RxS dot product, so the filter
+ * footprint per bit line is RxS bytes and the lane count per
+ * convolution is the channel count. Two transforms keep both within
+ * the array budget:
+ *
+ *  - Filter splitting: when RxS exceeds 9 bytes (Inception's 5x5 =
+ *    25), the filter is split across `splitFactor` bit lines, each
+ *    holding ceil(RxS/split) bytes; the channel dimension effectively
+ *    multiplies by the split factor (the split partial sums merge in
+ *    the existing channel reduction).
+ *
+ *  - Filter packing: 1x1 filters pack up to 16 consecutive channels
+ *    into one bit line (inputs stream one byte at a time since 1x1
+ *    has no window reuse), dividing the lanes needed per convolution
+ *    by the pack factor and thereby shrinking the reduction tree.
+ *
+ * Finally the effective channel count is padded to the next power of
+ * two (zero channels) so the lane-shift reduction tree stays regular.
+ */
+
+#ifndef NC_MAPPING_FILTER_TRANSFORM_HH
+#define NC_MAPPING_FILTER_TRANSFORM_HH
+
+#include "dnn/layers.hh"
+
+namespace nc::mapping
+{
+
+/** Limits that drive the transforms. */
+struct TransformLimits
+{
+    /** Max filter bytes a bit line may hold before splitting. */
+    unsigned maxFilterBytes = 9;
+    /** Channels packed per bit line for 1x1 filters. */
+    unsigned packTarget = 16;
+};
+
+/** Result of packing / splitting one convolution's filters. */
+struct FilterTransform
+{
+    unsigned rs = 0;          ///< original RxS bytes
+    unsigned splitFactor = 1; ///< bit lines one channel spreads over
+    unsigned packFactor = 1;  ///< channels sharing one bit line
+    unsigned effRS = 0;       ///< filter bytes per bit line (= MACs)
+    unsigned effChannels = 0; ///< lanes before power-of-two padding
+    unsigned paddedChannels = 0; ///< lanes per convolution (pow2)
+
+    /** Word lines the filter band occupies (8-bit elements). */
+    unsigned
+    filterRows(unsigned bits) const
+    {
+        return effRS * bits;
+    }
+
+    /**
+     * Word lines the input band occupies: packed 1x1 filters stream
+     * one input byte at a time (no reuse), everything else stages the
+     * whole window.
+     */
+    unsigned
+    inputRows(unsigned bits) const
+    {
+        return (packFactor > 1 ? 1 : effRS) * bits;
+    }
+};
+
+/** Apply packing/splitting to @p op's filters. */
+FilterTransform transformFilter(const dnn::ConvOp &op,
+                                const TransformLimits &lim = {});
+
+} // namespace nc::mapping
+
+#endif // NC_MAPPING_FILTER_TRANSFORM_HH

@@ -1,0 +1,100 @@
+#include "mapping/plan.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nc::mapping
+{
+
+ConvPlan
+planConv(const dnn::ConvOp &op, const cache::Geometry &geom,
+         const TransformLimits &lim, const RowBudget &budget)
+{
+    constexpr unsigned bits = 8;
+
+    ConvPlan plan;
+    plan.ft = transformFilter(op, lim);
+
+    plan.lanesPerConv = plan.ft.paddedChannels;
+    unsigned cols = geom.arrayCols;
+
+    if (plan.lanesPerConv <= cols) {
+        plan.arraysPerConv = 1;
+        plan.convsPerArray = cols / plan.lanesPerConv;
+    } else {
+        plan.arraysPerConv = static_cast<unsigned>(
+            divCeil(plan.lanesPerConv, cols));
+        plan.convsPerArray = 0; // one conv spans several arrays
+    }
+    // Channel reduction is cheap while it stays within the two arrays
+    // that share sense amps (paper packs 1x1 filters precisely to
+    // guarantee this).
+    plan.fitsSenseAmpPair = plan.arraysPerConv <= 2;
+
+    unsigned compute_arrays = geom.computeArrays();
+    if (plan.convsPerArray >= 1) {
+        plan.parallelConvs =
+            uint64_t(compute_arrays) * plan.convsPerArray;
+    } else {
+        plan.parallelConvs = compute_arrays / plan.arraysPerConv;
+    }
+    nc_assert(plan.parallelConvs > 0, "op '%s' too large for the cache",
+              op.name.c_str());
+
+    uint64_t total = op.convCount();
+    plan.serialPasses = divCeil(total, plan.parallelConvs);
+    plan.utilization =
+        static_cast<double>(total) /
+        (static_cast<double>(plan.serialPasses) * plan.parallelConvs);
+
+    plan.filterRows = plan.ft.filterRows(bits);
+    plan.inputRows = plan.ft.inputRows(bits);
+    unsigned used =
+        plan.filterRows + plan.inputRows + budget.overhead();
+    if (used > geom.arrayRows) {
+        nc_fatal("layout of '%s' needs %u rows, array has %u",
+                 op.name.c_str(), used, geom.arrayRows);
+    }
+    plan.freeRows = geom.arrayRows - used;
+
+    // Sliding-window input reuse: moving one stride along the row
+    // re-reads r x (s - stride) bytes of the window (paper's 3x3 u1
+    // example: 6 of 9 bytes reused). Packed 1x1 filters stream their
+    // packed bytes fresh each time.
+    if (plan.ft.packFactor > 1 || op.s <= op.stride) {
+        plan.newInputBytesPerWindow = plan.ft.effRS;
+    } else {
+        unsigned reused = op.r * (op.s - op.stride);
+        unsigned fresh = op.r * op.s - reused;
+        plan.newInputBytesPerWindow = static_cast<unsigned>(
+            divCeil(fresh, plan.ft.splitFactor));
+    }
+
+    plan.outputsPerSlice = divCeil(total, geom.slices);
+    return plan;
+}
+
+PoolPlan
+planPool(const dnn::PoolOp &op, const cache::Geometry &geom)
+{
+    constexpr unsigned bits = 8;
+
+    PoolPlan plan;
+    plan.windows = op.windowCount();
+    plan.windowSize = op.r * op.s;
+    plan.inputRows = plan.windowSize * bits;
+    // One lane per pooled output: channels and window positions both
+    // spread across bit lines (no cross-lane reduction needed; the
+    // window's inputs stream through each lane serially).
+    plan.parallelWindows =
+        uint64_t(geom.computeArrays()) * geom.arrayCols;
+    plan.serialPasses = divCeil(plan.windows, plan.parallelWindows);
+    plan.utilization =
+        static_cast<double>(plan.windows) /
+        (static_cast<double>(plan.serialPasses) * plan.parallelWindows);
+    return plan;
+}
+
+} // namespace nc::mapping

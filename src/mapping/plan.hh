@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Mapping plans: how one op spreads over the compute cache
+ * (paper §IV-A/B, Figures 9-11).
+ *
+ * A ConvPlan captures, for one convolution sub-layer:
+ *  - the per-array row layout (Figure 10): filter band, input band,
+ *    scratchpad, partial sum, output buffer, reduction operands;
+ *  - lanes per convolution (padded channels) and how many filter
+ *    batches (M's) share an array;
+ *  - the cache-wide parallelism: convolutions in flight, serial
+ *    passes, and the resulting array utilization;
+ *  - the slice partition of output pixels (consecutive E's per slice,
+ *    Figure 11).
+ *
+ * Pool layers map like convs without filters (PoolPlan).
+ */
+
+#ifndef NC_MAPPING_PLAN_HH
+#define NC_MAPPING_PLAN_HH
+
+#include <cstdint>
+
+#include "cache/geometry.hh"
+#include "dnn/layers.hh"
+#include "mapping/filter_transform.hh"
+
+namespace nc::mapping
+{
+
+/** Fixed word-line budget of the Figure 10 array layout (8-bit). */
+struct RowBudget
+{
+    unsigned scratchRows = 16;  ///< 2 bytes: product scratchpad
+    unsigned partialRows = 24;  ///< 3 bytes: partial sum
+    unsigned outputRows = 32;   ///< 4 bytes: buffered output
+    unsigned zeroRows = 1;      ///< reserved constant-zero word line
+
+    unsigned
+    overhead() const
+    {
+        return scratchRows + partialRows + outputRows + zeroRows;
+    }
+};
+
+/** Complete placement of one convolution across the cache. */
+struct ConvPlan
+{
+    FilterTransform ft;
+
+    unsigned lanesPerConv = 0;   ///< bit lines one convolution uses
+    unsigned arraysPerConv = 1;  ///< arrays when lanes exceed one array
+    unsigned convsPerArray = 0;  ///< filter batches (M's) per array
+    uint64_t parallelConvs = 0;  ///< cache-wide convolutions in flight
+    uint64_t serialPasses = 0;   ///< sequential rounds
+    double utilization = 0.0;    ///< busy fraction of compute slots
+
+    unsigned filterRows = 0;     ///< word lines of stationary filters
+    unsigned inputRows = 0;      ///< word lines streamed per window
+    unsigned freeRows = 0;       ///< spare lines for extra input reuse
+    bool fitsSenseAmpPair = true; ///< reduction stays within 2 arrays
+
+    /** Input bytes newly streamed per window (sliding-window reuse). */
+    unsigned newInputBytesPerWindow = 0;
+
+    /** Outputs (E positions) assigned per slice (Figure 11). */
+    uint64_t outputsPerSlice = 0;
+};
+
+/** Placement of a pooling op. */
+struct PoolPlan
+{
+    uint64_t windows = 0;        ///< total pooled outputs
+    uint64_t parallelWindows = 0;
+    uint64_t serialPasses = 0;
+    unsigned windowSize = 0;     ///< RxS inputs reduced per window
+    unsigned inputRows = 0;
+    double utilization = 0.0;
+};
+
+/** Build the plan of @p op on @p geom (8-bit elements). */
+ConvPlan planConv(const dnn::ConvOp &op, const cache::Geometry &geom,
+                  const TransformLimits &lim = {},
+                  const RowBudget &budget = {});
+
+PoolPlan planPool(const dnn::PoolOp &op, const cache::Geometry &geom);
+
+} // namespace nc::mapping
+
+#endif // NC_MAPPING_PLAN_HH

@@ -1,0 +1,125 @@
+#include "mapping/weight_layout.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nc::mapping
+{
+
+WeightLayout::WeightLayout(const dnn::ConvOp &op_,
+                           const mapping::ConvPlan &plan_,
+                           const Geometry &geom_)
+    : op(op_), plan(plan_), geom(geom_)
+{
+}
+
+WeightHome
+WeightLayout::homeOf(unsigned m, unsigned c, unsigned k) const
+{
+    nc_assert(m < op.m && c < op.c && k < op.r * op.s,
+              "filter element (%u,%u,%u) out of range", m, c, k);
+    const auto &ft = plan.ft;
+
+    unsigned lane;     // within one convolution's lane group
+    unsigned byte_idx; // within the bit line's filter byte stack
+    if (ft.splitFactor > 1) {
+        lane = c * ft.splitFactor + k / ft.effRS;
+        byte_idx = k % ft.effRS;
+    } else if (ft.packFactor > 1) {
+        lane = c / ft.packFactor;
+        byte_idx = c % ft.packFactor; // k == 0 for 1x1 filters
+    } else {
+        lane = c;
+        byte_idx = k;
+    }
+
+    unsigned array_idx;
+    unsigned abs_lane;
+    if (plan.convsPerArray >= 1) {
+        array_idx = m / plan.convsPerArray;
+        unsigned group = m % plan.convsPerArray;
+        abs_lane = group * plan.lanesPerConv + lane;
+    } else {
+        array_idx = m * plan.arraysPerConv + lane / geom.arrayCols;
+        abs_lane = lane % geom.arrayCols;
+    }
+
+    WeightHome home;
+    unsigned arrays_per_way = geom.arraysPerWay();
+    home.coord.slice = 0; // broadcast replicates to other slices
+    home.coord.way = array_idx / arrays_per_way;
+    unsigned in_way = array_idx % arrays_per_way;
+    home.coord.bank = in_way / geom.arraysPerBank();
+    home.coord.array = in_way % geom.arraysPerBank();
+    nc_assert(home.coord.way < geom.computeWays(),
+              "filter bank of '%s' spills past the compute ways",
+              op.name.c_str());
+    home.lane = abs_lane;
+    home.row = byte_idx * 8; // 8-bit elements, LSB first
+    return home;
+}
+
+namespace
+{
+
+/** Streaming sort key: arrays, then word lines, then bit lines. */
+std::tuple<uint64_t, unsigned, unsigned>
+streamKey(const nc::cache::Geometry &geom, const WeightHome &h)
+{
+    uint64_t flat =
+        (uint64_t(h.coord.way) * geom.banksPerWay + h.coord.bank) *
+            geom.arraysPerBank() +
+        h.coord.array;
+    return {flat, h.row, h.lane};
+}
+
+} // namespace
+
+std::vector<WeightLayout::Placed>
+WeightLayout::placements() const
+{
+    std::vector<Placed> placed;
+    placed.reserve(static_cast<size_t>(op.m) * op.c * op.r * op.s);
+    for (unsigned m = 0; m < op.m; ++m)
+        for (unsigned c = 0; c < op.c; ++c)
+            for (unsigned k = 0; k < op.r * op.s; ++k)
+                placed.push_back(Placed{homeOf(m, c, k), m, c, k});
+
+    std::sort(placed.begin(), placed.end(),
+              [&](const Placed &a, const Placed &b) {
+                  return streamKey(geom, a.home) <
+                         streamKey(geom, b.home);
+              });
+    return placed;
+}
+
+std::vector<WeightHome>
+WeightLayout::streamingOrder() const
+{
+    std::vector<WeightHome> homes;
+    auto placed = placements();
+    homes.reserve(placed.size());
+    for (const auto &p : placed)
+        homes.push_back(p.home);
+    return homes;
+}
+
+std::vector<uint8_t>
+WeightLayout::dramImage(const dnn::QWeights &w) const
+{
+    nc_assert(w.m == op.m && w.c == op.c && w.r == op.r &&
+                  w.s == op.s,
+              "weight tensor does not match the op '%s'",
+              op.name.c_str());
+    std::vector<uint8_t> image;
+    auto placed = placements();
+    image.reserve(placed.size());
+    for (const auto &p : placed)
+        image.push_back(w.at(p.m, p.c, p.k / op.s, p.k % op.s));
+    return image;
+}
+
+} // namespace nc::mapping

@@ -1,0 +1,259 @@
+#include "sram/array.hh"
+
+#include "common/logging.hh"
+
+namespace nc::sram
+{
+
+Array::Array(unsigned rows_, unsigned cols_)
+    : nrows(rows_), ncols(cols_), cells(rows_, BitRow(cols_)),
+      carryLatch(cols_), tagLatch(cols_)
+{
+    nc_assert(rows_ > 0 && cols_ > 0, "degenerate array %ux%u",
+              rows_, cols_);
+}
+
+void
+Array::checkRow(unsigned r) const
+{
+    nc_assert(r < nrows, "row %u out of %u", r, nrows);
+}
+
+BitRow
+Array::readRow(unsigned r)
+{
+    checkRow(r);
+    ++nAccessCycles;
+    return cells[r];
+}
+
+void
+Array::writeRow(unsigned r, const BitRow &row)
+{
+    checkRow(r);
+    nc_assert(row.width() == ncols, "row width %u != %u",
+              row.width(), ncols);
+    ++nAccessCycles;
+    cells[r] = row;
+}
+
+const BitRow &
+Array::rowRef(unsigned r) const
+{
+    checkRow(r);
+    return cells[r];
+}
+
+bool
+Array::peek(unsigned r, unsigned lane) const
+{
+    checkRow(r);
+    return cells[r].get(lane);
+}
+
+void
+Array::poke(unsigned r, unsigned lane, bool v)
+{
+    checkRow(r);
+    cells[r].set(lane, v);
+}
+
+Array::Sensed
+Array::sense(unsigned ra, unsigned rb) const
+{
+    checkRow(ra);
+    checkRow(rb);
+    nc_assert(ra != rb, "dual activation of the same word line %u", ra);
+    const BitRow &a = cells[ra];
+    const BitRow &b = cells[rb];
+    return Sensed{a & b, ~a & ~b};
+}
+
+void
+Array::writeBack(unsigned dst, const BitRow &value, bool pred)
+{
+    checkRow(dst);
+    if (pred)
+        cells[dst].mergeFrom(value, tagLatch);
+    else
+        cells[dst] = value;
+}
+
+void
+Array::opAnd(unsigned ra, unsigned rb, unsigned dst, bool pred)
+{
+    ++nComputeCycles;
+    writeBack(dst, sense(ra, rb).bl, pred);
+}
+
+void
+Array::opNor(unsigned ra, unsigned rb, unsigned dst, bool pred)
+{
+    ++nComputeCycles;
+    writeBack(dst, sense(ra, rb).blb, pred);
+}
+
+void
+Array::opOr(unsigned ra, unsigned rb, unsigned dst, bool pred)
+{
+    ++nComputeCycles;
+    writeBack(dst, ~sense(ra, rb).blb, pred);
+}
+
+void
+Array::opXor(unsigned ra, unsigned rb, unsigned dst, bool pred)
+{
+    ++nComputeCycles;
+    Sensed s = sense(ra, rb);
+    writeBack(dst, ~(s.bl | s.blb), pred);
+}
+
+void
+Array::opXnor(unsigned ra, unsigned rb, unsigned dst, bool pred)
+{
+    ++nComputeCycles;
+    Sensed s = sense(ra, rb);
+    writeBack(dst, s.bl | s.blb, pred);
+}
+
+void
+Array::opAdd(unsigned ra, unsigned rb, unsigned dst, bool pred)
+{
+    ++nComputeCycles;
+    Sensed s = sense(ra, rb);
+    BitRow axb = ~(s.bl | s.blb);            // A XOR B
+    BitRow sum = axb ^ carryLatch;           // A ^ B ^ Cin
+    BitRow cout = s.bl | (axb & carryLatch); // A&B + (A^B)&Cin
+    writeBack(dst, sum, pred);
+    carryLatch = cout;
+}
+
+void
+Array::opCopy(unsigned src, unsigned dst, bool pred)
+{
+    checkRow(src);
+    ++nComputeCycles;
+    writeBack(dst, cells[src], pred);
+}
+
+void
+Array::opCopyInv(unsigned src, unsigned dst, bool pred)
+{
+    checkRow(src);
+    ++nComputeCycles;
+    writeBack(dst, ~cells[src], pred);
+}
+
+void
+Array::opZero(unsigned dst, bool pred)
+{
+    ++nComputeCycles;
+    writeBack(dst, BitRow(ncols, false), pred);
+}
+
+void
+Array::opOnes(unsigned dst, bool pred)
+{
+    ++nComputeCycles;
+    writeBack(dst, BitRow(ncols, true), pred);
+}
+
+void
+Array::opLoadTag(unsigned r)
+{
+    checkRow(r);
+    ++nComputeCycles;
+    tagLatch = cells[r];
+}
+
+void
+Array::opLoadTagInv(unsigned r)
+{
+    checkRow(r);
+    ++nComputeCycles;
+    tagLatch = ~cells[r];
+}
+
+void
+Array::opTagAnd(unsigned r)
+{
+    checkRow(r);
+    ++nComputeCycles;
+    tagLatch = tagLatch & cells[r];
+}
+
+void
+Array::opTagAndInv(unsigned r)
+{
+    checkRow(r);
+    ++nComputeCycles;
+    tagLatch = tagLatch & ~cells[r];
+}
+
+void
+Array::opTagOr(unsigned r)
+{
+    checkRow(r);
+    ++nComputeCycles;
+    tagLatch = tagLatch | cells[r];
+}
+
+void
+Array::opTagAndXnor(unsigned ra, unsigned rb)
+{
+    ++nComputeCycles;
+    Sensed s = sense(ra, rb);
+    tagLatch = tagLatch & (s.bl | s.blb);
+}
+
+void
+Array::opLoadTagFromCarry(bool invert)
+{
+    ++nComputeCycles;
+    tagLatch = invert ? ~carryLatch : carryLatch;
+}
+
+void
+Array::opStoreTag(unsigned dst, bool pred)
+{
+    ++nComputeCycles;
+    writeBack(dst, tagLatch, pred);
+}
+
+void
+Array::opStoreCarry(unsigned dst, bool pred)
+{
+    ++nComputeCycles;
+    writeBack(dst, carryLatch, pred);
+}
+
+void
+Array::opLaneShift(unsigned src, unsigned dst, unsigned shift,
+                   unsigned cycles)
+{
+    checkRow(src);
+    checkRow(dst);
+    nComputeCycles += cycles;
+    cells[dst] = cells[src].shiftedDown(shift);
+}
+
+void
+Array::carrySet(bool v)
+{
+    carryLatch.fill(v);
+}
+
+void
+Array::tagSet(bool v)
+{
+    tagLatch.fill(v);
+}
+
+void
+Array::resetCycles()
+{
+    nComputeCycles = 0;
+    nAccessCycles = 0;
+}
+
+} // namespace nc::sram

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The compute-capable 8KB SRAM array (paper Figure 3d / Figure 7).
+ *
+ * An Array is `rows` word lines by `cols` bit lines of bit cells plus the
+ * compute column peripheral: per bit line, two single-ended sense amps
+ * (BL senses A AND B, BLB senses NOR = ~A AND ~B when two word lines are
+ * activated together), XOR derivation, full-adder sum/carry logic, a
+ * carry latch, a tag latch, and a 4:1 write-back mux gated by the tag.
+ *
+ * Every op*() method models exactly one compute clock cycle: a sensing
+ * half-cycle (read word lines at lowered voltage) and a write-back
+ * half-cycle (one write word line). Conventional readRow()/writeRow()
+ * model one access clock cycle each. The class counts both so callers
+ * can convert to time and energy with sram::TimingParams/EnergyParams.
+ *
+ * Predication: ops taking a `pred` flag only commit their write-back in
+ * lanes whose tag latch holds 1; other lanes keep their stored value.
+ * The carry latch is updated unconditionally — sequences that use
+ * predication must re-initialize carry with carrySet() (free: the preset
+ * is part of the next issued micro-op's control word), exactly as the
+ * multiplication walk-through in the paper does.
+ */
+
+#ifndef NC_SRAM_ARRAY_HH
+#define NC_SRAM_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sram/bitrow.hh"
+
+namespace nc::sram
+{
+
+/** One compute-capable SRAM array. Default geometry: 256 x 256 (8KB). */
+class Array
+{
+  public:
+    explicit Array(unsigned rows_ = 256, unsigned cols_ = 256);
+
+    unsigned rows() const { return nrows; }
+    unsigned cols() const { return ncols; }
+    /** Capacity in bytes. */
+    uint64_t sizeBytes() const { return uint64_t(nrows) * ncols / 8; }
+
+    /** @name Conventional SRAM mode (1 access cycle each) */
+    /// @{
+    BitRow readRow(unsigned r);
+    void writeRow(unsigned r, const BitRow &row);
+    /// @}
+
+    /** @name Zero-cost debug access (test instrumentation, no cycles) */
+    /// @{
+    const BitRow &rowRef(unsigned r) const;
+    bool peek(unsigned r, unsigned lane) const;
+    void poke(unsigned r, unsigned lane, bool v);
+    /// @}
+
+    /** @name Compute micro-ops (1 compute cycle each) */
+    /// @{
+    /** dst <= A AND B (BL sense). */
+    void opAnd(unsigned ra, unsigned rb, unsigned dst, bool pred = false);
+    /** dst <= A NOR B (BLB sense). */
+    void opNor(unsigned ra, unsigned rb, unsigned dst, bool pred = false);
+    /** dst <= A OR B (inverted BLB). */
+    void opOr(unsigned ra, unsigned rb, unsigned dst, bool pred = false);
+    /** dst <= A XOR B (NOR of the two sensed values). */
+    void opXor(unsigned ra, unsigned rb, unsigned dst, bool pred = false);
+    /** dst <= A XNOR B. */
+    void opXnor(unsigned ra, unsigned rb, unsigned dst, bool pred = false);
+
+    /**
+     * Full-adder cycle: dst <= A ^ B ^ carry; carry latch <= majority.
+     * This is the workhorse of bit-serial arithmetic (paper Figure 4).
+     */
+    void opAdd(unsigned ra, unsigned rb, unsigned dst, bool pred = false);
+
+    /** dst <= src (single-row activation, write-back of BL). */
+    void opCopy(unsigned src, unsigned dst, bool pred = false);
+    /** dst <= NOT src (write-back of BLB). */
+    void opCopyInv(unsigned src, unsigned dst, bool pred = false);
+    /** dst <= 0 in selected lanes (bit-line driver forced low). */
+    void opZero(unsigned dst, bool pred = false);
+    /** dst <= 1 in selected lanes. */
+    void opOnes(unsigned dst, bool pred = false);
+
+    /** Tag latch <= row / NOT row / tag AND row / tag AND NOT row. */
+    void opLoadTag(unsigned r);
+    void opLoadTagInv(unsigned r);
+    void opTagAnd(unsigned r);
+    void opTagAndInv(unsigned r);
+    /** Tag latch <= tag OR row (overflow detection folds). */
+    void opTagOr(unsigned r);
+    /**
+     * Tag latch <= tag AND (A XNOR B): the equality fold used by
+     * Compute Cache's comparison/search modes — the XNOR is already
+     * available at the peripheral as BL OR BLB.
+     */
+    void opTagAndXnor(unsigned ra, unsigned rb);
+    /**
+     * Tag latch <= carry latch, optionally inverted (captures the final
+     * carry of a subtraction as a lane-wise a >= b / a < b mask).
+     */
+    void opLoadTagFromCarry(bool invert = false);
+    /** dst <= tag latch. */
+    void opStoreTag(unsigned dst, bool pred = false);
+    /** dst <= carry latch (finishes an addition, paper "n+1"th cycle). */
+    void opStoreCarry(unsigned dst, bool pred = false);
+
+    /**
+     * dst <= src moved down @p shift bit lines (lane i takes lane
+     * i+shift; vacated lanes read 0). Models word-line moves through
+     * the column mux / sense-amp cycling used by reductions (paper
+     * Figure 5 and [Cache Automaton]); costs @p cycles compute cycles
+     * (default 2: one sense phase, one drive phase).
+     */
+    void opLaneShift(unsigned src, unsigned dst, unsigned shift,
+                     unsigned cycles = 2);
+    /// @}
+
+    /**
+     * Preset the carry latch in every lane. Free of cycle cost: the
+     * preset travels with the control word of the next issued op.
+     */
+    void carrySet(bool v);
+    /** Preset the tag latch in every lane (also free). */
+    void tagSet(bool v);
+
+    const BitRow &carry() const { return carryLatch; }
+    const BitRow &tag() const { return tagLatch; }
+
+    /** @name Cycle accounting */
+    /// @{
+    uint64_t computeCycles() const { return nComputeCycles; }
+    uint64_t accessCycles() const { return nAccessCycles; }
+    void resetCycles();
+    /// @}
+
+  private:
+    /** Sense phase of a dual-row activation. */
+    struct Sensed
+    {
+        BitRow bl;  ///< A AND B
+        BitRow blb; ///< ~A AND ~B
+    };
+    Sensed sense(unsigned ra, unsigned rb) const;
+
+    /** Commit @p value to @p dst honouring predication. */
+    void writeBack(unsigned dst, const BitRow &value, bool pred);
+
+    void checkRow(unsigned r) const;
+
+    unsigned nrows;
+    unsigned ncols;
+    std::vector<BitRow> cells;
+    BitRow carryLatch;
+    BitRow tagLatch;
+    uint64_t nComputeCycles = 0;
+    uint64_t nAccessCycles = 0;
+};
+
+} // namespace nc::sram
+
+#endif // NC_SRAM_ARRAY_HH

@@ -1,0 +1,125 @@
+#include "sram/bitrow.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace nc::sram
+{
+
+BitRow::BitRow(unsigned width_, bool fill_)
+    : nbits(width_), words((width_ + 63) / 64, fill_ ? ~uint64_t(0) : 0)
+{
+    maskTail();
+}
+
+void
+BitRow::maskTail()
+{
+    unsigned rem = nbits % 64;
+    if (rem != 0 && !words.empty())
+        words.back() &= (uint64_t(1) << rem) - 1;
+}
+
+bool
+BitRow::get(unsigned lane) const
+{
+    nc_assert(lane < nbits, "lane %u out of %u", lane, nbits);
+    return (words[lane / 64] >> (lane % 64)) & 1u;
+}
+
+void
+BitRow::set(unsigned lane, bool v)
+{
+    nc_assert(lane < nbits, "lane %u out of %u", lane, nbits);
+    uint64_t mask = uint64_t(1) << (lane % 64);
+    if (v)
+        words[lane / 64] |= mask;
+    else
+        words[lane / 64] &= ~mask;
+}
+
+void
+BitRow::fill(bool v)
+{
+    for (auto &w : words)
+        w = v ? ~uint64_t(0) : 0;
+    maskTail();
+}
+
+unsigned
+BitRow::popcount() const
+{
+    unsigned n = 0;
+    for (auto w : words)
+        n += static_cast<unsigned>(std::popcount(w));
+    return n;
+}
+
+BitRow
+BitRow::operator&(const BitRow &o) const
+{
+    nc_assert(nbits == o.nbits, "width mismatch %u vs %u", nbits, o.nbits);
+    BitRow r(nbits);
+    for (size_t i = 0; i < words.size(); ++i)
+        r.words[i] = words[i] & o.words[i];
+    return r;
+}
+
+BitRow
+BitRow::operator|(const BitRow &o) const
+{
+    nc_assert(nbits == o.nbits, "width mismatch %u vs %u", nbits, o.nbits);
+    BitRow r(nbits);
+    for (size_t i = 0; i < words.size(); ++i)
+        r.words[i] = words[i] | o.words[i];
+    return r;
+}
+
+BitRow
+BitRow::operator^(const BitRow &o) const
+{
+    nc_assert(nbits == o.nbits, "width mismatch %u vs %u", nbits, o.nbits);
+    BitRow r(nbits);
+    for (size_t i = 0; i < words.size(); ++i)
+        r.words[i] = words[i] ^ o.words[i];
+    return r;
+}
+
+BitRow
+BitRow::operator~() const
+{
+    BitRow r(nbits);
+    for (size_t i = 0; i < words.size(); ++i)
+        r.words[i] = ~words[i];
+    r.maskTail();
+    return r;
+}
+
+bool
+BitRow::operator==(const BitRow &o) const
+{
+    return nbits == o.nbits && words == o.words;
+}
+
+BitRow
+BitRow::shiftedDown(unsigned shift) const
+{
+    BitRow r(nbits);
+    for (unsigned i = 0; i + shift < nbits; ++i)
+        r.set(i, get(i + shift));
+    return r;
+}
+
+void
+BitRow::mergeFrom(const BitRow &src, const BitRow &mask)
+{
+    nc_assert(nbits == src.nbits && nbits == mask.nbits,
+              "width mismatch in mergeFrom");
+    for (size_t i = 0; i < words.size(); ++i) {
+        words[i] = (words[i] & ~mask.words[i]) |
+                   (src.words[i] & mask.words[i]);
+    }
+}
+
+} // namespace nc::sram

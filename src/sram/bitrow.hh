@@ -1,0 +1,65 @@
+/**
+ * @file
+ * BitRow: one word line's worth of bit cells.
+ *
+ * A BitRow models the 256 (or however many) bit cells that share a word
+ * line. Bit index == bit-line (lane) index. All logical operations are
+ * lane-wise, mirroring what the per-bit-line column peripherals compute
+ * in parallel during one array cycle.
+ */
+
+#ifndef NC_SRAM_BITROW_HH
+#define NC_SRAM_BITROW_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace nc::sram
+{
+
+/** A fixed-width row of bits with lane-wise logic operations. */
+class BitRow
+{
+  public:
+    BitRow() = default;
+    explicit BitRow(unsigned width_, bool fill = false);
+
+    unsigned width() const { return nbits; }
+
+    bool get(unsigned lane) const;
+    void set(unsigned lane, bool v);
+
+    /** Set every lane to @p v. */
+    void fill(bool v);
+
+    /** Number of lanes holding 1. */
+    unsigned popcount() const;
+
+    /** Lane-wise logic; operands must have equal width. */
+    BitRow operator&(const BitRow &o) const;
+    BitRow operator|(const BitRow &o) const;
+    BitRow operator^(const BitRow &o) const;
+    BitRow operator~() const;
+
+    bool operator==(const BitRow &o) const;
+
+    /**
+     * Lane-shifted copy: result lane i takes this row's lane (i + shift)
+     * when in range, else 0. Models moving data toward lower-numbered
+     * bit lines via sense-amp cycling / column mux.
+     */
+    BitRow shiftedDown(unsigned shift) const;
+
+    /** Merge: lanes where mask is 1 take @p src, others keep this. */
+    void mergeFrom(const BitRow &src, const BitRow &mask);
+
+  private:
+    void maskTail();
+
+    unsigned nbits = 0;
+    std::vector<uint64_t> words;
+};
+
+} // namespace nc::sram
+
+#endif // NC_SRAM_BITROW_HH

@@ -1,0 +1,9 @@
+#include "sram/timing.hh"
+
+// Parameter tables are header-only; this translation unit exists so the
+// library has a home for future non-inline timing helpers and so the
+// header is compile-checked on its own.
+
+namespace nc::sram
+{
+} // namespace nc::sram

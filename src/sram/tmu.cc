@@ -1,0 +1,112 @@
+#include "sram/tmu.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nc::sram
+{
+
+TransposeUnit::TransposeUnit(unsigned rows_, unsigned cols_)
+    : nrows(rows_), ncols(cols_), cells(rows_, BitRow(cols_))
+{
+    nc_assert(rows_ > 0 && cols_ > 0, "degenerate TMU %ux%u",
+              rows_, cols_);
+}
+
+void
+TransposeUnit::writeRegular(unsigned r, uint64_t value)
+{
+    nc_assert(r < nrows, "TMU row %u out of %u", r, nrows);
+    nc_assert(ncols <= 64 || truncate(value, 64) == value,
+              "value wider than TMU row");
+    ++nAccessCycles;
+    for (unsigned c = 0; c < std::min(ncols, 64u); ++c)
+        cells[r].set(c, bit(value, c));
+}
+
+uint64_t
+TransposeUnit::readRegular(unsigned r)
+{
+    nc_assert(r < nrows, "TMU row %u out of %u", r, nrows);
+    ++nAccessCycles;
+    uint64_t v = 0;
+    for (unsigned c = 0; c < std::min(ncols, 64u); ++c)
+        v = setBit(v, c, cells[r].get(c));
+    return v;
+}
+
+void
+TransposeUnit::writeTransposed(unsigned c, const BitRow &slice)
+{
+    nc_assert(c < ncols, "TMU col %u out of %u", c, ncols);
+    nc_assert(slice.width() == nrows, "slice width %u != %u",
+              slice.width(), nrows);
+    ++nAccessCycles;
+    for (unsigned r = 0; r < nrows; ++r)
+        cells[r].set(c, slice.get(r));
+}
+
+BitRow
+TransposeUnit::readTransposed(unsigned c)
+{
+    nc_assert(c < ncols, "TMU col %u out of %u", c, ncols);
+    ++nAccessCycles;
+    BitRow slice(nrows);
+    for (unsigned r = 0; r < nrows; ++r)
+        slice.set(r, cells[r].get(c));
+    return slice;
+}
+
+uint64_t
+TransposeUnit::streamCycles(uint64_t nelems, unsigned elem_bits,
+                            unsigned port_bits) const
+{
+    if (nelems == 0)
+        return 0;
+    nc_assert(port_bits >= elem_bits, "bus beat narrower than element");
+    // Each batch of `nrows` elements needs nrows*elem_bits bits
+    // through the regular port (port_bits per cycle) and `elem_bits`
+    // bit-slice cycles out of the transposed port; batches pipeline,
+    // so steady state costs the slower port per batch, plus one
+    // drain of the faster one at the end.
+    uint64_t batches = divCeil(nelems, nrows);
+    uint64_t fill = divCeil(uint64_t(nrows) * elem_bits, port_bits);
+    uint64_t per = std::max<uint64_t>(fill, elem_bits);
+    uint64_t tail = std::min<uint64_t>(fill, elem_bits);
+    return batches * per + tail;
+}
+
+std::vector<BitRow>
+TransposeUnit::transposeElements(const std::vector<uint64_t> &elems,
+                                 unsigned elem_bits, unsigned lanes)
+{
+    nc_assert(elems.size() <= lanes,
+              "%zu elements exceed %u lanes", elems.size(), lanes);
+    nc_assert(elem_bits >= 1 && elem_bits <= 64,
+              "unsupported element width %u", elem_bits);
+    std::vector<BitRow> slices(elem_bits, BitRow(lanes));
+    for (unsigned i = 0; i < elems.size(); ++i)
+        for (unsigned b = 0; b < elem_bits; ++b)
+            slices[b].set(i, bit(elems[i], b));
+    return slices;
+}
+
+std::vector<uint64_t>
+TransposeUnit::untransposeElements(const std::vector<BitRow> &slices,
+                                   unsigned elem_bits)
+{
+    nc_assert(!slices.empty(), "no slices to untranspose");
+    nc_assert(elem_bits <= slices.size(),
+              "asked for %u bits from %zu slices", elem_bits,
+              slices.size());
+    unsigned lanes = slices[0].width();
+    std::vector<uint64_t> elems(lanes, 0);
+    for (unsigned i = 0; i < lanes; ++i)
+        for (unsigned b = 0; b < elem_bits; ++b)
+            elems[i] = setBit(elems[i], b, slices[b].get(i));
+    return elems;
+}
+
+} // namespace nc::sram

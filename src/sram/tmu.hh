@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Transpose Memory Unit (paper Figure 8).
+ *
+ * The TMU is an 8T SRAM macro with sense amps and drivers on both axes,
+ * so data written in the regular (horizontal, one element per row)
+ * orientation can be read back in the transposed (vertical, one bit
+ * position per row) orientation, and vice versa. A few TMUs sit in each
+ * slice's C-BOX and act as the gateway between bit-parallel bus data and
+ * the transposed layout bit-serial compute requires.
+ *
+ * Functionally the unit is an exact transpose; its cost model is one
+ * access cycle per row written plus one per column read, overlappable
+ * when streaming (fill and drain pipeline).
+ */
+
+#ifndef NC_SRAM_TMU_HH
+#define NC_SRAM_TMU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sram/bitrow.hh"
+
+namespace nc::sram
+{
+
+/** An 8T two-axis-access SRAM macro used for dynamic transposition. */
+class TransposeUnit
+{
+  public:
+    /** @param rows_ element slots, @param cols_ bits per element slot. */
+    explicit TransposeUnit(unsigned rows_ = 256, unsigned cols_ = 256);
+
+    unsigned rows() const { return nrows; }
+    unsigned cols() const { return ncols; }
+
+    /** Write element @p value (low @p cols() bits) into row @p r. */
+    void writeRegular(unsigned r, uint64_t value);
+    /** Read row @p r back as an element. */
+    uint64_t readRegular(unsigned r);
+
+    /** Write a bit-slice (lane i = element i's bit) into column @p c. */
+    void writeTransposed(unsigned c, const BitRow &slice);
+    /** Read column @p c as a bit-slice across all element slots. */
+    BitRow readTransposed(unsigned c);
+
+    /** Access cycles consumed so far (both axes count equally). */
+    uint64_t accessCycles() const { return nAccessCycles; }
+    void resetCycles() { nAccessCycles = 0; }
+
+    /**
+     * Cycles to stream @p nelems elements of @p elem_bits bits through
+     * the unit (regular in, transposed out or the reverse). The
+     * regular port accepts a full @p port_bits bus beat per cycle
+     * (several elements at once — the TMU fronts the 64-bit quadrant
+     * bus); the transposed port moves one bit-slice per cycle. Fill
+     * and drain pipeline across batches, so the steady-state cost is
+     * the larger of the two port demands.
+     */
+    uint64_t streamCycles(uint64_t nelems, unsigned elem_bits,
+                          unsigned port_bits = 64) const;
+
+    /**
+     * Convenience: transpose @p elems (each @p elem_bits wide) into
+     * bit-slices of width @p lanes. Element i occupies lane i; slice j
+     * holds bit j of every element. Elements beyond @p lanes are
+     * rejected; missing elements read as zero.
+     */
+    static std::vector<BitRow>
+    transposeElements(const std::vector<uint64_t> &elems,
+                      unsigned elem_bits, unsigned lanes);
+
+    /** Inverse of transposeElements(). */
+    static std::vector<uint64_t>
+    untransposeElements(const std::vector<BitRow> &slices,
+                        unsigned elem_bits);
+
+  private:
+    unsigned nrows;
+    unsigned ncols;
+    std::vector<BitRow> cells; ///< row-major bit storage
+    uint64_t nAccessCycles = 0;
+};
+
+} // namespace nc::sram
+
+#endif // NC_SRAM_TMU_HH

@@ -1,0 +1,145 @@
+/** @file Tests for the calibrated CPU/GPU baseline models. */
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "baselines/device_model.hh"
+#include "dnn/inception_v3.hh"
+
+namespace
+{
+
+using namespace nc::baselines;
+
+class Baselines : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        net = new nc::dnn::Network(nc::dnn::inceptionV3());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete net;
+        net = nullptr;
+    }
+
+    static nc::dnn::Network *net;
+};
+
+nc::dnn::Network *Baselines::net = nullptr;
+
+TEST_F(Baselines, CpuCalibratedTo86ms)
+{
+    auto cpu = DeviceModel::xeonE5_2697v3(*net);
+    EXPECT_NEAR(cpu.totalLatencyMs(*net), 86.0, 0.01);
+}
+
+TEST_F(Baselines, GpuCalibratedToPaperRatio)
+{
+    auto gpu = DeviceModel::titanXp(*net);
+    EXPECT_NEAR(gpu.totalLatencyMs(*net), 86.0 / 18.3 * 7.7, 0.05);
+}
+
+TEST_F(Baselines, StageLatenciesSumToTotal)
+{
+    auto cpu = DeviceModel::xeonE5_2697v3(*net);
+    auto per_stage = cpu.stageLatenciesMs(*net);
+    ASSERT_EQ(per_stage.size(), net->stages.size());
+    double sum =
+        std::accumulate(per_stage.begin(), per_stage.end(), 0.0);
+    EXPECT_NEAR(sum, cpu.totalLatencyMs(*net), 1e-6);
+}
+
+TEST_F(Baselines, MixedLayersDominateCpuTime)
+{
+    // Figure 13: "A majority of time is spent on the mixed layers for
+    // both CPU and GPU."
+    auto cpu = DeviceModel::xeonE5_2697v3(*net);
+    auto per_stage = cpu.stageLatenciesMs(*net);
+    double mixed = 0, total = 0;
+    for (size_t i = 0; i < net->stages.size(); ++i) {
+        total += per_stage[i];
+        if (net->stages[i].name.rfind("Mixed", 0) == 0)
+            mixed += per_stage[i];
+    }
+    EXPECT_GT(mixed / total, 0.5);
+}
+
+TEST_F(Baselines, EnergyMatchesTableIII)
+{
+    // Table III: CPU 9.137 J, GPU 4.087 J.
+    auto cpu = DeviceModel::xeonE5_2697v3(*net);
+    auto gpu = DeviceModel::titanXp(*net);
+    EXPECT_NEAR(cpu.energyJ(*net), 9.137, 0.15);
+    EXPECT_NEAR(gpu.energyJ(*net), 4.087, 0.1);
+}
+
+TEST_F(Baselines, RooflineRespectsComputeAndMemoryWalls)
+{
+    DeviceModel::Params p;
+    p.name = "toy";
+    p.peakFlops = 1e12;
+    p.memBwBytesPerSec = 1e11;
+    p.computeEfficiency = 1.0;
+    p.memEfficiency = 1.0;
+    DeviceModel m(p);
+
+    // Compute-bound op: high flops per byte.
+    auto heavy = nc::dnn::conv("h", 32, 32, 256, 3, 3, 256);
+    double t = m.opLatencyPs(heavy);
+    double flop_time = double(heavy.conv.flops()) / 1e12 * 1e12;
+    EXPECT_GE(t, flop_time);
+
+    // Memory-bound op: 1x1 with huge channel count, tiny map.
+    auto light = nc::dnn::conv("l", 2, 2, 2048, 1, 1, 16);
+    double bytes =
+        double(light.conv.inputBytes() + light.conv.filterBytes() +
+               light.conv.outputBytes()) *
+        4.0;
+    double mem_time = bytes / 1e11 * 1e12;
+    EXPECT_GE(m.opLatencyPs(light), mem_time);
+}
+
+TEST_F(Baselines, BatchCurveFitsEndpoints)
+{
+    // CPU: 86 ms batch-1, peak 48.7 inf/s (= 604 / 12.4).
+    BatchCurve cpu = BatchCurve::fit(86.0, 604.0 / 12.4);
+    EXPECT_NEAR(cpu.throughput(1), 1000.0 / 86.0, 0.01);
+    EXPECT_NEAR(cpu.throughput(1e9), 48.7, 0.1);
+    // Monotone non-decreasing in n.
+    double prev = 0;
+    for (double n : {1.0, 2.0, 4.0, 16.0, 64.0, 256.0}) {
+        double thr = cpu.throughput(n);
+        EXPECT_GE(thr, prev);
+        prev = thr;
+    }
+}
+
+TEST_F(Baselines, GpuBatchCurvePlateausNearPaper)
+{
+    // GPU: 36.2 ms batch-1, peak 274.5 inf/s (= 604 / 2.2).
+    BatchCurve gpu = BatchCurve::fit(86.0 / 18.3 * 7.7, 604.0 / 2.2);
+    EXPECT_NEAR(gpu.throughput(256), 274.5, 30.0);
+    EXPECT_LT(gpu.throughput(64) / gpu.throughput(256), 1.0);
+}
+
+TEST(BatchCurveDeath, RejectsImpossibleFit)
+{
+    // Batch-1 throughput above the peak cannot be fitted.
+    EXPECT_DEATH(BatchCurve::fit(1.0, 10.0), "exceeds");
+}
+
+TEST_F(Baselines, CalibrationScaleIsFinitePositive)
+{
+    auto cpu = DeviceModel::xeonE5_2697v3(*net);
+    EXPECT_GT(cpu.calibrationScale(), 0.0);
+    auto gpu = DeviceModel::titanXp(*net);
+    EXPECT_GT(gpu.calibrationScale(), 0.0);
+}
+
+} // namespace

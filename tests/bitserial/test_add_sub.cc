@@ -1,0 +1,220 @@
+/** @file Property tests for bit-serial addition and subtraction. */
+
+#include <gtest/gtest.h>
+
+#include "bitserial/alu.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace nc::bitserial;
+using nc::sram::Array;
+
+constexpr unsigned kLanes = 64;
+
+struct Rig
+{
+    Array arr{256, kLanes};
+    RowAllocator rows{256};
+    unsigned zrow;
+
+    Rig() : zrow(rows.zeroRow()) {}
+};
+
+TEST(Add, SmallExample)
+{
+    // The paper's Figure 4 walk-through: 4-bit vectors added lane-wise.
+    Rig rig;
+    VecSlice a = rig.rows.alloc(4), b = rig.rows.alloc(4);
+    VecSlice out = rig.rows.alloc(5);
+    storeVector(rig.arr, a, {7, 1, 15, 0});
+    storeVector(rig.arr, b, {9, 1, 15, 0});
+
+    uint64_t cycles = add(rig.arr, a, b, out);
+    // n + 1 cycles: n sum bits plus the stored carry (paper §III-B).
+    EXPECT_EQ(cycles, 5u);
+    auto r = loadVector(rig.arr, out);
+    EXPECT_EQ(r[0], 16u);
+    EXPECT_EQ(r[1], 2u);
+    EXPECT_EQ(r[2], 30u);
+    EXPECT_EQ(r[3], 0u);
+}
+
+TEST(Add, ModularWhenNoCarryRow)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(4), b = rig.rows.alloc(4);
+    VecSlice out = rig.rows.alloc(4);
+    storeVector(rig.arr, a, {15});
+    storeVector(rig.arr, b, {1});
+    uint64_t cycles = add(rig.arr, a, b, out);
+    EXPECT_EQ(cycles, 4u);
+    EXPECT_EQ(loadVector(rig.arr, out)[0], 0u); // wrapped
+}
+
+TEST(Add, InPlaceAccumulate)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8), b = rig.rows.alloc(8);
+    storeVector(rig.arr, a, {100, 20});
+    storeVector(rig.arr, b, {55, 200});
+    add(rig.arr, a, b, b); // b += a
+    auto r = loadVector(rig.arr, b);
+    EXPECT_EQ(r[0], 155u);
+    EXPECT_EQ(r[1], 220u);
+}
+
+TEST(Add, UnevenWidthsViaZeroRow)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8), b = rig.rows.alloc(4);
+    VecSlice out = rig.rows.alloc(9);
+    storeVector(rig.arr, a, {200, 255});
+    storeVector(rig.arr, b, {15, 15});
+    uint64_t cycles = add(rig.arr, a, b, out, rig.zrow);
+    EXPECT_EQ(cycles, 9u);
+    auto r = loadVector(rig.arr, out);
+    EXPECT_EQ(r[0], 215u);
+    EXPECT_EQ(r[1], 270u);
+}
+
+TEST(Add, CarryInSupportsIncrement)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8), out = rig.rows.alloc(8);
+    storeVector(rig.arr, a, {41, 255});
+    add(rig.arr, a, VecSlice{rig.zrow, 1}, out, rig.zrow,
+        /*pred=*/false, /*carry_in=*/true);
+    auto r = loadVector(rig.arr, out);
+    EXPECT_EQ(r[0], 42u);
+    EXPECT_EQ(r[1], 0u); // 255 + 1 wraps in 8 bits
+}
+
+TEST(AddDeath, UnevenWithoutZeroRow)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8), b = rig.rows.alloc(4);
+    VecSlice out = rig.rows.alloc(8);
+    EXPECT_DEATH(add(rig.arr, a, b, out), "zero row");
+}
+
+TEST(AddDeath, ShiftedOverlapRejected)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8);
+    VecSlice bad{a.base + 2, 8};
+    EXPECT_DEATH(add(rig.arr, a, a, bad), "overlap");
+}
+
+TEST(Sub, Basic)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8), b = rig.rows.alloc(8);
+    VecSlice out = rig.rows.alloc(8), scratch = rig.rows.alloc(8);
+    storeVector(rig.arr, a, {200, 5, 77});
+    storeVector(rig.arr, b, {55, 9, 77});
+    uint64_t cycles = sub(rig.arr, a, b, out, scratch);
+    EXPECT_EQ(cycles, implSubCycles(8, false));
+    auto r = loadVector(rig.arr, out);
+    EXPECT_EQ(r[0], 145u);
+    EXPECT_EQ(r[1], 252u); // 5 - 9 wraps
+    EXPECT_EQ(r[2], 0u);
+    // Final carry = no-borrow mask (a >= b).
+    EXPECT_TRUE(rig.arr.carry().get(0));
+    EXPECT_FALSE(rig.arr.carry().get(1));
+    EXPECT_TRUE(rig.arr.carry().get(2));
+}
+
+/** Property sweep: add/sub match 2's-complement arithmetic. */
+class AddSubProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AddSubProperty, RandomVectorsMatchReference)
+{
+    unsigned n = GetParam();
+    nc::Rng rng(1000 + n);
+    Rig rig;
+    VecSlice a = rig.rows.alloc(n), b = rig.rows.alloc(n);
+    VecSlice sum = rig.rows.alloc(n + 1);
+    VecSlice diff = rig.rows.alloc(n), scratch = rig.rows.alloc(n);
+
+    auto av = rng.bitVector(kLanes, n);
+    auto bv = rng.bitVector(kLanes, n);
+    storeVector(rig.arr, a, av);
+    storeVector(rig.arr, b, bv);
+
+    uint64_t c1 = add(rig.arr, a, b, sum);
+    EXPECT_EQ(c1, implAddCycles(n, true));
+    auto sums = loadVector(rig.arr, sum);
+    for (unsigned i = 0; i < kLanes; ++i)
+        EXPECT_EQ(sums[i], av[i] + bv[i]) << "lane " << i;
+
+    uint64_t c2 = sub(rig.arr, a, b, diff, scratch);
+    EXPECT_EQ(c2, implSubCycles(n, false));
+    auto diffs = loadVector(rig.arr, diff);
+    for (unsigned i = 0; i < kLanes; ++i)
+        EXPECT_EQ(diffs[i], nc::truncate(av[i] - bv[i], n))
+            << "lane " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AddSubProperty,
+                         ::testing::Values(1, 2, 3, 4, 8, 12, 16, 24,
+                                           32));
+
+/**
+ * Two's-complement arithmetic falls out of the same hardware: the
+ * modular add/sub of raw bit patterns is exactly signed arithmetic
+ * when the patterns are read back through sign extension.
+ */
+class SignedProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SignedProperty, AddSubMatchSignedSemantics)
+{
+    unsigned n = GetParam();
+    nc::Rng rng(42 + n);
+    Rig rig;
+    VecSlice a = rig.rows.alloc(n), b = rig.rows.alloc(n);
+    VecSlice sum = rig.rows.alloc(n);
+    VecSlice diff = rig.rows.alloc(n), scratch = rig.rows.alloc(n);
+
+    auto av = rng.bitVector(kLanes, n);
+    auto bv = rng.bitVector(kLanes, n);
+    storeVector(rig.arr, a, av);
+    storeVector(rig.arr, b, bv);
+    add(rig.arr, a, b, sum);
+    sub(rig.arr, a, b, diff, scratch);
+
+    auto sums = loadVector(rig.arr, sum);
+    auto diffs = loadVector(rig.arr, diff);
+    for (unsigned i = 0; i < kLanes; ++i) {
+        int64_t sa = nc::signExtend(av[i], n);
+        int64_t sb = nc::signExtend(bv[i], n);
+        EXPECT_EQ(nc::signExtend(sums[i], n),
+                  nc::signExtend(nc::truncate(uint64_t(sa + sb), n),
+                                 n))
+            << "lane " << i;
+        EXPECT_EQ(nc::signExtend(diffs[i], n),
+                  nc::signExtend(nc::truncate(uint64_t(sa - sb), n),
+                                 n))
+            << "lane " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignedProperty,
+                         ::testing::Values(4, 8, 16));
+
+/** Paper cross-check: our add cost is within one cycle of n+1. */
+TEST(AddCost, TracksPaperFormula)
+{
+    for (unsigned n : {4u, 8u, 16u, 32u}) {
+        EXPECT_EQ(implAddCycles(n, true), paperAddCycles(n));
+        EXPECT_EQ(implAddCycles(n, false) + 1, paperAddCycles(n));
+    }
+}
+
+} // namespace

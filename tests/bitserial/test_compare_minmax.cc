@@ -1,0 +1,183 @@
+/** @file Tests for compare, max/min select, ReLU, and predication. */
+
+#include <gtest/gtest.h>
+
+#include "bitserial/alu.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace nc::bitserial;
+using nc::sram::Array;
+
+constexpr unsigned kLanes = 64;
+
+struct Rig
+{
+    Array arr{128, kLanes};
+    RowAllocator rows{128};
+    unsigned zrow;
+
+    Rig() : zrow(rows.zeroRow()) {}
+};
+
+TEST(CompareGE, TagHoldsMask)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8), b = rig.rows.alloc(8);
+    VecSlice s = rig.rows.alloc(8);
+    storeVector(rig.arr, a, {5, 9, 7, 0, 255});
+    storeVector(rig.arr, b, {9, 5, 7, 1, 255});
+    uint64_t cycles = compareGE(rig.arr, a, b, s);
+    EXPECT_EQ(cycles, implCompareCycles(8));
+    EXPECT_FALSE(rig.arr.tag().get(0));
+    EXPECT_TRUE(rig.arr.tag().get(1));
+    EXPECT_TRUE(rig.arr.tag().get(2)); // equality counts as >=
+    EXPECT_FALSE(rig.arr.tag().get(3));
+    EXPECT_TRUE(rig.arr.tag().get(4));
+}
+
+TEST(MaxInto, SelectsLaneWise)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8), b = rig.rows.alloc(8);
+    VecSlice s = rig.rows.alloc(8);
+    storeVector(rig.arr, a, {5, 9, 7, 200});
+    storeVector(rig.arr, b, {9, 5, 7, 100});
+    uint64_t cycles = maxInto(rig.arr, a, b, s);
+    EXPECT_EQ(cycles, implMaxCycles(8));
+    auto r = loadVector(rig.arr, a);
+    EXPECT_EQ(r[0], 9u);
+    EXPECT_EQ(r[1], 9u);
+    EXPECT_EQ(r[2], 7u);
+    EXPECT_EQ(r[3], 200u);
+}
+
+TEST(MinInto, SelectsLaneWise)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8), b = rig.rows.alloc(8);
+    VecSlice s = rig.rows.alloc(8);
+    storeVector(rig.arr, a, {5, 9, 7, 200});
+    storeVector(rig.arr, b, {9, 5, 7, 100});
+    minInto(rig.arr, a, b, s);
+    auto r = loadVector(rig.arr, a);
+    EXPECT_EQ(r[0], 5u);
+    EXPECT_EQ(r[1], 5u);
+    EXPECT_EQ(r[2], 7u);
+    EXPECT_EQ(r[3], 100u);
+}
+
+/** Property: max/min match std::max/std::min on random data. */
+class MinMaxProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MinMaxProperty, RandomVectors)
+{
+    unsigned n = GetParam();
+    nc::Rng rng(n * 31);
+    Rig rig;
+    VecSlice a = rig.rows.alloc(n), b = rig.rows.alloc(n);
+    VecSlice a2 = rig.rows.alloc(n);
+    VecSlice s = rig.rows.alloc(n);
+
+    auto av = rng.bitVector(kLanes, n);
+    auto bv = rng.bitVector(kLanes, n);
+    storeVector(rig.arr, a, av);
+    storeVector(rig.arr, a2, av);
+    storeVector(rig.arr, b, bv);
+
+    maxInto(rig.arr, a, b, s);
+    minInto(rig.arr, a2, b, s);
+    auto mx = loadVector(rig.arr, a);
+    auto mn = loadVector(rig.arr, a2);
+    for (unsigned i = 0; i < kLanes; ++i) {
+        EXPECT_EQ(mx[i], std::max(av[i], bv[i])) << "lane " << i;
+        EXPECT_EQ(mn[i], std::min(av[i], bv[i])) << "lane " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MinMaxProperty,
+                         ::testing::Values(1, 4, 8, 16));
+
+TEST(Relu, ZeroesNegativesKeepsPositives)
+{
+    Rig rig;
+    VecSlice v = rig.rows.alloc(8);
+    // Two's complement bytes: 100, -1 (0xff), 0, -128 (0x80), 127.
+    storeVector(rig.arr, v, {100, 0xff, 0, 0x80, 127});
+    uint64_t cycles = relu(rig.arr, v);
+    EXPECT_EQ(cycles, implReluCycles(8));
+    auto r = loadVector(rig.arr, v);
+    EXPECT_EQ(r[0], 100u);
+    EXPECT_EQ(r[1], 0u);
+    EXPECT_EQ(r[2], 0u);
+    EXPECT_EQ(r[3], 0u);
+    EXPECT_EQ(r[4], 127u);
+}
+
+TEST(Relu, PropertyMatchesSignedReference)
+{
+    nc::Rng rng(404);
+    for (unsigned w : {8u, 16u}) {
+        Rig rig;
+        VecSlice v = rig.rows.alloc(w);
+        auto vals = rng.bitVector(kLanes, w);
+        storeVector(rig.arr, v, vals);
+        relu(rig.arr, v);
+        auto r = loadVector(rig.arr, v);
+        for (unsigned i = 0; i < kLanes; ++i) {
+            int64_t sv = nc::signExtend(vals[i], w);
+            uint64_t want = sv < 0 ? 0 : vals[i];
+            EXPECT_EQ(r[i], want) << "w=" << w << " lane " << i;
+        }
+    }
+}
+
+TEST(PredicatedCopy, SelectiveWrite)
+{
+    // The building block of the paper's max-pool data flow: copy only
+    // lanes whose mask bit is set.
+    Rig rig;
+    VecSlice src = rig.rows.alloc(8), dst = rig.rows.alloc(8);
+    VecSlice mask = rig.rows.alloc(1);
+    storeVector(rig.arr, src, {1, 2, 3, 4});
+    storeVector(rig.arr, dst, {9, 9, 9, 9});
+    storeVector(rig.arr, mask, {1, 0, 1, 0});
+
+    rig.arr.opLoadTag(mask.row(0));
+    copy(rig.arr, src, dst, /*pred=*/true);
+    auto r = loadVector(rig.arr, dst);
+    EXPECT_EQ(r[0], 1u);
+    EXPECT_EQ(r[1], 9u);
+    EXPECT_EQ(r[2], 3u);
+    EXPECT_EQ(r[3], 9u);
+}
+
+TEST(CopyInv, OnesComplement)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8), b = rig.rows.alloc(8);
+    storeVector(rig.arr, a, {0x00, 0xff, 0xa5});
+    copyInv(rig.arr, a, b);
+    auto r = loadVector(rig.arr, b);
+    EXPECT_EQ(r[0], 0xffu);
+    EXPECT_EQ(r[1], 0x00u);
+    EXPECT_EQ(r[2], 0x5au);
+}
+
+TEST(Zero, ClearsSlice)
+{
+    Rig rig;
+    VecSlice a = rig.rows.alloc(8);
+    storeVector(rig.arr, a, {1, 2, 3});
+    uint64_t cycles = zero(rig.arr, a);
+    EXPECT_EQ(cycles, implCopyCycles(8));
+    for (auto v : loadVector(rig.arr, a))
+        EXPECT_EQ(v, 0u);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/** @file Unit tests for slices, the row allocator, and vector I/O. */
+
+#include <gtest/gtest.h>
+
+#include "bitserial/layout.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace nc::bitserial;
+using nc::sram::Array;
+
+TEST(VecSlice, RowsAndSubslices)
+{
+    VecSlice s{10, 8};
+    EXPECT_EQ(s.row(0), 10u);
+    EXPECT_EQ(s.row(7), 17u);
+    VecSlice sub = s.slice(2, 4);
+    EXPECT_EQ(sub.base, 12u);
+    EXPECT_EQ(sub.bits, 4u);
+}
+
+TEST(VecSlice, Overlap)
+{
+    VecSlice a{0, 8}, b{8, 8}, c{4, 8};
+    EXPECT_FALSE(a.overlaps(b));
+    EXPECT_TRUE(a.overlaps(c));
+    EXPECT_TRUE(c.overlaps(b));
+    EXPECT_TRUE(a.overlaps(a));
+}
+
+TEST(RowAllocator, SequentialNonOverlapping)
+{
+    RowAllocator alloc(64);
+    VecSlice a = alloc.alloc(8);
+    VecSlice b = alloc.alloc(16);
+    EXPECT_EQ(a.base, 0u);
+    EXPECT_EQ(b.base, 8u);
+    EXPECT_FALSE(a.overlaps(b));
+    EXPECT_EQ(alloc.used(), 24u);
+    EXPECT_EQ(alloc.remaining(), 40u);
+}
+
+TEST(RowAllocator, ZeroRowFromTopAndStable)
+{
+    RowAllocator alloc(64);
+    unsigned z1 = alloc.zeroRow();
+    unsigned z2 = alloc.zeroRow();
+    EXPECT_EQ(z1, 63u);
+    EXPECT_EQ(z1, z2);
+    EXPECT_EQ(alloc.remaining(), 63u);
+}
+
+TEST(RowAllocator, ResetReclaims)
+{
+    RowAllocator alloc(16);
+    alloc.alloc(10);
+    alloc.zeroRow();
+    alloc.reset();
+    EXPECT_EQ(alloc.used(), 0u);
+    EXPECT_EQ(alloc.remaining(), 16u);
+}
+
+TEST(RowAllocatorDeath, Exhaustion)
+{
+    RowAllocator alloc(8);
+    alloc.alloc(8);
+    EXPECT_EXIT(alloc.alloc(1), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST(VectorIO, StoreLoadRoundTrip)
+{
+    Array arr(32, 16);
+    VecSlice s{0, 8};
+    std::vector<uint64_t> vals{1, 2, 3, 250, 255, 0, 128, 77};
+    storeVector(arr, s, vals);
+
+    auto back = loadVector(arr, s);
+    ASSERT_EQ(back.size(), 16u);
+    for (size_t i = 0; i < vals.size(); ++i)
+        EXPECT_EQ(back[i], vals[i]);
+    for (size_t i = vals.size(); i < 16; ++i)
+        EXPECT_EQ(back[i], 0u);
+}
+
+TEST(VectorIO, TransposedBitPlacement)
+{
+    // Value 0b101 in lane 2: rows base+0 and base+2 hold lane 2 set.
+    Array arr(32, 8);
+    VecSlice s{4, 3};
+    storeVector(arr, s, {0, 0, 0b101});
+    EXPECT_TRUE(arr.peek(4, 2));
+    EXPECT_FALSE(arr.peek(5, 2));
+    EXPECT_TRUE(arr.peek(6, 2));
+}
+
+TEST(VectorIO, LoadLane)
+{
+    Array arr(32, 8);
+    VecSlice s{0, 16};
+    storeVector(arr, s, {0xabcd, 0x1234});
+    EXPECT_EQ(loadLane(arr, s, 0), 0xabcdu);
+    EXPECT_EQ(loadLane(arr, s, 1), 0x1234u);
+}
+
+TEST(VectorIO, NoCyclesCharged)
+{
+    Array arr(32, 8);
+    VecSlice s{0, 8};
+    storeVector(arr, s, {1, 2, 3});
+    loadVector(arr, s);
+    EXPECT_EQ(arr.computeCycles(), 0u);
+    EXPECT_EQ(arr.accessCycles(), 0u);
+}
+
+} // namespace

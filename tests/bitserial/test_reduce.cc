@@ -1,0 +1,176 @@
+/** @file Property tests for lane-tree reductions (paper Figure 5). */
+
+#include <gtest/gtest.h>
+
+#include "bitserial/alu.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace nc::bitserial;
+using nc::sram::Array;
+
+TEST(ReduceSum, FourLaneFigure5Example)
+{
+    Array arr(64, 8);
+    RowAllocator rows(64);
+    VecSlice acc = rows.alloc(6); // 4 data bits + 2 steps of growth
+    VecSlice scratch = rows.alloc(5);
+    storeVector(arr, acc, {1, 2, 3, 4});
+
+    reduceSum(arr, acc, 4, 4, scratch);
+    EXPECT_EQ(loadLane(arr, acc, 0), 10u);
+}
+
+TEST(ReduceSum, SingleLaneIsFree)
+{
+    Array arr(64, 8);
+    RowAllocator rows(64);
+    VecSlice acc = rows.alloc(8);
+    VecSlice scratch = rows.alloc(8);
+    storeVector(arr, acc, {42});
+    uint64_t cycles = reduceSum(arr, acc, 8, 1, scratch);
+    EXPECT_EQ(cycles, 0u);
+    EXPECT_EQ(loadLane(arr, acc, 0), 42u);
+}
+
+TEST(ReduceSum, PairwisePartialSumsAreCorrectEachLevel)
+{
+    Array arr(64, 8);
+    RowAllocator rows(64);
+    VecSlice acc = rows.alloc(11); // 8 data bits + 3 steps of growth
+    VecSlice scratch = rows.alloc(10);
+    storeVector(arr, acc, {10, 20, 30, 40, 50, 60, 70, 80});
+
+    AluConfig cfg;
+    reduceSum(arr, acc, 8, 8, scratch, cfg);
+    EXPECT_EQ(loadLane(arr, acc, 0), 360u);
+}
+
+TEST(ReduceSumDeath, NonPowerOfTwo)
+{
+    Array arr(64, 8);
+    RowAllocator rows(64);
+    VecSlice acc = rows.alloc(8);
+    VecSlice scratch = rows.alloc(8);
+    EXPECT_DEATH(reduceSum(arr, acc, 4, 3, scratch), "power of two");
+}
+
+TEST(ReduceSumDeath, InsufficientHeadroom)
+{
+    Array arr(64, 8);
+    RowAllocator rows(64);
+    VecSlice acc = rows.alloc(8);
+    VecSlice scratch = rows.alloc(16);
+    EXPECT_DEATH(reduceSum(arr, acc, 8, 4, scratch), "headroom");
+}
+
+/** Property sweep across lane counts (the channel dimension). */
+class ReduceProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ReduceProperty, SumsAllLanes)
+{
+    unsigned lanes = GetParam();
+    const unsigned w0 = 8;
+    unsigned steps = nc::log2Ceil(lanes);
+    nc::Rng rng(lanes);
+
+    Array arr(64, 256);
+    RowAllocator rows(64);
+    VecSlice acc = rows.alloc(w0 + steps);
+    VecSlice scratch = rows.alloc(std::max(1u, w0 + steps - 1));
+
+    auto vals = rng.bitVector(lanes, w0);
+    storeVector(arr, acc, vals);
+
+    AluConfig cfg;
+    uint64_t cycles = reduceSum(arr, acc, w0, lanes, scratch, cfg);
+    EXPECT_EQ(cycles,
+              implReduceSumCycles(w0, lanes, cfg.moveCyclesPerRow));
+
+    uint64_t want = 0;
+    for (auto v : vals)
+        want += v;
+    EXPECT_EQ(loadLane(arr, acc, 0), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, ReduceProperty,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128,
+                                           256));
+
+TEST(ReduceSum, GarbageInUpperLanesDoesNotPollute)
+{
+    // Values beyond the reduced lane group must not reach lane 0.
+    Array arr(64, 16);
+    RowAllocator rows(64);
+    VecSlice acc = rows.alloc(10);
+    VecSlice scratch = rows.alloc(9);
+    std::vector<uint64_t> vals(16, 255); // lanes 4.. hold garbage
+    vals[0] = 1;
+    vals[1] = 2;
+    vals[2] = 3;
+    vals[3] = 4;
+    storeVector(arr, acc, vals);
+
+    reduceSum(arr, acc, 8, 4, scratch);
+    EXPECT_EQ(loadLane(arr, acc, 0), 10u);
+}
+
+/** Max/min reductions across lanes. */
+class ReduceMaxProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ReduceMaxProperty, FindsExtremum)
+{
+    unsigned lanes = GetParam();
+    nc::Rng rng(3 * lanes);
+
+    Array arr(64, 256);
+    RowAllocator rows(64);
+    VecSlice data = rows.alloc(8);
+    VecSlice mv = rows.alloc(8), cmp = rows.alloc(8);
+
+    auto vals = rng.bitVector(lanes, 8);
+    storeVector(arr, data, vals);
+
+    AluConfig cfg;
+    uint64_t cycles = reduceMax(arr, data, lanes, mv, cmp, false, cfg);
+    EXPECT_EQ(cycles,
+              implReduceMaxCycles(8, lanes, cfg.moveCyclesPerRow));
+
+    uint64_t want = 0;
+    for (auto v : vals)
+        want = std::max(want, v);
+    EXPECT_EQ(loadLane(arr, data, 0), want);
+}
+
+TEST_P(ReduceMaxProperty, FindsMinimum)
+{
+    unsigned lanes = GetParam();
+    nc::Rng rng(7 * lanes + 1);
+
+    Array arr(64, 256);
+    RowAllocator rows(64);
+    VecSlice data = rows.alloc(8);
+    VecSlice mv = rows.alloc(8), cmp = rows.alloc(8);
+
+    auto vals = rng.bitVector(lanes, 8);
+    storeVector(arr, data, vals);
+
+    reduceMax(arr, data, lanes, mv, cmp, /*take_min=*/true);
+
+    uint64_t want = 255;
+    for (auto v : vals)
+        want = std::min(want, v);
+    EXPECT_EQ(loadLane(arr, data, 0), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, ReduceMaxProperty,
+                         ::testing::Values(2, 4, 8, 32, 128, 256));
+
+} // namespace

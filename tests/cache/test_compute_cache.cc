@@ -1,0 +1,87 @@
+/** @file Tests for the lazy compute-cache container. */
+
+#include <gtest/gtest.h>
+
+#include "cache/compute_cache.hh"
+
+namespace
+{
+
+using nc::cache::ArrayCoord;
+using nc::cache::ComputeCache;
+using nc::cache::Geometry;
+
+TEST(ComputeCache, FlatIndexRoundTrip)
+{
+    ComputeCache cc;
+    const Geometry &g = cc.geometry();
+    for (uint64_t flat :
+         {uint64_t(0), uint64_t(1), uint64_t(319), uint64_t(320),
+          uint64_t(g.totalArrays() - 1)}) {
+        ArrayCoord c = cc.coordOf(flat);
+        EXPECT_EQ(cc.flatIndex(c), flat);
+    }
+}
+
+TEST(ComputeCache, CoordDecomposition)
+{
+    ComputeCache cc;
+    ArrayCoord c = cc.coordOf(320); // first array of slice 1
+    EXPECT_EQ(c.slice, 1u);
+    EXPECT_EQ(c.way, 0u);
+    EXPECT_EQ(c.bank, 0u);
+    EXPECT_EQ(c.array, 0u);
+}
+
+TEST(ComputeCache, LazyMaterialization)
+{
+    ComputeCache cc;
+    EXPECT_EQ(cc.materializedCount(), 0u);
+    ArrayCoord c{0, 1, 2, 3};
+    EXPECT_FALSE(cc.materialized(c));
+    auto &arr = cc.array(c);
+    EXPECT_TRUE(cc.materialized(c));
+    EXPECT_EQ(cc.materializedCount(), 1u);
+    // Same coordinate returns the same array.
+    arr.poke(0, 0, true);
+    EXPECT_TRUE(cc.array(c).peek(0, 0));
+    EXPECT_EQ(cc.materializedCount(), 1u);
+}
+
+TEST(ComputeCache, LockstepIsMaxOverArrays)
+{
+    ComputeCache cc;
+    auto &a0 = cc.array({0, 0, 0, 0});
+    auto &a1 = cc.array({1, 0, 0, 0});
+    a0.opZero(0);
+    a0.opZero(1);
+    a1.opZero(0);
+    EXPECT_EQ(cc.lockstepCycles(), 2u);
+    EXPECT_EQ(cc.totalComputeCycles(), 3u);
+    cc.resetCycles();
+    EXPECT_EQ(cc.lockstepCycles(), 0u);
+}
+
+TEST(ComputeCache, AccessCyclesAggregated)
+{
+    ComputeCache cc;
+    auto &a = cc.array({0, 0, 0, 0});
+    a.readRow(0);
+    a.writeRow(0, nc::sram::BitRow(cc.geometry().arrayCols));
+    EXPECT_EQ(cc.totalAccessCycles(), 2u);
+}
+
+TEST(ComputeCache, RingStopsFollowGeometry)
+{
+    ComputeCache cc(Geometry::scaled60MB());
+    EXPECT_EQ(cc.ring().stops, 24u);
+}
+
+TEST(ComputeCacheDeath, BadCoord)
+{
+    ComputeCache cc;
+    EXPECT_DEATH(cc.flatIndex(ArrayCoord{14, 0, 0, 0}), "coordinate");
+    EXPECT_DEATH(cc.coordOf(uint64_t(4480)), "out of range");
+}
+
+} // namespace

@@ -1,0 +1,69 @@
+/** @file Geometry invariants from the paper (§II-C, §III-A). */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+#include "common/units.hh"
+
+namespace
+{
+
+using nc::cache::Geometry;
+
+TEST(Geometry, XeonE5DerivedCounts)
+{
+    Geometry g = Geometry::xeonE5_35MB();
+    // "The slice has 80 32KB banks organized into 20 ways."
+    EXPECT_EQ(g.waysPerSlice * g.banksPerWay, 80u);
+    // "A 2.5 MB LLC slice has 320 8KB arrays."
+    EXPECT_EQ(g.arraysPerSlice(), 320u);
+    // "Haswell server processor's 35 MB LLC can accommodate 4480
+    // such 8KB arrays."
+    EXPECT_EQ(g.totalArrays(), 4480u);
+    // "up to 1,146,880 elements can be processed in parallel."
+    EXPECT_EQ(g.aluSlots(), 1146880u);
+}
+
+TEST(Geometry, CapacityMatches35MB)
+{
+    Geometry g = Geometry::xeonE5_35MB();
+    EXPECT_EQ(g.arrayBytes(), 8u * 1024u);
+    EXPECT_EQ(g.sliceBytes(), uint64_t(2560) * 1024); // 2.5 MB
+    EXPECT_EQ(g.capacityBytes(), uint64_t(35) * 1024 * 1024);
+}
+
+TEST(Geometry, ReservedWays)
+{
+    Geometry g;
+    // Way-20 serves the CPU, way-19 buffers I/O (paper §IV).
+    EXPECT_EQ(g.computeWays(), 18u);
+    EXPECT_EQ(g.computeArraysPerSlice(), 288u);
+    EXPECT_EQ(g.computeArrays(), 4032u);
+    EXPECT_EQ(g.computeAluSlots(), uint64_t(4032) * 256);
+    // The reserved I/O way is 128 KB per slice.
+    EXPECT_EQ(g.reservedWayBytes(), uint64_t(128) * 1024);
+}
+
+TEST(Geometry, TableIVPresets)
+{
+    Geometry g45 = Geometry::scaled45MB();
+    Geometry g60 = Geometry::scaled60MB();
+    EXPECT_EQ(g45.capacityBytes(), uint64_t(45) * 1024 * 1024);
+    EXPECT_EQ(g60.capacityBytes(), uint64_t(60) * 1024 * 1024);
+    EXPECT_EQ(g45.slices, 18u);
+    EXPECT_EQ(g60.slices, 24u);
+    // Compute resources scale with slices.
+    EXPECT_GT(g45.computeArrays(), Geometry().computeArrays());
+    EXPECT_GT(g60.computeArrays(), g45.computeArrays());
+}
+
+TEST(Geometry, ArrayShape)
+{
+    Geometry g;
+    // "the 8KB SRAM array is composed of 256 word lines and 256 bit
+    // lines."
+    EXPECT_EQ(g.arrayRows, 256u);
+    EXPECT_EQ(g.arrayCols, 256u);
+}
+
+} // namespace

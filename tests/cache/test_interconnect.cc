@@ -1,0 +1,84 @@
+/** @file Tests for the intra-slice bus and ring models. */
+
+#include <gtest/gtest.h>
+
+#include "cache/interconnect.hh"
+
+namespace
+{
+
+using nc::cache::IntraSliceBus;
+using nc::cache::Ring;
+
+TEST(Bus, QuadrantCycles)
+{
+    IntraSliceBus bus;
+    EXPECT_EQ(bus.quadrantCycles(64), 1u);
+    EXPECT_EQ(bus.quadrantCycles(65), 2u);
+    EXPECT_EQ(bus.quadrantCycles(0), 0u);
+}
+
+TEST(Bus, FillWayDistinctData)
+{
+    IntraSliceBus bus;
+    // One 256-bit word line into each array of a way: an array pair
+    // absorbs 2 x 256 bits at 32 b/cycle = 16 cycles; banks parallel.
+    EXPECT_EQ(bus.fillWayCycles(1, 256), 16u);
+    EXPECT_EQ(bus.fillWayCycles(72, 256), 72u * 16u);
+}
+
+TEST(Bus, BankLatchHalvesReplicatedFills)
+{
+    IntraSliceBus bus;
+    EXPECT_EQ(bus.fillWayCycles(1, 256, true), 8u);
+    bus.bankLatch = false;
+    EXPECT_EQ(bus.fillWayCycles(1, 256, true), 16u);
+}
+
+TEST(Bus, StreamTime)
+{
+    IntraSliceBus bus;
+    // 32 bytes = one 256-bit bus beat = 0.4 ns at 2.5 GHz.
+    EXPECT_DOUBLE_EQ(bus.streamPs(32), 400.0);
+    EXPECT_DOUBLE_EQ(bus.streamPs(64), 800.0);
+}
+
+TEST(Bus, FillPsConsistentWithCycles)
+{
+    IntraSliceBus bus;
+    double ps = bus.fillWayPs(10, 256);
+    EXPECT_DOUBLE_EQ(ps, 10 * 16 * 400.0);
+}
+
+TEST(Ring, BroadcastSerializationDominates)
+{
+    Ring ring;
+    // 1 KiB broadcast: 32 flits of 32 B + half-ring tail.
+    double ps = ring.broadcastPs(1024);
+    EXPECT_GT(ps, 32 * 400.0);
+    EXPECT_LT(ps, 32 * 400.0 + 8 * 400.0);
+}
+
+TEST(Ring, TransferScalesWithHops)
+{
+    Ring ring;
+    double near = ring.transferPs(256, 1);
+    double far = ring.transferPs(256, 7);
+    EXPECT_LT(near, far);
+    EXPECT_DOUBLE_EQ(far - near, 6 * 400.0);
+}
+
+TEST(Ring, PerSliceBandwidth)
+{
+    Ring ring;
+    // 32 B / cycle at 2.5 GHz = 80 GB/s.
+    EXPECT_DOUBLE_EQ(ring.perSliceBandwidthBytesPerSec(), 80e9);
+}
+
+TEST(RingDeath, HopsBeyondStops)
+{
+    Ring ring;
+    EXPECT_DEATH(ring.transferPs(64, 15), "hops");
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+/** @file Property tests over interconnect and geometry scaling. */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+#include "cache/interconnect.hh"
+
+namespace
+{
+
+using nc::cache::Geometry;
+using nc::cache::IntraSliceBus;
+using nc::cache::Ring;
+
+class FillSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FillSweep, FillCyclesMonotoneInRows)
+{
+    IntraSliceBus bus;
+    unsigned rows = GetParam();
+    EXPECT_LE(bus.fillWayCycles(rows, 256),
+              bus.fillWayCycles(rows + 1, 256));
+    // The latch never makes things slower.
+    EXPECT_LE(bus.fillWayCycles(rows, 256, true),
+              bus.fillWayCycles(rows, 256, false));
+    // Linear in row bits.
+    EXPECT_EQ(bus.fillWayCycles(rows, 256),
+              rows * bus.fillWayCycles(1, 256));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, FillSweep,
+                         ::testing::Values(1, 8, 24, 72, 128, 255));
+
+TEST(BusProperties, StreamTimeLinear)
+{
+    IntraSliceBus bus;
+    double one = bus.streamPs(3200);
+    double two = bus.streamPs(6400);
+    EXPECT_DOUBLE_EQ(two, 2 * one);
+}
+
+TEST(RingProperties, BroadcastCheaperThanSequentialUnicasts)
+{
+    Ring ring;
+    uint64_t bytes = 4096;
+    double bcast = ring.broadcastPs(bytes);
+    double unicasts = 0;
+    for (unsigned hop = 1; hop <= ring.stops / 2; ++hop)
+        unicasts += ring.transferPs(bytes, hop) * 2; // both directions
+    EXPECT_LT(bcast, unicasts);
+}
+
+class GeometrySweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GeometrySweep, DerivedCountsScaleLinearlyWithSlices)
+{
+    unsigned slices = GetParam();
+    Geometry g;
+    g.slices = slices;
+    EXPECT_EQ(g.totalArrays(), slices * 320u);
+    EXPECT_EQ(g.aluSlots(), uint64_t(slices) * 320 * 256);
+    EXPECT_EQ(g.capacityBytes(), uint64_t(slices) * g.sliceBytes());
+    EXPECT_EQ(g.computeArrays(), slices * 288u);
+    // Reserved ways never exceed the way count.
+    EXPECT_LT(g.reservedWays, g.waysPerSlice);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slices, GeometrySweep,
+                         ::testing::Values(1, 8, 14, 18, 24, 32));
+
+TEST(GeometryProperties, ArrayCountsFactorExactly)
+{
+    Geometry g;
+    EXPECT_EQ(g.arraysPerBank() * g.banksPerWay, g.arraysPerWay());
+    EXPECT_EQ(g.arraysPerWay() * g.waysPerSlice, g.arraysPerSlice());
+    EXPECT_EQ(uint64_t(g.arraysPerSlice()) * g.arrayBytes(),
+              g.sliceBytes());
+}
+
+} // namespace

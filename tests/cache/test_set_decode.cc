@@ -1,0 +1,82 @@
+/** @file Tests for address decoding (§V micro-benchmark substrate). */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cache/set_decode.hh"
+
+namespace
+{
+
+using nc::cache::Geometry;
+using nc::cache::SetDecoder;
+
+TEST(SetDecoder, SetsPerSliceMatchesXeon)
+{
+    // 2.5 MB slice / (20 ways x 64 B lines) = 2048 sets.
+    SetDecoder dec;
+    EXPECT_EQ(dec.setsPerSlice(), 2048u);
+}
+
+TEST(SetDecoder, FieldDecomposition)
+{
+    SetDecoder dec;
+    uint64_t paddr = (uint64_t(5) << 6) | 17;
+    EXPECT_EQ(dec.offsetOf(paddr), 17u);
+    EXPECT_EQ(dec.setOf(paddr), 5u);
+}
+
+TEST(SetDecoder, SliceHashIsDeterministic)
+{
+    SetDecoder dec;
+    for (uint64_t a : {0ull, 64ull, 4096ull, 1ull << 30}) {
+        EXPECT_EQ(dec.sliceOf(a), dec.sliceOf(a));
+        EXPECT_LT(dec.sliceOf(a), 14u);
+    }
+}
+
+TEST(SetDecoder, StreamSpreadsAcrossSlices)
+{
+    // A long sequential stream must not starve any slice (the real
+    // hash's uniformity property, which the bandwidth model assumes).
+    SetDecoder dec;
+    std::map<unsigned, unsigned> hist;
+    const unsigned lines = 14 * 2048;
+    for (unsigned i = 0; i < lines; ++i)
+        ++hist[dec.sliceOf(uint64_t(i) * 64)];
+    for (unsigned s = 0; s < 14; ++s) {
+        EXPECT_GT(hist[s], lines / 14 / 2) << "slice " << s;
+        EXPECT_LT(hist[s], lines / 14 * 2) << "slice " << s;
+    }
+}
+
+TEST(SetDecoder, ComposeAddressRoundTrips)
+{
+    SetDecoder dec;
+    for (unsigned slice : {0u, 3u, 7u, 13u}) {
+        for (unsigned set : {0u, 1u, 1024u, 2047u}) {
+            uint64_t paddr = dec.composeAddress(slice, set);
+            EXPECT_EQ(dec.sliceOf(paddr), slice);
+            EXPECT_EQ(dec.setOf(paddr), set);
+            EXPECT_EQ(dec.offsetOf(paddr), 0u);
+        }
+    }
+}
+
+TEST(SetDecoder, ScaledGeometries)
+{
+    SetDecoder d60{Geometry::scaled60MB()};
+    EXPECT_EQ(d60.setsPerSlice(), 2048u);
+    uint64_t paddr = d60.composeAddress(23, 100);
+    EXPECT_EQ(d60.sliceOf(paddr), 23u);
+}
+
+TEST(SetDecoderDeath, OutOfRange)
+{
+    SetDecoder dec;
+    EXPECT_DEATH(dec.composeAddress(14, 0), "slice");
+    EXPECT_DEATH(dec.composeAddress(0, 2048), "set");
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/** @file Unit tests for common/bits.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace
+{
+
+using namespace nc;
+
+TEST(Bits, BitExtract)
+{
+    EXPECT_TRUE(bit(0b1010u, 1));
+    EXPECT_FALSE(bit(0b1010u, 0));
+    EXPECT_TRUE(bit(uint64_t(1) << 63, 63));
+}
+
+TEST(Bits, SetBit)
+{
+    EXPECT_EQ(setBit(0u, 3, true), 8u);
+    EXPECT_EQ(setBit(0xffu, 0, false), 0xfeu);
+    EXPECT_EQ(setBit(uint64_t(0), 63, true), uint64_t(1) << 63);
+}
+
+TEST(Bits, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(8), 0xffu);
+    EXPECT_EQ(lowMask(64), ~uint64_t(0));
+}
+
+TEST(Bits, Truncate)
+{
+    EXPECT_EQ(truncate(0x1ff, 8), 0xffu);
+    EXPECT_EQ(truncate(0x100, 8), 0u);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(5, 8), 5);
+}
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(256));
+    EXPECT_FALSE(isPow2(255));
+}
+
+TEST(Bits, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(256), 8u);
+    EXPECT_EQ(log2Ceil(257), 9u);
+}
+
+TEST(Bits, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(255), 7u);
+    EXPECT_EQ(log2Floor(256), 8u);
+}
+
+TEST(Bits, RoundUpPow2)
+{
+    EXPECT_EQ(roundUpPow2(1), 1u);
+    EXPECT_EQ(roundUpPow2(3), 4u);
+    EXPECT_EQ(roundUpPow2(48), 64u);
+    EXPECT_EQ(roundUpPow2(2048), 2048u);
+}
+
+TEST(Bits, DivCeilAndRoundUp)
+{
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+    EXPECT_EQ(roundUp(10, 4), 12u);
+    EXPECT_EQ(roundUp(8, 4), 8u);
+}
+
+/** Property sweep: reassembling bits reproduces the value. */
+class BitRoundTrip : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BitRoundTrip, ExtractAndRebuild)
+{
+    uint64_t v = GetParam();
+    uint64_t rebuilt = 0;
+    for (unsigned i = 0; i < 64; ++i)
+        rebuilt = setBit(rebuilt, i, bit(v, i));
+    EXPECT_EQ(rebuilt, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, BitRoundTrip,
+                         ::testing::Values(0u, 1u, 0xdeadbeefu,
+                                           ~uint64_t(0),
+                                           uint64_t(1) << 63,
+                                           0x123456789abcdef0u));
+
+} // namespace

@@ -1,0 +1,55 @@
+/** @file Unit tests for the gem5-style logging helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+TEST(Logging, FormatBasic)
+{
+    EXPECT_EQ(nc::detail::format("x=%d", 42), "x=42");
+    EXPECT_EQ(nc::detail::format("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(nc::detail::format("plain"), "plain");
+}
+
+TEST(Logging, FormatLongString)
+{
+    std::string big(500, 'q');
+    EXPECT_EQ(nc::detail::format("%s", big.c_str()), big);
+}
+
+TEST(Logging, VerboseToggle)
+{
+    bool initial = nc::verbose();
+    nc::setVerbose(false);
+    EXPECT_FALSE(nc::verbose());
+    nc::setVerbose(true);
+    EXPECT_TRUE(nc::verbose());
+    nc::setVerbose(initial);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(nc_panic("boom %d", 1), "boom 1");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(nc_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(LoggingDeath, AssertFires)
+{
+    EXPECT_DEATH(nc_assert(1 == 2, "math broke"), "math broke");
+}
+
+TEST(Logging, AssertPassesQuietly)
+{
+    nc_assert(true, "never shown");
+    SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+/** @file Unit tests for the deterministic RNG wrapper. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace nc;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformBits(32), b.uniformBits(32));
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16 && !any_diff; ++i)
+        any_diff = a.uniformBits(64) != b.uniformBits(64);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformBitsWidth)
+{
+    Rng r(7);
+    for (unsigned w : {1u, 4u, 8u, 16u, 31u, 64u}) {
+        for (int i = 0; i < 100; ++i) {
+            uint64_t v = r.uniformBits(w);
+            if (w < 64)
+                EXPECT_LT(v, uint64_t(1) << w);
+        }
+    }
+    EXPECT_EQ(r.uniformBits(0), 0u);
+}
+
+TEST(Rng, BitVectorShapeAndRange)
+{
+    Rng r(9);
+    auto v = r.bitVector(64, 8);
+    EXPECT_EQ(v.size(), 64u);
+    for (auto x : v)
+        EXPECT_LT(x, 256u);
+}
+
+TEST(Rng, UniformRealRange)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniformReal(0.25, 0.75);
+        EXPECT_GE(v, 0.25);
+        EXPECT_LT(v, 0.75);
+    }
+}
+
+} // namespace

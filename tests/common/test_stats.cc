@@ -1,0 +1,75 @@
+/** @file Unit tests for the stats package. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace nc;
+
+TEST(Stats, ScalarCounts)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 10;
+    EXPECT_EQ(s.value(), 11u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(2.0);
+    EXPECT_EQ(d.samples(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 6.0);
+}
+
+TEST(Stats, DistributionEmpty)
+{
+    Distribution d;
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Stats, GroupDumpSorted)
+{
+    Scalar a, b;
+    a += 5;
+    b += 7;
+    StatGroup g("unit");
+    g.addScalar("zeta", &b);
+    g.addScalar("alpha", &a);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "unit.alpha 5\nunit.zeta 7\n");
+}
+
+TEST(Stats, GroupLookup)
+{
+    Scalar a;
+    a += 3;
+    StatGroup g("grp");
+    g.addScalar("hits", &a);
+    EXPECT_EQ(g.scalarValue("hits"), 3u);
+    EXPECT_EQ(g.scalarValue("missing"), 0u);
+}
+
+TEST(StatsDeath, NullRegistrationPanics)
+{
+    StatGroup g("bad");
+    EXPECT_DEATH(g.addScalar("s", nullptr), "null scalar");
+}
+
+} // namespace

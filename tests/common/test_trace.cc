@@ -1,0 +1,65 @@
+/** @file Tests for the gem5-style debug trace flags. */
+
+#include <gtest/gtest.h>
+
+#include "common/trace.hh"
+
+namespace
+{
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { nc::trace::reset(); }
+    void TearDown() override { nc::trace::reset(); }
+};
+
+TEST_F(TraceTest, DisabledByDefault)
+{
+    EXPECT_FALSE(nc::trace::enabled("Controller"));
+}
+
+TEST_F(TraceTest, EnableDisable)
+{
+    nc::trace::enable("Controller");
+    EXPECT_TRUE(nc::trace::enabled("Controller"));
+    EXPECT_FALSE(nc::trace::enabled("Mapper"));
+    nc::trace::disable("Controller");
+    EXPECT_FALSE(nc::trace::enabled("Controller"));
+}
+
+TEST_F(TraceTest, AllFlagEnablesEverything)
+{
+    nc::trace::enable("All");
+    EXPECT_TRUE(nc::trace::enabled("Controller"));
+    EXPECT_TRUE(nc::trace::enabled("anything-at-all"));
+}
+
+TEST_F(TraceTest, EnvVariableRead)
+{
+    setenv("NC_DEBUG", "Mapper,Executor", 1);
+    nc::trace::reset();
+    EXPECT_TRUE(nc::trace::enabled("Mapper"));
+    EXPECT_TRUE(nc::trace::enabled("Executor"));
+    EXPECT_FALSE(nc::trace::enabled("Controller"));
+    unsetenv("NC_DEBUG");
+    nc::trace::reset();
+    EXPECT_FALSE(nc::trace::enabled("Mapper"));
+}
+
+TEST_F(TraceTest, DprintfGuarded)
+{
+    // Must not emit (and must not evaluate incorrectly) when off.
+    int evaluations = 0;
+    auto probe = [&]() {
+        ++evaluations;
+        return 1;
+    };
+    nc_dprintf("Off", "value %d", probe());
+    EXPECT_EQ(evaluations, 0);
+    nc::trace::enable("On");
+    nc_dprintf("On", "value %d", probe());
+    EXPECT_EQ(evaluations, 1);
+}
+
+} // namespace

@@ -1,0 +1,49 @@
+/** @file Unit tests for physical-unit helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace
+{
+
+using namespace nc;
+
+TEST(Units, ClockPeriod)
+{
+    Clock c{2.5_GHz};
+    EXPECT_DOUBLE_EQ(c.periodPs(), 400.0);
+    EXPECT_DOUBLE_EQ(c.cyclesToPs(10), 4000.0);
+    EXPECT_DOUBLE_EQ(c.cyclesToMs(2.5e9), 1000.0);
+}
+
+TEST(Units, FourGigahertz)
+{
+    Clock c{4.0_GHz};
+    EXPECT_DOUBLE_EQ(c.periodPs(), 250.0);
+}
+
+TEST(Units, SizeLiterals)
+{
+    EXPECT_EQ(8_KiB, 8192u);
+    EXPECT_EQ(1_MiB, 1048576u);
+    EXPECT_EQ(2_GiB, uint64_t(2) << 30);
+    EXPECT_DOUBLE_EQ(bytesToMiB(35 * 1_MiB), 35.0);
+}
+
+TEST(Units, Bandwidth)
+{
+    Bandwidth bw = 10.0_GBps;
+    // 10 GB at 10 GB/s takes one second = 1e12 ps.
+    EXPECT_DOUBLE_EQ(bw.transferPs(10e9), 1e12);
+    EXPECT_DOUBLE_EQ(bw.transferPs(0), 0.0);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(1e12 * picoToSec, 1.0);
+    EXPECT_DOUBLE_EQ(1e9 * picoToMs, 1.0);
+    EXPECT_DOUBLE_EQ(1e12 * pjToJoule, 1.0);
+}
+
+} // namespace

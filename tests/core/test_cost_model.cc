@@ -1,0 +1,159 @@
+/** @file Tests for the per-layer cost model (§VI-A anchors). */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hh"
+#include "dnn/inception_v3.hh"
+
+namespace
+{
+
+using namespace nc::core;
+using nc::cache::Geometry;
+using nc::dnn::conv;
+using nc::dnn::maxPool;
+using nc::dnn::avgPool;
+
+TEST(CostModel, Conv2bCycleAnchor)
+{
+    // §VI-A: "Each convolution takes 2784 cycles (236 cycles/MAC x 9
+    // + 660 reduction cycles) ... taking 0.0479 ms to finish the
+    // convolutions for Neural Cache running at 2.5 GHz."
+    CostModel model(Geometry::xeonE5_35MB());
+    auto op = conv("Conv2D_2b_3x3", 147, 147, 32, 3, 3, 64).conv;
+    auto plan = nc::mapping::planConv(op, model.geometry());
+
+    EXPECT_DOUBLE_EQ(model.macCyclesPerConv(plan), 236.0 * 9);
+    EXPECT_DOUBLE_EQ(model.reduceCyclesPerConv(plan), 660.0);
+
+    StageCost cost = model.convCost(op);
+    double conv_ms =
+        (cost.phases.macPs + cost.phases.reducePs) * nc::picoToMs;
+    EXPECT_NEAR(conv_ms, 0.0479, 0.0005);
+}
+
+TEST(CostModel, AnalyticModeUsesImplFormulas)
+{
+    CostConfig cfg;
+    cfg.mode = ArithMode::Analytic;
+    CostModel model(Geometry::xeonE5_35MB(), cfg);
+    auto op = conv("c", 147, 147, 32, 3, 3, 64).conv;
+    auto plan = nc::mapping::planConv(op, model.geometry());
+
+    EXPECT_DOUBLE_EQ(
+        model.macCyclesPerConv(plan),
+        9.0 * nc::bitserial::implMacScratchCycles(8, 24));
+    EXPECT_DOUBLE_EQ(model.reduceCyclesPerConv(plan),
+                     double(nc::bitserial::implReduceSumCycles(24, 32,
+                                                               2)));
+}
+
+TEST(CostModel, AnalyticFasterThanPaperButSameShape)
+{
+    // Our micro-op schedules are leaner than the paper's calibrated
+    // constants; both modes must order layers identically.
+    CostConfig paper_cfg;
+    CostConfig ana_cfg;
+    ana_cfg.mode = ArithMode::Analytic;
+    CostModel paper(Geometry::xeonE5_35MB(), paper_cfg);
+    CostModel ana(Geometry::xeonE5_35MB(), ana_cfg);
+
+    auto heavy = conv("h", 147, 147, 32, 3, 3, 64).conv;
+    auto light = conv("l", 8, 8, 2048, 1, 1, 320).conv;
+
+    double ph = paper.convCost(heavy).phases.macPs;
+    double pl = paper.convCost(light).phases.macPs;
+    double ah = ana.convCost(heavy).phases.macPs;
+    double al = ana.convCost(light).phases.macPs;
+    EXPECT_LT(ah, ph);
+    EXPECT_LT(al, pl);
+    EXPECT_GT(ph / pl, 1.0);
+    EXPECT_GT(ah / al, 1.0);
+}
+
+TEST(CostModel, InterArrayReductionPenalized)
+{
+    CostConfig cfg;
+    cfg.mode = ArithMode::Analytic;
+    CostModel model(Geometry::xeonE5_35MB(), cfg);
+    auto narrow = conv("n", 17, 17, 512, 7, 1, 192).conv;  // 2 arrays
+    auto wide = conv("w", 17, 17, 768, 7, 1, 192).conv;    // 4 arrays
+    auto pn = nc::mapping::planConv(narrow, model.geometry());
+    auto pw = nc::mapping::planConv(wide, model.geometry());
+    ASSERT_TRUE(pn.fitsSenseAmpPair);
+    ASSERT_FALSE(pw.fitsSenseAmpPair);
+    // Same formula, doubled across-pair penalty for the wide case.
+    EXPECT_GT(model.reduceCyclesPerConv(pw),
+              model.reduceCyclesPerConv(pn));
+}
+
+TEST(CostModel, FilterLoadDominatedByDram)
+{
+    CostModel model(Geometry::xeonE5_35MB());
+    auto op = conv("c", 8, 8, 2048, 1, 1, 2048).conv; // 4 MiB weights
+    StageCost cost = model.convCost(op);
+    double dram_ps = model.dram().transferPs(op.filterBytes());
+    EXPECT_GT(cost.phases.filterLoadPs, dram_ps * 0.99);
+    EXPECT_LT(cost.phases.filterLoadPs, dram_ps * 1.1);
+}
+
+TEST(CostModel, PoolCostTiny)
+{
+    // Figure 14: pooling is 0.04% of inference time.
+    CostModel model(Geometry::xeonE5_35MB());
+    auto pool = maxPool("p", 147, 147, 64, 3, 3, 2).pool;
+    StageCost cost = model.poolCost(pool);
+    EXPECT_LT(cost.phases.poolPs * nc::picoToMs, 0.01);
+    EXPECT_GT(cost.phases.poolPs, 0.0);
+}
+
+TEST(CostModel, AvgPoolPaysDivision)
+{
+    CostModel model(Geometry::xeonE5_35MB());
+    auto avg = avgPool("a", 35, 35, 192, 3, 3, 1).pool; // /9: divide
+    auto avg_pow2 = avgPool("a2", 8, 8, 2048, 8, 8, 1, false).pool;
+    StageCost c1 = model.poolCost(avg);
+    StageCost c2 = model.poolCost(avg_pow2);
+    EXPECT_GT(c1.phases.poolPs, 0.0);
+    EXPECT_GT(c2.phases.poolPs, 0.0);
+}
+
+TEST(CostModel, StageCostSumsBranches)
+{
+    CostModel model(Geometry::xeonE5_35MB());
+    auto net = nc::dnn::inceptionV3();
+    const auto &mixed5b = net.stages[7];
+    ASSERT_EQ(mixed5b.name, "Mixed_5b");
+    StageCost st = model.stageCost(mixed5b);
+
+    double sum = 0;
+    for (const auto &b : mixed5b.branches)
+        for (const auto &op : b.ops)
+            sum += op.isConv()
+                       ? model.convCost(op.conv).totalPs()
+                       : model.poolCost(op.pool).totalPs();
+    EXPECT_NEAR(st.totalPs(), sum, sum * 1e-9);
+}
+
+TEST(CostModel, PhaseBreakdownAddition)
+{
+    PhaseBreakdown a, b;
+    a.macPs = 1;
+    a.quantPs = 2;
+    b.macPs = 10;
+    b.poolPs = 5;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.macPs, 11.0);
+    EXPECT_DOUBLE_EQ(a.quantPs, 2.0);
+    EXPECT_DOUBLE_EQ(a.poolPs, 5.0);
+    EXPECT_DOUBLE_EQ(a.totalPs(), 18.0);
+}
+
+TEST(CostModel, ArithModeNames)
+{
+    EXPECT_STREQ(arithModeName(ArithMode::PaperCalibrated),
+                 "paper-calibrated");
+    EXPECT_STREQ(arithModeName(ArithMode::Analytic), "analytic");
+}
+
+} // namespace

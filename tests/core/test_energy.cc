@@ -1,0 +1,81 @@
+/** @file Tests for the energy/power meter. */
+
+#include <gtest/gtest.h>
+
+#include "core/energy.hh"
+
+namespace
+{
+
+using namespace nc::core;
+
+StageCost
+stageWith(uint64_t compute, uint64_t rows, uint64_t dram, uint64_t wire)
+{
+    StageCost c;
+    c.activeArrayCycles = compute;
+    c.streamedRows = rows;
+    c.dramBytes = dram;
+    c.wireBytes = wire;
+    return c;
+}
+
+TEST(Energy, ComponentsMetered)
+{
+    EnergyConfig cfg;
+    cfg.backgroundPowerW = 0.0;
+    std::vector<StageCost> stages{stageWith(1000000, 0, 0, 0)};
+    EnergyReport rep = meterEnergy(stages, 1e9, cfg);
+    // 1e6 compute cycles x 15.4 pJ = 15.4 uJ.
+    EXPECT_NEAR(rep.computeJ, 15.4e-6, 1e-9);
+    EXPECT_DOUBLE_EQ(rep.accessJ, 0.0);
+    EXPECT_DOUBLE_EQ(rep.totalJ(), rep.computeJ);
+}
+
+TEST(Energy, AccessDramWire)
+{
+    EnergyConfig cfg;
+    cfg.backgroundPowerW = 0.0;
+    std::vector<StageCost> stages{stageWith(0, 1000, 1000, 1000)};
+    EnergyReport rep = meterEnergy(stages, 1e9, cfg);
+    EXPECT_NEAR(rep.accessJ, 1000 * 8.6e-12, 1e-15);
+    EXPECT_NEAR(rep.dramJ, 1000 * cfg.dramPjPerByte * 1e-12, 1e-15);
+    EXPECT_NEAR(rep.wireJ, 1000 * cfg.wirePjPerByte * 1e-12, 1e-15);
+}
+
+TEST(Energy, BackgroundScalesWithTime)
+{
+    EnergyConfig cfg;
+    std::vector<StageCost> stages;
+    // 1 ms at the default background power.
+    EnergyReport rep = meterEnergy(stages, 1e9, cfg);
+    EXPECT_NEAR(rep.backgroundJ, cfg.backgroundPowerW * 1e-3, 1e-9);
+}
+
+TEST(Energy, AveragePower)
+{
+    EnergyReport rep;
+    rep.computeJ = 0.1;
+    rep.backgroundJ = 0.1;
+    EXPECT_DOUBLE_EQ(rep.avgPowerW(2.0), 0.1);
+    EXPECT_DOUBLE_EQ(rep.avgPowerW(0.0), 0.0);
+}
+
+TEST(Energy, MultipleStagesSum)
+{
+    EnergyConfig cfg;
+    cfg.backgroundPowerW = 0.0;
+    std::vector<StageCost> stages{stageWith(100, 0, 0, 0),
+                                  stageWith(200, 0, 0, 0)};
+    EnergyReport rep = meterEnergy(stages, 1.0, cfg);
+    EXPECT_NEAR(rep.computeJ, 300 * 15.4e-12, 1e-15);
+}
+
+TEST(Energy, DefaultsUseHostNodeArrayEnergy)
+{
+    EnergyConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.array.computePj, 15.4);
+    EXPECT_DOUBLE_EQ(cfg.array.accessPj, 8.6);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parameterized functional sweep: the bit-serial executor must match
+ * the reference convolution across a grid of layer shapes (channels,
+ * filter geometry, stride, padding) — the broad-coverage counterpart
+ * of the targeted executor tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/executor.hh"
+
+namespace
+{
+
+using namespace nc;
+
+struct Shape
+{
+    unsigned c, h, w, m, r, s, stride;
+    bool same_pad;
+};
+
+class ExecutorSweep : public ::testing::TestWithParam<Shape>
+{
+};
+
+TEST_P(ExecutorSweep, ConvBitExact)
+{
+    const Shape &sh = GetParam();
+    Rng rng(sh.c * 1000 + sh.r * 100 + sh.m * 10 + sh.stride);
+
+    dnn::QTensor in(sh.c, sh.h, sh.w);
+    for (auto &v : in.data())
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+    dnn::QWeights w(sh.m, sh.c, sh.r, sh.s);
+    for (auto &v : w.data)
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+
+    cache::ComputeCache cc;
+    core::Executor ex(cc);
+    unsigned oh1, ow1, oh2, ow2;
+    auto got = ex.conv(in, w, sh.stride, sh.same_pad, oh1, ow1);
+    auto want =
+        dnn::convQuantUnsigned(in, w, sh.stride, sh.same_pad, oh2,
+                               ow2);
+    ASSERT_EQ(oh1, oh2);
+    ASSERT_EQ(ow1, ow2);
+    ASSERT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ExecutorSweep,
+    ::testing::Values(
+        // channel counts around the pow2 padding boundaries
+        Shape{1, 4, 4, 1, 1, 1, 1, true},
+        Shape{2, 4, 4, 2, 3, 3, 1, true},
+        Shape{3, 5, 5, 2, 3, 3, 1, true},
+        Shape{4, 5, 5, 1, 3, 3, 2, false},
+        Shape{5, 4, 4, 2, 2, 2, 2, false},
+        Shape{9, 4, 4, 1, 3, 3, 1, true},
+        Shape{16, 4, 4, 2, 1, 1, 1, true},
+        Shape{17, 3, 3, 1, 3, 3, 1, false},
+        Shape{32, 3, 3, 2, 1, 3, 1, true},
+        Shape{64, 3, 3, 1, 3, 1, 1, true},
+        // strided + VALID combinations
+        Shape{8, 9, 9, 2, 3, 3, 2, false},
+        Shape{8, 8, 8, 2, 2, 2, 2, false},
+        Shape{8, 7, 9, 1, 3, 3, 2, true},
+        // asymmetric windows (the 1x7/7x1 factorized towers)
+        Shape{12, 5, 7, 2, 1, 5, 1, true},
+        Shape{12, 7, 5, 2, 5, 1, 1, true},
+        // wide but shallow (the FC-as-conv corner)
+        Shape{128, 1, 1, 3, 1, 1, 1, true},
+        Shape{256, 1, 1, 2, 1, 1, 1, true}));
+
+} // namespace

@@ -1,0 +1,163 @@
+/** @file The ISA path must agree with the ALU path and reference. */
+
+#include <gtest/gtest.h>
+#include "bitserial/cost.hh"
+
+#include "common/rng.hh"
+#include "core/executor.hh"
+#include "core/layer_engine.hh"
+
+namespace
+{
+
+using namespace nc;
+
+dnn::QTensor
+randomInput(Rng &rng, unsigned c, unsigned h, unsigned w)
+{
+    dnn::QTensor t(c, h, w);
+    for (auto &v : t.data())
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+    return t;
+}
+
+dnn::QWeights
+randomWeights(Rng &rng, unsigned m, unsigned c, unsigned r, unsigned s)
+{
+    dnn::QWeights w(m, c, r, s);
+    for (auto &v : w.data)
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+    return w;
+}
+
+TEST(LayerEngine, MatchesReferenceExactly)
+{
+    Rng rng(2025);
+    cache::ComputeCache cc;
+    core::LayerEngine engine(cc);
+
+    auto in = randomInput(rng, 8, 6, 6);
+    auto w = randomWeights(rng, 3, 8, 3, 3);
+
+    unsigned oh, ow, rh, rw;
+    auto got = engine.convLayer(in, w, 1, true, oh, ow);
+    auto want = dnn::convQuantUnsigned(in, w, 1, true, rh, rw);
+    ASSERT_EQ(oh, rh);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << i;
+}
+
+TEST(LayerEngine, MatchesDirectAluExecutor)
+{
+    // Two independent functional paths — macro-op broadcast vs direct
+    // ALU calls — must agree bit for bit.
+    Rng rng(2026);
+    auto in = randomInput(rng, 5, 5, 5);
+    auto w = randomWeights(rng, 4, 5, 3, 3);
+
+    cache::ComputeCache cc1, cc2;
+    core::LayerEngine engine(cc1);
+    core::Executor ex(cc2);
+
+    unsigned oh1, ow1, oh2, ow2;
+    auto a = engine.convLayer(in, w, 2, false, oh1, ow1);
+    auto b = ex.conv(in, w, 2, false, oh2, ow2);
+    ASSERT_EQ(oh1, oh2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(LayerEngine, LockstepAcrossTheGroup)
+{
+    Rng rng(2027);
+    cache::ComputeCache cc;
+    core::LayerEngine engine(cc);
+
+    auto in = randomInput(rng, 4, 4, 4);
+    auto w = randomWeights(rng, 6, 4, 3, 3);
+    unsigned oh, ow;
+    engine.convLayer(in, w, 1, true, oh, ow);
+
+    EXPECT_EQ(engine.groupSize(), 6u);
+    EXPECT_EQ(engine.programsIssued(), uint64_t(oh) * ow);
+    // Every array consumed exactly the broadcast cycles: lock-step.
+    EXPECT_EQ(cc.lockstepCycles(), engine.instructionCycles());
+    EXPECT_EQ(cc.totalComputeCycles(),
+              engine.instructionCycles() * 6);
+}
+
+TEST(LayerEngine, InstructionCyclesMatchCostFormulas)
+{
+    Rng rng(2028);
+    cache::ComputeCache cc;
+    core::LayerEngine engine(cc);
+
+    auto in = randomInput(rng, 16, 3, 3);
+    auto w = randomWeights(rng, 1, 16, 3, 3);
+    unsigned oh, ow;
+    engine.convLayer(in, w, 1, false, oh, ow);
+    ASSERT_EQ(oh * ow, 1u);
+
+    unsigned red_bits = 24 + 4;
+    uint64_t expect =
+        bitserial::implCopyCycles(red_bits) + // zero partials
+        9 * bitserial::implMacScratchCycles(8, 24) +
+        bitserial::implReduceSumCycles(24, 16, 2);
+    EXPECT_EQ(engine.instructionCycles(), expect);
+}
+
+TEST(LayerEngine, MaxPoolMatchesReference)
+{
+    Rng rng(2029);
+    cache::ComputeCache cc;
+    core::LayerEngine engine(cc);
+    auto in = randomInput(rng, 6, 6, 6);
+
+    auto got = engine.maxPoolLayer(in, 3, 3, 2);
+    auto want = dnn::maxPoolQuant(in, 3, 3, 2, false);
+    ASSERT_EQ(got.height(), want.height());
+    EXPECT_EQ(got.data(), want.data());
+    EXPECT_GT(engine.instructionCycles(), 0u);
+}
+
+TEST(LayerEngine, ConvThenPoolPipelineThroughIsa)
+{
+    Rng rng(2030);
+    cache::ComputeCache cc;
+    core::LayerEngine engine(cc);
+
+    auto in = randomInput(rng, 4, 6, 6);
+    auto w = randomWeights(rng, 1, 4, 3, 3);
+    unsigned oh, ow;
+    auto acc = engine.convLayer(in, w, 1, true, oh, ow);
+
+    // Requantize on the CPU side (the §IV-D scalar handoff), then
+    // pool the result in-cache again.
+    dnn::QTensor a(1, oh, ow);
+    uint32_t peak = 1;
+    for (auto v : acc)
+        peak = std::max(peak, v);
+    for (size_t i = 0; i < acc.size(); ++i)
+        a.data()[i] =
+            static_cast<uint8_t>(uint64_t(acc[i]) * 255 / peak);
+
+    auto pooled = engine.maxPoolLayer(a, 2, 2, 2);
+    auto want = dnn::maxPoolQuant(a, 2, 2, 2, false);
+    EXPECT_EQ(pooled.data(), want.data());
+}
+
+TEST(LayerEngine, OneByOneConvSmallest)
+{
+    cache::ComputeCache cc;
+    core::LayerEngine engine(cc);
+    dnn::QTensor in(1, 1, 1);
+    in.at(0, 0, 0) = 7;
+    dnn::QWeights w(1, 1, 1, 1);
+    w.at(0, 0, 0, 0) = 6;
+    unsigned oh, ow;
+    auto out = engine.convLayer(in, w, 1, true, oh, ow);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 42u);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/** @file Validates the Inception v3 graph against the paper's Table I. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "dnn/inception_v3.hh"
+
+namespace
+{
+
+using namespace nc::dnn;
+
+class InceptionTable : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        net = new Network(inceptionV3());
+        table = new std::vector<Table1Row>(paperTable1());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete net;
+        delete table;
+        net = nullptr;
+        table = nullptr;
+    }
+
+    static Network *net;
+    static std::vector<Table1Row> *table;
+};
+
+Network *InceptionTable::net = nullptr;
+std::vector<Table1Row> *InceptionTable::table = nullptr;
+
+TEST_F(InceptionTable, TwentyStages)
+{
+    EXPECT_EQ(net->stages.size(), 20u);
+    EXPECT_EQ(table->size(), 20u);
+    for (size_t i = 0; i < table->size(); ++i)
+        EXPECT_EQ(net->stages[i].name, (*table)[i].name) << i;
+}
+
+TEST_F(InceptionTable, NinetyFourConvSubLayers)
+{
+    // "the state-of-art Inception v3 model which has 94 convolutional
+    // sub-layers" (§II-A).
+    unsigned convs = 0;
+    unsigned fcs = 0;
+    for (const auto &st : net->stages)
+        for (const auto &b : st.branches)
+            for (const auto &op : b.ops) {
+                convs += op.kind == OpKind::Conv;
+                fcs += op.kind == OpKind::FullyConnected;
+            }
+    EXPECT_EQ(convs, 94u);
+    EXPECT_EQ(fcs, 1u); // the FC head executes as a 95th conv
+}
+
+TEST_F(InceptionTable, ConvCountsMatchTableI)
+{
+    for (size_t i = 0; i < table->size(); ++i) {
+        const auto &row = (*table)[i];
+        const auto &st = net->stages[i];
+        if (row.convsTypo) {
+            // Mixed_6e: the paper repeats 6c/6d's count; the 192-wide
+            // structure (whose filter size the same row *does* use)
+            // gives 554880.
+            EXPECT_EQ(st.convCount(), 554880u) << row.name;
+            EXPECT_NE(st.convCount(), row.convs) << row.name;
+        } else {
+            EXPECT_EQ(st.convCount(), row.convs) << row.name;
+        }
+    }
+}
+
+TEST_F(InceptionTable, FilterSizesMatchTableI)
+{
+    for (size_t i = 0; i < table->size(); ++i) {
+        const auto &row = (*table)[i];
+        const auto &st = net->stages[i];
+        double mib = nc::bytesToMiB(st.filterBytes());
+        if (row.filterTypo) {
+            // Mixed_6a's published 0.255 MB cannot hold its own
+            // 995,328-parameter 384-filter reduction conv, and
+            // Mixed_6e's 1.898 omits one of the four 1x1 towers.
+            EXPECT_GT(mib, row.filterMiB) << row.name;
+        } else {
+            EXPECT_NEAR(mib, row.filterMiB, 0.001) << row.name;
+        }
+    }
+}
+
+TEST_F(InceptionTable, InputSizesMatchTableI)
+{
+    for (size_t i = 0; i < table->size(); ++i) {
+        const auto &row = (*table)[i];
+        const auto &st = net->stages[i];
+        EXPECT_NEAR(nc::bytesToMiB(st.inputBytes()), row.inputMiB,
+                    0.001)
+            << row.name;
+    }
+}
+
+TEST_F(InceptionTable, FeatureMapHeightsMatchTableI)
+{
+    for (size_t i = 0; i < table->size(); ++i) {
+        const auto &row = (*table)[i];
+        const auto &st = net->stages[i];
+        EXPECT_EQ(st.inputHeight(), row.h) << row.name;
+        EXPECT_EQ(st.outputHeight(), row.e) << row.name;
+    }
+}
+
+TEST_F(InceptionTable, StageOutputsChainToNextStageInputs)
+{
+    // Channel/count bookkeeping: each stage's concatenated output is
+    // exactly the next stage's per-branch input.
+    for (size_t i = 0; i + 1 < net->stages.size(); ++i) {
+        const auto &cur = net->stages[i];
+        const auto &next = net->stages[i + 1];
+        uint64_t next_input_per_branch =
+            next.inputBytes() / next.branches.size();
+        EXPECT_EQ(cur.outputBytes(), next_input_per_branch)
+            << cur.name << " -> " << next.name;
+    }
+}
+
+TEST_F(InceptionTable, FilterRangeColumn)
+{
+    // "The filter sizes (RxS) range from 1-25 bytes in Inception v3.
+    // The common case is a 3x3 filter."
+    unsigned max_rs = 0;
+    for (const auto &st : net->stages)
+        max_rs = std::max(max_rs, st.maxFilterRS());
+    EXPECT_EQ(max_rs, 25u);
+    // The 35x35 towers carry the 5x5s.
+    EXPECT_EQ(net->stages[7].maxFilterRS(), 25u);  // Mixed_5b
+    EXPECT_EQ(net->stages[11].maxFilterRS(), 7u);  // Mixed_6b: 1x7/7x1
+}
+
+TEST_F(InceptionTable, TotalWeightsAroundTwentyThreeMiB)
+{
+    double mib = nc::bytesToMiB(net->filterBytes());
+    EXPECT_GT(mib, 22.0);
+    EXPECT_LT(mib, 24.5);
+}
+
+TEST_F(InceptionTable, KnownTypoFlagsAreExactlyTwo)
+{
+    unsigned typos = 0;
+    for (const auto &row : *table)
+        typos += row.convsTypo + row.filterTypo;
+    EXPECT_EQ(typos, 3u);
+}
+
+} // namespace

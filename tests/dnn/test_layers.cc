@@ -1,0 +1,129 @@
+/** @file Tests for layer descriptors and shape inference. */
+
+#include <gtest/gtest.h>
+
+#include "dnn/layers.hh"
+
+namespace
+{
+
+using namespace nc::dnn;
+
+TEST(OutDim, SameAndValid)
+{
+    EXPECT_EQ(outDim(299, 3, 2, false), 149u);
+    EXPECT_EQ(outDim(149, 3, 1, false), 147u);
+    EXPECT_EQ(outDim(147, 3, 1, true), 147u);
+    EXPECT_EQ(outDim(35, 3, 2, false), 17u);
+    EXPECT_EQ(outDim(35, 1, 1, true), 35u);
+    EXPECT_EQ(outDim(17, 3, 2, false), 8u);
+}
+
+TEST(ConvOpShape, CountsMatchHandComputation)
+{
+    Op op = conv("c", 147, 147, 32, 3, 3, 64, 1, true);
+    const ConvOp &c = op.conv;
+    EXPECT_EQ(c.outH(), 147u);
+    EXPECT_EQ(c.convCount(), uint64_t(147) * 147 * 64);
+    EXPECT_EQ(c.macsPerConv(), 9u * 32);
+    EXPECT_EQ(c.filterBytes(), uint64_t(9) * 32 * 64);
+    EXPECT_EQ(c.inputBytes(), uint64_t(147) * 147 * 32);
+    EXPECT_EQ(c.outputBytes(), uint64_t(147) * 147 * 64);
+    EXPECT_EQ(c.flops(), 2 * c.convCount() * c.macsPerConv());
+}
+
+TEST(ConvOpShape, AsymmetricFilters)
+{
+    Op op = conv("c", 17, 17, 128, 1, 7, 192);
+    EXPECT_EQ(op.conv.outH(), 17u);
+    EXPECT_EQ(op.conv.outW(), 17u);
+    EXPECT_EQ(op.conv.filterBytes(), uint64_t(7) * 128 * 192);
+}
+
+TEST(FullyConnectedAsConv, OneByOne)
+{
+    Op op = fullyConnected("fc", 2048, 1001);
+    EXPECT_EQ(op.kind, OpKind::FullyConnected);
+    EXPECT_TRUE(op.isConv());
+    EXPECT_EQ(op.conv.convCount(), 1001u);
+    EXPECT_EQ(op.conv.filterBytes(), uint64_t(2048) * 1001);
+}
+
+TEST(PoolOpShape, Windows)
+{
+    Op op = maxPool("p", 147, 147, 64, 3, 3, 2);
+    EXPECT_EQ(op.kind, OpKind::MaxPool);
+    EXPECT_EQ(op.pool.outH(), 73u);
+    EXPECT_EQ(op.pool.windowCount(), uint64_t(73) * 73 * 64);
+    EXPECT_EQ(op.inputBytes(), uint64_t(147) * 147 * 64);
+}
+
+TEST(StageAggregates, SingleOp)
+{
+    Stage st = singleOpStage("s", conv("c", 35, 35, 192, 1, 1, 64));
+    EXPECT_EQ(st.convCount(), uint64_t(35) * 35 * 64);
+    EXPECT_EQ(st.inputHeight(), 35u);
+    EXPECT_EQ(st.outputHeight(), 35u);
+    EXPECT_EQ(st.minFilterRS(), 1u);
+    EXPECT_EQ(st.maxFilterRS(), 1u);
+    EXPECT_FALSE(st.isPoolOnly());
+}
+
+TEST(StageAggregates, PoolOnly)
+{
+    Stage st =
+        singleOpStage("p", maxPool("p", 147, 147, 64, 3, 3, 2));
+    EXPECT_TRUE(st.isPoolOnly());
+    EXPECT_EQ(st.convCount(), 0u);
+    EXPECT_EQ(st.filterBytes(), 0u);
+}
+
+TEST(StageAggregates, MultiBranchInputCountsStageInputPerBranch)
+{
+    Stage st;
+    st.name = "mixed";
+    st.branches.push_back(
+        Branch{"b0", {conv("a", 35, 35, 192, 1, 1, 64)}});
+    st.branches.push_back(
+        Branch{"b1",
+               {conv("b", 35, 35, 192, 1, 1, 48),
+                conv("c", 35, 35, 48, 5, 5, 64)}});
+    // Input column: stage input once per branch.
+    EXPECT_EQ(st.inputBytes(), 2u * 35 * 35 * 192);
+    // Activation bytes additionally count the 48-channel intermediate.
+    EXPECT_EQ(st.activationBytes(),
+              2u * 35 * 35 * 192 + uint64_t(35) * 35 * 48);
+    // Output: concat of branch outputs.
+    EXPECT_EQ(st.outputBytes(), uint64_t(35) * 35 * (64 + 64));
+    EXPECT_EQ(st.maxFilterRS(), 25u);
+}
+
+TEST(NetworkAggregates, SumsStages)
+{
+    Network net;
+    net.stages.push_back(
+        singleOpStage("a", conv("a", 8, 8, 16, 3, 3, 32)));
+    net.stages.push_back(
+        singleOpStage("b", conv("b", 8, 8, 32, 1, 1, 8)));
+    EXPECT_EQ(net.convCount(),
+              net.stages[0].convCount() + net.stages[1].convCount());
+    EXPECT_EQ(net.filterBytes(),
+              net.stages[0].filterBytes() + net.stages[1].filterBytes());
+    EXPECT_GT(net.macs(), 0u);
+    EXPECT_EQ(net.flops(), 2 * net.macs());
+}
+
+TEST(OpKindNames, Strings)
+{
+    EXPECT_STREQ(opKindName(OpKind::Conv), "conv");
+    EXPECT_STREQ(opKindName(OpKind::MaxPool), "maxpool");
+    EXPECT_STREQ(opKindName(OpKind::AvgPool), "avgpool");
+    EXPECT_STREQ(opKindName(OpKind::FullyConnected), "fc");
+}
+
+TEST(OutDimDeath, ValidWindowTooLarge)
+{
+    EXPECT_DEATH(outDim(2, 3, 1, false), "window");
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/** @file Structural checks for the AlexNet / VGG-16 workloads. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "dnn/models_extra.hh"
+
+namespace
+{
+
+using namespace nc::dnn;
+
+TEST(AlexNet, Shape)
+{
+    Network net = alexNet();
+    EXPECT_EQ(net.stages.size(), 11u);
+    // conv1 VALID on 227 with 11x11/4 -> 55.
+    EXPECT_EQ(net.stages[0].outputHeight(), 55u);
+    // pool5 leaves 6x6x256 = 9216 for fc6.
+    EXPECT_EQ(net.stages[7].outputHeight(), 6u);
+    EXPECT_EQ(net.stages[7].outputBytes(), uint64_t(6) * 6 * 256);
+}
+
+TEST(AlexNet, MacCountNearPublished)
+{
+    // AlexNet's single-tower conv MACs are ~1.07 G; with the three FC
+    // layers ~1.13 G total (weights ~60.9 M params).
+    Network net = alexNet();
+    double gmacs = static_cast<double>(net.macs()) * 1e-9;
+    EXPECT_GT(gmacs, 0.9);
+    EXPECT_LT(gmacs, 1.3);
+    double params = static_cast<double>(net.filterBytes()) * 1e-6;
+    EXPECT_NEAR(params, 60.9, 3.0);
+}
+
+TEST(Vgg16, Shape)
+{
+    Network net = vgg16();
+    // 13 convs + 5 pools + 3 FCs = 21 stages.
+    EXPECT_EQ(net.stages.size(), 21u);
+    unsigned convs = 0, pools = 0, fcs = 0;
+    for (const auto &st : net.stages)
+        for (const auto &b : st.branches)
+            for (const auto &op : b.ops) {
+                convs += op.kind == OpKind::Conv;
+                pools += op.kind == OpKind::MaxPool;
+                fcs += op.kind == OpKind::FullyConnected;
+            }
+    EXPECT_EQ(convs, 13u);
+    EXPECT_EQ(pools, 5u);
+    EXPECT_EQ(fcs, 3u);
+}
+
+TEST(Vgg16, MacsAndParamsNearPublished)
+{
+    // VGG-16: ~15.5 GMACs of convolution (~15.3G) + 0.12G FC, and
+    // ~138 M parameters.
+    Network net = vgg16();
+    double gmacs = static_cast<double>(net.macs()) * 1e-9;
+    EXPECT_NEAR(gmacs, 15.5, 1.0);
+    double params = static_cast<double>(net.filterBytes()) * 1e-6;
+    EXPECT_NEAR(params, 138.3, 3.0);
+}
+
+TEST(Vgg16, SpatialChain)
+{
+    Network net = vgg16();
+    // 224 -> 112 -> 56 -> 28 -> 14 -> 7 through the five pools.
+    EXPECT_EQ(net.stages[2].outputHeight(), 112u);  // block1_pool
+    EXPECT_EQ(net.stages[5].outputHeight(), 56u);   // block2_pool
+    EXPECT_EQ(net.stages[9].outputHeight(), 28u);   // block3_pool
+    EXPECT_EQ(net.stages[13].outputHeight(), 14u);  // block4_pool
+    EXPECT_EQ(net.stages[17].outputHeight(), 7u);   // block5_pool
+}
+
+TEST(ResNet18, Shape)
+{
+    Network net = resNet18();
+    // conv1 + pool1 + 8 blocks + avgpool + fc.
+    EXPECT_EQ(net.stages.size(), 12u);
+    unsigned convs = 0, adds = 0, projs = 0;
+    for (const auto &st : net.stages)
+        for (const auto &b : st.branches)
+            for (const auto &op : b.ops) {
+                convs += op.kind == OpKind::Conv;
+                adds += op.kind == OpKind::EltwiseAdd;
+                projs += b.shortcut && op.kind == OpKind::Conv;
+            }
+    EXPECT_EQ(convs, 20u); // 1 stem + 16 block convs + 3 projections
+    EXPECT_EQ(adds, 8u);
+    EXPECT_EQ(projs, 3u);
+}
+
+TEST(ResNet18, MacsAndParamsNearPublished)
+{
+    // ResNet-18: ~1.82 GMACs, ~11.7 M parameters.
+    Network net = resNet18();
+    double gmacs = static_cast<double>(net.macs()) * 1e-9;
+    EXPECT_NEAR(gmacs, 1.82, 0.25);
+    double params = static_cast<double>(net.filterBytes()) * 1e-6;
+    EXPECT_NEAR(params, 11.7, 1.5);
+}
+
+TEST(ResNet18, ShortcutBranchesDoNotConcat)
+{
+    Network net = resNet18();
+    // layer2_0 downsamples 56 -> 28 with a projection; the block
+    // output is the eltwise result only (28x28x128), not a concat.
+    const Stage &blk = net.stages[4];
+    EXPECT_EQ(blk.name, "layer2_0");
+    ASSERT_EQ(blk.branches.size(), 2u);
+    EXPECT_TRUE(blk.branches[1].shortcut);
+    EXPECT_EQ(blk.outputBytes(), uint64_t(28) * 28 * 128);
+    EXPECT_EQ(blk.outputHeight(), 28u);
+}
+
+TEST(ResNet18, EltwiseOpBytes)
+{
+    Op op = eltwiseAdd("add", 7, 7, 512);
+    EXPECT_EQ(op.kind, OpKind::EltwiseAdd);
+    EXPECT_EQ(op.inputBytes(), 2u * 7 * 7 * 512);
+    EXPECT_EQ(op.outputBytes(), uint64_t(7) * 7 * 512);
+    EXPECT_STREQ(opKindName(op.kind), "eltwise-add");
+}
+
+TEST(ModelsExtra, StagesChain)
+{
+    for (const Network &net : {alexNet(), vgg16()}) {
+        for (size_t i = 0; i + 1 < net.stages.size(); ++i) {
+            // FC stages flatten spatial dims; compare byte counts.
+            uint64_t out = net.stages[i].outputBytes();
+            uint64_t in = net.stages[i + 1].inputBytes();
+            EXPECT_EQ(out, in)
+                << net.name << ": " << net.stages[i].name << " -> "
+                << net.stages[i + 1].name;
+        }
+    }
+}
+
+} // namespace

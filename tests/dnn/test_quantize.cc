@@ -1,0 +1,97 @@
+/** @file Tests for TF-style 8-bit quantization. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dnn/quantize.hh"
+
+namespace
+{
+
+using namespace nc::dnn;
+
+TEST(QuantParams, ScaleAndZeroPoint)
+{
+    QuantParams qp = QuantParams::fromRange(-1.0f, 1.0f);
+    // The zero-point nudge stretches min slightly, so the scale moves
+    // by at most one part in 255.
+    EXPECT_NEAR(qp.scale(), 2.0f / 255.0f, 2.0f / 255.0f / 128.0f);
+    // Zero is exactly representable after nudging.
+    uint8_t z = qp.quantize(0.0f);
+    EXPECT_NEAR(qp.dequantize(z), 0.0f, 1e-7);
+}
+
+TEST(QuantParams, RoundTripWithinHalfStep)
+{
+    QuantParams qp = QuantParams::fromRange(-3.0f, 5.0f);
+    nc::Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        float x = static_cast<float>(rng.uniformReal(-3.0, 5.0));
+        float back = qp.dequantize(qp.quantize(x));
+        EXPECT_NEAR(back, x, qp.scale() / 2 + 1e-6);
+    }
+}
+
+TEST(QuantParams, SaturatesOutOfRange)
+{
+    QuantParams qp = QuantParams::fromRange(0.0f, 1.0f);
+    EXPECT_EQ(qp.quantize(-5.0f), 0);
+    EXPECT_EQ(qp.quantize(9.0f), 255);
+}
+
+TEST(QuantParams, AllPositiveRangeStillCoversZero)
+{
+    QuantParams qp = QuantParams::fromRange(0.5f, 2.0f);
+    EXPECT_LE(qp.minVal, 0.0f);
+    EXPECT_EQ(qp.quantize(0.0f), qp.zeroPoint());
+}
+
+TEST(QuantParams, DegenerateRangeHandled)
+{
+    QuantParams qp = QuantParams::fromRange(0.0f, 0.0f);
+    EXPECT_GT(qp.scale(), 0.0f);
+}
+
+TEST(QuantizeMultiplier, NormalizedRepresentation)
+{
+    int32_t mult;
+    int shift;
+    for (double m : {0.0009765, 0.25, 0.5, 0.75, 0.99, 1.5, 7.3}) {
+        quantizeMultiplier(m, mult, shift);
+        EXPECT_GE(mult, int32_t(1) << 30);
+        EXPECT_LT(int64_t(mult), int64_t(1) << 31);
+        double back = double(mult) * std::pow(2.0, -shift);
+        EXPECT_NEAR(back, m, m * 1e-6);
+    }
+}
+
+TEST(Requantize, MatchesFloatPath)
+{
+    // acc * real_multiplier + zero == requantize(acc, mult, shift, z)
+    double real = 0.0478;
+    int32_t mult;
+    int shift;
+    quantizeMultiplier(real, mult, shift);
+    nc::Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        auto acc = static_cast<int32_t>(rng.uniformInt(-40000, 40000));
+        auto want = static_cast<int64_t>(
+            std::lround(acc * real) + 7);
+        want = std::clamp<int64_t>(want, 0, 255);
+        uint8_t got = requantize(acc, mult, shift, 7);
+        EXPECT_NEAR(got, want, 1) << "acc=" << acc;
+    }
+}
+
+TEST(Requantize, Clamps)
+{
+    int32_t mult;
+    int shift;
+    quantizeMultiplier(1.0, mult, shift);
+    EXPECT_EQ(requantize(1 << 20, mult, shift, 0), 255);
+    EXPECT_EQ(requantize(-5, mult, shift, 0), 0);
+}
+
+} // namespace

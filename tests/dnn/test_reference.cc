@@ -1,0 +1,176 @@
+/** @file Tests for the reference executors. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dnn/reference.hh"
+
+namespace
+{
+
+using namespace nc::dnn;
+
+TEST(ConvFloat, IdentityKernel)
+{
+    Tensor in(1, 3, 3);
+    for (unsigned i = 0; i < 9; ++i)
+        in.data()[i] = static_cast<float>(i);
+    Weights w(1, 1, 1, 1);
+    w.at(0, 0, 0, 0) = 1.0f;
+    Tensor out = convFloat(in, w, 1, true);
+    ASSERT_EQ(out.size(), in.size());
+    for (unsigned i = 0; i < 9; ++i)
+        EXPECT_FLOAT_EQ(out.data()[i], in.data()[i]);
+}
+
+TEST(ConvFloat, SumKernelWithSamePadding)
+{
+    Tensor in(1, 3, 3);
+    for (auto &v : in.data())
+        v = 1.0f;
+    Weights w(1, 1, 3, 3);
+    for (auto &v : w.data)
+        v = 1.0f;
+    Tensor out = convFloat(in, w, 1, true);
+    // Centre sees all 9; corners see 4.
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 9.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1), 6.0f);
+}
+
+TEST(ConvFloat, ValidStride2Shape)
+{
+    Tensor in(3, 9, 9);
+    Weights w(4, 3, 3, 3);
+    Tensor out = convFloat(in, w, 2, false);
+    EXPECT_EQ(out.channels(), 4u);
+    EXPECT_EQ(out.height(), 4u);
+    EXPECT_EQ(out.width(), 4u);
+}
+
+TEST(ConvFloat, ChannelAccumulation)
+{
+    Tensor in(2, 1, 1);
+    in.at(0, 0, 0) = 2.0f;
+    in.at(1, 0, 0) = 3.0f;
+    Weights w(1, 2, 1, 1);
+    w.at(0, 0, 0, 0) = 10.0f;
+    w.at(0, 1, 0, 0) = 100.0f;
+    Tensor out = convFloat(in, w, 1, true);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 320.0f);
+}
+
+TEST(MaxPoolFloat, Basic)
+{
+    Tensor in(1, 4, 4);
+    for (unsigned i = 0; i < 16; ++i)
+        in.data()[i] = static_cast<float>(i);
+    Tensor out = maxPoolFloat(in, 2, 2, 2, false);
+    EXPECT_EQ(out.height(), 2u);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 15.0f);
+}
+
+TEST(AvgPoolFloat, CountsOnlyValidPixels)
+{
+    Tensor in(1, 3, 3);
+    for (auto &v : in.data())
+        v = 6.0f;
+    Tensor out = avgPoolFloat(in, 3, 3, 1, true);
+    // Every window averages 6s, regardless of padding membership.
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 6.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 6.0f);
+}
+
+TEST(ReluFloat, Clamps)
+{
+    Tensor in(1, 1, 3);
+    in.at(0, 0, 0) = -1.0f;
+    in.at(0, 0, 1) = 0.0f;
+    in.at(0, 0, 2) = 2.0f;
+    Tensor out = reluFloat(in);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 2), 2.0f);
+}
+
+TEST(ConvQuant, TracksFloatWithinQuantError)
+{
+    nc::Rng rng(21);
+    Tensor in(4, 6, 6);
+    for (auto &v : in.data())
+        v = static_cast<float>(rng.uniformReal(0.0, 1.0));
+    Weights w(3, 4, 3, 3);
+    for (auto &v : w.data)
+        v = static_cast<float>(rng.uniformReal(-0.5, 0.5));
+
+    QuantParams qi = QuantParams::fromRange(0.0f, 1.0f);
+    QuantParams qw = QuantParams::fromRange(-0.5f, 0.5f);
+    QTensor qin = QTensor::fromFloat(in, qi);
+    QWeights qwts(3, 4, 3, 3, qw);
+    for (unsigned mi = 0; mi < 3; ++mi)
+        for (unsigned ci = 0; ci < 4; ++ci)
+            for (unsigned ri = 0; ri < 3; ++ri)
+                for (unsigned si = 0; si < 3; ++si)
+                    qwts.at(mi, ci, ri, si) =
+                        qw.quantize(w.at(mi, ci, ri, si));
+
+    Tensor fout = convFloat(in, w, 1, false);
+    unsigned oh, ow;
+    auto acc = convQuant(qin, qwts, 1, false, oh, ow);
+    ASSERT_EQ(oh, fout.height());
+    ASSERT_EQ(ow, fout.width());
+
+    double s = double(qi.scale()) * qw.scale();
+    for (unsigned mi = 0; mi < 3; ++mi)
+        for (unsigned y = 0; y < oh; ++y)
+            for (unsigned x = 0; x < ow; ++x) {
+                double deq =
+                    s * acc[(size_t(mi) * oh + y) * ow + x];
+                // 36 products, each within half a step per operand.
+                EXPECT_NEAR(deq, fout.at(mi, y, x), 0.15)
+                    << mi << "," << y << "," << x;
+            }
+}
+
+TEST(ConvQuantUnsigned, MatchesDirectSum)
+{
+    QTensor in(2, 3, 3);
+    QWeights w(1, 2, 2, 2);
+    nc::Rng rng(3);
+    for (auto &v : in.data())
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+    for (auto &v : w.data)
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+
+    unsigned oh, ow;
+    auto acc = convQuantUnsigned(in, w, 1, false, oh, ow);
+    ASSERT_EQ(oh, 2u);
+    ASSERT_EQ(ow, 2u);
+
+    uint32_t want = 0;
+    for (unsigned ci = 0; ci < 2; ++ci)
+        for (unsigned ri = 0; ri < 2; ++ri)
+            for (unsigned si = 0; si < 2; ++si)
+                want += uint32_t(in.at(ci, ri, si)) *
+                        w.at(0, ci, ri, si);
+    EXPECT_EQ(acc[0], want);
+}
+
+TEST(MaxPoolQuant, MatchesFloatPath)
+{
+    nc::Rng rng(17);
+    QTensor in(3, 5, 5, QuantParams::fromRange(0.0f, 1.0f));
+    for (auto &v : in.data())
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+    QTensor out = maxPoolQuant(in, 3, 3, 2, false);
+    EXPECT_EQ(out.height(), 2u);
+    for (unsigned c = 0; c < 3; ++c) {
+        uint8_t want = 0;
+        for (unsigned y = 0; y < 3; ++y)
+            for (unsigned x = 0; x < 3; ++x)
+                want = std::max(want, in.at(c, y, x));
+        EXPECT_EQ(out.at(c, 0, 0), want);
+    }
+}
+
+} // namespace

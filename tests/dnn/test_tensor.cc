@@ -1,0 +1,65 @@
+/** @file Tests for float and quantized tensors. */
+
+#include <gtest/gtest.h>
+
+#include "dnn/tensor.hh"
+
+namespace
+{
+
+using namespace nc::dnn;
+
+TEST(Tensor, ShapeAndIndexing)
+{
+    Tensor t(3, 4, 5);
+    EXPECT_EQ(t.channels(), 3u);
+    EXPECT_EQ(t.height(), 4u);
+    EXPECT_EQ(t.width(), 5u);
+    EXPECT_EQ(t.size(), 60u);
+    t.at(2, 3, 4) = 1.5f;
+    EXPECT_FLOAT_EQ(t.at(2, 3, 4), 1.5f);
+    // CHW layout: last element of the buffer.
+    EXPECT_FLOAT_EQ(t.data().back(), 1.5f);
+}
+
+TEST(Tensor, MinMax)
+{
+    Tensor t(1, 2, 2);
+    t.at(0, 0, 0) = -2.0f;
+    t.at(0, 1, 1) = 7.0f;
+    EXPECT_FLOAT_EQ(t.minValue(), -2.0f);
+    EXPECT_FLOAT_EQ(t.maxValue(), 7.0f);
+}
+
+TEST(Tensor, EmptyMinMax)
+{
+    Tensor t;
+    EXPECT_FLOAT_EQ(t.minValue(), 0.0f);
+    EXPECT_FLOAT_EQ(t.maxValue(), 0.0f);
+}
+
+TEST(QTensorTest, FromFloatRoundTrip)
+{
+    Tensor t(1, 2, 2);
+    t.at(0, 0, 0) = 0.0f;
+    t.at(0, 0, 1) = 0.5f;
+    t.at(0, 1, 0) = 1.0f;
+    t.at(0, 1, 1) = 0.25f;
+
+    QuantParams qp = QuantParams::fromRange(0.0f, 1.0f);
+    QTensor q = QTensor::fromFloat(t, qp);
+    Tensor back = q.toFloat();
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_NEAR(back.data()[i], t.data()[i], qp.scale() / 2);
+}
+
+TEST(QTensorTest, StoresParams)
+{
+    QuantParams qp = QuantParams::fromRange(-1.0f, 3.0f);
+    QTensor q(2, 2, 2, qp);
+    EXPECT_FLOAT_EQ(q.params().maxVal, 3.0f);
+    q.at(1, 1, 1) = 77;
+    EXPECT_EQ(q.at(1, 1, 1), 77);
+}
+
+} // namespace

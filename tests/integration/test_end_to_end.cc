@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end integration: a small quantized CNN executes entirely
+ * through bit-serial array operations (conv -> relu-equivalent
+ * requantize -> maxpool -> conv) and matches the reference pipeline
+ * exactly; timing and mapping come from the same public API the
+ * benches use. This mirrors the paper's trace-matching verification
+ * of its cycle-accurate simulator (§V).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/executor.hh"
+#include "core/neural_cache.hh"
+#include "dnn/inception_v3.hh"
+
+namespace
+{
+
+using namespace nc;
+
+dnn::QTensor
+randomInput(Rng &rng, unsigned c, unsigned h, unsigned w)
+{
+    dnn::QTensor t(c, h, w, dnn::QuantParams::fromRange(0.f, 1.f));
+    for (auto &v : t.data())
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+    return t;
+}
+
+dnn::QWeights
+randomWeights(Rng &rng, unsigned m, unsigned c, unsigned r, unsigned s)
+{
+    dnn::QWeights w(m, c, r, s,
+                    dnn::QuantParams::fromRange(-0.5f, 0.5f));
+    for (auto &v : w.data)
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+    return w;
+}
+
+/** Requantize raw accumulators back to uint8 via the shared helper. */
+dnn::QTensor
+requantizeAcc(const std::vector<uint32_t> &acc, unsigned m, unsigned oh,
+              unsigned ow)
+{
+    uint32_t peak = 1;
+    for (auto a : acc)
+        peak = std::max(peak, a);
+    int32_t mult;
+    int shift;
+    dnn::quantizeMultiplier(255.0 / peak, mult, shift);
+
+    dnn::QTensor out(m, oh, ow);
+    for (unsigned mi = 0; mi < m; ++mi)
+        for (unsigned y = 0; y < oh; ++y)
+            for (unsigned x = 0; x < ow; ++x) {
+                auto a = static_cast<int32_t>(
+                    acc[(size_t(mi) * oh + y) * ow + x]);
+                out.at(mi, y, x) = dnn::requantize(a, mult, shift, 0);
+            }
+    return out;
+}
+
+TEST(EndToEnd, TwoLayerCnnBitExactAgainstReference)
+{
+    Rng rng(2024);
+    cache::ComputeCache cc;
+    core::Executor ex(cc);
+
+    // Layer 1: 3x3 conv, 6 -> 4 channels, SAME.
+    dnn::QTensor img = randomInput(rng, 6, 8, 8);
+    dnn::QWeights w1 = randomWeights(rng, 4, 6, 3, 3);
+
+    unsigned oh, ow, rh, rw;
+    auto acc_hw = ex.conv(img, w1, 1, true, oh, ow);
+    auto acc_ref = dnn::convQuantUnsigned(img, w1, 1, true, rh, rw);
+    ASSERT_EQ(acc_hw, acc_ref);
+
+    // Requantize both identically (CPU-side scalars, paper §IV-D).
+    dnn::QTensor a1 = requantizeAcc(acc_hw, 4, oh, ow);
+
+    // Layer 2: 2x2/2 max pool, executed in-cache vs reference.
+    auto p_hw = ex.maxPool(a1, 2, 2, 2, false);
+    auto p_ref = dnn::maxPoolQuant(a1, 2, 2, 2, false);
+    ASSERT_EQ(p_hw.data(), p_ref.data());
+
+    // Layer 3: 1x1 conv squeeze to 2 channels.
+    dnn::QWeights w2 = randomWeights(rng, 2, 4, 1, 1);
+    unsigned oh2, ow2, rh2, rw2;
+    auto out_hw = ex.conv(p_hw, w2, 1, true, oh2, ow2);
+    auto out_ref =
+        dnn::convQuantUnsigned(p_ref, w2, 1, true, rh2, rw2);
+    ASSERT_EQ(out_hw, out_ref);
+
+    // The whole pipeline really ran in the arrays.
+    EXPECT_GT(ex.lockstepCycles(), 0u);
+    EXPECT_GT(cc.materializedCount(), 0u);
+}
+
+TEST(EndToEnd, TimingAndFunctionModelsAgreeOnMacCost)
+{
+    // The analytic cost model's per-conv MAC cycles must equal what
+    // the functional executor actually spends on one window's MACs.
+    Rng rng(7);
+    cache::ComputeCache cc;
+    core::Executor ex(cc);
+
+    dnn::QTensor img = randomInput(rng, 16, 3, 3);
+    dnn::QWeights w = randomWeights(rng, 1, 16, 3, 3);
+    unsigned oh, ow;
+    ex.conv(img, w, 1, false, oh, ow); // single 3x3 window
+    ASSERT_EQ(oh * ow, 1u);
+
+    core::CostConfig cfg;
+    cfg.mode = core::ArithMode::Analytic;
+    core::CostModel model(cc.geometry(), cfg);
+    auto op = dnn::conv("probe", 3, 3, 16, 3, 3, 1, 1, false).conv;
+    auto plan = mapping::planConv(op, cc.geometry());
+
+    uint64_t mac_cycles = 9 * bitserial::implMacScratchCycles(8, 24);
+    EXPECT_DOUBLE_EQ(model.macCyclesPerConv(plan),
+                     double(mac_cycles));
+    // Executor adds zeroing + reduction on top of the MACs.
+    EXPECT_GT(ex.lockstepCycles(), mac_cycles);
+}
+
+TEST(EndToEnd, WholeStackRunsOnInceptionStem)
+{
+    // Run the first real Inception layer shape (scaled down spatially
+    // to keep the functional simulation fast) through the executor
+    // and the timing model.
+    Rng rng(31);
+    cache::ComputeCache cc;
+    core::Executor ex(cc);
+
+    dnn::QTensor img = randomInput(rng, 3, 9, 9);
+    dnn::QWeights w = randomWeights(rng, 8, 3, 3, 3);
+    unsigned oh, ow, rh, rw;
+    auto got = ex.conv(img, w, 2, false, oh, ow);
+    auto want = dnn::convQuantUnsigned(img, w, 2, false, rh, rw);
+    ASSERT_EQ(got, want);
+
+    core::NeuralCache sim;
+    auto rep = sim.infer(dnn::inceptionV3());
+    EXPECT_GT(rep.latencyMs(), 1.0);
+    EXPECT_LT(rep.latencyMs(), 20.0);
+}
+
+} // namespace

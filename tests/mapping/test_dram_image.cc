@@ -1,0 +1,103 @@
+/** @file Tests for the preprocessed weight DRAM image (§IV-C). */
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mapping/weight_layout.hh"
+
+namespace
+{
+
+using namespace nc::mapping;
+using nc::cache::Geometry;
+using nc::dnn::conv;
+using nc::dnn::QWeights;
+
+QWeights
+randomWeights(nc::Rng &rng, unsigned m, unsigned c, unsigned r,
+              unsigned s)
+{
+    QWeights w(m, c, r, s);
+    for (auto &v : w.data)
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+    return w;
+}
+
+TEST(DramImage, PlacementsCarryEveryElementOnce)
+{
+    Geometry g = Geometry::xeonE5_35MB();
+    auto op = conv("c", 16, 16, 8, 3, 3, 4).conv;
+    WeightLayout wl(op, planConv(op, g), g);
+
+    auto placed = wl.placements();
+    ASSERT_EQ(placed.size(), size_t(4) * 8 * 9);
+    std::set<std::tuple<unsigned, unsigned, unsigned>> seen;
+    for (const auto &p : placed)
+        EXPECT_TRUE(seen.insert({p.m, p.c, p.k}).second);
+}
+
+TEST(DramImage, BytesFollowStreamingOrder)
+{
+    nc::Rng rng(88);
+    Geometry g = Geometry::xeonE5_35MB();
+    auto op = conv("c", 16, 16, 8, 3, 3, 4).conv;
+    WeightLayout wl(op, planConv(op, g), g);
+    QWeights w = randomWeights(rng, 4, 8, 3, 3);
+
+    auto image = wl.dramImage(w);
+    auto placed = wl.placements();
+    ASSERT_EQ(image.size(), placed.size());
+    for (size_t i = 0; i < image.size(); ++i) {
+        const auto &p = placed[i];
+        EXPECT_EQ(image[i], w.at(p.m, p.c, p.k / 3, p.k % 3))
+            << "position " << i;
+    }
+}
+
+TEST(DramImage, WordLinesFillSequentiallyWithinAnArray)
+{
+    // A linear DRAM burst must touch an array's word lines in
+    // non-decreasing order — the property that makes one-pass filter
+    // loading possible.
+    Geometry g = Geometry::xeonE5_35MB();
+    auto op = conv("c", 35, 35, 48, 5, 5, 8).conv; // split filters
+    WeightLayout wl(op, planConv(op, g), g);
+    auto placed = wl.placements();
+
+    std::map<std::tuple<unsigned, unsigned, unsigned>, unsigned>
+        last_row;
+    for (const auto &p : placed) {
+        auto arr = std::tuple(p.home.coord.way, p.home.coord.bank,
+                              p.home.coord.array);
+        auto it = last_row.find(arr);
+        if (it != last_row.end())
+            EXPECT_GE(p.home.row, it->second);
+        last_row[arr] = p.home.row;
+    }
+}
+
+TEST(DramImage, PackedPointwiseImageSizeMatchesParams)
+{
+    nc::Rng rng(89);
+    Geometry g = Geometry::xeonE5_35MB();
+    auto op = conv("c", 8, 8, 64, 1, 1, 16).conv; // packs 16x
+    WeightLayout wl(op, planConv(op, g), g);
+    QWeights w = randomWeights(rng, 16, 64, 1, 1);
+    auto image = wl.dramImage(w);
+    EXPECT_EQ(image.size(), size_t(16) * 64);
+}
+
+TEST(DramImageDeath, MismatchedWeights)
+{
+    Geometry g = Geometry::xeonE5_35MB();
+    auto op = conv("c", 16, 16, 8, 3, 3, 4).conv;
+    WeightLayout wl(op, planConv(op, g), g);
+    QWeights wrong(4, 8, 3, 2);
+    EXPECT_DEATH(wl.dramImage(wrong), "does not match");
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+/** @file Tests for filter packing and splitting (paper §IV-A). */
+
+#include <gtest/gtest.h>
+
+#include "dnn/layers.hh"
+#include "mapping/filter_transform.hh"
+
+namespace
+{
+
+using namespace nc::mapping;
+using nc::dnn::conv;
+
+TEST(FilterTransform, Plain3x3Unchanged)
+{
+    auto op = conv("c", 147, 147, 32, 3, 3, 64).conv;
+    FilterTransform ft = transformFilter(op);
+    EXPECT_EQ(ft.rs, 9u);
+    EXPECT_EQ(ft.splitFactor, 1u);
+    EXPECT_EQ(ft.packFactor, 1u);
+    EXPECT_EQ(ft.effRS, 9u);
+    EXPECT_EQ(ft.effChannels, 32u);
+    EXPECT_EQ(ft.paddedChannels, 32u);
+}
+
+TEST(FilterTransform, FiveByFiveSplits)
+{
+    // "The filters are split across bitlines when their size exceeds
+    // 9 bytes": 5x5 = 25 -> 3 bit lines of <= 9 bytes.
+    auto op = conv("c", 35, 35, 48, 5, 5, 64).conv;
+    FilterTransform ft = transformFilter(op);
+    EXPECT_EQ(ft.splitFactor, 3u);
+    EXPECT_EQ(ft.effRS, 9u);
+    EXPECT_EQ(ft.effChannels, 144u);
+    EXPECT_EQ(ft.paddedChannels, 256u);
+}
+
+TEST(FilterTransform, PointwisePacks16)
+{
+    // "Instead of putting a single byte of the filter, we can instead
+    // put 16 bytes of the filter."
+    auto op = conv("c", 73, 73, 64, 1, 1, 80).conv;
+    FilterTransform ft = transformFilter(op);
+    EXPECT_EQ(ft.packFactor, 16u);
+    EXPECT_EQ(ft.effRS, 16u);
+    EXPECT_EQ(ft.effChannels, 4u);
+    EXPECT_EQ(ft.paddedChannels, 4u);
+}
+
+TEST(FilterTransform, PackingGuaranteesSenseAmpFit)
+{
+    // "by packing all channels in the network it is guaranteed to fit
+    // within 2 arrays that share sense-amps": the widest pointwise
+    // layer (2048 channels) packs down to 128 lanes.
+    auto op = conv("c", 8, 8, 2048, 1, 1, 320).conv;
+    FilterTransform ft = transformFilter(op);
+    EXPECT_EQ(ft.effChannels, 128u);
+    EXPECT_LE(ft.paddedChannels, 2u * 256u);
+}
+
+TEST(FilterTransform, SmallChannelPointwiseLimitsPack)
+{
+    auto op = conv("c", 35, 35, 3, 1, 1, 8).conv;
+    FilterTransform ft = transformFilter(op);
+    EXPECT_EQ(ft.packFactor, 3u);
+    EXPECT_EQ(ft.effChannels, 1u);
+}
+
+TEST(FilterTransform, SevenTapRowsNeitherPackNorSplit)
+{
+    auto op = conv("c", 17, 17, 768, 1, 7, 192).conv;
+    FilterTransform ft = transformFilter(op);
+    EXPECT_EQ(ft.effRS, 7u);
+    EXPECT_EQ(ft.effChannels, 768u);
+    EXPECT_EQ(ft.paddedChannels, 1024u);
+}
+
+TEST(FilterTransform, ChannelsPadToPow2)
+{
+    // "This channel number is then rounded up to the nearest power of
+    // 2, by padding the extra channels with zero."
+    auto op = conv("c", 35, 35, 48, 3, 3, 64).conv;
+    FilterTransform ft = transformFilter(op);
+    EXPECT_EQ(ft.effChannels, 48u);
+    EXPECT_EQ(ft.paddedChannels, 64u);
+}
+
+TEST(FilterTransform, RowBudgets)
+{
+    auto op = conv("c", 147, 147, 32, 3, 3, 64).conv;
+    FilterTransform ft = transformFilter(op);
+    // RxSx8 word lines each for filters and inputs (Figure 10).
+    EXPECT_EQ(ft.filterRows(8), 72u);
+    EXPECT_EQ(ft.inputRows(8), 72u);
+
+    auto packed = conv("c", 8, 8, 2048, 1, 1, 320).conv;
+    FilterTransform pft = transformFilter(packed);
+    // "Since 1x1 has no input reuse, we only need one input byte at a
+    // time."
+    EXPECT_EQ(pft.filterRows(8), 128u);
+    EXPECT_EQ(pft.inputRows(8), 8u);
+}
+
+TEST(FilterTransform, CustomLimits)
+{
+    TransformLimits lim;
+    lim.maxFilterBytes = 25;
+    auto op = conv("c", 35, 35, 48, 5, 5, 64).conv;
+    FilterTransform ft = transformFilter(op, lim);
+    EXPECT_EQ(ft.splitFactor, 1u);
+    EXPECT_EQ(ft.effRS, 25u);
+
+    lim.packTarget = 1; // packing disabled
+    auto pw = conv("c", 8, 8, 2048, 1, 1, 320).conv;
+    FilterTransform pft = transformFilter(pw, lim);
+    EXPECT_EQ(pft.packFactor, 1u);
+    EXPECT_EQ(pft.effChannels, 2048u);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/** @file Tests for conv/pool mapping plans, incl. the §VI-A anchor. */
+
+#include <gtest/gtest.h>
+
+#include "dnn/inception_v3.hh"
+#include "mapping/plan.hh"
+
+namespace
+{
+
+using namespace nc::mapping;
+using nc::cache::Geometry;
+using nc::dnn::conv;
+using nc::dnn::maxPool;
+
+TEST(ConvPlan, PaperConv2bAnchor)
+{
+    // §VI-A: "This layer computes ~1.4 million convolutions, out of
+    // which Neural Cache executes ~32 thousand convolutions in
+    // parallel and 43 in series ... 99.7% utilization".
+    auto op = conv("Conv2D_2b_3x3", 147, 147, 32, 3, 3, 64).conv;
+    ConvPlan plan = planConv(op, Geometry::xeonE5_35MB());
+
+    EXPECT_EQ(op.convCount(), 1382976u);
+    EXPECT_EQ(plan.lanesPerConv, 32u);
+    EXPECT_EQ(plan.convsPerArray, 8u);
+    EXPECT_EQ(plan.parallelConvs, 32256u); // ~32 thousand
+    EXPECT_EQ(plan.serialPasses, 43u);
+    EXPECT_NEAR(plan.utilization, 0.997, 0.001);
+}
+
+TEST(ConvPlan, Figure9ExampleTwoMsPerArray)
+{
+    // Figure 9's example layer: 3x3, C=128, M=32 -> an array packs two
+    // complete filters (M5 and M6 share an array).
+    auto op = conv("fig9", 32, 32, 128, 3, 3, 32).conv;
+    ConvPlan plan = planConv(op, Geometry::xeonE5_35MB());
+    EXPECT_EQ(plan.lanesPerConv, 128u);
+    EXPECT_EQ(plan.convsPerArray, 2u);
+    EXPECT_TRUE(plan.fitsSenseAmpPair);
+}
+
+TEST(ConvPlan, WideChannelsSpanArrays)
+{
+    auto op = conv("c", 17, 17, 768, 7, 1, 192).conv;
+    ConvPlan plan = planConv(op, Geometry::xeonE5_35MB());
+    EXPECT_EQ(plan.lanesPerConv, 1024u);
+    EXPECT_EQ(plan.arraysPerConv, 4u);
+    EXPECT_EQ(plan.convsPerArray, 0u);
+    EXPECT_FALSE(plan.fitsSenseAmpPair);
+    EXPECT_EQ(plan.parallelConvs, 4032u / 4u);
+}
+
+TEST(ConvPlan, RowLayoutFitsFigure10Budget)
+{
+    auto op = conv("c", 147, 147, 32, 3, 3, 64).conv;
+    ConvPlan plan = planConv(op, Geometry::xeonE5_35MB());
+    EXPECT_EQ(plan.filterRows, 72u);
+    EXPECT_EQ(plan.inputRows, 72u);
+    RowBudget budget;
+    EXPECT_EQ(budget.overhead(), 16u + 24u + 32u + 1u);
+    EXPECT_EQ(plan.freeRows, 256u - 72 - 72 - budget.overhead());
+}
+
+TEST(ConvPlan, InputReuseThreeByThreeStrideOne)
+{
+    // "in a 3x3 convolution with a stride of 1, 6 of the 9 bytes are
+    // reused across each set of input loads."
+    auto op = conv("c", 147, 147, 32, 3, 3, 64).conv;
+    ConvPlan plan = planConv(op, Geometry::xeonE5_35MB());
+    EXPECT_EQ(plan.newInputBytesPerWindow, 3u);
+}
+
+TEST(ConvPlan, NoReuseForStride2OrPacked)
+{
+    auto s2 = conv("c", 35, 35, 288, 3, 3, 384, 2, false).conv;
+    ConvPlan p2 = planConv(s2, Geometry::xeonE5_35MB());
+    EXPECT_EQ(p2.newInputBytesPerWindow, 6u); // only r x (s-u) reused
+    auto s3 = conv("c", 35, 35, 288, 3, 3, 384, 3, false).conv;
+    ConvPlan p3 = planConv(s3, Geometry::xeonE5_35MB());
+    EXPECT_EQ(p3.newInputBytesPerWindow, 9u);
+    auto packed = conv("c", 8, 8, 2048, 1, 1, 320).conv;
+    ConvPlan pp = planConv(packed, Geometry::xeonE5_35MB());
+    EXPECT_EQ(pp.newInputBytesPerWindow, pp.ft.effRS);
+}
+
+TEST(ConvPlan, UtilizationNeverExceedsOne)
+{
+    auto net = nc::dnn::inceptionV3();
+    Geometry g = Geometry::xeonE5_35MB();
+    for (const auto &st : net.stages)
+        for (const auto &b : st.branches)
+            for (const auto &op : b.ops)
+                if (op.isConv()) {
+                    ConvPlan plan = planConv(op.conv, g);
+                    EXPECT_LE(plan.utilization, 1.0) << op.name();
+                    EXPECT_GT(plan.utilization, 0.0) << op.name();
+                    EXPECT_GE(plan.serialPasses, 1u) << op.name();
+                    EXPECT_EQ(plan.serialPasses * plan.parallelConvs >=
+                                  op.conv.convCount(),
+                              true)
+                        << op.name();
+                }
+}
+
+TEST(ConvPlan, EveryInceptionLayerFitsTheRowBudget)
+{
+    // planConv() fatals if the Figure 10 layout overflows 256 word
+    // lines; walking the whole model proves the mapping is feasible.
+    auto net = nc::dnn::inceptionV3();
+    Geometry g = Geometry::xeonE5_35MB();
+    unsigned planned = 0;
+    for (const auto &st : net.stages)
+        for (const auto &b : st.branches)
+            for (const auto &op : b.ops)
+                if (op.isConv()) {
+                    planConv(op.conv, g);
+                    ++planned;
+                }
+    EXPECT_EQ(planned, 95u); // 94 conv sub-layers + the FC-as-conv
+}
+
+TEST(ConvPlan, MoreSlicesMeanFewerPasses)
+{
+    auto op = conv("c", 147, 147, 32, 3, 3, 64).conv;
+    ConvPlan p35 = planConv(op, Geometry::xeonE5_35MB());
+    ConvPlan p60 = planConv(op, Geometry::scaled60MB());
+    EXPECT_LT(p60.serialPasses, p35.serialPasses);
+}
+
+TEST(ConvPlan, OutputsPartitionAcrossSlices)
+{
+    auto op = conv("c", 147, 147, 32, 3, 3, 64).conv;
+    ConvPlan plan = planConv(op, Geometry::xeonE5_35MB());
+    EXPECT_EQ(plan.outputsPerSlice,
+              (op.convCount() + 13) / 14);
+}
+
+TEST(PoolPlan, WindowsAndPasses)
+{
+    auto op = maxPool("p", 147, 147, 64, 3, 3, 2).pool;
+    PoolPlan plan = planPool(op, Geometry::xeonE5_35MB());
+    EXPECT_EQ(plan.windows, uint64_t(73) * 73 * 64);
+    EXPECT_EQ(plan.windowSize, 9u);
+    EXPECT_EQ(plan.inputRows, 72u);
+    EXPECT_EQ(plan.parallelWindows, uint64_t(4032) * 256);
+    EXPECT_EQ(plan.serialPasses, 1u);
+    EXPECT_GT(plan.utilization, 0.0);
+}
+
+TEST(PoolPlan, LargePoolStillOnePass)
+{
+    auto op = maxPool("p", 71, 71, 192, 3, 3, 2).pool;
+    PoolPlan plan = planPool(op, Geometry::xeonE5_35MB());
+    EXPECT_EQ(plan.serialPasses, 1u);
+}
+
+} // namespace

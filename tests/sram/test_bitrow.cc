@@ -1,0 +1,147 @@
+/** @file Unit tests for sram::BitRow. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sram/bitrow.hh"
+
+namespace
+{
+
+using nc::sram::BitRow;
+
+TEST(BitRow, ConstructZeroed)
+{
+    BitRow r(256);
+    EXPECT_EQ(r.width(), 256u);
+    EXPECT_EQ(r.popcount(), 0u);
+}
+
+TEST(BitRow, ConstructFilled)
+{
+    BitRow r(100, true);
+    EXPECT_EQ(r.popcount(), 100u);
+}
+
+TEST(BitRow, GetSet)
+{
+    BitRow r(70);
+    r.set(0, true);
+    r.set(69, true);
+    EXPECT_TRUE(r.get(0));
+    EXPECT_TRUE(r.get(69));
+    EXPECT_FALSE(r.get(35));
+    r.set(0, false);
+    EXPECT_FALSE(r.get(0));
+    EXPECT_EQ(r.popcount(), 1u);
+}
+
+TEST(BitRow, FillMasksTail)
+{
+    BitRow r(65);
+    r.fill(true);
+    EXPECT_EQ(r.popcount(), 65u);
+    r.fill(false);
+    EXPECT_EQ(r.popcount(), 0u);
+}
+
+TEST(BitRow, LogicOps)
+{
+    BitRow a(8), b(8);
+    a.set(0, true);
+    a.set(1, true);
+    b.set(1, true);
+    b.set(2, true);
+
+    BitRow andv = a & b;
+    BitRow orv = a | b;
+    BitRow xorv = a ^ b;
+    EXPECT_TRUE(andv.get(1));
+    EXPECT_EQ(andv.popcount(), 1u);
+    EXPECT_EQ(orv.popcount(), 3u);
+    EXPECT_TRUE(xorv.get(0));
+    EXPECT_TRUE(xorv.get(2));
+    EXPECT_FALSE(xorv.get(1));
+}
+
+TEST(BitRow, NotMasksTail)
+{
+    BitRow a(65);
+    BitRow n = ~a;
+    EXPECT_EQ(n.popcount(), 65u); // tail bits beyond width stay 0
+}
+
+TEST(BitRow, Equality)
+{
+    BitRow a(16), b(16), c(17);
+    EXPECT_TRUE(a == b);
+    a.set(3, true);
+    EXPECT_FALSE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(BitRow, ShiftedDown)
+{
+    BitRow a(8);
+    a.set(4, true);
+    a.set(7, true);
+    BitRow s = a.shiftedDown(4);
+    EXPECT_TRUE(s.get(0));
+    EXPECT_TRUE(s.get(3));
+    EXPECT_EQ(s.popcount(), 2u);
+    // Vacated high lanes read zero.
+    EXPECT_FALSE(s.get(4));
+}
+
+TEST(BitRow, ShiftedDownBeyondWidth)
+{
+    BitRow a(8, true);
+    EXPECT_EQ(a.shiftedDown(8).popcount(), 0u);
+}
+
+TEST(BitRow, MergeFrom)
+{
+    BitRow dst(8), src(8, true), mask(8);
+    mask.set(2, true);
+    mask.set(5, true);
+    dst.mergeFrom(src, mask);
+    EXPECT_EQ(dst.popcount(), 2u);
+    EXPECT_TRUE(dst.get(2));
+    EXPECT_TRUE(dst.get(5));
+}
+
+TEST(BitRowDeath, OutOfRange)
+{
+    BitRow r(8);
+    EXPECT_DEATH(r.get(8), "lane");
+    EXPECT_DEATH(r.set(100, true), "lane");
+}
+
+TEST(BitRowDeath, WidthMismatch)
+{
+    BitRow a(8), b(9);
+    EXPECT_DEATH(a & b, "width mismatch");
+}
+
+/** Property: De Morgan holds lane-wise on random rows. */
+class BitRowProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitRowProperty, DeMorgan)
+{
+    unsigned width = GetParam();
+    nc::Rng rng(width);
+    BitRow a(width), b(width);
+    for (unsigned i = 0; i < width; ++i) {
+        a.set(i, rng.uniformBits(1));
+        b.set(i, rng.uniformBits(1));
+    }
+    EXPECT_TRUE((~(a & b)) == (~a | ~b));
+    EXPECT_TRUE((~(a | b)) == (~a & ~b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitRowProperty,
+                         ::testing::Values(1, 7, 63, 64, 65, 128, 256));
+
+} // namespace

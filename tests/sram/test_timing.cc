@@ -1,0 +1,54 @@
+/** @file Checks the SPICE-derived timing/energy/area tables (§V). */
+
+#include <gtest/gtest.h>
+
+#include "sram/timing.hh"
+
+namespace
+{
+
+using namespace nc::sram;
+
+TEST(Timing, PaperClockDomains)
+{
+    TimingParams t;
+    EXPECT_DOUBLE_EQ(t.computeClock.freqHz, 2.5e9);
+    EXPECT_DOUBLE_EQ(t.accessClock.freqHz, 4.0e9);
+}
+
+TEST(Timing, ComputeSlowdownMatchesPaper)
+{
+    // Paper: 1022 ps compute vs 654 ps read, "about 1.6x".
+    TimingParams t;
+    EXPECT_NEAR(t.computeSlowdown(), 1.6, 0.05);
+}
+
+TEST(Timing, EnergyScaling28To22)
+{
+    EnergyParams e28 = EnergyParams::node28nm();
+    EnergyParams e22 = EnergyParams::node22nm();
+    EXPECT_DOUBLE_EQ(e28.accessPj, 13.9);
+    EXPECT_DOUBLE_EQ(e28.computePj, 25.7);
+    EXPECT_DOUBLE_EQ(e22.accessPj, 8.6);
+    EXPECT_DOUBLE_EQ(e22.computePj, 15.4);
+    // Scaling shrinks both, by a similar factor.
+    EXPECT_LT(e22.accessPj, e28.accessPj);
+    EXPECT_LT(e22.computePj, e28.computePj);
+}
+
+TEST(Timing, DefaultEnergyIsHostNode)
+{
+    EnergyParams e;
+    EXPECT_DOUBLE_EQ(e.accessPj, EnergyParams::node22nm().accessPj);
+}
+
+TEST(Timing, AreaOverheadsMatchPaper)
+{
+    AreaParams a;
+    EXPECT_DOUBLE_EQ(a.peripheralOverhead, 0.075); // 7.5% per array
+    EXPECT_LE(a.dieOverhead, 0.02);                // <2% of the die
+    EXPECT_DOUBLE_EQ(a.tmuAreaMm2, 0.019);
+    EXPECT_DOUBLE_EQ(a.computeLogicUm, 7.0);
+}
+
+} // namespace

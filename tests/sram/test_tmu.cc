@@ -1,0 +1,113 @@
+/** @file Unit tests for the Transpose Memory Unit. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sram/tmu.hh"
+
+namespace
+{
+
+using nc::sram::BitRow;
+using nc::sram::TransposeUnit;
+
+TEST(Tmu, RegularRoundTrip)
+{
+    TransposeUnit tmu(16, 8);
+    tmu.writeRegular(3, 0xa5);
+    EXPECT_EQ(tmu.readRegular(3), 0xa5u);
+}
+
+TEST(Tmu, TwoAxisAccessTransposes)
+{
+    TransposeUnit tmu(8, 8);
+    // Element i = 1 << i: column j then holds exactly bit of elem j.
+    for (unsigned i = 0; i < 8; ++i)
+        tmu.writeRegular(i, uint64_t(1) << i);
+    for (unsigned c = 0; c < 8; ++c) {
+        BitRow slice = tmu.readTransposed(c);
+        EXPECT_EQ(slice.popcount(), 1u);
+        EXPECT_TRUE(slice.get(c));
+    }
+}
+
+TEST(Tmu, TransposedWriteReadBack)
+{
+    TransposeUnit tmu(8, 8);
+    BitRow slice(8);
+    slice.set(1, true);
+    slice.set(6, true);
+    tmu.writeTransposed(5, slice);
+    EXPECT_TRUE(tmu.readTransposed(5) == slice);
+    // Element views see bit 5 set in slots 1 and 6.
+    EXPECT_EQ(tmu.readRegular(1), 1u << 5);
+    EXPECT_EQ(tmu.readRegular(6), 1u << 5);
+}
+
+TEST(Tmu, AccessCyclesCounted)
+{
+    TransposeUnit tmu(8, 8);
+    tmu.writeRegular(0, 1);
+    tmu.readRegular(0);
+    tmu.readTransposed(0);
+    EXPECT_EQ(tmu.accessCycles(), 3u);
+    tmu.resetCycles();
+    EXPECT_EQ(tmu.accessCycles(), 0u);
+}
+
+TEST(Tmu, StreamCyclesPipelined)
+{
+    TransposeUnit tmu(256, 64);
+    EXPECT_EQ(tmu.streamCycles(0, 8), 0u);
+    // One batch of 256 8-bit elements: fill 256x8/64 = 32 cycles,
+    // drain 8 bit-slices -> 32 + 8.
+    EXPECT_EQ(tmu.streamCycles(256, 8), 40u);
+    // Two batches pipeline at 32 cycles each.
+    EXPECT_EQ(tmu.streamCycles(512, 8), 72u);
+    // Partial batch still pays a full fill.
+    EXPECT_EQ(tmu.streamCycles(10, 8), 40u);
+    // Wide elements make the drain port the bottleneck.
+    EXPECT_EQ(tmu.streamCycles(256, 64), 256u + 64u);
+}
+
+TEST(Tmu, TransposeElementsRoundTrip)
+{
+    nc::Rng rng(42);
+    auto elems = rng.bitVector(100, 8);
+    auto slices = TransposeUnit::transposeElements(elems, 8, 256);
+    ASSERT_EQ(slices.size(), 8u);
+    EXPECT_EQ(slices[0].width(), 256u);
+
+    auto back = TransposeUnit::untransposeElements(slices, 8);
+    ASSERT_EQ(back.size(), 256u);
+    for (size_t i = 0; i < elems.size(); ++i)
+        EXPECT_EQ(back[i], elems[i]);
+    for (size_t i = elems.size(); i < back.size(); ++i)
+        EXPECT_EQ(back[i], 0u);
+}
+
+TEST(Tmu, TransposeElementsBitPlacement)
+{
+    std::vector<uint64_t> elems{0b01, 0b10};
+    auto slices = TransposeUnit::transposeElements(elems, 2, 4);
+    EXPECT_TRUE(slices[0].get(0));
+    EXPECT_FALSE(slices[0].get(1));
+    EXPECT_FALSE(slices[1].get(0));
+    EXPECT_TRUE(slices[1].get(1));
+}
+
+TEST(TmuDeath, Bounds)
+{
+    TransposeUnit tmu(8, 8);
+    EXPECT_DEATH(tmu.writeRegular(8, 0), "row");
+    EXPECT_DEATH(tmu.readTransposed(8), "col");
+}
+
+TEST(TmuDeath, TooManyElements)
+{
+    std::vector<uint64_t> elems(300, 1);
+    EXPECT_DEATH(TransposeUnit::transposeElements(elems, 8, 256),
+                 "exceed");
+}
+
+} // namespace
