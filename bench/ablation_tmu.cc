@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <initializer_list>
 
 #include "cache/cbox.hh"
 #include "cache/interconnect.hh"

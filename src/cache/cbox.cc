@@ -1,8 +1,20 @@
 #include "cache/cbox.hh"
 
-// CBox is header-only today; the translation unit compile-checks the
-// header and anchors future non-inline additions.
+#include "sram/tmu.hh"
 
 namespace nc::cache
 {
+
+// Out of line so this translation unit always carries a symbol (empty
+// TUs trip "ranlib: file has no symbols" on macOS and other strict
+// toolchains).
+double
+CBox::transposePs(uint64_t bytes) const
+{
+    sram::TransposeUnit proto(tmuRows, tmuCols);
+    uint64_t per_tmu = (bytes + tmus - 1) / tmus;
+    uint64_t cycles = proto.streamCycles(per_tmu, 8);
+    return clock.cyclesToPs(static_cast<double>(cycles));
+}
+
 } // namespace nc::cache

@@ -15,7 +15,6 @@
 #include <cstdint>
 
 #include "common/units.hh"
-#include "sram/tmu.hh"
 
 namespace nc::cache
 {
@@ -38,16 +37,10 @@ struct CBox
     /**
      * Time for this slice's TMUs to transpose @p bytes of 8-bit
      * elements arriving in regular layout. TMUs work independently on
-     * disjoint element batches.
+     * disjoint element batches. Defined out of line (cbox.cc) so the
+     * translation unit anchors at least one symbol.
      */
-    double
-    transposePs(uint64_t bytes) const
-    {
-        sram::TransposeUnit proto(tmuRows, tmuCols);
-        uint64_t per_tmu = (bytes + tmus - 1) / tmus;
-        uint64_t cycles = proto.streamCycles(per_tmu, 8);
-        return clock.cyclesToPs(static_cast<double>(cycles));
-    }
+    double transposePs(uint64_t bytes) const;
 
     /** Chip-wide FSM area in mm^2 for @p slices slices. */
     double

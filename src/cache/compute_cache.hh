@@ -21,6 +21,7 @@
 
 #include "cache/cbox.hh"
 #include "cache/dram.hh"
+#include "common/bits.hh" // for the C++20 guard: <=> below mis-parses pre-C++20
 #include "cache/geometry.hh"
 #include "cache/interconnect.hh"
 #include "sram/array.hh"

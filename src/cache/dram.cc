@@ -1,8 +1,18 @@
 #include "cache/dram.hh"
 
-// DramModel is header-only today; the translation unit compile-checks
-// the header and anchors future non-inline additions.
-
 namespace nc::cache
 {
+
+// Out of line so this translation unit always carries a symbol (empty
+// TUs trip "ranlib: file has no symbols" on macOS and other strict
+// toolchains).
+double
+DramModel::transferPs(uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0.0;
+    return streamLatencyPs +
+           effectiveBw.transferPs(static_cast<double>(bytes));
+}
+
 } // namespace nc::cache

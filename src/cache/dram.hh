@@ -37,15 +37,12 @@ struct DramModel
     /** DRAM access energy per byte moved, picojoules. */
     double energyPjPerByte = 40.0;
 
-    /** Time to stream @p bytes into (or out of) the cache. */
-    double
-    transferPs(uint64_t bytes) const
-    {
-        if (bytes == 0)
-            return 0.0;
-        return streamLatencyPs +
-               effectiveBw.transferPs(static_cast<double>(bytes));
-    }
+    /**
+     * Time to stream @p bytes into (or out of) the cache. Defined out
+     * of line (dram.cc) so the translation unit anchors at least one
+     * symbol.
+     */
+    double transferPs(uint64_t bytes) const;
 
     /** Energy to move @p bytes, picojoules. */
     double

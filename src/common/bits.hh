@@ -10,6 +10,20 @@
 #ifndef NC_COMMON_BITS_HH
 #define NC_COMMON_BITS_HH
 
+// The codebase uses C++20 features (defaulted operator<=> in
+// cache/compute_cache.hh, among others) whose pre-C++20 diagnostics
+// are cryptic ("declaration of 'operator<=' as non-function"). This
+// header is included everywhere, so fail fast with a clear message.
+// MSVC keeps __cplusplus at 199711L unless /Zc:__cplusplus is passed;
+// _MSVC_LANG always reports the real language level.
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "neural-cache requires C++20: build with /std:c++20 (CMake sets this via target_compile_features(nc PUBLIC cxx_std_20))"
+#endif
+#elif defined(__cplusplus) && __cplusplus < 202002L
+#error "neural-cache requires C++20: build with -std=c++20 (CMake sets this via target_compile_features(nc PUBLIC cxx_std_20))"
+#endif
+
 #include <cstdint>
 #include <type_traits>
 

@@ -41,8 +41,9 @@ TEST(Rng, UniformBitsWidth)
     for (unsigned w : {1u, 4u, 8u, 16u, 31u, 64u}) {
         for (int i = 0; i < 100; ++i) {
             uint64_t v = r.uniformBits(w);
-            if (w < 64)
+            if (w < 64) {
                 EXPECT_LT(v, uint64_t(1) << w);
+            }
         }
     }
     EXPECT_EQ(r.uniformBits(0), 0u);

@@ -74,8 +74,9 @@ TEST(DramImage, WordLinesFillSequentiallyWithinAnArray)
         auto arr = std::tuple(p.home.coord.way, p.home.coord.bank,
                               p.home.coord.array);
         auto it = last_row.find(arr);
-        if (it != last_row.end())
+        if (it != last_row.end()) {
             EXPECT_GE(p.home.row, it->second);
+        }
         last_row[arr] = p.home.row;
     }
 }
