@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Machine-readable simulator-speed report (BENCH_simspeed.json).
+ *
+ * Runs the same workload through the scalar baseline (bit-by-bit
+ * reference kernels + poke-based data movement + 1 thread — the
+ * pre-optimization simulator) and through the word-parallel
+ * multithreaded path, verifies the two agree bit-for-bit and
+ * cycle-for-cycle, and emits throughputs and speedups as JSON so the
+ * perf trajectory of the repository is tracked by data, not
+ * anecdotes. See ROADMAP.md "Performance & benchmarking" for the
+ * schema. Usage: perf_report [output.json]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bitserial/layout.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "core/executor.hh"
+#include "dnn/reference.hh"
+
+namespace
+{
+
+using namespace nc;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Run fn repeatedly for ~0.2s; return seconds per call. */
+template <class F>
+double
+timePerCall(F fn)
+{
+    // Warm-up + calibration.
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    double once = secondsSince(t0);
+    unsigned reps = once > 0.2 ? 1
+                    : static_cast<unsigned>(0.2 / (once + 1e-9)) + 1;
+    t0 = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < reps; ++i)
+        fn();
+    return secondsSince(t0) / reps;
+}
+
+struct ConvResult
+{
+    std::vector<uint32_t> out;
+    uint64_t cycles = 0;
+    double seconds = 0;
+};
+
+ConvResult
+runConv(const dnn::QTensor &in, const dnn::QWeights &w, bool scalar)
+{
+    cache::ComputeCache cc;
+    // The scalar baseline: every array in bit-by-bit reference mode,
+    // one thread — the simulator as it was before the word-parallel
+    // rebuild.
+    for (unsigned mi = 0; mi < w.m; ++mi)
+        cc.array(cc.coordOf(mi)).setReferenceMode(scalar);
+    core::Executor ex(cc, scalar ? 1 : 0);
+    unsigned oh, ow;
+    auto t0 = std::chrono::steady_clock::now();
+    ConvResult r;
+    r.out = ex.conv(in, w, 1, true, oh, ow);
+    r.seconds = secondsSince(t0);
+    r.cycles = ex.lockstepCycles();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *path = argc > 1 ? argv[1] : "BENCH_simspeed.json";
+
+    // ---- micro: full-adder micro-op throughput -----------------------
+    sram::Array fast(256, 256), ref(256, 256);
+    Rng rng(13);
+    for (unsigned r = 0; r < 256; ++r)
+        for (unsigned wi = 0; wi < 4; ++wi) {
+            uint64_t v = rng.uniformBits(64);
+            fast.rowMut(r).setWord(wi, v);
+            ref.rowMut(r).setWord(wi, v);
+        }
+    ref.setReferenceMode(true);
+
+    const unsigned kOps = 20000;
+    auto addLoop = [](sram::Array &a) {
+        unsigned r = 0;
+        for (unsigned i = 0; i < kOps; ++i) {
+            a.opAdd(r, r + 1, r + 2);
+            r = (r + 1) % 250;
+        }
+    };
+    double add_fast_s = timePerCall([&] { addLoop(fast); });
+    double add_ref_s = timePerCall([&] { addLoop(ref); });
+    double add_fast_mops = kOps / add_fast_s / 1e6;
+    double add_ref_mops = kOps / add_ref_s / 1e6;
+
+    // ---- micro: transposed store throughput --------------------------
+    bitserial::VecSlice slice{200, 8};
+    std::vector<uint64_t> values(256);
+    for (auto &v : values)
+        v = rng.uniformBits(8);
+    const unsigned kStores = 2000;
+    auto storeLoop = [&](sram::Array &a) {
+        for (unsigned i = 0; i < kStores; ++i)
+            bitserial::storeVector(a, slice, values);
+    };
+    double st_fast_s = timePerCall([&] { storeLoop(fast); });
+    double st_ref_s = timePerCall([&] { storeLoop(ref); });
+    double st_fast_ml = kStores * 256.0 / st_fast_s / 1e6;
+    double st_ref_ml = kStores * 256.0 / st_ref_s / 1e6;
+
+    // ---- end to end: representative conv layer -----------------------
+    Rng wrng(7);
+    dnn::QTensor in(16, 14, 14);
+    for (auto &v : in.data())
+        v = static_cast<uint8_t>(wrng.uniformBits(8));
+    dnn::QWeights w(8, 16, 3, 3);
+    for (auto &v : w.data)
+        v = static_cast<uint8_t>(wrng.uniformBits(8));
+
+    ConvResult scalar = runConv(in, w, /*scalar=*/true);
+    ConvResult opt = runConv(in, w, /*scalar=*/false);
+    nc_assert(scalar.out == opt.out,
+              "scalar and optimized paths disagree");
+    nc_assert(scalar.cycles == opt.cycles,
+              "modeled cycles changed: %llu vs %llu",
+              static_cast<unsigned long long>(scalar.cycles),
+              static_cast<unsigned long long>(opt.cycles));
+    double conv_speedup = scalar.seconds / opt.seconds;
+
+    unsigned threads = common::ThreadPool::defaultThreads();
+    std::FILE *f = std::fopen(path, "w");
+    if (!f)
+        nc_fatal("cannot open %s for writing", path);
+    std::fprintf(f,
+        "{\n"
+        "  \"bench\": \"simspeed\",\n"
+        "  \"schema\": 1,\n"
+        "  \"threads\": %u,\n"
+        "  \"micro\": {\n"
+        "    \"opadd_mops\": %.2f,\n"
+        "    \"opadd_ref_mops\": %.2f,\n"
+        "    \"opadd_speedup\": %.2f,\n"
+        "    \"store_vector_mlanes_per_s\": %.2f,\n"
+        "    \"store_vector_ref_mlanes_per_s\": %.2f,\n"
+        "    \"store_vector_speedup\": %.2f\n"
+        "  },\n"
+        "  \"conv_layer\": {\n"
+        "    \"shape\": \"in 16x14x14, filters 8x16x3x3, stride 1, "
+        "same pad\",\n"
+        "    \"sim_cycles\": %llu,\n"
+        "    \"scalar_ms\": %.3f,\n"
+        "    \"fast_ms\": %.3f,\n"
+        "    \"speedup\": %.2f,\n"
+        "    \"sim_cycles_per_sec\": %.0f\n"
+        "  }\n"
+        "}\n",
+        threads,
+        add_fast_mops, add_ref_mops, add_fast_mops / add_ref_mops,
+        st_fast_ml, st_ref_ml, st_fast_ml / st_ref_ml,
+        static_cast<unsigned long long>(opt.cycles),
+        scalar.seconds * 1e3, opt.seconds * 1e3, conv_speedup,
+        opt.cycles / opt.seconds);
+    std::fclose(f);
+
+    std::printf("perf_report: opAdd %.1f Mops/s (ref %.2f, %.0fx), "
+                "storeVector %.1f Mlanes/s (ref %.2f, %.0fx), "
+                "conv %.1f ms vs %.1f ms scalar (%.1fx, %u threads)\n",
+                add_fast_mops, add_ref_mops,
+                add_fast_mops / add_ref_mops, st_fast_ml, st_ref_ml,
+                st_fast_ml / st_ref_ml, opt.seconds * 1e3,
+                scalar.seconds * 1e3, conv_speedup, threads);
+    std::printf("perf_report: wrote %s\n", path);
+    return 0;
+}

@@ -1,5 +1,7 @@
 #include "bitserial/layout.hh"
 
+#include <algorithm>
+
 #include "common/bits.hh"
 #include "common/logging.hh"
 
@@ -49,10 +51,32 @@ storeVector(sram::Array &arr, const VecSlice &slice,
 {
     nc_assert(values.size() <= arr.cols(),
               "%zu values exceed %u lanes", values.size(), arr.cols());
-    for (unsigned lane = 0; lane < arr.cols(); ++lane) {
-        uint64_t v = lane < values.size() ? values[lane] : 0;
+    nc_assert(slice.bits <= 64, "slice wider than 64 bits");
+
+    if (arr.referenceMode()) {
+        // Bit-by-bit scalar path (differential oracle / bench baseline).
+        for (unsigned lane = 0; lane < arr.cols(); ++lane) {
+            uint64_t v = lane < values.size() ? values[lane] : 0;
+            for (unsigned b = 0; b < slice.bits; ++b)
+                arr.poke(slice.row(b), lane, bit(v, b));
+        }
+        return;
+    }
+
+    // Word-parallel path: each 64-lane block is one 64x64 bit-matrix
+    // transpose — block word buf[i] holds lane i's value going in and
+    // bit-plane b's word coming out, so every array word is touched
+    // exactly once.
+    const size_t nblocks = (arr.cols() + 63) / 64;
+    uint64_t buf[64];
+    for (size_t blk = 0; blk < nblocks; ++blk) {
+        for (unsigned i = 0; i < 64; ++i) {
+            size_t lane = blk * 64 + i;
+            buf[i] = lane < values.size() ? values[lane] : 0;
+        }
+        transpose64(buf);
         for (unsigned b = 0; b < slice.bits; ++b)
-            arr.poke(slice.row(b), lane, bit(v, b));
+            arr.rowMut(slice.row(b)).setWord(blk, buf[b]);
     }
 }
 
@@ -60,8 +84,27 @@ std::vector<uint64_t>
 loadVector(const sram::Array &arr, const VecSlice &slice)
 {
     std::vector<uint64_t> out(arr.cols(), 0);
-    for (unsigned lane = 0; lane < arr.cols(); ++lane)
-        out[lane] = loadLane(arr, slice, lane);
+    nc_assert(slice.bits <= 64, "slice wider than 64 bits");
+
+    if (arr.referenceMode()) {
+        for (unsigned lane = 0; lane < arr.cols(); ++lane)
+            out[lane] = loadLane(arr, slice, lane);
+        return out;
+    }
+
+    const size_t nblocks = (arr.cols() + 63) / 64;
+    uint64_t buf[64];
+    for (size_t blk = 0; blk < nblocks; ++blk) {
+        for (unsigned b = 0; b < 64; ++b) {
+            buf[b] = b < slice.bits
+                         ? arr.rowRef(slice.row(b)).word(blk)
+                         : 0;
+        }
+        transpose64(buf);
+        size_t n = std::min<size_t>(64, arr.cols() - blk * 64);
+        for (size_t i = 0; i < n; ++i)
+            out[blk * 64 + i] = buf[i];
+    }
     return out;
 }
 
@@ -69,9 +112,13 @@ uint64_t
 loadLane(const sram::Array &arr, const VecSlice &slice, unsigned lane)
 {
     nc_assert(slice.bits <= 64, "lane wider than 64 bits");
+    // Word-level gather: one shift/mask per bit plane instead of a
+    // peek() call chain per bit.
+    const size_t wi = lane / 64;
+    const unsigned sh = lane % 64;
     uint64_t v = 0;
     for (unsigned b = 0; b < slice.bits; ++b)
-        v = setBit(v, b, arr.peek(slice.row(b), lane));
+        v |= ((arr.rowRef(slice.row(b)).word(wi) >> sh) & 1u) << b;
     return v;
 }
 

@@ -126,6 +126,27 @@ roundUp(uint64_t a, uint64_t b)
     return divCeil(a, b) * b;
 }
 
+/**
+ * In-place 64x64 bit-matrix transpose: afterwards bit i of a[j] equals
+ * what bit j of a[i] held on entry. This is the workhorse behind the
+ * word-parallel transposed stores/loads of bitserial::storeVector /
+ * loadVector (each 64-lane block of a slice moves in one transpose
+ * instead of 64x64 individual bit pokes). Classic recursive block-swap
+ * (Hacker's Delight 2nd ed., fig. 7-6).
+ */
+inline void
+transpose64(uint64_t a[64])
+{
+    uint64_t m = 0x00000000FFFFFFFFULL;
+    for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+            uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k + j] ^= t;
+            a[k] ^= t << j;
+        }
+    }
+}
+
 } // namespace nc
 
 #endif // NC_COMMON_BITS_HH

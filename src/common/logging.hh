@@ -77,4 +77,36 @@ std::string format(const char *fmt, ...)
         } \
     } while (0)
 
+namespace nc
+{
+
+/**
+ * Whether nc_dassert() is live in this build. Debug/asan presets keep
+ * it on; Release (NDEBUG) compiles it out. Tests that provoke a
+ * debug-only assertion consult this to skip themselves in Release.
+ */
+#ifdef NDEBUG
+inline constexpr bool kDebugAsserts = false;
+#else
+inline constexpr bool kDebugAsserts = true;
+#endif
+
+} // namespace nc
+
+/**
+ * Debug-only invariant check for per-lane / per-word hot paths (BitRow
+ * bit access, Array row bounds): the cost of the branch is comparable
+ * to the work guarded, so Release builds compile it out entirely. The
+ * condition stays semantically checked (unevaluated) to avoid unused
+ * warnings.
+ */
+#ifdef NDEBUG
+#define nc_dassert(cond, ...) \
+    do { \
+        (void)sizeof((cond) ? 1 : 0); \
+    } while (0)
+#else
+#define nc_dassert(cond, ...) nc_assert(cond, __VA_ARGS__)
+#endif
+
 #endif // NC_COMMON_LOGGING_HH

@@ -1,0 +1,130 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace nc::common
+{
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("NC_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<unsigned>(v);
+        nc_warn("ignoring invalid NC_THREADS value '%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned nthreads)
+    : nThreads(nthreads != 0 ? nthreads : defaultThreads())
+{
+}
+
+void
+ThreadPool::ensureWorkers()
+{
+    if (!workers.empty())
+        return;
+    workers.reserve(nThreads - 1);
+    for (unsigned i = 0; i + 1 < nThreads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    cvStart.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::runShare()
+{
+    for (;;) {
+        size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobN)
+            break;
+        jobFn(jobCtx, i);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            cvStart.wait(lk, [&] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            // Jobs smaller than the pool only open n-1 helper slots;
+            // a spuriously woken worker beyond that goes back to
+            // sleep instead of contending for the cursor.
+            if (joined >= target)
+                continue;
+            ++joined;
+        }
+        runShare();
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            if (--pending == 0)
+                cvDone.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::parallelForRaw(size_t n, void *ctx,
+                           void (*fn)(void *, size_t))
+{
+    if (n == 0)
+        return;
+    // The caller participates, so a job needs at most n - 1 helpers.
+    size_t helpers = std::min<size_t>(nThreads - 1, n - 1);
+    if (helpers == 0) {
+        for (size_t i = 0; i < n; ++i)
+            fn(ctx, i);
+        return;
+    }
+    ensureWorkers();
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        jobFn = fn;
+        jobCtx = ctx;
+        jobN = n;
+        cursor.store(0, std::memory_order_relaxed);
+        target = static_cast<unsigned>(helpers);
+        joined = 0;
+        pending = static_cast<unsigned>(helpers);
+        ++generation;
+    }
+    // Wake only as many workers as there are helper slots; a worker
+    // re-entering its wait sees the bumped generation by itself.
+    for (size_t i = 0; i < helpers; ++i)
+        cvStart.notify_one();
+    runShare();
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        cvDone.wait(lk, [&] { return pending == 0; });
+        jobFn = nullptr;
+        jobCtx = nullptr;
+        jobN = 0;
+    }
+}
+
+} // namespace nc::common

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A small fixed-size thread pool for fanning independent simulation
+ * work items across cores.
+ *
+ * The simulator's parallelism is embarrassingly regular: a convolution
+ * layer is w.m independent per-filter-batch array programs, a pooling
+ * layer is independent output windows, a broadcast instruction expands
+ * identically on every enrolled array. parallelFor() covers all of
+ * these: it runs fn(i) for every i in [0, n), distributing indices
+ * over the workers (plus the calling thread) through one shared
+ * atomic cursor — no work stealing, no task graph.
+ *
+ * Determinism contract: tasks must write disjoint state (each task
+ * owns its array / its slice of the output), so results are identical
+ * for any thread count and any index-to-thread assignment. Statistics
+ * are reduced by the caller after the join as order-independent sums.
+ *
+ * Sizing: an explicit constructor argument wins; 0 defers to the
+ * NC_THREADS environment variable, then to the hardware concurrency.
+ * A pool of size 1 spawns no threads at all and parallelFor() runs
+ * inline, making the serial path zero-overhead.
+ */
+
+#ifndef NC_COMMON_THREAD_POOL_HH
+#define NC_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace nc::common
+{
+
+/** Fixed-size pool executing index-space loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param nthreads total workers including the caller; 0 = auto.
+     * Worker threads spawn lazily on the first parallelFor() that can
+     * use them, so serial consumers and short-lived instances never
+     * pay thread create/teardown.
+     */
+    explicit ThreadPool(unsigned nthreads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count including the calling thread (>= 1). */
+    unsigned size() const { return nThreads; }
+
+    /**
+     * Run fn(i) for every i in [0, n) and block until all calls have
+     * returned. The calling thread participates. fn must not throw
+     * and concurrent calls must touch disjoint state. Allocation-free:
+     * the callable is shared with the workers through a borrowed
+     * pointer + trampoline, never a std::function — safe because the
+     * call blocks until every worker is done with it.
+     */
+    template <class F>
+    void
+    parallelFor(size_t n, F &&fn)
+    {
+        using Fn = std::remove_reference_t<F>;
+        parallelForRaw(n,
+                       const_cast<void *>(static_cast<const void *>(&fn)),
+                       [](void *ctx, size_t i) {
+                           (*static_cast<Fn *>(ctx))(i);
+                       });
+    }
+
+    /**
+     * The automatic pool size: NC_THREADS when set to a positive
+     * integer, otherwise std::thread::hardware_concurrency() (>= 1).
+     */
+    static unsigned defaultThreads();
+
+  private:
+    void parallelForRaw(size_t n, void *ctx,
+                        void (*fn)(void *, size_t));
+    void ensureWorkers();
+    void workerLoop();
+    void runShare();
+
+    unsigned nThreads;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+    void (*jobFn)(void *, size_t) = nullptr;
+    void *jobCtx = nullptr;
+    size_t jobN = 0;
+    std::atomic<size_t> cursor{0};
+    unsigned target = 0;    ///< helper slots for the current job
+    unsigned joined = 0;    ///< helpers that claimed a slot
+    unsigned pending = 0;   ///< helpers still running the current job
+    uint64_t generation = 0;
+    bool stopping = false;
+};
+
+} // namespace nc::common
+
+#endif // NC_COMMON_THREAD_POOL_HH

@@ -43,11 +43,57 @@ Controller::broadcast(const Instruction &inst)
 }
 
 uint64_t
-Controller::run(const std::vector<Instruction> &program)
+Controller::run(const std::vector<Instruction> &program,
+                const std::function<void(const cache::ArrayCoord &)>
+                    *prologue)
 {
+    if (!pool || pool->size() <= 1 || group.size() <= 1) {
+        if (prologue) {
+            for (const auto &coord : group)
+                (*prologue)(coord);
+        }
+        uint64_t total = 0;
+        for (const auto &inst : program)
+            total += broadcast(inst);
+        return total;
+    }
+
+    // Fan the whole program (plus the optional per-array prologue)
+    // over the group: every array executes the identical instruction
+    // sequence on its own state, so running the arrays concurrently
+    // is bit-identical to interleaving them per instruction.
+    // Per-array, per-instruction cycle counts are recorded into the
+    // reused scratch and the lock-step divergence check runs after
+    // the join.
+    const size_t np = program.size();
+    runCycles.assign(group.size() * np, 0);
+    pool->parallelFor(group.size(), [&](size_t g) {
+        if (prologue)
+            (*prologue)(group[g]);
+        sram::Array &arr = cc.array(group[g]);
+        for (size_t i = 0; i < np; ++i)
+            runCycles[g * np + i] = execute(arr, program[i]);
+    });
+
     uint64_t total = 0;
-    for (const auto &inst : program)
-        total += broadcast(inst);
+    for (size_t i = 0; i < np; ++i) {
+        uint64_t c = runCycles[i];
+        for (size_t g = 1; g < group.size(); ++g) {
+            if (runCycles[g * np + i] != c) {
+                nc_panic("lock-step divergence on %s: %llu vs %llu "
+                         "cycles",
+                         opcodeName(program[i].op),
+                         static_cast<unsigned long long>(
+                             runCycles[g * np + i]),
+                         static_cast<unsigned long long>(c));
+            }
+        }
+        issued += c;
+        nc_dprintf("Controller", "%s -> %llu cycles across %zu arrays",
+                   opcodeName(program[i].op),
+                   static_cast<unsigned long long>(c), group.size());
+        total += c;
+    }
     return total;
 }
 

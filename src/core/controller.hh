@@ -14,9 +14,11 @@
 #ifndef NC_CORE_CONTROLLER_HH
 #define NC_CORE_CONTROLLER_HH
 
+#include <functional>
 #include <vector>
 
 #include "cache/compute_cache.hh"
+#include "common/thread_pool.hh"
 #include "core/isa.hh"
 
 namespace nc::core
@@ -26,7 +28,17 @@ namespace nc::core
 class Controller
 {
   public:
-    explicit Controller(cache::ComputeCache &cc_) : cc(cc_) {}
+    /**
+     * @param pool_ optional worker pool: run() fans the per-array
+     *     program expansions over it (each enrolled array executes
+     *     the identical instruction stream independently, exactly as
+     *     the per-bank FSMs do in hardware). No pool = serial.
+     */
+    explicit Controller(cache::ComputeCache &cc_,
+                        common::ThreadPool *pool_ = nullptr)
+        : cc(cc_), pool(pool_)
+    {
+    }
 
     /** Add an array to the broadcast group (materializes it). */
     void enroll(const cache::ArrayCoord &coord);
@@ -40,8 +52,22 @@ class Controller
      */
     uint64_t broadcast(const Instruction &inst);
 
-    /** Issue a whole program; returns total cycles. */
-    uint64_t run(const std::vector<Instruction> &program);
+    /**
+     * Issue a whole program; returns total cycles. With a pool, the
+     * whole program runs on every array in parallel (one task per
+     * array — arrays never share state, so this is bit-identical to
+     * the serial instruction-by-instruction broadcast), and the
+     * per-instruction lock-step check runs after the join.
+     *
+     * @param prologue optional per-array setup (e.g. streaming the
+     *     window's input bytes) run on each enrolled array before its
+     *     program — folded into the same fan-out so a window costs
+     *     one wake/join round-trip, not two. Receives the array's
+     *     coordinate and must touch only that array's state.
+     */
+    uint64_t run(const std::vector<Instruction> &program,
+                 const std::function<void(const cache::ArrayCoord &)>
+                     *prologue = nullptr);
 
     /** Cycles issued by this controller so far. */
     uint64_t cyclesIssued() const { return issued; }
@@ -51,8 +77,11 @@ class Controller
     uint64_t execute(sram::Array &arr, const Instruction &inst);
 
     cache::ComputeCache &cc;
+    common::ThreadPool *pool;
     std::vector<cache::ArrayCoord> group;
     uint64_t issued = 0;
+    /** Per-(array, instruction) cycle records, reused across run()s. */
+    std::vector<uint64_t> runCycles;
 };
 
 } // namespace nc::core

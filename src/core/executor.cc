@@ -1,8 +1,8 @@
 #include "core/executor.hh"
 
-
 #include <algorithm>
 #include <utility>
+
 #include "bitserial/alu.hh"
 #include "bitserial/extensions.hh"
 #include "bitserial/layout.hh"
@@ -49,13 +49,21 @@ Executor::conv(const dnn::QTensor &in, const dnn::QWeights &w,
     unsigned ph = padBefore(in.height(), w.r, stride, same_pad);
     unsigned pw = padBefore(in.width(), w.s, stride, same_pad);
     unsigned red_bits = acc_bits + log2Ceil(lanes);
+    unsigned oh = out_h, ow = out_w;
 
-    std::vector<uint32_t> out(static_cast<size_t>(w.m) * out_h * out_w,
-                              0);
+    std::vector<uint32_t> out(static_cast<size_t>(w.m) * oh * ow, 0);
 
-    for (unsigned mi = 0; mi < w.m; ++mi) {
-        // One array per filter batch, spread across the cache the way
-        // the mapper replicates M's over ways (Figure 9).
+    // Materialize every filter batch's array up front: the parallel
+    // region below must not mutate the cache's lazy array map.
+    for (unsigned mi = 0; mi < w.m; ++mi)
+        cc.array(cc.coordOf(mi));
+
+    // One array per filter batch, spread across the cache the way the
+    // mapper replicates M's over ways (Figure 9). The batches are
+    // fully independent — each task owns its array and its slice of
+    // `out` — so they fan out across the pool.
+    pool.parallelFor(w.m, [&](size_t mi_) {
+        unsigned mi = static_cast<unsigned>(mi_);
         sram::Array &arr = cc.array(cc.coordOf(mi));
         bs::RowAllocator rows(cc.geometry().arrayRows);
 
@@ -72,30 +80,33 @@ Executor::conv(const dnn::QTensor &in, const dnn::QWeights &w,
             rows.alloc(red_bits > 0 ? red_bits - 1 : 1);
         unsigned zrow = rows.zeroRow();
 
+        // One streaming buffer per task, reused for every window.
+        std::vector<uint64_t> vals(lanes, 0);
+
         // Filters are stationary for the whole layer.
         for (unsigned k = 0; k < rs; ++k) {
-            std::vector<uint64_t> fv(lanes, 0);
+            std::fill(vals.begin(), vals.end(), 0);
             for (unsigned ci = 0; ci < w.c; ++ci)
-                fv[ci] = w.at(mi, ci, k / w.s, k % w.s);
-            bs::storeVector(arr, filt[k], fv);
+                vals[ci] = w.at(mi, ci, k / w.s, k % w.s);
+            bs::storeVector(arr, filt[k], vals);
         }
 
-        for (unsigned y = 0; y < out_h; ++y) {
-            for (unsigned x = 0; x < out_w; ++x) {
+        for (unsigned y = 0; y < oh; ++y) {
+            for (unsigned x = 0; x < ow; ++x) {
                 // Stream the input window (zero padding stays zero).
                 for (unsigned k = 0; k < rs; ++k) {
                     int iy = static_cast<int>(y * stride + k / w.s) -
                              static_cast<int>(ph);
                     int ix = static_cast<int>(x * stride + k % w.s) -
                              static_cast<int>(pw);
-                    std::vector<uint64_t> iv(lanes, 0);
+                    std::fill(vals.begin(), vals.end(), 0);
                     if (iy >= 0 && ix >= 0 &&
                         iy < static_cast<int>(in.height()) &&
                         ix < static_cast<int>(in.width())) {
                         for (unsigned ci = 0; ci < w.c; ++ci)
-                            iv[ci] = in.at(ci, iy, ix);
+                            vals[ci] = in.at(ci, iy, ix);
                     }
-                    bs::storeVector(arr, inp[k], iv);
+                    bs::storeVector(arr, inp[k], vals);
                 }
 
                 // RxS MACs per bit line, then the channel reduction.
@@ -109,12 +120,26 @@ Executor::conv(const dnn::QTensor &in, const dnn::QWeights &w,
                               red_scratch);
 
                 uint64_t sum = bs::loadLane(arr, partial, 0);
-                out[(static_cast<size_t>(mi) * out_h + y) * out_w + x] =
+                out[(static_cast<size_t>(mi) * oh + y) * ow + x] =
                     static_cast<uint32_t>(sum);
             }
         }
-    }
+    });
     return out;
+}
+
+std::vector<uint32_t>
+Executor::fc(const std::vector<uint8_t> &in, const dnn::QWeights &w)
+{
+    nc_assert(w.r == 1 && w.s == 1, "fc weights must be 1x1, got %ux%u",
+              w.r, w.s);
+    nc_assert(w.c == in.size(), "fc: %u weight channels for %zu inputs",
+              w.c, in.size());
+    dnn::QTensor t(w.c, 1, 1);
+    for (unsigned ci = 0; ci < w.c; ++ci)
+        t.at(ci, 0, 0) = in[ci];
+    unsigned oh, ow;
+    return conv(t, w, 1, false, oh, ow);
 }
 
 dnn::QTensor
@@ -123,6 +148,7 @@ Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
 {
     const unsigned bits = 8;
     unsigned cols = cc.geometry().arrayCols;
+    unsigned arows = cc.geometry().arrayRows;
     unsigned lanes = static_cast<unsigned>(roundUpPow2(in.channels()));
     nc_assert(lanes <= cols, "maxPool: %u channels exceed %u lanes",
               in.channels(), cols);
@@ -132,15 +158,33 @@ Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
     unsigned ph = padBefore(in.height(), r, stride, same_pad);
     unsigned pw = padBefore(in.width(), s, stride, same_pad);
 
-    sram::Array &arr = cc.array(cc.coordOf(0));
-    bs::RowAllocator rows(cc.geometry().arrayRows);
-    bs::VecSlice cur = rows.alloc(bits);
-    bs::VecSlice best = rows.alloc(bits);
-    bs::VecSlice cmp = rows.alloc(bits);
+    // The modeled machine runs every window on one array; the
+    // simulator partitions the independent windows into contiguous
+    // chunks, runs each chunk on a task-private array with the
+    // identical slice map, and reduces the (data-independent, hence
+    // partition-independent) cycle counts into the modeled array
+    // after the join.
+    sram::Array &model = cc.array(cc.coordOf(0));
+    size_t windows = static_cast<size_t>(oh) * ow;
+    size_t chunks = std::min<size_t>(pool.size(), windows);
+    std::vector<std::pair<uint64_t, uint64_t>> charged(
+        chunks > 0 ? chunks : 1, {0, 0});
 
     dnn::QTensor out(in.channels(), oh, ow, in.params());
-    for (unsigned y = 0; y < oh; ++y) {
-        for (unsigned x = 0; x < ow; ++x) {
+    pool.parallelFor(chunks, [&](size_t chunk) {
+        sram::Array arr(arows, cols);
+        arr.setReferenceMode(model.referenceMode());
+        bs::RowAllocator rows(arows);
+        bs::VecSlice cur = rows.alloc(bits);
+        bs::VecSlice best = rows.alloc(bits);
+        bs::VecSlice cmp = rows.alloc(bits);
+
+        size_t lo = windows * chunk / chunks;
+        size_t hi = windows * (chunk + 1) / chunks;
+        std::vector<uint64_t> iv(lanes, 0);
+        for (size_t wi = lo; wi < hi; ++wi) {
+            unsigned y = static_cast<unsigned>(wi / ow);
+            unsigned x = static_cast<unsigned>(wi % ow);
             bool first = true;
             for (unsigned ri = 0; ri < r; ++ri) {
                 for (unsigned si = 0; si < s; ++si) {
@@ -152,7 +196,7 @@ Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
                         iy >= static_cast<int>(in.height()) ||
                         ix >= static_cast<int>(in.width()))
                         continue;
-                    std::vector<uint64_t> iv(lanes, 0);
+                    std::fill(iv.begin(), iv.end(), 0);
                     for (unsigned ci = 0; ci < in.channels(); ++ci)
                         iv[ci] = in.at(ci, iy, ix);
                     bs::storeVector(arr, cur, iv);
@@ -169,7 +213,11 @@ Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
                     bs::loadLane(arr, best, ci));
             }
         }
-    }
+        charged[chunk] = {arr.computeCycles(), arr.accessCycles()};
+    });
+
+    for (const auto &[compute, access] : charged)
+        model.chargeCycles(compute, access);
     return out;
 }
 
@@ -208,13 +256,14 @@ Executor::avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
                         std::vector<uint64_t>(lanes, ws));
     }
 
+    std::vector<uint64_t> iv(lanes, 0);
     dnn::QTensor out(in.channels(), oh, ow, in.params());
     for (unsigned y = 0; y < oh; ++y) {
         for (unsigned x = 0; x < ow; ++x) {
             bs::zero(arr, acc);
             for (unsigned ri = 0; ri < r; ++ri) {
                 for (unsigned si = 0; si < s; ++si) {
-                    std::vector<uint64_t> iv(lanes, 0);
+                    std::fill(iv.begin(), iv.end(), 0);
                     for (unsigned ci = 0; ci < in.channels(); ++ci)
                         iv[ci] = in.at(ci, y * stride + ri,
                                        x * stride + si);

@@ -12,6 +12,15 @@
  * cycle counters, which keeps the functional and analytic models
  * honest with each other.
  *
+ * Parallelism: the independent units of a layer (per-filter-batch
+ * array programs in conv/fc, output windows in maxPool) fan out over
+ * a common::ThreadPool. Each task owns its array and writes a
+ * disjoint slice of the output, so results are bit-identical for any
+ * thread count, and cycle statistics are reduced after the join as
+ * order-independent sums — the modeled machine is unchanged, only
+ * the simulator wall clock shrinks. Thread count: constructor
+ * argument, else NC_THREADS, else hardware concurrency.
+ *
  * Scope: one array per filter batch (padded channels <= 256 bit
  * lines, RxS <= 12 so the Figure 10 layout fits), which covers the
  * small end-to-end networks the integration tests and examples use.
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "cache/compute_cache.hh"
+#include "common/thread_pool.hh"
 #include "dnn/reference.hh"
 #include "dnn/tensor.hh"
 
@@ -34,7 +44,11 @@ namespace nc::core
 class Executor
 {
   public:
-    explicit Executor(cache::ComputeCache &cc_) : cc(cc_) {}
+    /** @param nthreads worker threads (0 = NC_THREADS / hardware). */
+    explicit Executor(cache::ComputeCache &cc_, unsigned nthreads = 0)
+        : cc(cc_), pool(nthreads)
+    {
+    }
 
     /**
      * Quantized convolution (unsigned, zero-point-free): returns the
@@ -45,6 +59,15 @@ class Executor
                                const dnn::QWeights &w, unsigned stride,
                                bool same_pad, unsigned &out_h,
                                unsigned &out_w);
+
+    /**
+     * Fully-connected layer: out[m] = sum_c in[c] * w[m][c][0][0],
+     * i.e. a 1x1 convolution over a 1x1 feature map with the same
+     * channel-per-bit-line mapping and per-filter-batch parallelism.
+     * Weights must be 1x1 with w.c == in.size().
+     */
+    std::vector<uint32_t> fc(const std::vector<uint8_t> &in,
+                             const dnn::QWeights &w);
 
     /** Max pooling through bit-serial compare/select. */
     dnn::QTensor maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
@@ -84,8 +107,12 @@ class Executor
     /** Lock-step compute cycles consumed so far. */
     uint64_t lockstepCycles() const { return cc.lockstepCycles(); }
 
+    /** Worker threads the executor fans layer tasks over. */
+    unsigned threads() const { return pool.size(); }
+
   private:
     cache::ComputeCache &cc;
+    common::ThreadPool pool;
 };
 
 } // namespace nc::core

@@ -1,5 +1,7 @@
 #include "core/layer_engine.hh"
 
+#include <algorithm>
+
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
@@ -49,12 +51,13 @@ LayerEngine::convLayer(const dnn::QTensor &in, const dnn::QWeights &w,
     unsigned zrow = rows.zeroRow();
 
     // Enroll one array per filter batch and pin its weights.
+    std::vector<uint64_t> fv(lanes, 0);
     for (unsigned mi = 0; mi < w.m; ++mi) {
         cache::ArrayCoord coord = cc.coordOf(mi);
         ctrl.enroll(coord);
         sram::Array &arr = cc.array(coord);
         for (unsigned k = 0; k < rs; ++k) {
-            std::vector<uint64_t> fv(lanes, 0);
+            std::fill(fv.begin(), fv.end(), 0);
             for (unsigned ci = 0; ci < w.c; ++ci)
                 fv[ci] = w.at(mi, ci, k / w.s, k % w.s);
             bs::storeVector(arr, filt[k], fv);
@@ -73,28 +76,39 @@ LayerEngine::convLayer(const dnn::QTensor &in, const dnn::QWeights &w,
 
     std::vector<uint32_t> out(static_cast<size_t>(w.m) * out_h * out_w,
                               0);
+    // Per-window streaming buffers, reused across every window, and
+    // the per-array store prologue the controller folds into each
+    // window's fan-out (hoisted so no per-window type erasure).
+    std::vector<std::vector<uint64_t>> ivk(
+        rs, std::vector<uint64_t>(lanes, 0));
+    const std::function<void(const cache::ArrayCoord &)> store_window =
+        [&](const cache::ArrayCoord &coord) {
+            sram::Array &arr = cc.array(coord);
+            for (unsigned k = 0; k < rs; ++k)
+                bs::storeVector(arr, inp[k], ivk[k]);
+        };
     for (unsigned y = 0; y < out_h; ++y) {
         for (unsigned x = 0; x < out_w; ++x) {
             // Stream the window — the same bytes reach every array
-            // (one intra-slice broadcast per §IV-C).
+            // (one intra-slice broadcast per §IV-C). The per-array
+            // stores are independent, so the controller runs them as
+            // each array's prologue inside the program fan-out.
             for (unsigned k = 0; k < rs; ++k) {
                 int iy = static_cast<int>(y * stride + k / w.s) -
                          static_cast<int>(pad_h);
                 int ix = static_cast<int>(x * stride + k % w.s) -
                          static_cast<int>(pad_w);
-                std::vector<uint64_t> iv(lanes, 0);
+                std::vector<uint64_t> &iv = ivk[k];
+                std::fill(iv.begin(), iv.end(), 0);
                 if (iy >= 0 && ix >= 0 &&
                     iy < static_cast<int>(in.height()) &&
                     ix < static_cast<int>(in.width())) {
                     for (unsigned ci = 0; ci < w.c; ++ci)
                         iv[ci] = in.at(ci, iy, ix);
                 }
-                for (unsigned mi = 0; mi < w.m; ++mi)
-                    bs::storeVector(cc.array(cc.coordOf(mi)), inp[k],
-                                    iv);
             }
 
-            uint64_t cycles = ctrl.run(program);
+            uint64_t cycles = ctrl.run(program, &store_window);
             ++nPrograms;
             nc_dprintf("LayerEngine",
                        "window (%u,%u): %llu cycles on %zu arrays", y,

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cache/compute_cache.hh"
+#include "common/thread_pool.hh"
 #include "core/controller.hh"
 #include "dnn/reference.hh"
 #include "dnn/tensor.hh"
@@ -34,8 +35,10 @@ namespace nc::core
 class LayerEngine
 {
   public:
-    explicit LayerEngine(cache::ComputeCache &cc_)
-        : cc(cc_), ctrl(cc_)
+    /** @param nthreads worker threads (0 = NC_THREADS / hardware). */
+    explicit LayerEngine(cache::ComputeCache &cc_,
+                         unsigned nthreads = 0)
+        : cc(cc_), pool(nthreads), ctrl(cc_, &pool)
     {
     }
 
@@ -66,8 +69,12 @@ class LayerEngine
     /** Arrays enrolled in the lock-step group. */
     size_t groupSize() const { return ctrl.groupSize(); }
 
+    /** Worker threads the broadcast programs fan out over. */
+    unsigned threads() const { return pool.size(); }
+
   private:
     cache::ComputeCache &cc;
+    common::ThreadPool pool; ///< must outlive ctrl (ctrl borrows it)
     Controller ctrl;
     uint64_t nPrograms = 0;
 };

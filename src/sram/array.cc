@@ -16,7 +16,8 @@ Array::Array(unsigned rows_, unsigned cols_)
 void
 Array::checkRow(unsigned r) const
 {
-    nc_assert(r < nrows, "row %u out of %u", r, nrows);
+    nc_dassert(r < nrows, "row %u out of %u", r, nrows);
+    (void)r;
 }
 
 BitRow
@@ -39,6 +40,13 @@ Array::writeRow(unsigned r, const BitRow &row)
 
 const BitRow &
 Array::rowRef(unsigned r) const
+{
+    checkRow(r);
+    return cells[r];
+}
+
+BitRow &
+Array::rowMut(unsigned r)
 {
     checkRow(r);
     return cells[r];
@@ -79,83 +87,245 @@ Array::writeBack(unsigned dst, const BitRow &value, bool pred)
         cells[dst] = value;
 }
 
+template <class F>
+void
+Array::fused2(unsigned ra, unsigned rb, unsigned dst, bool pred, F f)
+{
+    checkRow(ra);
+    checkRow(rb);
+    checkRow(dst);
+    nc_assert(ra != rb, "dual activation of the same word line %u", ra);
+    const uint64_t *a = cells[ra].wordData();
+    const uint64_t *b = cells[rb].wordData();
+    uint64_t *d = cells[dst].wordData();
+    const uint64_t *t = tagLatch.wordData();
+    const size_t nw = cells[dst].wordCount();
+    const uint64_t tm = cells[dst].tailMask();
+    for (size_t i = 0; i < nw; ++i) {
+        uint64_t v = f(a[i], b[i]);
+        if (i + 1 == nw)
+            v &= tm;
+        d[i] = pred ? ((d[i] & ~t[i]) | (v & t[i])) : v;
+    }
+}
+
+template <class F>
+void
+Array::fused1(unsigned src, unsigned dst, bool pred, F f)
+{
+    checkRow(src);
+    checkRow(dst);
+    const uint64_t *s = cells[src].wordData();
+    uint64_t *d = cells[dst].wordData();
+    const uint64_t *t = tagLatch.wordData();
+    const size_t nw = cells[dst].wordCount();
+    const uint64_t tm = cells[dst].tailMask();
+    for (size_t i = 0; i < nw; ++i) {
+        uint64_t v = f(s[i]);
+        if (i + 1 == nw)
+            v &= tm;
+        d[i] = pred ? ((d[i] & ~t[i]) | (v & t[i])) : v;
+    }
+}
+
+void
+Array::fusedImm(unsigned dst, bool pred, uint64_t v)
+{
+    checkRow(dst);
+    uint64_t *d = cells[dst].wordData();
+    const uint64_t *t = tagLatch.wordData();
+    const size_t nw = cells[dst].wordCount();
+    const uint64_t tm = cells[dst].tailMask();
+    for (size_t i = 0; i < nw; ++i) {
+        uint64_t w = i + 1 == nw ? v & tm : v;
+        d[i] = pred ? ((d[i] & ~t[i]) | (w & t[i])) : w;
+    }
+}
+
+void
+Array::fusedLatchStore(const BitRow &src, unsigned dst, bool pred)
+{
+    checkRow(dst);
+    // src is a latch row: its tail lanes are already zero.
+    const uint64_t *s = src.wordData();
+    uint64_t *d = cells[dst].wordData();
+    const uint64_t *t = tagLatch.wordData();
+    for (size_t i = 0, nw = cells[dst].wordCount(); i < nw; ++i)
+        d[i] = pred ? ((d[i] & ~t[i]) | (s[i] & t[i])) : s[i];
+}
+
+template <class F>
+void
+Array::fusedTag(unsigned r, F f)
+{
+    checkRow(r);
+    const uint64_t *s = cells[r].wordData();
+    uint64_t *t = tagLatch.wordData();
+    for (size_t i = 0, nw = tagLatch.wordCount(); i < nw; ++i)
+        t[i] = f(t[i], s[i]);
+}
+
+void
+Array::loadLatch(BitRow &dst, const BitRow &src, bool invert)
+{
+    const uint64_t *s = src.wordData();
+    uint64_t *d = dst.wordData();
+    const size_t nw = dst.wordCount();
+    const uint64_t tm = dst.tailMask();
+    for (size_t i = 0; i < nw; ++i) {
+        uint64_t v = invert ? ~s[i] : s[i];
+        d[i] = i + 1 == nw ? v & tm : v;
+    }
+}
+
 void
 Array::opAnd(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    writeBack(dst, sense(ra, rb).bl, pred);
+    if (refMode) {
+        writeBack(dst, sense(ra, rb).bl, pred);
+        return;
+    }
+    fused2(ra, rb, dst, pred,
+           [](uint64_t a, uint64_t b) { return a & b; });
 }
 
 void
 Array::opNor(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    writeBack(dst, sense(ra, rb).blb, pred);
+    if (refMode) {
+        writeBack(dst, sense(ra, rb).blb, pred);
+        return;
+    }
+    fused2(ra, rb, dst, pred,
+           [](uint64_t a, uint64_t b) { return ~a & ~b; });
 }
 
 void
 Array::opOr(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    writeBack(dst, ~sense(ra, rb).blb, pred);
+    if (refMode) {
+        writeBack(dst, ~sense(ra, rb).blb, pred);
+        return;
+    }
+    fused2(ra, rb, dst, pred,
+           [](uint64_t a, uint64_t b) { return a | b; });
 }
 
 void
 Array::opXor(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    Sensed s = sense(ra, rb);
-    writeBack(dst, ~(s.bl | s.blb), pred);
+    if (refMode) {
+        Sensed s = sense(ra, rb);
+        writeBack(dst, ~(s.bl | s.blb), pred);
+        return;
+    }
+    fused2(ra, rb, dst, pred,
+           [](uint64_t a, uint64_t b) { return a ^ b; });
 }
 
 void
 Array::opXnor(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    Sensed s = sense(ra, rb);
-    writeBack(dst, s.bl | s.blb, pred);
+    if (refMode) {
+        Sensed s = sense(ra, rb);
+        writeBack(dst, s.bl | s.blb, pred);
+        return;
+    }
+    fused2(ra, rb, dst, pred,
+           [](uint64_t a, uint64_t b) { return ~(a ^ b); });
 }
 
 void
 Array::opAdd(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    Sensed s = sense(ra, rb);
-    BitRow axb = ~(s.bl | s.blb);            // A XOR B
-    BitRow sum = axb ^ carryLatch;           // A ^ B ^ Cin
-    BitRow cout = s.bl | (axb & carryLatch); // A&B + (A^B)&Cin
-    writeBack(dst, sum, pred);
-    carryLatch = cout;
+    if (refMode) {
+        Sensed s = sense(ra, rb);
+        BitRow axb = ~(s.bl | s.blb);            // A XOR B
+        BitRow sum = axb ^ carryLatch;           // A ^ B ^ Cin
+        BitRow cout = s.bl | (axb & carryLatch); // A&B + (A^B)&Cin
+        writeBack(dst, sum, pred);
+        carryLatch = cout;
+        return;
+    }
+    checkRow(ra);
+    checkRow(rb);
+    checkRow(dst);
+    nc_assert(ra != rb, "dual activation of the same word line %u", ra);
+    const uint64_t *a = cells[ra].wordData();
+    const uint64_t *b = cells[rb].wordData();
+    uint64_t *d = cells[dst].wordData();
+    uint64_t *c = carryLatch.wordData();
+    const uint64_t *t = tagLatch.wordData();
+    const size_t nw = cells[dst].wordCount();
+    const uint64_t tm = cells[dst].tailMask();
+    // Sum write-back honours predication; the carry latch updates
+    // unconditionally, exactly like the hardware's full-adder cycle.
+    // Operand words are read before the destination word is written,
+    // so dst may alias ra or rb (in-place accumulation).
+    for (size_t i = 0; i < nw; ++i) {
+        uint64_t aw = a[i], bw = b[i], cw = c[i];
+        uint64_t axb = aw ^ bw;
+        uint64_t sum = axb ^ cw;
+        uint64_t cout = (aw & bw) | (axb & cw);
+        if (i + 1 == nw) {
+            sum &= tm;
+            cout &= tm;
+        }
+        d[i] = pred ? ((d[i] & ~t[i]) | (sum & t[i])) : sum;
+        c[i] = cout;
+    }
 }
 
 void
 Array::opCopy(unsigned src, unsigned dst, bool pred)
 {
-    checkRow(src);
     ++nComputeCycles;
-    writeBack(dst, cells[src], pred);
+    if (refMode) {
+        checkRow(src);
+        writeBack(dst, cells[src], pred);
+        return;
+    }
+    fused1(src, dst, pred, [](uint64_t s) { return s; });
 }
 
 void
 Array::opCopyInv(unsigned src, unsigned dst, bool pred)
 {
-    checkRow(src);
     ++nComputeCycles;
-    writeBack(dst, ~cells[src], pred);
+    if (refMode) {
+        checkRow(src);
+        writeBack(dst, ~cells[src], pred);
+        return;
+    }
+    fused1(src, dst, pred, [](uint64_t s) { return ~s; });
 }
 
 void
 Array::opZero(unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    writeBack(dst, BitRow(ncols, false), pred);
+    if (refMode) {
+        writeBack(dst, BitRow(ncols, false), pred);
+        return;
+    }
+    fusedImm(dst, pred, 0);
 }
 
 void
 Array::opOnes(unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    writeBack(dst, BitRow(ncols, true), pred);
+    if (refMode) {
+        writeBack(dst, BitRow(ncols, true), pred);
+        return;
+    }
+    fusedImm(dst, pred, ~uint64_t(0));
 }
 
 void
@@ -171,60 +341,99 @@ Array::opLoadTagInv(unsigned r)
 {
     checkRow(r);
     ++nComputeCycles;
-    tagLatch = ~cells[r];
+    if (refMode) {
+        tagLatch = ~cells[r];
+        return;
+    }
+    loadLatch(tagLatch, cells[r], /*invert=*/true);
 }
 
 void
 Array::opTagAnd(unsigned r)
 {
-    checkRow(r);
     ++nComputeCycles;
-    tagLatch = tagLatch & cells[r];
+    if (refMode) {
+        checkRow(r);
+        tagLatch = tagLatch & cells[r];
+        return;
+    }
+    fusedTag(r, [](uint64_t t, uint64_t s) { return t & s; });
 }
 
 void
 Array::opTagAndInv(unsigned r)
 {
-    checkRow(r);
     ++nComputeCycles;
-    tagLatch = tagLatch & ~cells[r];
+    if (refMode) {
+        checkRow(r);
+        tagLatch = tagLatch & ~cells[r];
+        return;
+    }
+    fusedTag(r, [](uint64_t t, uint64_t s) { return t & ~s; });
 }
 
 void
 Array::opTagOr(unsigned r)
 {
-    checkRow(r);
     ++nComputeCycles;
-    tagLatch = tagLatch | cells[r];
+    if (refMode) {
+        checkRow(r);
+        tagLatch = tagLatch | cells[r];
+        return;
+    }
+    fusedTag(r, [](uint64_t t, uint64_t s) { return t | s; });
 }
 
 void
 Array::opTagAndXnor(unsigned ra, unsigned rb)
 {
     ++nComputeCycles;
-    Sensed s = sense(ra, rb);
-    tagLatch = tagLatch & (s.bl | s.blb);
+    if (refMode) {
+        Sensed s = sense(ra, rb);
+        tagLatch = tagLatch & (s.bl | s.blb);
+        return;
+    }
+    checkRow(ra);
+    checkRow(rb);
+    nc_assert(ra != rb, "dual activation of the same word line %u", ra);
+    const uint64_t *a = cells[ra].wordData();
+    const uint64_t *b = cells[rb].wordData();
+    uint64_t *t = tagLatch.wordData();
+    for (size_t i = 0, nw = tagLatch.wordCount(); i < nw; ++i)
+        t[i] &= ~(a[i] ^ b[i]);
 }
 
 void
 Array::opLoadTagFromCarry(bool invert)
 {
     ++nComputeCycles;
-    tagLatch = invert ? ~carryLatch : carryLatch;
+    if (refMode) {
+        tagLatch = invert ? ~carryLatch : carryLatch;
+        return;
+    }
+    loadLatch(tagLatch, carryLatch, invert);
 }
 
 void
 Array::opStoreTag(unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    writeBack(dst, tagLatch, pred);
+    if (refMode) {
+        writeBack(dst, tagLatch, pred);
+        return;
+    }
+    fusedLatchStore(tagLatch, dst, pred);
 }
 
 void
 Array::opStoreCarry(unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    writeBack(dst, carryLatch, pred);
+    if (refMode) {
+        writeBack(dst, carryLatch, pred);
+        return;
+    }
+    fusedLatchStore(carryLatch, dst, pred);
 }
 
 void
@@ -234,7 +443,11 @@ Array::opLaneShift(unsigned src, unsigned dst, unsigned shift,
     checkRow(src);
     checkRow(dst);
     nComputeCycles += cycles;
-    cells[dst] = cells[src].shiftedDown(shift);
+    if (refMode) {
+        cells[dst] = cells[src].shiftedDown(shift);
+        return;
+    }
+    cells[dst].assignShiftedDown(cells[src], shift);
 }
 
 void
@@ -254,6 +467,13 @@ Array::resetCycles()
 {
     nComputeCycles = 0;
     nAccessCycles = 0;
+}
+
+void
+Array::chargeCycles(uint64_t compute, uint64_t access)
+{
+    nComputeCycles += compute;
+    nAccessCycles += access;
 }
 
 } // namespace nc::sram

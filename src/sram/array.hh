@@ -20,6 +20,14 @@
  * predication must re-initialize carry with carrySet() (free: the preset
  * is part of the next issued micro-op's control word), exactly as the
  * multiplication walk-through in the paper does.
+ *
+ * Implementation: every op is a single allocation-free pass over the
+ * operand rows' 64-bit words — sense, logic, and predicated write-back
+ * fuse into one word-level loop, 64 lanes per iteration. A bit-by-bit
+ * reference implementation of the same semantics remains available
+ * behind setReferenceMode(true); differential tests and the perf_report
+ * baseline run it to pin the fast kernels (state, latches, and cycle
+ * counts must match exactly).
  */
 
 #ifndef NC_SRAM_ARRAY_HH
@@ -53,6 +61,8 @@ class Array
     /** @name Zero-cost debug access (test instrumentation, no cycles) */
     /// @{
     const BitRow &rowRef(unsigned r) const;
+    /** Mutable row access for cycle-free data movement (layout.cc). */
+    BitRow &rowMut(unsigned r);
     bool peek(unsigned r, unsigned lane) const;
     void poke(unsigned r, unsigned lane, bool v);
     /// @}
@@ -135,10 +145,28 @@ class Array
     uint64_t computeCycles() const { return nComputeCycles; }
     uint64_t accessCycles() const { return nAccessCycles; }
     void resetCycles();
+    /**
+     * Merge cycle counts measured elsewhere into this array's
+     * counters. The parallel executor runs independent work items on
+     * task-private arrays and reduces their counts into the modeled
+     * array after the join, so aggregate cycle/energy statistics are
+     * identical to a serial run (sums are order-independent).
+     */
+    void chargeCycles(uint64_t compute, uint64_t access);
     /// @}
 
+    /**
+     * Switch to the bit-by-bit reference implementation of every
+     * micro-op (identical architectural semantics and cycle counts,
+     * roughly an order of magnitude slower). Differential tests
+     * compare the two paths; bench/perf_report uses the reference
+     * path as its scalar baseline.
+     */
+    void setReferenceMode(bool on) { refMode = on; }
+    bool referenceMode() const { return refMode; }
+
   private:
-    /** Sense phase of a dual-row activation. */
+    /** Sense phase of a dual-row activation (reference path). */
     struct Sensed
     {
         BitRow bl;  ///< A AND B
@@ -146,8 +174,33 @@ class Array
     };
     Sensed sense(unsigned ra, unsigned rb) const;
 
-    /** Commit @p value to @p dst honouring predication. */
+    /** Commit @p value to @p dst honouring predication (reference). */
     void writeBack(unsigned dst, const BitRow &value, bool pred);
+
+    /**
+     * Fused sense + logic + predicated write-back: one pass over the
+     * operand words, 64 lanes at a time. @p f combines the two sensed
+     * words into the value to commit.
+     */
+    template <class F>
+    void fused2(unsigned ra, unsigned rb, unsigned dst, bool pred, F f);
+
+    /** Single-source variant (@p f maps the sensed word). */
+    template <class F>
+    void fused1(unsigned src, unsigned dst, bool pred, F f);
+
+    /** Commit the constant word @p v to every word of @p dst. */
+    void fusedImm(unsigned dst, bool pred, uint64_t v);
+
+    /** Predicated write-back of a latch row (tag/carry) into @p dst. */
+    void fusedLatchStore(const BitRow &src, unsigned dst, bool pred);
+
+    /** tag <= f(tag, row r), word-wise (the tag-fold family). */
+    template <class F>
+    void fusedTag(unsigned r, F f);
+
+    /** dst latch <= src (row or latch), optionally inverted. */
+    static void loadLatch(BitRow &dst, const BitRow &src, bool invert);
 
     void checkRow(unsigned r) const;
 
@@ -158,6 +211,7 @@ class Array
     BitRow tagLatch;
     uint64_t nComputeCycles = 0;
     uint64_t nAccessCycles = 0;
+    bool refMode = false;
 };
 
 } // namespace nc::sram

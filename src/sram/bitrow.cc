@@ -16,27 +16,8 @@ BitRow::BitRow(unsigned width_, bool fill_)
 void
 BitRow::maskTail()
 {
-    unsigned rem = nbits % 64;
-    if (rem != 0 && !words.empty())
-        words.back() &= (uint64_t(1) << rem) - 1;
-}
-
-bool
-BitRow::get(unsigned lane) const
-{
-    nc_assert(lane < nbits, "lane %u out of %u", lane, nbits);
-    return (words[lane / 64] >> (lane % 64)) & 1u;
-}
-
-void
-BitRow::set(unsigned lane, bool v)
-{
-    nc_assert(lane < nbits, "lane %u out of %u", lane, nbits);
-    uint64_t mask = uint64_t(1) << (lane % 64);
-    if (v)
-        words[lane / 64] |= mask;
-    else
-        words[lane / 64] &= ~mask;
+    if (!words.empty())
+        words.back() &= tailMask();
 }
 
 void
@@ -106,9 +87,40 @@ BitRow
 BitRow::shiftedDown(unsigned shift) const
 {
     BitRow r(nbits);
-    for (unsigned i = 0; i + shift < nbits; ++i)
-        r.set(i, get(i + shift));
+    r.assignShiftedDown(*this, shift);
     return r;
+}
+
+void
+BitRow::assignShiftedDown(const BitRow &src, unsigned shift)
+{
+    nc_assert(nbits == src.nbits, "width mismatch %u vs %u", nbits,
+              src.nbits);
+    size_t nw = words.size();
+    if (shift >= nbits) {
+        for (auto &w : words)
+            w = 0;
+        return;
+    }
+    size_t ws = shift / 64;
+    unsigned bs = shift % 64;
+    // Forward iteration only reads source words at index >= the one
+    // being written, so src may alias *this.
+    if (bs == 0) {
+        for (size_t i = 0; i + ws < nw; ++i)
+            words[i] = src.words[i + ws];
+    } else {
+        for (size_t i = 0; i + ws < nw; ++i) {
+            uint64_t lo = src.words[i + ws] >> bs;
+            uint64_t hi = i + ws + 1 < nw
+                              ? src.words[i + ws + 1] << (64 - bs)
+                              : 0;
+            words[i] = lo | hi;
+        }
+    }
+    for (size_t i = nw - ws; i < nw; ++i)
+        words[i] = 0;
+    maskTail();
 }
 
 void

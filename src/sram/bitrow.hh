@@ -6,6 +6,11 @@
  * line. Bit index == bit-line (lane) index. All logical operations are
  * lane-wise, mirroring what the per-bit-line column peripherals compute
  * in parallel during one array cycle.
+ *
+ * Storage is 64 lanes per machine word, tail bits (lanes >= width)
+ * always held at zero — every mutator maintains that invariant, so the
+ * word-parallel compute kernels in sram::Array can operate on whole
+ * words without re-masking their inputs.
  */
 
 #ifndef NC_SRAM_BITROW_HH
@@ -13,6 +18,8 @@
 
 #include <cstdint>
 #include <vector>
+
+#include "common/logging.hh"
 
 namespace nc::sram
 {
@@ -26,8 +33,61 @@ class BitRow
 
     unsigned width() const { return nbits; }
 
-    bool get(unsigned lane) const;
-    void set(unsigned lane, bool v);
+    bool
+    get(unsigned lane) const
+    {
+        nc_dassert(lane < nbits, "lane %u out of %u", lane, nbits);
+        return (words[lane / 64] >> (lane % 64)) & 1u;
+    }
+
+    void
+    set(unsigned lane, bool v)
+    {
+        nc_dassert(lane < nbits, "lane %u out of %u", lane, nbits);
+        uint64_t mask = uint64_t(1) << (lane % 64);
+        if (v)
+            words[lane / 64] |= mask;
+        else
+            words[lane / 64] &= ~mask;
+    }
+
+    /** @name Word-granular access (64 lanes per word, LSB = lane 0) */
+    /// @{
+    size_t wordCount() const { return words.size(); }
+
+    uint64_t
+    word(size_t i) const
+    {
+        nc_dassert(i < words.size(), "word %zu out of %zu", i,
+                   words.size());
+        return words[i];
+    }
+
+    /** Overwrite word @p i; tail lanes of the last word are masked. */
+    void
+    setWord(size_t i, uint64_t w)
+    {
+        nc_dassert(i < words.size(), "word %zu out of %zu", i,
+                   words.size());
+        words[i] = i + 1 == words.size() ? w & tailMask() : w;
+    }
+
+    const uint64_t *wordData() const { return words.data(); }
+    uint64_t *wordData() { return words.data(); }
+
+    /**
+     * Mask covering the valid lanes of the last word (all-ones when
+     * the width is a multiple of 64). Word-parallel kernels AND their
+     * last computed word with this to preserve the zero-tail
+     * invariant.
+     */
+    uint64_t
+    tailMask() const
+    {
+        unsigned rem = nbits % 64;
+        return rem == 0 ? ~uint64_t(0) : (uint64_t(1) << rem) - 1;
+    }
+    /// @}
 
     /** Set every lane to @p v. */
     void fill(bool v);
@@ -49,6 +109,13 @@ class BitRow
      * bit lines via sense-amp cycling / column mux.
      */
     BitRow shiftedDown(unsigned shift) const;
+
+    /**
+     * this <= src lane-shifted down by @p shift, without allocating:
+     * a word-level funnel shift. @p src may alias this object.
+     * Widths must match.
+     */
+    void assignShiftedDown(const BitRow &src, unsigned shift);
 
     /** Merge: lanes where mask is 1 take @p src, others keep this. */
     void mergeFrom(const BitRow &src, const BitRow &mask);

@@ -1,0 +1,72 @@
+/** @file Unit tests for the worker thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace
+{
+
+using nc::common::ThreadPool;
+
+TEST(ThreadPool, SizeIsAtLeastOne)
+{
+    ThreadPool p(0);
+    EXPECT_GE(p.size(), 1u);
+    ThreadPool p4(4);
+    EXPECT_EQ(p4.size(), 4u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 7u}) {
+        ThreadPool pool(threads);
+        constexpr size_t kN = 1000;
+        std::vector<std::atomic<uint32_t>> hits(kN);
+        pool.parallelFor(kN, [&](size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (size_t i = 0; i < kN; ++i)
+            EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, EmptyAndSingleLoops)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallelFor(0, [&](size_t) { ++count; });
+    EXPECT_EQ(count.load(), 0);
+    pool.parallelFor(1, [&](size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++count;
+    });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<uint64_t> sum{0};
+        pool.parallelFor(100, [&](size_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 99u * 100u / 2);
+    }
+}
+
+TEST(ThreadPool, DisjointWritesNeedNoSynchronization)
+{
+    ThreadPool pool(4);
+    std::vector<uint64_t> out(4096, 0);
+    pool.parallelFor(out.size(), [&](size_t i) { out[i] = i * i; });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+} // namespace

@@ -198,6 +198,8 @@ TEST(ArrayDeath, SameRowDualActivation)
 
 TEST(ArrayDeath, RowOutOfRange)
 {
+    if (!nc::kDebugAsserts)
+        GTEST_SKIP() << "row-bounds asserts compile out in Release";
     Array arr(8, 4);
     EXPECT_DEATH(arr.opCopy(8, 0), "row");
     EXPECT_DEATH(arr.readRow(9), "row");
