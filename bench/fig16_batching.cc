@@ -1,13 +1,15 @@
 /**
  * @file
  * Figure 16: throughput (inferences/second) as batch size sweeps 1 to
- * 256 for the CPU, GPU, and the dual-socket Neural Cache node.
+ * 256 for the CPU, GPU, and the dual-socket Neural Cache node. The
+ * network is compiled once; the whole sweep is answered from the
+ * cached per-stage costs of one CompiledModel.
  */
 
 #include <cstdio>
 
 #include "baselines/device_model.hh"
-#include "core/neural_cache.hh"
+#include "core/engine.hh"
 #include "dnn/inception_v3.hh"
 
 int
@@ -16,7 +18,10 @@ main()
     using namespace nc;
 
     auto net = dnn::inceptionV3();
-    core::NeuralCache sim;
+    core::EngineOptions opts;
+    opts.backend = core::BackendKind::Analytic;
+    core::Engine engine(opts);
+    auto model = engine.compile(net);
 
     // Baseline batch curves fitted to the paper's endpoints: peak
     // throughputs derive from "604 inf/s = 12.4x CPU = 2.2x GPU".
@@ -30,22 +35,23 @@ main()
     std::printf("%7s %10s %10s %14s %14s\n", "batch", "cpu", "gpu",
                 "neural-cache", "nc batch ms");
     for (unsigned b : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
-        auto rep = sim.inferBatch(net, b);
+        auto rep = model.report(b);
         std::printf("%7u %10.1f %10.1f %14.1f %14.2f\n", b,
                     cpu_curve.throughput(b), gpu_curve.throughput(b),
                     rep.throughput(), rep.batchMs());
     }
 
-    auto peak = sim.inferBatch(net, 256);
+    auto peak = model.report(256);
     std::printf("\npeak nc throughput %.0f inf/s (paper 604; "
                 "2.2x gpu, 12.4x cpu)\n",
                 peak.throughput());
     std::printf("ratios: %.1fx gpu, %.1fx cpu\n",
                 peak.throughput() / gpu_curve.throughput(256),
                 peak.throughput() / cpu_curve.throughput(256));
+    auto single = model.report(1);
     std::printf("filter-load amortization: batch-1 pays %.2f ms of "
                 "weight streaming per image, batch-256 pays %.3f ms\n",
-                sim.infer(net).phases.filterLoadPs * picoToMs,
-                sim.infer(net).phases.filterLoadPs * picoToMs / 256);
+                single.phases.filterLoadPs * picoToMs,
+                single.phases.filterLoadPs * picoToMs / 256);
     return 0;
 }

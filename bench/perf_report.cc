@@ -8,8 +8,12 @@
  * multithreaded path, verifies the two agree bit-for-bit and
  * cycle-for-cycle, and emits throughputs and speedups as JSON so the
  * perf trajectory of the repository is tracked by data, not
- * anecdotes. See ROADMAP.md "Performance & benchmarking" for the
- * schema. Usage: perf_report [output.json]
+ * anecdotes. Schema 2 adds the Engine compile/run split: compiling
+ * Inception v3 once (mapping + tiling + calibration) versus
+ * answering a batched report from the compiled model (arithmetic
+ * only) — the §IV-E amortization, measured. See ROADMAP.md
+ * "Performance & benchmarking" for the schema.
+ * Usage: perf_report [output.json]
  */
 
 #include <chrono>
@@ -20,7 +24,10 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
+#include "core/engine.hh"
 #include "core/executor.hh"
+#include "core/neural_cache.hh"
+#include "dnn/inception_v3.hh"
 #include "dnn/reference.hh"
 
 namespace
@@ -144,6 +151,33 @@ main(int argc, char **argv)
               static_cast<unsigned long long>(opt.cycles));
     double conv_speedup = scalar.seconds / opt.seconds;
 
+    // ---- engine: compile-once vs run-many amortization ---------------
+    // Compiling Inception v3 runs mapping/tiling + calibration for
+    // all 20 stages; a batched report from the compiled model is
+    // pure arithmetic on the cached stage costs. The old per-call
+    // API (NeuralCache::inferBatch) pays both on every query.
+    auto inception = dnn::inceptionV3();
+    core::EngineOptions eopts;
+    eopts.backend = core::BackendKind::Analytic;
+
+    double compile_s = timePerCall([&] {
+        core::Engine engine(eopts);
+        auto m = engine.compile(inception);
+        (void)m;
+    });
+    core::Engine engine(eopts);
+    auto model = engine.compile(inception);
+    double run_s = timePerCall([&] { (void)model.report(16); });
+
+    // The compiled model must answer exactly what the legacy
+    // per-call facade answers.
+    core::NeuralCache sim;
+    auto legacy = sim.inferBatch(inception, 16);
+    auto compiled = model.report(16);
+    nc_assert(compiled.batchPs == legacy.batchPs &&
+                  compiled.latencyPs == legacy.latencyPs,
+              "engine and legacy facade reports disagree");
+
     unsigned threads = common::ThreadPool::defaultThreads();
     std::FILE *f = std::fopen(path, "w");
     if (!f)
@@ -151,7 +185,7 @@ main(int argc, char **argv)
     std::fprintf(f,
         "{\n"
         "  \"bench\": \"simspeed\",\n"
-        "  \"schema\": 1,\n"
+        "  \"schema\": 2,\n"
         "  \"threads\": %u,\n"
         "  \"micro\": {\n"
         "    \"opadd_mops\": %.2f,\n"
@@ -169,6 +203,13 @@ main(int argc, char **argv)
         "    \"fast_ms\": %.3f,\n"
         "    \"speedup\": %.2f,\n"
         "    \"sim_cycles_per_sec\": %.0f\n"
+        "  },\n"
+        "  \"engine\": {\n"
+        "    \"network\": \"inception_v3\",\n"
+        "    \"backend\": \"analytic\",\n"
+        "    \"compile_ms\": %.4f,\n"
+        "    \"run_ms\": %.4f,\n"
+        "    \"runs_per_compile\": %.1f\n"
         "  }\n"
         "}\n",
         threads,
@@ -176,7 +217,8 @@ main(int argc, char **argv)
         st_fast_ml, st_ref_ml, st_fast_ml / st_ref_ml,
         static_cast<unsigned long long>(opt.cycles),
         scalar.seconds * 1e3, opt.seconds * 1e3, conv_speedup,
-        opt.cycles / opt.seconds);
+        opt.cycles / opt.seconds,
+        compile_s * 1e3, run_s * 1e3, compile_s / run_s);
     std::fclose(f);
 
     std::printf("perf_report: opAdd %.1f Mops/s (ref %.2f, %.0fx), "
@@ -186,6 +228,9 @@ main(int argc, char **argv)
                 add_fast_mops / add_ref_mops, st_fast_ml, st_ref_ml,
                 st_fast_ml / st_ref_ml, opt.seconds * 1e3,
                 scalar.seconds * 1e3, conv_speedup, threads);
+    std::printf("perf_report: engine compile %.3f ms, run %.4f ms "
+                "(%.0f runs amortize one compile)\n",
+                compile_s * 1e3, run_s * 1e3, compile_s / run_s);
     std::printf("perf_report: wrote %s\n", path);
     return 0;
 }

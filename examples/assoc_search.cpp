@@ -9,6 +9,8 @@
  * with tag-latch folds: exact match (searchKey), range predicates
  * (compareGE), and a conjunction of both — each in tens of cycles
  * regardless of how many records share an array.
+ *
+ * Usage: assoc_search [--seed S]
  */
 
 #include <cstdio>
@@ -17,13 +19,20 @@
 #include "bitserial/alu.hh"
 #include "bitserial/extensions.hh"
 #include "cache/compute_cache.hh"
+#include "common/argparse.hh"
 #include "common/rng.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nc;
     namespace bs = bitserial;
+
+    uint64_t seed = 99;
+    common::ArgParser args("assoc_search",
+                           "In-cache associative search demo");
+    args.addUint64("seed", &seed, "record-table seed");
+    args.parse(argc, argv);
 
     cache::ComputeCache cc;
     const unsigned arrays = 4;
@@ -31,7 +40,7 @@ main()
     const unsigned records = arrays * lanes; // 1024 records
 
     // The "table": key (16 bits) and value (8 bits) per record.
-    Rng rng(99);
+    Rng rng(seed);
     std::vector<uint64_t> keys(records), vals(records);
     for (unsigned i = 0; i < records; ++i) {
         keys[i] = rng.uniformBits(14);

@@ -4,18 +4,23 @@
  *
  * The paper pitches Neural Cache as a general data-parallel
  * co-processor ("improves performance of many other workloads when
- * not functioning as a DNN accelerator", §VII). This example runs a
- * 3x3 box blur over a synthetic image as an in-cache convolution,
- * normalizes it with the in-cache requantizer (x 227 >> 11 ~ divide
- * by 9), then extracts a bright-region mask with a bit-serial
- * compare — and renders the stages as ASCII art.
+ * not functioning as a DNN accelerator", §VII). This example
+ * compiles a 3x3 box blur as a one-layer "network" — the Engine's
+ * quantization calibration derives the x227 >> 11 (~ divide by 9)
+ * normalizer from the all-ones kernel automatically — runs it
+ * in-cache, then extracts a bright-region mask with a raw bit-serial
+ * compare, and renders the stages as ASCII art.
+ *
+ * Usage: image_filter [--backend functional|isa|reference]
  */
 
 #include <cstdio>
 #include <vector>
 
 #include "bitserial/alu.hh"
-#include "core/executor.hh"
+#include "common/argparse.hh"
+#include "common/logging.hh"
+#include "core/engine.hh"
 
 namespace
 {
@@ -58,36 +63,62 @@ render(const char *title, const std::vector<uint8_t> &pix, unsigned h,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nc;
     namespace bs = bitserial;
+
+    std::string backend_name = "functional";
+    common::ArgParser args("image_filter",
+                           "In-cache box blur + threshold mask");
+    args.addString("backend", &backend_name,
+                   "functional|isa|reference");
+    args.parse(argc, argv);
+
+    core::BackendKind backend;
+    if (!core::parseBackendKind(backend_name, backend) ||
+        backend == core::BackendKind::Analytic)
+        nc_fatal("--backend must be functional, isa, or reference "
+                 "(got '%s')", backend_name.c_str());
 
     auto img = makeImage();
     render("input (synthetic, 24x24):",
            {img.data().begin(), img.data().end()}, 24, 24);
 
-    cache::ComputeCache cc;
-    core::Executor ex(cc);
+    // The blur as a one-conv network: an all-ones kernel. The
+    // compile-time calibration bounds the accumulator at 9 * 255 and
+    // derives q = (acc * 227) >> 11, i.e. the divide-by-9 normalize.
+    dnn::Network net;
+    net.name = "box-blur";
+    net.stages.push_back(dnn::singleOpStage(
+        "blur", dnn::conv("blur", 24, 24, 1, 3, 3, 1)));
 
-    // 3x3 box blur: an all-ones kernel through the conv path.
     dnn::QWeights box(1, 1, 3, 3);
     for (auto &v : box.data)
         v = 1;
-    unsigned oh, ow;
-    auto acc = ex.conv(img, box, 1, true, oh, ow);
+    core::ModelWeights weights;
+    weights.emplace("blur", box);
 
-    // Normalize in-cache: x * 227 >> 11 is 1/9.02.
-    auto blurred = ex.requantize(acc, 227, 11);
-    render("3x3 box blur (in-cache conv + requantize /9):", blurred,
-           oh, ow);
+    core::EngineOptions opts;
+    opts.backend = backend;
+    core::Engine engine(opts);
+    auto model = engine.compile(net, weights);
+
+    const auto *blur = model.findLayer("blur");
+    auto result = model.run(img);
+    const std::vector<uint8_t> &blurred = result.output.data();
+    std::printf("calibrated normalizer: x %u >> %u (~ /9)\n\n",
+                blur->requantMult, blur->requantShift);
+    render("3x3 box blur (in-cache conv + requantize):", blurred, 24,
+           24);
 
     // Threshold: mask = blurred >= 140, via bit-serial compareGE and
-    // a predicated write of white.
+    // a predicated write of white — the raw ALU layer, on a private
+    // array.
     std::vector<uint8_t> mask(blurred.size(), 0);
-    unsigned cols = cc.geometry().arrayCols;
-    sram::Array &arr = cc.array(cc.coordOf(1));
-    bs::RowAllocator rows(cc.geometry().arrayRows);
+    sram::Array arr;
+    unsigned cols = arr.cols();
+    bs::RowAllocator rows(arr.rows());
     bs::VecSlice v = rows.alloc(8), thr = rows.alloc(8);
     bs::VecSlice cmp = rows.alloc(8), out = rows.alloc(8);
     for (size_t base = 0; base < blurred.size(); base += cols) {
@@ -107,11 +138,13 @@ main()
                 bs::loadLane(arr, out, static_cast<unsigned>(i)));
     }
     render("bright-region mask (compareGE 140 + predicated write):",
-           mask, oh, ow);
+           mask, 24, 24);
 
+    uint64_t cycles = arr.computeCycles();
+    if (auto *cc = model.computeCache())
+        cycles += cc->lockstepCycles();
     std::printf("lock-step compute cycles for the whole pipeline: "
                 "%llu (%.1f us at 2.5 GHz)\n",
-                (unsigned long long)cc.lockstepCycles(),
-                cc.lockstepCycles() / 2.5e9 * 1e6);
+                (unsigned long long)cycles, cycles / 2.5e9 * 1e6);
     return 0;
 }

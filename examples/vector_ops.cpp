@@ -5,23 +5,32 @@
  * closed-form formula, ending with the throughput argument of §III-A
  * (512 32-bit element-wise adds: 512 steps element-serial vs 32ish
  * steps bit-serial).
+ *
+ * Usage: vector_ops [--seed S]
  */
 
 #include <cstdio>
 
 #include "bitserial/alu.hh"
+#include "common/argparse.hh"
 #include "common/rng.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nc;
     namespace bs = bitserial;
 
+    uint64_t seed = 11;
+    common::ArgParser args("vector_ops",
+                           "Bit-serial ALU primitive tour");
+    args.addUint64("seed", &seed, "operand seed");
+    args.parse(argc, argv);
+
     sram::Array arr; // 256 x 256
     bs::RowAllocator rows(arr.rows());
     rows.zeroRow(); // reserve the constant-zero word line
-    Rng rng(11);
+    Rng rng(seed);
 
     bs::VecSlice a = rows.alloc(8), b = rows.alloc(8);
     bs::VecSlice sum = rows.alloc(9), diff = rows.alloc(8);

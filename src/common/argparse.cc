@@ -1,0 +1,181 @@
+#include "common/argparse.hh"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace nc::common
+{
+
+ArgParser::ArgParser(std::string prog_, std::string description_)
+    : prog(std::move(prog_)), description(std::move(description_))
+{
+}
+
+void
+ArgParser::addUnsigned(const std::string &name, unsigned *target,
+                       const std::string &help)
+{
+    options.push_back({name, help, Type::Unsigned, target});
+}
+
+void
+ArgParser::addUint64(const std::string &name, uint64_t *target,
+                     const std::string &help)
+{
+    options.push_back({name, help, Type::Uint64, target});
+}
+
+void
+ArgParser::addString(const std::string &name, std::string *target,
+                     const std::string &help)
+{
+    options.push_back({name, help, Type::String, target});
+}
+
+void
+ArgParser::addFlag(const std::string &name, bool *target,
+                   const std::string &help)
+{
+    options.push_back({name, help, Type::Flag, target});
+}
+
+const ArgParser::Option *
+ArgParser::find(const std::string &name) const
+{
+    for (const auto &opt : options)
+        if (opt.name == name)
+            return &opt;
+    return nullptr;
+}
+
+bool
+ArgParser::assign(const Option &opt, const std::string &value,
+                  std::string &error) const
+{
+    if (opt.type == Type::String) {
+        *static_cast<std::string *>(opt.target) = value;
+        return true;
+    }
+
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    bool malformed = value.empty() || *end != '\0' || errno != 0 ||
+                     value.front() == '-';
+    if (!malformed && opt.type == Type::Unsigned &&
+        parsed > 0xffffffffull)
+        malformed = true;
+    if (malformed) {
+        error = "--" + opt.name + ": '" + value +
+                "' is not a valid non-negative integer";
+        return false;
+    }
+    if (opt.type == Type::Unsigned)
+        *static_cast<unsigned *>(opt.target) =
+            static_cast<unsigned>(parsed);
+    else
+        *static_cast<uint64_t *>(opt.target) = parsed;
+    return true;
+}
+
+bool
+ArgParser::tryParse(int argc, const char *const *argv,
+                    std::string &error)
+{
+    error.clear();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return false; // empty error: caller prints usage, exit 0
+
+        if (arg.size() < 3 || arg.compare(0, 2, "--") != 0) {
+            error = "unexpected argument '" + arg + "'";
+            return false;
+        }
+
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+
+        const Option *opt = find(name);
+        if (!opt) {
+            error = "unknown option '--" + name + "'";
+            return false;
+        }
+
+        if (opt->type == Type::Flag) {
+            if (has_value) {
+                error = "--" + name + " takes no value";
+                return false;
+            }
+            *static_cast<bool *>(opt->target) = true;
+            continue;
+        }
+
+        if (!has_value) {
+            if (i + 1 >= argc) {
+                error = "--" + name + " needs a value";
+                return false;
+            }
+            value = argv[++i];
+        }
+        if (!assign(*opt, value, error))
+            return false;
+    }
+    return true;
+}
+
+void
+ArgParser::parse(int argc, const char *const *argv)
+{
+    std::string error;
+    if (tryParse(argc, argv, error))
+        return;
+    if (error.empty()) { // --help
+        std::fputs(usage().c_str(), stdout);
+        std::exit(0);
+    }
+    std::fprintf(stderr, "%s: %s\n\n%s", prog.c_str(), error.c_str(),
+                 usage().c_str());
+    std::exit(1);
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << prog;
+    for (const auto &opt : options) {
+        os << " [--" << opt.name;
+        if (opt.type != Type::Flag)
+            os << " <value>";
+        os << "]";
+    }
+    os << "\n";
+    if (!description.empty())
+        os << description << "\n";
+    if (!options.empty()) {
+        os << "\noptions:\n";
+        for (const auto &opt : options) {
+            std::string lhs = "  --" + opt.name;
+            if (opt.type != Type::Flag)
+                lhs += " <value>";
+            os << lhs;
+            for (size_t pad = lhs.size(); pad < 26; ++pad)
+                os << ' ';
+            os << opt.help << "\n";
+        }
+    }
+    os << "  --help                  show this message\n";
+    return os.str();
+}
+
+} // namespace nc::common

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A tiny command-line option parser for the examples and benches.
+ *
+ * Replaces the unchecked std::atoi pattern: every option is declared
+ * with a target, values are range- and syntax-checked, unknown
+ * arguments and missing values produce a one-line error plus the
+ * usage text, and --help prints it and exits 0. Both "--batch 4" and
+ * "--batch=4" spellings are accepted.
+ *
+ *     unsigned batch = 1;
+ *     std::string backend = "functional";
+ *     common::ArgParser args("inception_inference",
+ *                            "Whole-model inference study");
+ *     args.addUnsigned("batch", &batch, "images per batch (>= 1)");
+ *     args.addString("backend", &backend,
+ *                    "reference|functional|isa|analytic");
+ *     args.parse(argc, argv); // exits with a message on bad input
+ */
+
+#ifndef NC_COMMON_ARGPARSE_HH
+#define NC_COMMON_ARGPARSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nc::common
+{
+
+/** Declarative long-option parser ("--name value" / "--name=value"). */
+class ArgParser
+{
+  public:
+    ArgParser(std::string prog, std::string description);
+
+    /** Register an unsigned option; *target keeps its default. */
+    void addUnsigned(const std::string &name, unsigned *target,
+                     const std::string &help);
+    /** Register a 64-bit unsigned option (seeds). */
+    void addUint64(const std::string &name, uint64_t *target,
+                   const std::string &help);
+    /** Register a string option. */
+    void addString(const std::string &name, std::string *target,
+                   const std::string &help);
+    /** Register a value-less boolean flag. */
+    void addFlag(const std::string &name, bool *target,
+                 const std::string &help);
+
+    /**
+     * Parse @p argv. On "--help": print usage, exit 0. On any error
+     * (unknown option, missing or malformed value): print the error
+     * and usage to stderr, exit 1.
+     */
+    void parse(int argc, const char *const *argv);
+
+    /**
+     * Non-exiting core of parse() for tests: returns false and fills
+     * @p error instead of exiting. "--help" returns false with
+     * error empty.
+     */
+    bool tryParse(int argc, const char *const *argv,
+                  std::string &error);
+
+    /** The generated usage text. */
+    std::string usage() const;
+
+  private:
+    enum class Type { Unsigned, Uint64, String, Flag };
+
+    struct Option
+    {
+        std::string name;
+        std::string help;
+        Type type = Type::String;
+        void *target = nullptr;
+    };
+
+    const Option *find(const std::string &name) const;
+    bool assign(const Option &opt, const std::string &value,
+                std::string &error) const;
+
+    std::string prog;
+    std::string description;
+    std::vector<Option> options;
+};
+
+} // namespace nc::common
+
+#endif // NC_COMMON_ARGPARSE_HH

@@ -1,0 +1,266 @@
+#include "core/backend.hh"
+
+#include "common/logging.hh"
+#include "core/compiled_model.hh"
+#include "core/executor.hh"
+#include "core/layer_engine.hh"
+#include "dnn/reference.hh"
+
+namespace nc::core
+{
+
+const char *
+backendKindName(BackendKind k)
+{
+    switch (k) {
+      case BackendKind::Reference:
+        return "reference";
+      case BackendKind::Functional:
+        return "functional";
+      case BackendKind::Isa:
+        return "isa";
+      case BackendKind::Analytic:
+        return "analytic";
+    }
+    return "unknown";
+}
+
+bool
+parseBackendKind(std::string_view name, BackendKind &out)
+{
+    if (name == "reference")
+        out = BackendKind::Reference;
+    else if (name == "functional")
+        out = BackendKind::Functional;
+    else if (name == "isa")
+        out = BackendKind::Isa;
+    else if (name == "analytic")
+        out = BackendKind::Analytic;
+    else
+        return false;
+    return true;
+}
+
+// ---- Analytic -------------------------------------------------------
+
+AnalyticBackend::AnalyticBackend(const NeuralCacheConfig &cfg_)
+    : cfg(cfg_), costModel(cfg_.geometry, cfg_.cost, cfg_.dram)
+{
+}
+
+StageCost
+AnalyticBackend::stageCost(const dnn::Stage &stage) const
+{
+    return costModel.stageCost(stage);
+}
+
+InferenceReport
+AnalyticBackend::report(const dnn::Network &net,
+                        const std::vector<StageCost> &stageCosts,
+                        unsigned batch) const
+{
+    return assembleBatchReport(net, stageCosts, batch, cfg.sockets,
+                               costModel, cfg.energy);
+}
+
+std::vector<uint32_t>
+AnalyticBackend::conv(CompiledLayer &, const dnn::QTensor &, unsigned &,
+                      unsigned &)
+{
+    nc_panic("the analytic backend cannot execute tensors; use "
+             "CompiledModel::report() or a functional backend");
+}
+
+dnn::QTensor
+AnalyticBackend::maxPool(const dnn::QTensor &, unsigned, unsigned,
+                         unsigned, bool)
+{
+    nc_panic("the analytic backend cannot execute tensors");
+}
+
+dnn::QTensor
+AnalyticBackend::avgPool(const dnn::QTensor &, unsigned, unsigned,
+                         unsigned)
+{
+    nc_panic("the analytic backend cannot execute tensors");
+}
+
+std::vector<uint8_t>
+AnalyticBackend::requantize(const std::vector<uint32_t> &, uint8_t,
+                            unsigned)
+{
+    nc_panic("the analytic backend cannot execute tensors");
+}
+
+namespace
+{
+
+// ---- Reference ------------------------------------------------------
+
+/** Ground-truth CPU loops; what every functional path is pinned to. */
+class ReferenceBackend : public Backend
+{
+  public:
+    BackendKind kind() const override { return BackendKind::Reference; }
+
+    std::vector<uint32_t>
+    conv(CompiledLayer &layer, const dnn::QTensor &in, unsigned &out_h,
+         unsigned &out_w) override
+    {
+        return dnn::convQuantUnsigned(in, layer.weights,
+                                      layer.op.conv.stride,
+                                      layer.op.conv.samePad, out_h,
+                                      out_w);
+    }
+
+    dnn::QTensor
+    maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
+            unsigned stride, bool same_pad) override
+    {
+        return dnn::maxPoolQuant(in, r, s, stride, same_pad);
+    }
+
+    dnn::QTensor
+    avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
+            unsigned stride) override
+    {
+        return dnn::avgPoolQuant(in, r, s, stride);
+    }
+
+    std::vector<uint8_t>
+    requantize(const std::vector<uint32_t> &acc, uint8_t mult,
+               unsigned shift) override
+    {
+        // Integer-exact mirror of the in-array sequence: multiply,
+        // truncating shift, saturate to 8 bits.
+        std::vector<uint8_t> out(acc.size());
+        for (size_t i = 0; i < acc.size(); ++i) {
+            uint64_t t = (static_cast<uint64_t>(acc[i]) * mult) >>
+                         shift;
+            out[i] = static_cast<uint8_t>(t > 0xff ? 0xff : t);
+        }
+        return out;
+    }
+};
+
+// ---- Functional (direct-ALU Executor) -------------------------------
+
+class FunctionalBackend : public Backend
+{
+  public:
+    explicit FunctionalBackend(Executor &ex_) : ex(ex_) {}
+
+    BackendKind kind() const override
+    {
+        return BackendKind::Functional;
+    }
+
+    std::vector<uint32_t>
+    conv(CompiledLayer &layer, const dnn::QTensor &in, unsigned &out_h,
+         unsigned &out_w) override
+    {
+        nc_assert(layer.funcConv.has_value(),
+                  "layer '%s' was not prepared for the functional "
+                  "backend", layer.op.name().c_str());
+        return layer.funcConv->run(in, out_h, out_w);
+    }
+
+    dnn::QTensor
+    maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
+            unsigned stride, bool same_pad) override
+    {
+        return ex.maxPool(in, r, s, stride, same_pad);
+    }
+
+    dnn::QTensor
+    avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
+            unsigned stride) override
+    {
+        return ex.avgPool(in, r, s, stride);
+    }
+
+    std::vector<uint8_t>
+    requantize(const std::vector<uint32_t> &acc, uint8_t mult,
+               unsigned shift) override
+    {
+        return ex.requantize(acc, mult, shift);
+    }
+
+  private:
+    Executor &ex;
+};
+
+// ---- ISA (broadcast LayerEngine) ------------------------------------
+
+class IsaBackend : public Backend
+{
+  public:
+    IsaBackend(LayerEngine &le_, Executor &ex_) : le(le_), ex(ex_) {}
+
+    BackendKind kind() const override { return BackendKind::Isa; }
+
+    std::vector<uint32_t>
+    conv(CompiledLayer &layer, const dnn::QTensor &in, unsigned &out_h,
+         unsigned &out_w) override
+    {
+        nc_assert(layer.isaConv.has_value(),
+                  "layer '%s' was not prepared for the ISA backend",
+                  layer.op.name().c_str());
+        return layer.isaConv->run(in, out_h, out_w);
+    }
+
+    dnn::QTensor
+    maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
+            unsigned stride, bool same_pad) override
+    {
+        // The broadcast MaxInto program covers VALID windows; SAME
+        // padding falls back to the executor's bit-serial pooling.
+        if (same_pad)
+            return ex.maxPool(in, r, s, stride, true);
+        return le.maxPoolLayer(in, r, s, stride);
+    }
+
+    dnn::QTensor
+    avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
+            unsigned stride) override
+    {
+        // No broadcast macro for the sum+divide sequence yet; the
+        // executor drives the identical bit-serial micro-ops.
+        return ex.avgPool(in, r, s, stride);
+    }
+
+    std::vector<uint8_t>
+    requantize(const std::vector<uint32_t> &acc, uint8_t mult,
+               unsigned shift) override
+    {
+        return ex.requantize(acc, mult, shift);
+    }
+
+  private:
+    LayerEngine &le;
+    Executor &ex;
+};
+
+} // namespace
+
+std::unique_ptr<Backend>
+makeBackend(BackendKind kind, Executor *ex, LayerEngine *le)
+{
+    switch (kind) {
+      case BackendKind::Reference:
+        return std::make_unique<ReferenceBackend>();
+      case BackendKind::Functional:
+        nc_assert(ex, "functional backend needs an Executor");
+        return std::make_unique<FunctionalBackend>(*ex);
+      case BackendKind::Isa:
+        nc_assert(ex && le,
+                  "ISA backend needs a LayerEngine and an Executor");
+        return std::make_unique<IsaBackend>(*le, *ex);
+      case BackendKind::Analytic:
+        break;
+    }
+    nc_panic("no functional backend for kind '%s'",
+             backendKindName(kind));
+}
+
+} // namespace nc::core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Pluggable execution backends behind the Engine / CompiledModel API.
+ *
+ * One compiled network can be answered four ways:
+ *
+ *  - Reference:  obviously-correct CPU loops (dnn::reference) — the
+ *                ground truth every functional path is pinned to.
+ *  - Functional: bit-serial array operations through core::Executor
+ *                (direct ALU calls, per-filter-batch parallelism).
+ *  - Isa:        the broadcast-ISA path through core::LayerEngine /
+ *                Controller (one instruction stream, SIMD lock-step).
+ *  - Analytic:   the paper's cost model (core::CostModel) — timing,
+ *                phase breakdowns, and energy, no tensors.
+ *
+ * The three functional backends are bit-exact against each other by
+ * construction (the backend-parity test suite enforces it); the
+ * analytic backend answers every run's InferenceReport. Backends are
+ * selected per engine and overridable per layer for mixed runs, and
+ * all share one common::ThreadPool.
+ */
+
+#ifndef NC_CORE_BACKEND_HH
+#define NC_CORE_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/neural_cache.hh"
+#include "dnn/tensor.hh"
+
+namespace nc::core
+{
+
+class Executor;
+class LayerEngine;
+struct CompiledLayer;
+
+/** The four ways a compiled layer can execute. */
+enum class BackendKind
+{
+    Reference,
+    Functional,
+    Isa,
+    Analytic,
+};
+
+const char *backendKindName(BackendKind k);
+
+/**
+ * Parse a backend name ("reference", "functional", "isa",
+ * "analytic"); returns false on unknown names.
+ */
+bool parseBackendKind(std::string_view name, BackendKind &out);
+
+/**
+ * A functional execution strategy for compiled layers. Implementations
+ * wrap the existing executors; CompiledModel dispatches each layer to
+ * the backend its compile options selected.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual BackendKind kind() const = 0;
+
+    /**
+     * Convolution (or FC-as-1x1-conv) of @p layer on @p in; returns
+     * the raw accumulators in [m][oh][ow] order.
+     */
+    virtual std::vector<uint32_t> conv(CompiledLayer &layer,
+                                       const dnn::QTensor &in,
+                                       unsigned &out_h,
+                                       unsigned &out_w) = 0;
+
+    virtual dnn::QTensor maxPool(const dnn::QTensor &in, unsigned r,
+                                 unsigned s, unsigned stride,
+                                 bool same_pad) = 0;
+
+    /** Average pooling, VALID windows (truncating division). */
+    virtual dnn::QTensor avgPool(const dnn::QTensor &in, unsigned r,
+                                 unsigned s, unsigned stride) = 0;
+
+    /**
+     * Requantize accumulators to bytes: q = sat8((acc * mult) >>
+     * shift), the §IV-D fixed-point sequence with compile-time
+     * calibrated scalars.
+     */
+    virtual std::vector<uint8_t> requantize(
+        const std::vector<uint32_t> &acc, uint8_t mult,
+        unsigned shift) = 0;
+};
+
+/**
+ * The timing half: wraps CostModel. It cannot execute tensors (the
+ * functional entry points panic); CompiledModel uses it to derive
+ * per-stage costs at compile time and assemble batched reports at run
+ * time — which is exactly the compile/run amortization: mapping and
+ * tiling are priced once, report assembly is arithmetic.
+ */
+class AnalyticBackend : public Backend
+{
+  public:
+    explicit AnalyticBackend(const NeuralCacheConfig &cfg_);
+
+    BackendKind kind() const override { return BackendKind::Analytic; }
+
+    const CostModel &model() const { return costModel; }
+
+    /** Price one stage (runs mapping/tiling; compile-time only). */
+    StageCost stageCost(const dnn::Stage &stage) const;
+
+    /** Assemble the batched report from compile-time stage costs. */
+    InferenceReport report(const dnn::Network &net,
+                           const std::vector<StageCost> &stageCosts,
+                           unsigned batch) const;
+
+    std::vector<uint32_t> conv(CompiledLayer &layer,
+                               const dnn::QTensor &in, unsigned &out_h,
+                               unsigned &out_w) override;
+    dnn::QTensor maxPool(const dnn::QTensor &in, unsigned r,
+                         unsigned s, unsigned stride,
+                         bool same_pad) override;
+    dnn::QTensor avgPool(const dnn::QTensor &in, unsigned r,
+                         unsigned s, unsigned stride) override;
+    std::vector<uint8_t> requantize(const std::vector<uint32_t> &acc,
+                                    uint8_t mult,
+                                    unsigned shift) override;
+
+  private:
+    NeuralCacheConfig cfg;
+    CostModel costModel;
+};
+
+/**
+ * Build a functional backend. @p ex is required for Functional and
+ * Isa (the Isa backend routes avg pooling, SAME-padded pooling, and
+ * requantization through the executor's bit-serial helpers — the ISA
+ * has no broadcast macro for them yet); @p le is required for Isa.
+ */
+std::unique_ptr<Backend> makeBackend(BackendKind kind, Executor *ex,
+                                     LayerEngine *le);
+
+} // namespace nc::core
+
+#endif // NC_CORE_BACKEND_HH

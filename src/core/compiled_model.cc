@@ -1,0 +1,138 @@
+#include "core/compiled_model.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace nc::core
+{
+
+CompiledModel::CompiledModel() = default;
+CompiledModel::CompiledModel(CompiledModel &&) noexcept = default;
+CompiledModel &CompiledModel::operator=(CompiledModel &&) noexcept =
+    default;
+CompiledModel::~CompiledModel() = default;
+
+unsigned
+CompiledModel::threads() const
+{
+    return pool ? pool->size() : 1;
+}
+
+const CompiledLayer *
+CompiledModel::findLayer(std::string_view name) const
+{
+    for (const auto &layer : layers)
+        if (layer.op.name() == name)
+            return &layer;
+    return nullptr;
+}
+
+InferenceReport
+CompiledModel::report(unsigned batch) const
+{
+    return analytic->report(net, stageCosts, batch);
+}
+
+Backend &
+CompiledModel::backendFor(BackendKind k)
+{
+    Backend *b = nullptr;
+    switch (k) {
+      case BackendKind::Reference:
+        b = refBackend.get();
+        break;
+      case BackendKind::Functional:
+        b = funcBackend.get();
+        break;
+      case BackendKind::Isa:
+        b = isaBackend.get();
+        break;
+      case BackendKind::Analytic:
+        b = analytic.get();
+        break;
+    }
+    nc_assert(b, "backend '%s' was not instantiated at compile time",
+              backendKindName(k));
+    return *b;
+}
+
+dnn::QTensor
+CompiledModel::runLayers(const dnn::QTensor &input)
+{
+    nc_assert(input.channels() == inC && input.height() == inH &&
+                  input.width() == inW,
+              "input is %ux%ux%u, network '%s' expects %ux%ux%u",
+              input.channels(), input.height(), input.width(),
+              net.name.c_str(), inC, inH, inW);
+
+    dnn::QTensor act = input;
+    for (auto &layer : layers) {
+        Backend &b = backendFor(layer.backend);
+        switch (layer.op.kind) {
+          case dnn::OpKind::FullyConnected:
+            // Flatten CHW into channels, as TF does for FC-as-1x1.
+            if (act.height() != 1 || act.width() != 1) {
+                dnn::QTensor flat(
+                    act.channels() * act.height() * act.width(), 1, 1,
+                    act.params());
+                flat.data() = std::move(act.data());
+                act = std::move(flat);
+            }
+            [[fallthrough]];
+          case dnn::OpKind::Conv: {
+            unsigned oh = 0, ow = 0;
+            auto acc = b.conv(layer, act, oh, ow);
+            auto bytes = b.requantize(acc, layer.requantMult,
+                                      layer.requantShift);
+            dnn::QTensor next(layer.op.conv.m, oh, ow);
+            next.data() = std::move(bytes);
+            act = std::move(next);
+            break;
+          }
+          case dnn::OpKind::MaxPool:
+            act = b.maxPool(act, layer.op.pool.r, layer.op.pool.s,
+                            layer.op.pool.stride,
+                            layer.op.pool.samePad);
+            break;
+          case dnn::OpKind::AvgPool:
+            act = b.avgPool(act, layer.op.pool.r, layer.op.pool.s,
+                            layer.op.pool.stride);
+            break;
+          case dnn::OpKind::EltwiseAdd:
+            nc_panic("eltwise layers are not functionally "
+                     "executable (rejected at compile)");
+        }
+    }
+    return act;
+}
+
+InferenceResult
+CompiledModel::run(const dnn::QTensor &input)
+{
+    InferenceResult res;
+    res.report = report(1);
+    if (functional())
+        res.output = runLayers(input);
+    return res;
+}
+
+BatchInferenceResult
+CompiledModel::runBatch(std::span<const dnn::QTensor> inputs)
+{
+    nc_assert(!inputs.empty(), "runBatch: empty batch for '%s'",
+              net.name.c_str());
+
+    BatchInferenceResult res;
+    res.report = report(static_cast<unsigned>(inputs.size()));
+    if (functional()) {
+        res.outputs.reserve(inputs.size());
+        // Filters stay stationary across the whole batch (§IV-E):
+        // only input windows stream per image.
+        for (const auto &in : inputs)
+            res.outputs.push_back(runLayers(in));
+    }
+    return res;
+}
+
+} // namespace nc::core

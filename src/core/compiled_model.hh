@@ -1,0 +1,180 @@
+/**
+ * @file
+ * CompiledModel: the run-many half of the compile-once API.
+ *
+ * Engine::compile() pays, exactly once per network: quantization
+ * calibration, mapping/tiling (mapping::planConv / planPool), the
+ * §IV-C transposed weight layout, per-layer program/plan
+ * construction, and — for functional backends — pinning every conv
+ * layer's filters stationary in its own band of arrays. The
+ * resulting CompiledModel then answers run()/runBatch() repeatedly
+ * without re-planning or re-streaming weights, which is the whole
+ * point of the paper's §IV-E amortization argument.
+ */
+
+#ifndef NC_CORE_COMPILED_MODEL_HH
+#define NC_CORE_COMPILED_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/backend.hh"
+#include "core/executor.hh"
+#include "core/layer_engine.hh"
+#include "dnn/layers.hh"
+#include "dnn/tensor.hh"
+#include "mapping/plan.hh"
+
+namespace nc::core
+{
+
+class Engine;
+
+/**
+ * One layer after compilation: the op descriptor plus everything the
+ * compile pass derived for it. Conv/FC layers carry quantized
+ * weights, the mapping plan, the preprocessed (transposed) DRAM
+ * image, calibrated requantization scalars, and — per backend — the
+ * prepared stationary-filter kernel.
+ */
+struct CompiledLayer
+{
+    dnn::Op op;
+    BackendKind backend = BackendKind::Functional;
+
+    /** @name Conv / FullyConnected artifacts */
+    /// @{
+    dnn::QWeights weights;
+    mapping::ConvPlan plan;
+    /**
+     * Filter bytes in §IV-C streaming order — the preprocessed DRAM
+     * image the modeled machine would burst into the arrays, built
+     * once per compile and exposed for inspection/tooling. The
+     * simulator kernels pin `weights` directly (their one-array
+     * layout differs from the mapper's multi-way placement), so this
+     * is a modeled artifact, not kernel input.
+     */
+    std::vector<uint8_t> dramImage;
+    /** Calibrated fixed-point requantization: q = sat8((acc*m)>>s). */
+    uint8_t requantMult = 1;
+    unsigned requantShift = 0;
+    /** First flat array index of the layer's stationary filters. */
+    uint64_t baseArray = 0;
+    std::optional<Executor::PreparedConv> funcConv;
+    std::optional<LayerEngine::PreparedConvLayer> isaConv;
+    /// @}
+
+    /** @name Pool artifacts */
+    /// @{
+    mapping::PoolPlan poolPlan;
+    /// @}
+};
+
+/** What one run() returns: tensors and timing from a single call. */
+struct InferenceResult
+{
+    /**
+     * The network's final activation (empty for a pure-analytic
+     * compile, which prices the run without executing tensors).
+     */
+    dnn::QTensor output;
+    /** The analytic answer for the same call (batch 1). */
+    InferenceReport report;
+};
+
+/** What runBatch() returns: one output per input, one batch report. */
+struct BatchInferenceResult
+{
+    std::vector<dnn::QTensor> outputs; ///< empty for pure-analytic
+    InferenceReport report;
+};
+
+/** An immutable compiled network; obtained from Engine::compile. */
+class CompiledModel
+{
+  public:
+    CompiledModel(CompiledModel &&) noexcept;
+    CompiledModel &operator=(CompiledModel &&) noexcept;
+    ~CompiledModel();
+
+    const dnn::Network &network() const { return net; }
+    /** The engine-level backend the model was compiled for. */
+    BackendKind backend() const { return kind; }
+    /** Whether run() produces output tensors (any functional layer). */
+    bool functional() const { return !layers.empty(); }
+
+    /** @name Expected input shape (the first op's input) */
+    /// @{
+    unsigned inputChannels() const { return inC; }
+    unsigned inputHeight() const { return inH; }
+    unsigned inputWidth() const { return inW; }
+    /// @}
+
+    /**
+     * Execute one inference. Repeated calls are bit-identical and
+     * skip all compile-time work (mapping, layout, filter loading).
+     */
+    InferenceResult run(const dnn::QTensor &input);
+
+    /**
+     * Execute a batch: filters stay stationary across the whole
+     * span (§IV-E), and the report prices the batch with filter
+     * loading amortized. @p inputs must be non-empty.
+     */
+    BatchInferenceResult runBatch(std::span<const dnn::QTensor> inputs);
+
+    /**
+     * The analytic answer alone (no tensor execution): the batched
+     * InferenceReport assembled from compile-time stage costs. Cheap
+     * enough to sweep batch sizes on one compiled model.
+     */
+    InferenceReport report(unsigned batch = 1) const;
+
+    /** Per-layer compile artifacts, in execution order. */
+    const std::vector<CompiledLayer> &compiledLayers() const
+    {
+        return layers;
+    }
+    /** Find a compiled layer by op name (null if absent). */
+    const CompiledLayer *findLayer(std::string_view name) const;
+
+    /**
+     * The functional compute cache (null for pure-analytic models):
+     * array state, lock-step cycle counters.
+     */
+    cache::ComputeCache *computeCache() { return cc.get(); }
+    const cache::ComputeCache *computeCache() const { return cc.get(); }
+
+    /** The shared worker pool threads count. */
+    unsigned threads() const;
+
+  private:
+    friend class Engine;
+    CompiledModel();
+
+    Backend &backendFor(BackendKind k);
+    dnn::QTensor runLayers(const dnn::QTensor &input);
+
+    dnn::Network net;
+    NeuralCacheConfig cfg;
+    BackendKind kind = BackendKind::Analytic;
+    unsigned inC = 0, inH = 0, inW = 0;
+
+    std::shared_ptr<common::ThreadPool> pool;
+    std::unique_ptr<AnalyticBackend> analytic;
+    std::vector<StageCost> stageCosts;
+
+    std::unique_ptr<cache::ComputeCache> cc;
+    std::unique_ptr<Executor> ex;
+    std::unique_ptr<LayerEngine> isaEngine;
+    std::unique_ptr<Backend> refBackend, funcBackend, isaBackend;
+    std::vector<CompiledLayer> layers;
+};
+
+} // namespace nc::core
+
+#endif // NC_CORE_COMPILED_MODEL_HH

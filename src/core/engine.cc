@@ -1,0 +1,315 @@
+#include "core/engine.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "dnn/random.hh"
+#include "mapping/weight_layout.hh"
+
+namespace nc::core
+{
+
+namespace
+{
+
+/**
+ * Quantization calibration (§IV-D, done once at compile): bound the
+ * worst-case accumulator by the largest filter's weight sum against
+ * all-255 inputs, then decompose 255/bound into the 8-bit multiplier
+ * and truncating right shift the in-array requantizer executes:
+ * q = sat8((acc * mult) >> shift).
+ */
+void
+calibrateRequant(const dnn::QWeights &w, uint8_t &mult,
+                 unsigned &shift)
+{
+    uint64_t acc_max = 0;
+    for (unsigned mi = 0; mi < w.m; ++mi) {
+        uint64_t sum = 0;
+        for (unsigned ci = 0; ci < w.c; ++ci)
+            for (unsigned ri = 0; ri < w.r; ++ri)
+                for (unsigned si = 0; si < w.s; ++si)
+                    sum += w.at(mi, ci, ri, si);
+        acc_max = std::max(acc_max, sum * 255);
+    }
+    if (acc_max <= 255) { // identity: accumulators already fit a byte
+        mult = 1;
+        shift = 0;
+        return;
+    }
+
+    double ratio = 255.0 / static_cast<double>(acc_max);
+    unsigned sh = 0;
+    while (sh < 31 &&
+           ratio * static_cast<double>(uint64_t(1) << sh) < 128.0)
+        ++sh;
+    auto m8 = static_cast<uint64_t>(
+        ratio * static_cast<double>(uint64_t(1) << sh));
+    mult = static_cast<uint8_t>(std::min<uint64_t>(m8, 255));
+    shift = sh;
+}
+
+/** The (c, h, w) shape flowing between layers during compilation. */
+struct Shape
+{
+    unsigned c = 0, h = 0, w = 0;
+};
+
+} // namespace
+
+Engine::Engine(Options opts_)
+    : opts(std::move(opts_)),
+      pool(std::make_shared<common::ThreadPool>(opts.threads))
+{
+}
+
+CompiledModel
+Engine::compile(const dnn::Network &net,
+                const ModelWeights &weights) const
+{
+    nc_assert(!net.stages.empty(), "Engine::compile: empty network "
+              "'%s'", net.name.c_str());
+
+    CompiledModel m;
+    m.net = net;
+    m.cfg = opts.config;
+    m.kind = opts.backend;
+    m.pool = pool;
+
+    // 1. Analytic plans + per-stage costs: the mapping/tiling pass,
+    //    paid exactly once. report() re-uses these forever.
+    m.analytic = std::make_unique<AnalyticBackend>(opts.config);
+    m.stageCosts.reserve(net.stages.size());
+    for (const auto &stage : net.stages) {
+        nc_assert(!stage.branches.empty() &&
+                      !stage.branches.front().ops.empty(),
+                  "stage '%s' of '%s' has no ops",
+                  stage.name.c_str(), net.name.c_str());
+        m.stageCosts.push_back(m.analytic->stageCost(stage));
+    }
+
+    // Expected input shape: the first op's input.
+    {
+        const dnn::Op &front = net.stages.front().branches.front()
+                                   .ops.front();
+        if (front.isConv()) {
+            m.inC = front.conv.c;
+            m.inH = front.conv.h;
+            m.inW = front.conv.w;
+        } else if (front.isPool()) {
+            m.inC = front.pool.c;
+            m.inH = front.pool.h;
+            m.inW = front.pool.w;
+        } else {
+            m.inC = front.elt.c;
+            m.inH = front.elt.h;
+            m.inW = front.elt.w;
+        }
+    }
+
+    if (opts.backend == BackendKind::Analytic) {
+        // Pure timing model: no functional state at all — and no
+        // silent discard of filter banks the caller thought mattered.
+        nc_assert(weights.empty(),
+                  "analytic engines never read weights; %zu banks "
+                  "were passed for '%s'", weights.size(),
+                  net.name.c_str());
+        return m;
+    }
+
+    // 2. Functional compilation: validate the topology, calibrate,
+    //    lay out weights, and pin every conv layer's filters into its
+    //    own band of arrays.
+    const cache::Geometry &geom = opts.config.geometry;
+    m.cc = std::make_unique<cache::ComputeCache>(geom);
+    m.ex = std::make_unique<Executor>(*m.cc, *pool);
+
+    // Which backends do the layers actually use?
+    bool uses_isa = opts.backend == BackendKind::Isa;
+    bool uses_func = opts.backend == BackendKind::Functional;
+    bool uses_ref = opts.backend == BackendKind::Reference;
+    for (const auto &[name, kind] : opts.layerBackends) {
+        nc_assert(kind != BackendKind::Analytic,
+                  "layer '%s': per-layer analytic override is "
+                  "meaningless in a functional engine", name.c_str());
+        uses_isa |= kind == BackendKind::Isa;
+        uses_func |= kind == BackendKind::Functional;
+        uses_ref |= kind == BackendKind::Reference;
+    }
+    if (uses_isa)
+        m.isaEngine = std::make_unique<LayerEngine>(*m.cc, *pool);
+
+    Shape shape{m.inC, m.inH, m.inW};
+    uint64_t next_base = 0; // first free array for stationary filters
+    unsigned layer_idx = 0;
+
+    for (const auto &stage : net.stages) {
+        nc_assert(stage.branches.size() == 1,
+                  "stage '%s': multi-branch stages are analytic-only "
+                  "(functional backends execute single-branch "
+                  "chains)", stage.name.c_str());
+        for (const auto &op : stage.branches.front().ops) {
+            CompiledLayer layer;
+            layer.op = op;
+            layer.backend = opts.backend;
+            if (auto it = opts.layerBackends.find(op.name());
+                it != opts.layerBackends.end())
+                layer.backend = it->second;
+
+            if (op.isConv()) {
+                const dnn::ConvOp &co = op.conv;
+                nc_assert(co.c > 0 && co.m > 0 && co.r > 0 && co.s > 0,
+                          "conv '%s': degenerate shape",
+                          co.name.c_str());
+                if (co.isFullyConnected) {
+                    nc_assert(co.c == shape.c * shape.h * shape.w,
+                              "fc '%s' expects %u inputs, previous "
+                              "layer produces %ux%ux%u",
+                              co.name.c_str(), co.c, shape.c, shape.h,
+                              shape.w);
+                } else {
+                    nc_assert(co.c == shape.c && co.h == shape.h &&
+                                  co.w == shape.w,
+                              "conv '%s' expects %ux%ux%u input, "
+                              "previous layer produces %ux%ux%u",
+                              co.name.c_str(), co.c, co.h, co.w,
+                              shape.c, shape.h, shape.w);
+                }
+                // Only the bit-serial kernels map onto arrays; the
+                // reference backend runs CPU loops of any shape.
+                bool on_arrays =
+                    layer.backend == BackendKind::Functional ||
+                    layer.backend == BackendKind::Isa;
+                nc_assert(!on_arrays ||
+                              mapping::fitsFunctionalExecutor(co,
+                                                              geom),
+                          "conv '%s' (C=%u RxS=%ux%u) exceeds the "
+                          "functional executor's one-array mapping",
+                          co.name.c_str(), co.c, co.r, co.s);
+
+                // Weights: explicit bank, else deterministic seed.
+                if (auto it = weights.find(op.name());
+                    it != weights.end()) {
+                    const dnn::QWeights &qw = it->second;
+                    nc_assert(qw.m == co.m && qw.c == co.c &&
+                                  qw.r == co.r && qw.s == co.s,
+                              "weights for '%s' are %ux%ux%ux%u, op "
+                              "wants %ux%ux%ux%u", co.name.c_str(),
+                              qw.m, qw.c, qw.r, qw.s, co.m, co.c,
+                              co.r, co.s);
+                    layer.weights = qw;
+                } else {
+                    Rng rng(opts.weightSeed +
+                            0x9e3779b97f4a7c15ull * (layer_idx + 1));
+                    layer.weights = dnn::randomQWeights(
+                        rng, co.m, co.c, co.r, co.s);
+                }
+
+                // Mapping/tiling + the §IV-C transposed DRAM image.
+                // stageCost() above already planned this op
+                // internally for its cost; re-deriving the plan here
+                // (cheap arithmetic, compile-time only) keeps
+                // CostModel's interface unchanged while exposing the
+                // per-layer artifact.
+                layer.plan = mapping::planConv(co, geom);
+                mapping::WeightLayout wl(co, layer.plan, geom);
+                layer.dramImage = wl.dramImage(layer.weights);
+                calibrateRequant(layer.weights, layer.requantMult,
+                                 layer.requantShift);
+
+                // Pin the filters stationary in this layer's band.
+                // The +1 keeps the shared scratch array in range
+                // too. Reference layers reserve nothing.
+                if (on_arrays) {
+                    layer.baseArray = next_base;
+                    next_base += co.m;
+                    nc_assert(
+                        next_base + 1 <= geom.totalArrays(),
+                        "conv '%s': stationary filters need %llu "
+                        "arrays, cache has %llu", co.name.c_str(),
+                        static_cast<unsigned long long>(next_base +
+                                                        1),
+                        static_cast<unsigned long long>(
+                            geom.totalArrays()));
+                }
+                if (layer.backend == BackendKind::Functional)
+                    layer.funcConv = m.ex->prepareConv(
+                        layer.weights, co.stride, co.samePad,
+                        layer.baseArray);
+                else if (layer.backend == BackendKind::Isa)
+                    layer.isaConv = m.isaEngine->prepareConv(
+                        layer.weights, co.stride, co.samePad,
+                        layer.baseArray);
+
+                shape = {co.m, co.outH(), co.outW()};
+            } else if (op.isPool()) {
+                const dnn::PoolOp &po = op.pool;
+                nc_assert(po.c == shape.c && po.h == shape.h &&
+                              po.w == shape.w,
+                          "pool '%s' expects %ux%ux%u input, "
+                          "previous layer produces %ux%ux%u",
+                          po.name.c_str(), po.c, po.h, po.w, shape.c,
+                          shape.h, shape.w);
+                if (po.isAvg) {
+                    // The bit-serial average pool runs VALID windows;
+                    // SAME is accepted only when it degenerates to
+                    // VALID (no padding needed).
+                    unsigned vh =
+                        dnn::outDim(po.h, po.r, po.stride, false);
+                    unsigned vw =
+                        dnn::outDim(po.w, po.s, po.stride, false);
+                    nc_assert(po.outH() == vh && po.outW() == vw,
+                              "avgPool '%s': SAME padding with "
+                              "partial windows is not functionally "
+                              "supported", po.name.c_str());
+                }
+                layer.poolPlan = mapping::planPool(po, geom);
+                shape = {po.c, po.outH(), po.outW()};
+            } else {
+                nc_assert(false,
+                          "eltwise '%s' is analytic-only (no "
+                          "functional mapping yet)",
+                          op.elt.name.c_str());
+            }
+            m.layers.push_back(std::move(layer));
+            ++layer_idx;
+        }
+    }
+
+    // Every per-layer override and every provided weight bank must
+    // have named a real layer — a typo silently running the default
+    // backend, or silently substituting seeded random filters, would
+    // be a measurement lie.
+    for (const auto &[name, kind] : opts.layerBackends)
+        nc_assert(m.findLayer(name) != nullptr,
+                  "layerBackends override names unknown layer '%s'",
+                  name.c_str());
+    for (const auto &[name, qw] : weights) {
+        const CompiledLayer *l = m.findLayer(name);
+        nc_assert(l && l->op.isConv(),
+                  "weights provided for '%s', which is not a "
+                  "conv/fc layer of '%s'", name.c_str(),
+                  net.name.c_str());
+    }
+
+    // The layer-less helpers (pools, requantization) scribble on the
+    // first array past the stationary filter bands.
+    m.ex->setScratchBase(next_base);
+    if (m.isaEngine)
+        m.isaEngine->setScratchBase(next_base);
+
+    // 3. Instantiate the backends the layers use.
+    if (uses_ref)
+        m.refBackend = makeBackend(BackendKind::Reference, m.ex.get(),
+                                   nullptr);
+    if (uses_func)
+        m.funcBackend = makeBackend(BackendKind::Functional,
+                                    m.ex.get(), nullptr);
+    if (uses_isa)
+        m.isaBackend = makeBackend(BackendKind::Isa, m.ex.get(),
+                                   m.isaEngine.get());
+    return m;
+}
+
+} // namespace nc::core

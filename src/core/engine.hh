@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Engine: the compile-once / run-many front door of the library.
+ *
+ *     core::EngineOptions opts;            // backend, threads, config
+ *     core::Engine engine(opts);
+ *     auto model = engine.compile(net);    // mapping + calibration +
+ *                                          // weight layout, paid once
+ *     auto r1 = model.run(image);          // execute; r1.output +
+ *     auto r2 = model.run(image2);         // r1.report in one call
+ *     auto rep = model.report(64);         // batch-64 timing, free
+ *
+ * One Engine owns one common::ThreadPool; every model it compiles
+ * (and every backend behind them) shares it. Weights come from an
+ * explicit ModelWeights map or, for synthetic studies, are generated
+ * deterministically from options().weightSeed.
+ */
+
+#ifndef NC_CORE_ENGINE_HH
+#define NC_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/backend.hh"
+#include "core/compiled_model.hh"
+
+namespace nc::core
+{
+
+/** Filter banks by layer (op) name; absent layers get seeded random. */
+using ModelWeights = std::map<std::string, dnn::QWeights>;
+
+/** Everything an Engine is configured with. */
+struct EngineOptions
+{
+    /** Default backend for every layer. */
+    BackendKind backend = BackendKind::Functional;
+    /**
+     * Per-layer overrides by op name (mixed runs: e.g. convs on the
+     * ISA path, pools on the direct-ALU path). Only meaningful for
+     * functional engines; overriding to Analytic is an error.
+     */
+    std::map<std::string, BackendKind> layerBackends;
+    /** Worker threads shared engine-wide (0 = NC_THREADS / hw). */
+    unsigned threads = 0;
+    /** Accelerator model configuration (geometry, cost, energy). */
+    NeuralCacheConfig config;
+    /** Seed for deterministically generated absent weights. */
+    uint64_t weightSeed = 0x5eed;
+};
+
+/** Compiles networks into immutable CompiledModels. */
+class Engine
+{
+  public:
+    using Options = EngineOptions;
+
+    explicit Engine(Options opts_ = {});
+
+    const Options &options() const { return opts; }
+    common::ThreadPool &threadPool() { return *pool; }
+
+    /**
+     * Compile @p net: validate the topology, run quantization
+     * calibration, mapping/tiling, transposed weight layout, and
+     * per-layer program construction exactly once. @p weights names
+     * filter banks by layer; layers without one get deterministic
+     * seeded random filters. The network must be non-empty; for
+     * functional backends every stage must be a single-branch chain
+     * of conv / FC / max-pool / VALID-avg-pool ops whose shapes the
+     * executor supports.
+     */
+    CompiledModel compile(const dnn::Network &net,
+                          const ModelWeights &weights = {}) const;
+
+  private:
+    Options opts;
+    std::shared_ptr<common::ThreadPool> pool;
+};
+
+} // namespace nc::core
+
+#endif // NC_CORE_ENGINE_HH

@@ -15,117 +15,121 @@ namespace nc::core
 
 namespace bs = bitserial;
 
-namespace
+using dnn::padBefore;
+
+Executor::PreparedConv
+Executor::prepareConv(const dnn::QWeights &w, unsigned stride,
+                      bool same_pad, uint64_t base_array)
 {
-
-unsigned
-padBefore(unsigned in, unsigned window, unsigned stride, bool same_pad)
-{
-    if (!same_pad)
-        return 0;
-    unsigned out = dnn::outDim(in, window, stride, true);
-    unsigned covered = (out - 1) * stride + window;
-    unsigned total = covered > in ? covered - in : 0;
-    return total / 2;
-}
-
-} // namespace
-
-std::vector<uint32_t>
-Executor::conv(const dnn::QTensor &in, const dnn::QWeights &w,
-               unsigned stride, bool same_pad, unsigned &out_h,
-               unsigned &out_w)
-{
-    const unsigned bits = 8;
-    const unsigned acc_bits = 24;
-    unsigned rs = w.r * w.s;
-    unsigned cols = cc.geometry().arrayCols;
-    unsigned lanes = static_cast<unsigned>(roundUpPow2(w.c));
-    nc_assert(lanes <= cols, "executor: %u channels exceed %u lanes",
-              w.c, cols);
-
-    out_h = dnn::outDim(in.height(), w.r, stride, same_pad);
-    out_w = dnn::outDim(in.width(), w.s, stride, same_pad);
-    unsigned ph = padBefore(in.height(), w.r, stride, same_pad);
-    unsigned pw = padBefore(in.width(), w.s, stride, same_pad);
-    unsigned red_bits = acc_bits + log2Ceil(lanes);
-    unsigned oh = out_h, ow = out_w;
-
-    std::vector<uint32_t> out(static_cast<size_t>(w.m) * oh * ow, 0);
+    PreparedConv p;
+    p.ex = this;
+    p.m = w.m;
+    p.c = w.c;
+    p.r = w.r;
+    p.s = w.s;
+    p.stride = stride;
+    p.samePad = same_pad;
+    p.base = base_array;
+    // The Figure-10 slice map, shared with the ISA path: every array
+    // gets the identical layout, so it is derived once here.
+    p.rows = mapping::makeConvRowLayout(cc.geometry(), w.c, w.r, w.s);
 
     // Materialize every filter batch's array up front: the parallel
-    // region below must not mutate the cache's lazy array map.
+    // regions (here and in run()) must not mutate the lazy array map.
     for (unsigned mi = 0; mi < w.m; ++mi)
-        cc.array(cc.coordOf(mi));
+        cc.array(cc.coordOf(base_array + mi));
+
+    // Filters are stationary for the lifetime of the prepared layer
+    // (the §IV-C transposed preprocessing, paid exactly once).
+    pool.parallelFor(w.m, [&](size_t mi_) {
+        unsigned mi = static_cast<unsigned>(mi_);
+        sram::Array &arr = cc.array(cc.coordOf(base_array + mi));
+        std::vector<uint64_t> vals(p.rows.lanes, 0);
+        for (unsigned k = 0; k < p.rows.rs; ++k) {
+            std::fill(vals.begin(), vals.end(), 0);
+            for (unsigned ci = 0; ci < w.c; ++ci)
+                vals[ci] = w.at(mi, ci, k / w.s, k % w.s);
+            bs::storeVector(arr, p.rows.filt[k], vals);
+        }
+    });
+    return p;
+}
+
+std::vector<uint32_t>
+Executor::PreparedConv::run(const dnn::QTensor &in, unsigned &out_h,
+                            unsigned &out_w)
+{
+    const unsigned acc_bits = 24;
+    cache::ComputeCache &cc = ex->cc;
+    nc_assert(in.channels() == c,
+              "prepared conv expects %u input channels, got %u", c,
+              in.channels());
+
+    out_h = dnn::outDim(in.height(), r, stride, samePad);
+    out_w = dnn::outDim(in.width(), s, stride, samePad);
+    unsigned ph = padBefore(in.height(), r, stride, samePad);
+    unsigned pw = padBefore(in.width(), s, stride, samePad);
+    unsigned oh = out_h, ow = out_w;
+
+    std::vector<uint32_t> out(static_cast<size_t>(m) * oh * ow, 0);
 
     // One array per filter batch, spread across the cache the way the
     // mapper replicates M's over ways (Figure 9). The batches are
     // fully independent — each task owns its array and its slice of
     // `out` — so they fan out across the pool.
-    pool.parallelFor(w.m, [&](size_t mi_) {
+    ex->pool.parallelFor(m, [&](size_t mi_) {
         unsigned mi = static_cast<unsigned>(mi_);
-        sram::Array &arr = cc.array(cc.coordOf(mi));
-        bs::RowAllocator rows(cc.geometry().arrayRows);
-
-        // Figure 10 layout: filter band, input band, scratchpad,
-        // partial sum (with reduction headroom), reduction scratch.
-        std::vector<bs::VecSlice> filt(rs), inp(rs);
-        for (unsigned k = 0; k < rs; ++k)
-            filt[k] = rows.alloc(bits);
-        for (unsigned k = 0; k < rs; ++k)
-            inp[k] = rows.alloc(bits);
-        bs::VecSlice scratch = rows.alloc(2 * bits);
-        bs::VecSlice partial = rows.alloc(red_bits);
-        bs::VecSlice red_scratch =
-            rows.alloc(red_bits > 0 ? red_bits - 1 : 1);
-        unsigned zrow = rows.zeroRow();
+        sram::Array &arr = cc.array(cc.coordOf(base + mi));
 
         // One streaming buffer per task, reused for every window.
-        std::vector<uint64_t> vals(lanes, 0);
-
-        // Filters are stationary for the whole layer.
-        for (unsigned k = 0; k < rs; ++k) {
-            std::fill(vals.begin(), vals.end(), 0);
-            for (unsigned ci = 0; ci < w.c; ++ci)
-                vals[ci] = w.at(mi, ci, k / w.s, k % w.s);
-            bs::storeVector(arr, filt[k], vals);
-        }
+        std::vector<uint64_t> vals(rows.lanes, 0);
 
         for (unsigned y = 0; y < oh; ++y) {
             for (unsigned x = 0; x < ow; ++x) {
                 // Stream the input window (zero padding stays zero).
-                for (unsigned k = 0; k < rs; ++k) {
-                    int iy = static_cast<int>(y * stride + k / w.s) -
+                for (unsigned k = 0; k < rows.rs; ++k) {
+                    int iy = static_cast<int>(y * stride + k / s) -
                              static_cast<int>(ph);
-                    int ix = static_cast<int>(x * stride + k % w.s) -
+                    int ix = static_cast<int>(x * stride + k % s) -
                              static_cast<int>(pw);
                     std::fill(vals.begin(), vals.end(), 0);
                     if (iy >= 0 && ix >= 0 &&
                         iy < static_cast<int>(in.height()) &&
                         ix < static_cast<int>(in.width())) {
-                        for (unsigned ci = 0; ci < w.c; ++ci)
+                        for (unsigned ci = 0; ci < c; ++ci)
                             vals[ci] = in.at(ci, iy, ix);
                     }
-                    bs::storeVector(arr, inp[k], vals);
+                    bs::storeVector(arr, rows.inp[k], vals);
                 }
 
                 // RxS MACs per bit line, then the channel reduction.
-                bs::zero(arr, partial);
-                for (unsigned k = 0; k < rs; ++k) {
-                    bs::macScratch(arr, filt[k], inp[k],
-                                   partial.slice(0, acc_bits), scratch,
-                                   zrow);
+                bs::zero(arr, rows.partial);
+                for (unsigned k = 0; k < rows.rs; ++k) {
+                    bs::macScratch(arr, rows.filt[k], rows.inp[k],
+                                   rows.partial.slice(0, acc_bits),
+                                   rows.scratch, rows.zrow);
                 }
-                bs::reduceSum(arr, partial, acc_bits, lanes,
-                              red_scratch);
+                bs::reduceSum(arr, rows.partial, acc_bits, rows.lanes,
+                              rows.redScratch);
 
-                uint64_t sum = bs::loadLane(arr, partial, 0);
+                uint64_t sum = bs::loadLane(arr, rows.partial, 0);
                 out[(static_cast<size_t>(mi) * oh + y) * ow + x] =
                     static_cast<uint32_t>(sum);
             }
         }
     });
     return out;
+}
+
+std::vector<uint32_t>
+Executor::conv(const dnn::QTensor &in, const dnn::QWeights &w,
+               unsigned stride, bool same_pad, unsigned &out_h,
+               unsigned &out_w)
+{
+    // The legacy per-call entry point: compile and run once. The
+    // micro-op sequence (and hence every cycle counter) is identical
+    // to the historical fused implementation.
+    return prepareConv(w, stride, same_pad).run(in, out_h, out_w);
 }
 
 std::vector<uint32_t>
@@ -164,7 +168,7 @@ Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
     // identical slice map, and reduces the (data-independent, hence
     // partition-independent) cycle counts into the modeled array
     // after the join.
-    sram::Array &model = cc.array(cc.coordOf(0));
+    sram::Array &model = cc.array(cc.coordOf(scratchBase));
     size_t windows = static_cast<size_t>(oh) * ow;
     size_t chunks = std::min<size_t>(pool.size(), windows);
     std::vector<std::pair<uint64_t, uint64_t>> charged(
@@ -237,7 +241,7 @@ Executor::avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
     unsigned oh = dnn::outDim(in.height(), r, stride, false);
     unsigned ow = dnn::outDim(in.width(), s, stride, false);
 
-    sram::Array &arr = cc.array(cc.coordOf(0));
+    sram::Array &arr = cc.array(cc.coordOf(scratchBase));
     bs::RowAllocator rows(cc.geometry().arrayRows);
     bs::VecSlice cur = rows.alloc(bits);
     bs::VecSlice acc = rows.alloc(acc_bits);
@@ -296,7 +300,7 @@ Executor::minMax(const std::vector<uint64_t> &vals, unsigned bits)
     unsigned lanes =
         static_cast<unsigned>(roundUpPow2(vals.size()));
 
-    sram::Array &arr = cc.array(cc.coordOf(0));
+    sram::Array &arr = cc.array(cc.coordOf(scratchBase));
     bs::RowAllocator rows(cc.geometry().arrayRows);
     bs::VecSlice mx = rows.alloc(bits);
     bs::VecSlice mn = rows.alloc(bits);
@@ -324,7 +328,7 @@ Executor::requantize(const std::vector<uint32_t> &acc, uint8_t mult,
     const unsigned gbits = 8;
     unsigned cols = cc.geometry().arrayCols;
 
-    sram::Array &arr = cc.array(cc.coordOf(0));
+    sram::Array &arr = cc.array(cc.coordOf(scratchBase));
     bs::RowAllocator rows(cc.geometry().arrayRows);
     bs::VecSlice v = rows.alloc(vbits);
     bs::VecSlice g = rows.alloc(gbits);
@@ -360,7 +364,7 @@ Executor::relu(const std::vector<uint8_t> &vals)
     nc_assert(vals.size() <= cols, "relu: %zu values exceed %u lanes",
               vals.size(), cols);
 
-    sram::Array &arr = cc.array(cc.coordOf(0));
+    sram::Array &arr = cc.array(cc.coordOf(scratchBase));
     bs::RowAllocator rows(cc.geometry().arrayRows);
     bs::VecSlice v = rows.alloc(bits);
 

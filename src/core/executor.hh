@@ -30,12 +30,15 @@
 #define NC_CORE_EXECUTOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "bitserial/layout.hh"
 #include "cache/compute_cache.hh"
 #include "common/thread_pool.hh"
 #include "dnn/reference.hh"
 #include "dnn/tensor.hh"
+#include "mapping/plan.hh"
 
 namespace nc::core
 {
@@ -46,9 +49,63 @@ class Executor
   public:
     /** @param nthreads worker threads (0 = NC_THREADS / hardware). */
     explicit Executor(cache::ComputeCache &cc_, unsigned nthreads = 0)
-        : cc(cc_), pool(nthreads)
+        : cc(cc_),
+          ownedPool(std::make_unique<common::ThreadPool>(nthreads)),
+          pool(*ownedPool)
     {
     }
+
+    /** Share an external worker pool (e.g. one engine-wide pool). */
+    Executor(cache::ComputeCache &cc_, common::ThreadPool &shared)
+        : cc(cc_), pool(shared)
+    {
+    }
+
+    /**
+     * A convolution layer compiled onto the cache: the Figure-10 row
+     * layout is fixed and the filters sit stationary (transposed) in
+     * arrays [base, base+m), so run() only streams input windows and
+     * computes — repeatedly, without re-deriving the layout or
+     * re-storing weights. Obtained from Executor::prepareConv(); the
+     * Executor must outlive every prepared layer it hands out.
+     */
+    class PreparedConv
+    {
+      public:
+        /**
+         * Execute the layer on @p in; returns raw accumulators in
+         * [m][oh][ow] order, exactly like Executor::conv.
+         */
+        std::vector<uint32_t> run(const dnn::QTensor &in,
+                                  unsigned &out_h, unsigned &out_w);
+
+        /** First flat array index of the layer's filter batches. */
+        uint64_t baseArray() const { return base; }
+        /** Arrays (filter batches) the layer occupies. */
+        unsigned filterBatches() const { return m; }
+
+      private:
+        friend class Executor;
+        PreparedConv() = default;
+
+        Executor *ex = nullptr;
+        unsigned m = 0, c = 0, r = 0, s = 0;
+        unsigned stride = 1;
+        bool samePad = false;
+        uint64_t base = 0;
+        mapping::ConvRowLayout rows; ///< shared Figure-10 carve-up
+    };
+
+    /**
+     * Compile-once half of conv(): fix the per-array row layout and pin
+     * @p w stationary in arrays [base_array, base_array + w.m). The
+     * returned layer can then run() any number of inputs without
+     * repeating this work. Layers prepared at different base offsets
+     * coexist (each owns its arrays), which is how CompiledModel keeps
+     * a whole network resident.
+     */
+    PreparedConv prepareConv(const dnn::QWeights &w, unsigned stride,
+                             bool same_pad, uint64_t base_array = 0);
 
     /**
      * Quantized convolution (unsigned, zero-point-free): returns the
@@ -110,9 +167,20 @@ class Executor
     /** Worker threads the executor fans layer tasks over. */
     unsigned threads() const { return pool.size(); }
 
+    /**
+     * Flat index of the array the layer-less helpers (maxPool,
+     * avgPool, minMax, requantize, relu) scribble on. Defaults to 0;
+     * CompiledModel points it past the last prepared conv layer so
+     * the helpers never clobber stationary filters.
+     */
+    void setScratchBase(uint64_t base) { scratchBase = base; }
+    uint64_t scratchArray() const { return scratchBase; }
+
   private:
     cache::ComputeCache &cc;
-    common::ThreadPool pool;
+    std::unique_ptr<common::ThreadPool> ownedPool; ///< null when shared
+    common::ThreadPool &pool;
+    uint64_t scratchBase = 0;
 };
 
 } // namespace nc::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bitserial/alu.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
@@ -12,80 +13,85 @@ namespace nc::core
 
 namespace bs = bitserial;
 
-std::vector<uint32_t>
-LayerEngine::convLayer(const dnn::QTensor &in, const dnn::QWeights &w,
-                       unsigned stride, bool same_pad, unsigned &out_h,
-                       unsigned &out_w)
+using dnn::padBefore;
+
+namespace
 {
-    const unsigned bits = 8;
+
+/**
+ * Build the shared slice map (identical in every array — that is what
+ * makes one instruction stream sufficient; the same ConvRowLayout the
+ * direct-ALU executor uses) and the per-window broadcast program:
+ * zero the partials, RxS MAC macro-ops, one channel reduction.
+ */
+IsaConvProgram
+buildConvProgram(const cache::Geometry &geom, const dnn::QWeights &w)
+{
     const unsigned acc_bits = 24;
-    unsigned rs = w.r * w.s;
-    unsigned cols = cc.geometry().arrayCols;
-    unsigned lanes = static_cast<unsigned>(roundUpPow2(w.c));
-    nc_assert(lanes <= cols, "layer engine: %u channels exceed %u "
-              "lanes", w.c, cols);
 
-    out_h = dnn::outDim(in.height(), w.r, stride, same_pad);
-    out_w = dnn::outDim(in.width(), w.s, stride, same_pad);
-    unsigned pad_h = 0, pad_w = 0;
-    if (same_pad) {
-        unsigned cov_h = (out_h - 1) * stride + w.r;
-        unsigned cov_w = (out_w - 1) * stride + w.s;
-        pad_h = cov_h > in.height() ? (cov_h - in.height()) / 2 : 0;
-        pad_w = cov_w > in.width() ? (cov_w - in.width()) / 2 : 0;
-    }
-    unsigned red_bits = acc_bits + log2Ceil(lanes);
+    IsaConvProgram p;
+    p.rows = mapping::makeConvRowLayout(geom, w.c, w.r, w.s);
 
-    // The shared slice map (identical in every array — that is what
-    // makes one instruction stream sufficient).
-    bs::RowAllocator rows(cc.geometry().arrayRows);
-    std::vector<bs::VecSlice> filt(rs), inp(rs);
-    for (unsigned k = 0; k < rs; ++k)
-        filt[k] = rows.alloc(bits);
-    for (unsigned k = 0; k < rs; ++k)
-        inp[k] = rows.alloc(bits);
-    bs::VecSlice scratch = rows.alloc(2 * bits);
-    bs::VecSlice partial = rows.alloc(red_bits);
-    bs::VecSlice red_scratch =
-        rows.alloc(red_bits > 1 ? red_bits - 1 : 1);
-    unsigned zrow = rows.zeroRow();
+    p.program.push_back(Instruction::zero(p.rows.partial));
+    for (unsigned k = 0; k < p.rows.rs; ++k)
+        p.program.push_back(Instruction::mac(
+            p.rows.filt[k], p.rows.inp[k],
+            p.rows.partial.slice(0, acc_bits), p.rows.scratch,
+            p.rows.zrow));
+    p.program.push_back(Instruction::reduceSum(
+        p.rows.partial, acc_bits, p.rows.lanes, p.rows.redScratch));
+    return p;
+}
 
-    // Enroll one array per filter batch and pin its weights.
-    std::vector<uint64_t> fv(lanes, 0);
+/** Pin filter batch @p mi's weights into its array's filter band. */
+void
+storeFilters(cache::ComputeCache &cc, uint64_t base,
+             const dnn::QWeights &w, const IsaConvProgram &p)
+{
+    std::vector<uint64_t> fv(p.rows.lanes, 0);
     for (unsigned mi = 0; mi < w.m; ++mi) {
-        cache::ArrayCoord coord = cc.coordOf(mi);
-        ctrl.enroll(coord);
-        sram::Array &arr = cc.array(coord);
-        for (unsigned k = 0; k < rs; ++k) {
+        sram::Array &arr = cc.array(cc.coordOf(base + mi));
+        for (unsigned k = 0; k < p.rows.rs; ++k) {
             std::fill(fv.begin(), fv.end(), 0);
             for (unsigned ci = 0; ci < w.c; ++ci)
                 fv[ci] = w.at(mi, ci, k / w.s, k % w.s);
-            bs::storeVector(arr, filt[k], fv);
+            bs::storeVector(arr, p.rows.filt[k], fv);
         }
     }
+}
 
-    // The per-window broadcast program (identical every window).
-    std::vector<Instruction> program;
-    program.push_back(Instruction::zero(partial));
-    for (unsigned k = 0; k < rs; ++k)
-        program.push_back(Instruction::mac(
-            filt[k], inp[k], partial.slice(0, acc_bits), scratch,
-            zrow));
-    program.push_back(
-        Instruction::reduceSum(partial, acc_bits, lanes, red_scratch));
+/**
+ * The run-many half: stream every output window's inputs and
+ * broadcast the fixed program to the group, reading back one
+ * accumulator per array per window.
+ */
+std::vector<uint32_t>
+runConvWindows(cache::ComputeCache &cc, Controller &ctrl,
+               const IsaConvProgram &p, const dnn::QTensor &in,
+               unsigned m, unsigned c, unsigned r, unsigned s,
+               unsigned stride, bool same_pad, uint64_t base,
+               unsigned &out_h, unsigned &out_w, uint64_t &n_programs)
+{
+    nc_assert(in.channels() == c,
+              "prepared ISA conv expects %u input channels, got %u", c,
+              in.channels());
+    out_h = dnn::outDim(in.height(), r, stride, same_pad);
+    out_w = dnn::outDim(in.width(), s, stride, same_pad);
+    unsigned pad_h = padBefore(in.height(), r, stride, same_pad);
+    unsigned pad_w = padBefore(in.width(), s, stride, same_pad);
 
-    std::vector<uint32_t> out(static_cast<size_t>(w.m) * out_h * out_w,
+    std::vector<uint32_t> out(static_cast<size_t>(m) * out_h * out_w,
                               0);
     // Per-window streaming buffers, reused across every window, and
     // the per-array store prologue the controller folds into each
     // window's fan-out (hoisted so no per-window type erasure).
     std::vector<std::vector<uint64_t>> ivk(
-        rs, std::vector<uint64_t>(lanes, 0));
+        p.rows.rs, std::vector<uint64_t>(p.rows.lanes, 0));
     const std::function<void(const cache::ArrayCoord &)> store_window =
         [&](const cache::ArrayCoord &coord) {
             sram::Array &arr = cc.array(coord);
-            for (unsigned k = 0; k < rs; ++k)
-                bs::storeVector(arr, inp[k], ivk[k]);
+            for (unsigned k = 0; k < p.rows.rs; ++k)
+                bs::storeVector(arr, p.rows.inp[k], ivk[k]);
         };
     for (unsigned y = 0; y < out_h; ++y) {
         for (unsigned x = 0; x < out_w; ++x) {
@@ -93,37 +99,91 @@ LayerEngine::convLayer(const dnn::QTensor &in, const dnn::QWeights &w,
             // (one intra-slice broadcast per §IV-C). The per-array
             // stores are independent, so the controller runs them as
             // each array's prologue inside the program fan-out.
-            for (unsigned k = 0; k < rs; ++k) {
-                int iy = static_cast<int>(y * stride + k / w.s) -
+            for (unsigned k = 0; k < p.rows.rs; ++k) {
+                int iy = static_cast<int>(y * stride + k / s) -
                          static_cast<int>(pad_h);
-                int ix = static_cast<int>(x * stride + k % w.s) -
+                int ix = static_cast<int>(x * stride + k % s) -
                          static_cast<int>(pad_w);
                 std::vector<uint64_t> &iv = ivk[k];
                 std::fill(iv.begin(), iv.end(), 0);
                 if (iy >= 0 && ix >= 0 &&
                     iy < static_cast<int>(in.height()) &&
                     ix < static_cast<int>(in.width())) {
-                    for (unsigned ci = 0; ci < w.c; ++ci)
+                    for (unsigned ci = 0; ci < c; ++ci)
                         iv[ci] = in.at(ci, iy, ix);
                 }
             }
 
-            uint64_t cycles = ctrl.run(program, &store_window);
-            ++nPrograms;
+            uint64_t cycles = ctrl.run(p.program, &store_window);
+            ++n_programs;
             nc_dprintf("LayerEngine",
                        "window (%u,%u): %llu cycles on %zu arrays", y,
                        x, static_cast<unsigned long long>(cycles),
                        ctrl.groupSize());
 
-            for (unsigned mi = 0; mi < w.m; ++mi) {
+            for (unsigned mi = 0; mi < m; ++mi) {
                 uint64_t sum = bs::loadLane(
-                    cc.array(cc.coordOf(mi)), partial, 0);
+                    cc.array(cc.coordOf(base + mi)), p.rows.partial,
+                    0);
                 out[(static_cast<size_t>(mi) * out_h + y) * out_w +
                     x] = static_cast<uint32_t>(sum);
             }
         }
     }
     return out;
+}
+
+} // namespace
+
+LayerEngine::PreparedConvLayer
+LayerEngine::prepareConv(const dnn::QWeights &w, unsigned stride,
+                         bool same_pad, uint64_t base_array)
+{
+    PreparedConvLayer p;
+    p.eng = this;
+    p.ctrl = std::make_unique<Controller>(cc, &pool);
+    p.prog = buildConvProgram(cc.geometry(), w);
+    p.m = w.m;
+    p.c = w.c;
+    p.r = w.r;
+    p.s = w.s;
+    p.stride = stride;
+    p.samePad = same_pad;
+    p.base = base_array;
+
+    // Enroll one array per filter batch into the layer's own
+    // lock-step group and pin its weights — paid exactly once.
+    for (unsigned mi = 0; mi < w.m; ++mi)
+        p.ctrl->enroll(cc.coordOf(base_array + mi));
+    storeFilters(cc, base_array, w, p.prog);
+    return p;
+}
+
+std::vector<uint32_t>
+LayerEngine::PreparedConvLayer::run(const dnn::QTensor &in,
+                                    unsigned &out_h, unsigned &out_w)
+{
+    return runConvWindows(eng->cc, *ctrl, prog, in, m, c, r, s, stride,
+                          samePad, base, out_h, out_w,
+                          eng->nPrograms);
+}
+
+std::vector<uint32_t>
+LayerEngine::convLayer(const dnn::QTensor &in, const dnn::QWeights &w,
+                       unsigned stride, bool same_pad, unsigned &out_h,
+                       unsigned &out_w)
+{
+    // Legacy per-call entry point: compile the layer into the
+    // engine's own broadcast group and run once. Micro-op sequence —
+    // and hence every cycle counter — matches the historical fused
+    // implementation.
+    IsaConvProgram prog = buildConvProgram(cc.geometry(), w);
+    for (unsigned mi = 0; mi < w.m; ++mi)
+        ctrl.enroll(cc.coordOf(mi));
+    storeFilters(cc, 0, w, prog);
+    return runConvWindows(cc, ctrl, prog, in, w.m, w.c, w.r, w.s,
+                          stride, same_pad, 0, out_h, out_w,
+                          nPrograms);
 }
 
 dnn::QTensor
@@ -145,8 +205,8 @@ LayerEngine::maxPoolLayer(const dnn::QTensor &in, unsigned r,
     bs::VecSlice cmp = rows.alloc(bits);
 
     if (ctrl.groupSize() == 0)
-        ctrl.enroll(cc.coordOf(0));
-    sram::Array &arr = cc.array(cc.coordOf(0));
+        ctrl.enroll(cc.coordOf(scratchBase));
+    sram::Array &arr = cc.array(cc.coordOf(scratchBase));
 
     Instruction take_first = Instruction::copy(cur, best);
     Instruction fold;

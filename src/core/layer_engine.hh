@@ -20,6 +20,7 @@
 #define NC_CORE_LAYER_ENGINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cache/compute_cache.hh"
@@ -27,9 +28,22 @@
 #include "core/controller.hh"
 #include "dnn/reference.hh"
 #include "dnn/tensor.hh"
+#include "mapping/plan.hh"
 
 namespace nc::core
 {
+
+/**
+ * The shared per-array slice map and broadcast program of one conv
+ * layer: every enrolled array holds the identical layout (the same
+ * mapping::ConvRowLayout the direct-ALU executor uses), which is
+ * what lets a single instruction stream drive the whole group.
+ */
+struct IsaConvProgram
+{
+    mapping::ConvRowLayout rows;
+    std::vector<Instruction> program; ///< one output window's macro-ops
+};
 
 /** ISA-level layer runner. */
 class LayerEngine
@@ -38,9 +52,60 @@ class LayerEngine
     /** @param nthreads worker threads (0 = NC_THREADS / hardware). */
     explicit LayerEngine(cache::ComputeCache &cc_,
                          unsigned nthreads = 0)
-        : cc(cc_), pool(nthreads), ctrl(cc_, &pool)
+        : cc(cc_),
+          ownedPool(std::make_unique<common::ThreadPool>(nthreads)),
+          pool(*ownedPool), ctrl(cc_, &pool)
     {
     }
+
+    /** Share an external worker pool (e.g. one engine-wide pool). */
+    LayerEngine(cache::ComputeCache &cc_, common::ThreadPool &shared)
+        : cc(cc_), pool(shared), ctrl(cc_, &pool)
+    {
+    }
+
+    /**
+     * A conv layer compiled onto the broadcast ISA: the slice map and
+     * per-window program are built once, the filters pinned in arrays
+     * [base, base+m) enrolled in a dedicated lock-step group. run()
+     * then only streams windows and broadcasts the fixed program.
+     * The LayerEngine must outlive every prepared layer.
+     */
+    class PreparedConvLayer
+    {
+      public:
+        /** Execute on @p in; accumulators in [m][oh][ow] order. */
+        std::vector<uint32_t> run(const dnn::QTensor &in,
+                                  unsigned &out_h, unsigned &out_w);
+
+        /** Instruction-bus cycles this layer has consumed. */
+        uint64_t cyclesIssued() const { return ctrl->cyclesIssued(); }
+        /** Arrays enrolled in the layer's lock-step group. */
+        size_t groupSize() const { return ctrl->groupSize(); }
+        uint64_t baseArray() const { return base; }
+
+      private:
+        friend class LayerEngine;
+        PreparedConvLayer() = default;
+
+        LayerEngine *eng = nullptr;
+        std::unique_ptr<Controller> ctrl; ///< the layer's own group
+        IsaConvProgram prog;
+        unsigned m = 0, c = 0, r = 0, s = 0;
+        unsigned stride = 1;
+        bool samePad = false;
+        uint64_t base = 0;
+    };
+
+    /**
+     * Compile-once half of convLayer(): build the layout + broadcast
+     * program, enroll arrays [base_array, base_array + w.m) in a
+     * fresh controller group, and pin the filters. Repeated run()s
+     * never repeat that work.
+     */
+    PreparedConvLayer prepareConv(const dnn::QWeights &w,
+                                  unsigned stride, bool same_pad,
+                                  uint64_t base_array = 0);
 
     /**
      * Execute a quantized (unsigned) convolution layer; returns the
@@ -72,11 +137,20 @@ class LayerEngine
     /** Worker threads the broadcast programs fan out over. */
     unsigned threads() const { return pool.size(); }
 
+    /**
+     * Flat index of the array maxPoolLayer() uses. Defaults to 0;
+     * CompiledModel points it past the prepared conv layers so pool
+     * programs never clobber stationary filters.
+     */
+    void setScratchBase(uint64_t base) { scratchBase = base; }
+
   private:
     cache::ComputeCache &cc;
-    common::ThreadPool pool; ///< must outlive ctrl (ctrl borrows it)
+    std::unique_ptr<common::ThreadPool> ownedPool; ///< null when shared
+    common::ThreadPool &pool; ///< must outlive ctrl (ctrl borrows it)
     Controller ctrl;
     uint64_t nPrograms = 0;
+    uint64_t scratchBase = 0;
 };
 
 } // namespace nc::core

@@ -1,5 +1,7 @@
 #include "core/neural_cache.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace nc::core
@@ -25,25 +27,36 @@ NeuralCache::infer(const dnn::Network &net) const
 }
 
 InferenceReport
-NeuralCache::inferBatch(const dnn::Network &net, unsigned batch) const
+assembleBatchReport(const dnn::Network &net,
+                    std::vector<StageCost> stages, unsigned batch,
+                    unsigned sockets, const CostModel &model,
+                    const EnergyConfig &energy)
 {
-    nc_assert(batch >= 1, "empty batch");
+    nc_assert(batch >= 1, "empty batch for network '%s'",
+              net.name.c_str());
+    nc_assert(!net.stages.empty(), "empty network '%s'",
+              net.name.c_str());
+    nc_assert(stages.size() == net.stages.size(),
+              "%zu stage costs for %zu stages", stages.size(),
+              net.stages.size());
 
     InferenceReport rep;
     rep.networkName = net.name;
     rep.batch = batch;
-    rep.sockets = cfg.sockets;
+    rep.sockets = sockets;
+    rep.stages = std::move(stages);
 
     double filter_ps = 0; // paid once per layer for the whole batch
     double per_image_ps = 0;
     double spill_ps = 0;
 
     // Reserved-way capacity across all slices buffers layer outputs.
-    double reserved_bytes = static_cast<double>(cfg.geometry.slices) *
-                            cfg.geometry.reservedWayBytes();
+    const cache::Geometry &geom = model.geometry();
+    double reserved_bytes =
+        static_cast<double>(geom.slices) * geom.reservedWayBytes();
 
-    for (const auto &stage : net.stages) {
-        StageCost c = model.stageCost(stage);
+    for (size_t i = 0; i < rep.stages.size(); ++i) {
+        StageCost &c = rep.stages[i];
 
         filter_ps += c.phases.filterLoadPs;
         per_image_ps += c.totalPs() - c.phases.filterLoadPs;
@@ -52,7 +65,7 @@ NeuralCache::inferBatch(const dnn::Network &net, unsigned batch) const
         // and return for the next layer (paper §IV-E); only the
         // overflow beyond the buffered capacity pays the round trip.
         double batch_out =
-            static_cast<double>(stage.outputBytes()) * batch;
+            static_cast<double>(net.stages[i].outputBytes()) * batch;
         if (batch > 1 && batch_out > reserved_bytes) {
             auto overflow =
                 static_cast<uint64_t>(batch_out - reserved_bytes);
@@ -60,28 +73,42 @@ NeuralCache::inferBatch(const dnn::Network &net, unsigned batch) const
             c.dramBytes += 2 * overflow;
         }
 
-        rep.stages.push_back(c);
         rep.phases += c.phases;
     }
 
     // First-layer input arrives from DRAM through the TMUs.
-    uint64_t image_bytes =
-        net.stages.empty() ? 0 : net.stages.front().inputBytes();
+    uint64_t image_bytes = net.stages.front().inputBytes();
     double input_dram_ps =
         model.dram().transferPs(image_bytes) * batch;
-    if (!rep.stages.empty()) {
-        rep.stages.front().dramBytes += image_bytes * batch;
-        double per_image_share = input_dram_ps / batch;
-        rep.stages.front().phases.inputStreamPs += per_image_share;
-        rep.phases.inputStreamPs += per_image_share;
-        per_image_ps += per_image_share;
-    }
+    rep.stages.front().dramBytes += image_bytes * batch;
+    double per_image_share = input_dram_ps / batch;
+    rep.stages.front().phases.inputStreamPs += per_image_share;
+    rep.phases.inputStreamPs += per_image_share;
+    per_image_ps += per_image_share;
 
     rep.latencyPs = filter_ps + per_image_ps;
     rep.batchPs = filter_ps + per_image_ps * batch + spill_ps;
     rep.spillPs = spill_ps;
-    rep.energy = meterEnergy(rep.stages, rep.batchPs, cfg.energy);
+    rep.energy = meterEnergy(rep.stages, rep.batchPs, energy);
     return rep;
+}
+
+InferenceReport
+NeuralCache::inferBatch(const dnn::Network &net, unsigned batch) const
+{
+    nc_assert(batch >= 1, "empty batch for network '%s'",
+              net.name.c_str());
+    nc_assert(!net.stages.empty(),
+              "inference on empty network '%s'", net.name.c_str());
+
+    // The legacy facade re-derives every stage's mapping per call;
+    // Engine::compile caches exactly these costs instead.
+    std::vector<StageCost> costs;
+    costs.reserve(net.stages.size());
+    for (const auto &stage : net.stages)
+        costs.push_back(model.stageCost(stage));
+    return assembleBatchReport(net, std::move(costs), batch,
+                               cfg.sockets, model, cfg.energy);
 }
 
 } // namespace nc::core

@@ -70,7 +70,32 @@ struct NeuralCacheConfig
     unsigned sockets = 2;
 };
 
-/** The accelerator model. */
+/**
+ * Assemble the batched inference report from precomputed per-stage
+ * costs: filter loading paid once for the batch, per-image phases
+ * multiplied out, reserved-way overflow spilled to DRAM, first-layer
+ * input streamed from DRAM, and energy metered over the batch wall
+ * time (paper §IV-E). Shared by the legacy NeuralCache facade and
+ * CompiledModel so both produce bit-identical reports — the engine
+ * just caches @p stages at compile time instead of re-deriving them
+ * per call.
+ */
+InferenceReport assembleBatchReport(const dnn::Network &net,
+                                    std::vector<StageCost> stages,
+                                    unsigned batch, unsigned sockets,
+                                    const CostModel &model,
+                                    const EnergyConfig &energy);
+
+/**
+ * The accelerator model.
+ *
+ * @deprecated Facade over the analytic cost model only, re-deriving
+ * every stage's mapping on each call. New code should use
+ * core::Engine with BackendKind::Analytic — Engine::compile pays the
+ * mapping once and CompiledModel::report()/run() answer repeatedly
+ * (and the other backends give functional answers from the same
+ * API). Kept as a thin shim over the same report assembly.
+ */
 class NeuralCache
 {
   public:
@@ -84,7 +109,11 @@ class NeuralCache
     /** Simulate one inference (batch 1). */
     InferenceReport infer(const dnn::Network &net) const;
 
-    /** Simulate a batched inference (paper §IV-E). */
+    /**
+     * Simulate a batched inference (paper §IV-E). The network must be
+     * non-empty and @p batch >= 1 (degenerate inputs are hard
+     * errors, not silently-empty reports).
+     */
     InferenceReport inferBatch(const dnn::Network &net,
                                unsigned batch) const;
 

@@ -47,6 +47,17 @@ outDim(unsigned in, unsigned window, unsigned stride, bool same_pad)
     return (in - window) / stride + 1;
 }
 
+unsigned
+padBefore(unsigned in, unsigned window, unsigned stride, bool same_pad)
+{
+    if (!same_pad)
+        return 0;
+    unsigned out = outDim(in, window, stride, true);
+    unsigned covered = (out - 1) * stride + window;
+    unsigned total = covered > in ? covered - in : 0;
+    return total / 2;
+}
+
 uint64_t
 Op::inputBytes() const
 {

@@ -40,6 +40,15 @@ const char *opKindName(OpKind k);
 unsigned outDim(unsigned in, unsigned window, unsigned stride,
                 bool same_pad);
 
+/**
+ * Leading TF SAME-padding: zeros before the first element so that
+ * out = ceil(in / stride) (half of the total pad, rounded down).
+ * Zero for VALID windows. Every executor shares this one definition
+ * so the functional backends stay bit-exact with each other.
+ */
+unsigned padBefore(unsigned in, unsigned window, unsigned stride,
+                   bool same_pad);
+
 /** A convolution (or FC-as-1x1-conv) over an HxWxC input. */
 struct ConvOp
 {

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Seeded random tensors and filter banks.
+ *
+ * Every workload that needs synthetic data — engine auto-weights,
+ * examples, randomized tests — draws through these helpers so a run
+ * is reproducible from one seed.
+ */
+
+#ifndef NC_DNN_RANDOM_HH
+#define NC_DNN_RANDOM_HH
+
+#include "common/rng.hh"
+#include "dnn/reference.hh"
+#include "dnn/tensor.hh"
+
+namespace nc::dnn
+{
+
+/** Uniform random uint8 CHW tensor. */
+inline QTensor
+randomQTensor(Rng &rng, unsigned c, unsigned h, unsigned w,
+              QuantParams qp = {})
+{
+    QTensor t(c, h, w, qp);
+    for (auto &v : t.data())
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+    return t;
+}
+
+/** Uniform random uint8 MCRS filter bank. */
+inline QWeights
+randomQWeights(Rng &rng, unsigned m, unsigned c, unsigned r,
+               unsigned s, QuantParams qp = {})
+{
+    QWeights w(m, c, r, s, qp);
+    for (auto &v : w.data)
+        v = static_cast<uint8_t>(rng.uniformBits(8));
+    return w;
+}
+
+} // namespace nc::dnn
+
+#endif // NC_DNN_RANDOM_HH

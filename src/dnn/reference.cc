@@ -8,23 +8,6 @@
 namespace nc::dnn
 {
 
-namespace
-{
-
-/** TF SAME-padding: total pad so out = ceil(in / stride). */
-unsigned
-padBefore(unsigned in, unsigned window, unsigned stride, bool same_pad)
-{
-    if (!same_pad)
-        return 0;
-    unsigned out = outDim(in, window, stride, true);
-    unsigned covered = (out - 1) * stride + window;
-    unsigned total = covered > in ? covered - in : 0;
-    return total / 2;
-}
-
-} // namespace
-
 Tensor
 convFloat(const Tensor &in, const Weights &w, unsigned stride,
           bool same_pad)
@@ -259,6 +242,32 @@ maxPoolQuant(const QTensor &in, unsigned r, unsigned s, unsigned stride,
                     }
                 }
                 out.at(ci, y, x) = best;
+            }
+        }
+    }
+    return out;
+}
+
+QTensor
+avgPoolQuant(const QTensor &in, unsigned r, unsigned s, unsigned stride)
+{
+    unsigned oh = outDim(in.height(), r, stride, false);
+    unsigned ow = outDim(in.width(), s, stride, false);
+    unsigned ws = r * s;
+
+    QTensor out(in.channels(), oh, ow, in.params());
+    for (unsigned ci = 0; ci < in.channels(); ++ci) {
+        for (unsigned y = 0; y < oh; ++y) {
+            for (unsigned x = 0; x < ow; ++x) {
+                uint32_t sum = 0;
+                for (unsigned ri = 0; ri < r; ++ri)
+                    for (unsigned si = 0; si < s; ++si)
+                        sum += in.at(ci, y * stride + ri,
+                                     x * stride + si);
+                // Truncating division, as the in-array shift/divide
+                // sequence produces (read back modulo 256).
+                out.at(ci, y, x) =
+                    static_cast<uint8_t>((sum / ws) & 0xff);
             }
         }
     }

@@ -117,6 +117,16 @@ std::vector<uint32_t> convQuantUnsigned(const QTensor &in,
 QTensor maxPoolQuant(const QTensor &in, unsigned r, unsigned s,
                      unsigned stride, bool same_pad);
 
+/**
+ * Quantized average pooling, VALID windows only, mirroring the
+ * bit-serial implementation exactly: window sum followed by a
+ * truncating (floor) division by the window size — a shift when RxS
+ * is a power of two, restoring division otherwise (paper §IV-D).
+ * Ground truth for Executor::avgPool.
+ */
+QTensor avgPoolQuant(const QTensor &in, unsigned r, unsigned s,
+                     unsigned stride);
+
 } // namespace nc::dnn
 
 #endif // NC_DNN_REFERENCE_HH

@@ -97,4 +97,61 @@ planPool(const dnn::PoolOp &op, const cache::Geometry &geom)
     return plan;
 }
 
+unsigned
+convLayoutRows(unsigned c, unsigned r, unsigned s)
+{
+    constexpr unsigned bits = 8;
+    constexpr unsigned acc_bits = 24;
+    unsigned rs = r * s;
+    unsigned red_bits =
+        acc_bits + log2Ceil(roundUpPow2(static_cast<uint64_t>(c)));
+    // filter band + input band + 2-byte scratchpad + partial sum with
+    // reduction headroom + reduction scratch + the reserved zero row.
+    return 2 * rs * bits + 2 * bits + red_bits +
+           (red_bits > 1 ? red_bits - 1 : 1) + 1;
+}
+
+ConvRowLayout
+makeConvRowLayout(const cache::Geometry &geom, unsigned c, unsigned r,
+                  unsigned s)
+{
+    constexpr unsigned bits = 8;
+    constexpr unsigned acc_bits = 24;
+
+    ConvRowLayout l;
+    l.lanes = static_cast<unsigned>(roundUpPow2(c));
+    nc_assert(l.lanes <= geom.arrayCols,
+              "conv layout: %u channels exceed %u lanes", c,
+              geom.arrayCols);
+    l.rs = r * s;
+    l.redBits = acc_bits + log2Ceil(static_cast<uint64_t>(l.lanes));
+
+    bitserial::RowAllocator rows(geom.arrayRows);
+    l.filt.resize(l.rs);
+    l.inp.resize(l.rs);
+    for (unsigned k = 0; k < l.rs; ++k)
+        l.filt[k] = rows.alloc(bits);
+    for (unsigned k = 0; k < l.rs; ++k)
+        l.inp[k] = rows.alloc(bits);
+    l.scratch = rows.alloc(2 * bits);
+    l.partial = rows.alloc(l.redBits);
+    l.redScratch = rows.alloc(l.redBits > 1 ? l.redBits - 1 : 1);
+    l.zrow = rows.zeroRow();
+    // Keep the arithmetic row model and the real allocation in
+    // lockstep: any layout change that touches one but not the other
+    // trips here on the very first prepare.
+    nc_assert(rows.used() + 1 == convLayoutRows(c, r, s),
+              "Figure-10 row model drift: allocated %u+1, model says "
+              "%u", rows.used(), convLayoutRows(c, r, s));
+    return l;
+}
+
+bool
+fitsFunctionalExecutor(const dnn::ConvOp &op,
+                       const cache::Geometry &geom)
+{
+    return roundUpPow2(op.c) <= geom.arrayCols &&
+           convLayoutRows(op.c, op.r, op.s) <= geom.arrayRows;
+}
+
 } // namespace nc::mapping

@@ -20,7 +20,9 @@
 #define NC_MAPPING_PLAN_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "bitserial/layout.hh"
 #include "cache/geometry.hh"
 #include "dnn/layers.hh"
 #include "mapping/filter_transform.hh"
@@ -84,6 +86,45 @@ ConvPlan planConv(const dnn::ConvOp &op, const cache::Geometry &geom,
                   const RowBudget &budget = {});
 
 PoolPlan planPool(const dnn::PoolOp &op, const cache::Geometry &geom);
+
+/**
+ * The Figure-10 per-array row carve-up of one conv layer: filter
+ * band, input band, 2-byte product scratchpad, partial sum with
+ * cross-lane reduction headroom, reduction scratch, and the reserved
+ * constant-zero word line. Both functional conv kernels (the
+ * direct-ALU Executor and the broadcast LayerEngine) build their
+ * slice maps from this one definition, so their layouts cannot
+ * drift apart.
+ */
+struct ConvRowLayout
+{
+    unsigned lanes = 0;   ///< padded channels (one per bit line)
+    unsigned rs = 0;      ///< filter positions RxS
+    unsigned redBits = 0; ///< partial width incl. reduction headroom
+    std::vector<bitserial::VecSlice> filt, inp;
+    bitserial::VecSlice scratch, partial, redScratch;
+    unsigned zrow = 0;    ///< reserved all-zero word line
+};
+
+/** Word lines the carve-up of (c, r, s) needs, zero row included. */
+unsigned convLayoutRows(unsigned c, unsigned r, unsigned s);
+
+/**
+ * Build the carve-up on @p geom's array shape. Fatal if it does not
+ * fit — call fitsFunctionalExecutor() first to fail gracefully.
+ */
+ConvRowLayout makeConvRowLayout(const cache::Geometry &geom,
+                                unsigned c, unsigned r, unsigned s);
+
+/**
+ * Whether the functional executor's one-array-per-filter-batch
+ * mapping can run @p op on @p geom: padded channels must fit one
+ * array's bit lines and the ConvRowLayout bands must fit its word
+ * lines. Engine::compile consults this to fail fast — with a useful
+ * message — instead of deep inside a kernel.
+ */
+bool fitsFunctionalExecutor(const dnn::ConvOp &op,
+                            const cache::Geometry &geom);
 
 } // namespace nc::mapping
 

@@ -1,0 +1,144 @@
+/** @file Option parsing: values, spellings, and error messages. */
+
+#include <gtest/gtest.h>
+
+#include "common/argparse.hh"
+
+namespace
+{
+
+using nc::common::ArgParser;
+
+/** Helper: run tryParse over a literal argv. */
+template <size_t N>
+bool
+tryParse(ArgParser &p, const char *const (&argv)[N],
+         std::string &error)
+{
+    return p.tryParse(static_cast<int>(N), argv, error);
+}
+
+TEST(ArgParser, ParsesSeparateAndEqualsSpellings)
+{
+    unsigned batch = 1, threads = 0;
+    std::string backend = "functional";
+    ArgParser p("prog", "test");
+    p.addUnsigned("batch", &batch, "images per batch");
+    p.addUnsigned("threads", &threads, "worker threads");
+    p.addString("backend", &backend, "backend name");
+
+    std::string err;
+    const char *argv[] = {"prog", "--batch", "16", "--threads=4",
+                          "--backend", "isa"};
+    ASSERT_TRUE(tryParse(p, argv, err)) << err;
+    EXPECT_EQ(batch, 16u);
+    EXPECT_EQ(threads, 4u);
+    EXPECT_EQ(backend, "isa");
+}
+
+TEST(ArgParser, DefaultsSurviveWhenFlagsAbsent)
+{
+    unsigned batch = 7;
+    ArgParser p("prog", "test");
+    p.addUnsigned("batch", &batch, "images per batch");
+
+    std::string err;
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(tryParse(p, argv, err));
+    EXPECT_EQ(batch, 7u);
+}
+
+TEST(ArgParser, RejectsMalformedNumbers)
+{
+    unsigned batch = 1;
+    ArgParser p("prog", "test");
+    p.addUnsigned("batch", &batch, "images per batch");
+
+    std::string err;
+    for (const char *bad : {"abc", "12x", "-3", ""}) {
+        const char *argv[] = {"prog", "--batch", bad};
+        EXPECT_FALSE(tryParse(p, argv, err)) << bad;
+        EXPECT_NE(err.find("--batch"), std::string::npos) << bad;
+    }
+    // The target keeps its pre-error value.
+    EXPECT_EQ(batch, 1u);
+}
+
+TEST(ArgParser, RejectsUnknownAndMissing)
+{
+    unsigned batch = 1;
+    ArgParser p("prog", "test");
+    p.addUnsigned("batch", &batch, "images per batch");
+
+    std::string err;
+    {
+        const char *argv[] = {"prog", "--vatch", "4"};
+        EXPECT_FALSE(tryParse(p, argv, err));
+        EXPECT_NE(err.find("unknown option"), std::string::npos);
+    }
+    {
+        const char *argv[] = {"prog", "--batch"};
+        EXPECT_FALSE(tryParse(p, argv, err));
+        EXPECT_NE(err.find("needs a value"), std::string::npos);
+    }
+    {
+        const char *argv[] = {"prog", "stray"};
+        EXPECT_FALSE(tryParse(p, argv, err));
+        EXPECT_NE(err.find("unexpected argument"), std::string::npos);
+    }
+}
+
+TEST(ArgParser, FlagsTakeNoValue)
+{
+    bool verbose = false;
+    ArgParser p("prog", "test");
+    p.addFlag("verbose", &verbose, "chatty output");
+
+    std::string err;
+    {
+        const char *argv[] = {"prog", "--verbose"};
+        ASSERT_TRUE(tryParse(p, argv, err));
+        EXPECT_TRUE(verbose);
+    }
+    {
+        const char *argv[] = {"prog", "--verbose=yes"};
+        EXPECT_FALSE(tryParse(p, argv, err));
+        EXPECT_NE(err.find("takes no value"), std::string::npos);
+    }
+}
+
+TEST(ArgParser, Uint64AcceptsLargeSeeds)
+{
+    uint64_t seed = 0;
+    ArgParser p("prog", "test");
+    p.addUint64("seed", &seed, "rng seed");
+
+    std::string err;
+    const char *argv[] = {"prog", "--seed", "123456789012345"};
+    ASSERT_TRUE(tryParse(p, argv, err)) << err;
+    EXPECT_EQ(seed, 123456789012345ull);
+
+    unsigned small = 0;
+    p.addUnsigned("small", &small, "32-bit value");
+    const char *argv2[] = {"prog", "--small", "123456789012345"};
+    EXPECT_FALSE(tryParse(p, argv2, err));
+}
+
+TEST(ArgParser, HelpReturnsFalseWithEmptyError)
+{
+    unsigned batch = 1;
+    ArgParser p("prog", "a description");
+    p.addUnsigned("batch", &batch, "images per batch");
+
+    std::string err = "sentinel";
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_FALSE(tryParse(p, argv, err));
+    EXPECT_TRUE(err.empty());
+
+    auto usage = p.usage();
+    EXPECT_NE(usage.find("--batch"), std::string::npos);
+    EXPECT_NE(usage.find("a description"), std::string::npos);
+    EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+} // namespace

@@ -163,4 +163,26 @@ TEST(NeuralCacheSmall, ReportThroughputConsistency)
                 4.0 / (rep.batchPs * nc::picoToSec), 1e-6);
 }
 
+// Degenerate inputs are hard errors, never silently-empty (or NaN)
+// reports: a zero batch or an empty network has no meaningful
+// latency/energy answer.
+TEST(NeuralCacheDeath, ZeroBatchIsHardError)
+{
+    nc::dnn::Network tiny;
+    tiny.name = "tiny";
+    tiny.stages.push_back(nc::dnn::singleOpStage(
+        "conv", nc::dnn::conv("conv", 8, 8, 16, 3, 3, 8)));
+    NeuralCache sim;
+    EXPECT_DEATH((void)sim.inferBatch(tiny, 0), "empty batch");
+}
+
+TEST(NeuralCacheDeath, EmptyNetworkIsHardError)
+{
+    nc::dnn::Network empty;
+    empty.name = "empty";
+    NeuralCache sim;
+    EXPECT_DEATH((void)sim.infer(empty), "empty network");
+    EXPECT_DEATH((void)sim.inferBatch(empty, 4), "empty network");
+}
+
 } // namespace
