@@ -8,6 +8,30 @@
 namespace nc::common
 {
 
+namespace
+{
+
+/**
+ * The pool this thread is currently running a task of (null outside
+ * any task). parallelForRaw() consults it to collapse nested loops on
+ * the same pool to inline execution instead of corrupting the single
+ * shared job slot.
+ */
+thread_local const ThreadPool *tl_active_pool = nullptr;
+
+struct ActivePoolScope
+{
+    explicit ActivePoolScope(const ThreadPool *p)
+        : prev(tl_active_pool)
+    {
+        tl_active_pool = p;
+    }
+    ~ActivePoolScope() { tl_active_pool = prev; }
+    const ThreadPool *prev;
+};
+
+} // namespace
+
 unsigned
 ThreadPool::defaultThreads()
 {
@@ -79,7 +103,10 @@ ThreadPool::workerLoop()
                 continue;
             ++joined;
         }
-        runShare();
+        {
+            ActivePoolScope scope(this);
+            runShare();
+        }
         {
             std::lock_guard<std::mutex> lk(mtx);
             if (--pending == 0)
@@ -94,6 +121,14 @@ ThreadPool::parallelForRaw(size_t n, void *ctx,
 {
     if (n == 0)
         return;
+    // Nested loop on the pool we are already running a task of: the
+    // outer level owns the workers (and the one job slot), so the
+    // inner level runs inline on this thread.
+    if (tl_active_pool == this) {
+        for (size_t i = 0; i < n; ++i)
+            fn(ctx, i);
+        return;
+    }
     // The caller participates, so a job needs at most n - 1 helpers.
     size_t helpers = std::min<size_t>(nThreads - 1, n - 1);
     if (helpers == 0) {
@@ -117,7 +152,10 @@ ThreadPool::parallelForRaw(size_t n, void *ctx,
     // re-entering its wait sees the bumped generation by itself.
     for (size_t i = 0; i < helpers; ++i)
         cvStart.notify_one();
-    runShare();
+    {
+        ActivePoolScope scope(this);
+        runShare();
+    }
     {
         std::unique_lock<std::mutex> lk(mtx);
         cvDone.wait(lk, [&] { return pending == 0; });

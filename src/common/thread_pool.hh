@@ -62,6 +62,14 @@ class ThreadPool
      * the callable is shared with the workers through a borrowed
      * pointer + trampoline, never a std::function — safe because the
      * call blocks until every worker is done with it.
+     *
+     * Re-entrant: a parallelFor issued from inside a task of the same
+     * pool (e.g. a per-layer kernel running under a per-branch
+     * fan-out) detects the nesting and runs its indices inline on the
+     * calling thread. Because tasks must already be disjoint-state and
+     * order-independent, collapsing an inner loop to serial cannot
+     * change any result — only which level of the nest supplies the
+     * parallelism.
      */
     template <class F>
     void

@@ -72,22 +72,27 @@ AnalyticBackend::conv(CompiledLayer &, const dnn::QTensor &, unsigned &,
 }
 
 dnn::QTensor
-AnalyticBackend::maxPool(const dnn::QTensor &, unsigned, unsigned,
-                         unsigned, bool)
+AnalyticBackend::maxPool(CompiledLayer &, const dnn::QTensor &)
 {
     nc_panic("the analytic backend cannot execute tensors");
 }
 
 dnn::QTensor
-AnalyticBackend::avgPool(const dnn::QTensor &, unsigned, unsigned,
-                         unsigned)
+AnalyticBackend::avgPool(CompiledLayer &, const dnn::QTensor &)
+{
+    nc_panic("the analytic backend cannot execute tensors");
+}
+
+dnn::QTensor
+AnalyticBackend::eltwiseAdd(CompiledLayer &, const dnn::QTensor &,
+                            const dnn::QTensor &)
 {
     nc_panic("the analytic backend cannot execute tensors");
 }
 
 std::vector<uint8_t>
-AnalyticBackend::requantize(const std::vector<uint32_t> &, uint8_t,
-                            unsigned)
+AnalyticBackend::requantize(CompiledLayer &,
+                            const std::vector<uint32_t> &)
 {
     nc_panic("the analytic backend cannot execute tensors");
 }
@@ -114,29 +119,40 @@ class ReferenceBackend : public Backend
     }
 
     dnn::QTensor
-    maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
-            unsigned stride, bool same_pad) override
+    maxPool(CompiledLayer &layer, const dnn::QTensor &in) override
     {
-        return dnn::maxPoolQuant(in, r, s, stride, same_pad);
+        const dnn::PoolOp &po = layer.op.pool;
+        return dnn::maxPoolQuant(in, po.r, po.s, po.stride,
+                                 po.samePad);
     }
 
     dnn::QTensor
-    avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
-            unsigned stride) override
+    avgPool(CompiledLayer &layer, const dnn::QTensor &in) override
     {
-        return dnn::avgPoolQuant(in, r, s, stride);
+        const dnn::PoolOp &po = layer.op.pool;
+        return dnn::avgPoolQuant(in, po.r, po.s, po.stride,
+                                 po.samePad);
+    }
+
+    dnn::QTensor
+    eltwiseAdd(CompiledLayer &layer, const dnn::QTensor &a,
+               const dnn::QTensor &b) override
+    {
+        return dnn::eltwiseAddQuant(a, b, layer.requantMult,
+                                    layer.requantShift);
     }
 
     std::vector<uint8_t>
-    requantize(const std::vector<uint32_t> &acc, uint8_t mult,
-               unsigned shift) override
+    requantize(CompiledLayer &layer,
+               const std::vector<uint32_t> &acc) override
     {
         // Integer-exact mirror of the in-array sequence: multiply,
         // truncating shift, saturate to 8 bits.
         std::vector<uint8_t> out(acc.size());
         for (size_t i = 0; i < acc.size(); ++i) {
-            uint64_t t = (static_cast<uint64_t>(acc[i]) * mult) >>
-                         shift;
+            uint64_t t = (static_cast<uint64_t>(acc[i]) *
+                          layer.requantMult) >>
+                         layer.requantShift;
             out[i] = static_cast<uint8_t>(t > 0xff ? 0xff : t);
         }
         return out;
@@ -166,24 +182,40 @@ class FunctionalBackend : public Backend
     }
 
     dnn::QTensor
-    maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
-            unsigned stride, bool same_pad) override
+    maxPool(CompiledLayer &layer, const dnn::QTensor &in) override
     {
-        return ex.maxPool(in, r, s, stride, same_pad);
+        const dnn::PoolOp &po = layer.op.pool;
+        return ex.maxPoolAt(layer.scratchArray, in, po.r, po.s,
+                            po.stride, po.samePad);
     }
 
     dnn::QTensor
-    avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
-            unsigned stride) override
+    avgPool(CompiledLayer &layer, const dnn::QTensor &in) override
     {
-        return ex.avgPool(in, r, s, stride);
+        const dnn::PoolOp &po = layer.op.pool;
+        return ex.avgPoolAt(layer.scratchArray, in, po.r, po.s,
+                            po.stride, po.samePad);
+    }
+
+    dnn::QTensor
+    eltwiseAdd(CompiledLayer &layer, const dnn::QTensor &a,
+               const dnn::QTensor &b) override
+    {
+        nc_assert(layer.funcElt.has_value(),
+                  "eltwise '%s' was not prepared for the functional "
+                  "backend", layer.op.name().c_str());
+        dnn::QTensor out(a.channels(), a.height(), a.width(),
+                         a.params());
+        out.data() = layer.funcElt->run(a.data(), b.data());
+        return out;
     }
 
     std::vector<uint8_t>
-    requantize(const std::vector<uint32_t> &acc, uint8_t mult,
-               unsigned shift) override
+    requantize(CompiledLayer &layer,
+               const std::vector<uint32_t> &acc) override
     {
-        return ex.requantize(acc, mult, shift);
+        return ex.requantizeAt(layer.scratchArray, acc,
+                               layer.requantMult, layer.requantShift);
     }
 
   private:
@@ -210,30 +242,45 @@ class IsaBackend : public Backend
     }
 
     dnn::QTensor
-    maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
-            unsigned stride, bool same_pad) override
+    maxPool(CompiledLayer &layer, const dnn::QTensor &in) override
     {
-        // The broadcast MaxInto program covers VALID windows; SAME
-        // padding falls back to the executor's bit-serial pooling.
-        if (same_pad)
-            return ex.maxPool(in, r, s, stride, true);
-        return le.maxPoolLayer(in, r, s, stride);
+        // The broadcast MaxInto program sequences VALID and SAME
+        // windows alike (edge windows just run shorter programs), so
+        // the executor fallback SAME padding used to need is gone.
+        const dnn::PoolOp &po = layer.op.pool;
+        return le.maxPoolLayerAt(layer.scratchArray, in, po.r, po.s,
+                                 po.stride, po.samePad);
     }
 
     dnn::QTensor
-    avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
-            unsigned stride) override
+    avgPool(CompiledLayer &layer, const dnn::QTensor &in) override
     {
         // No broadcast macro for the sum+divide sequence yet; the
         // executor drives the identical bit-serial micro-ops.
-        return ex.avgPool(in, r, s, stride);
+        const dnn::PoolOp &po = layer.op.pool;
+        return ex.avgPoolAt(layer.scratchArray, in, po.r, po.s,
+                            po.stride, po.samePad);
+    }
+
+    dnn::QTensor
+    eltwiseAdd(CompiledLayer &layer, const dnn::QTensor &a,
+               const dnn::QTensor &b) override
+    {
+        nc_assert(layer.isaElt.has_value(),
+                  "eltwise '%s' was not prepared for the ISA backend",
+                  layer.op.name().c_str());
+        dnn::QTensor out(a.channels(), a.height(), a.width(),
+                         a.params());
+        out.data() = layer.isaElt->run(a.data(), b.data());
+        return out;
     }
 
     std::vector<uint8_t>
-    requantize(const std::vector<uint32_t> &acc, uint8_t mult,
-               unsigned shift) override
+    requantize(CompiledLayer &layer,
+               const std::vector<uint32_t> &acc) override
     {
-        return ex.requantize(acc, mult, shift);
+        return ex.requantizeAt(layer.scratchArray, acc,
+                               layer.requantMult, layer.requantShift);
     }
 
   private:

@@ -58,7 +58,11 @@ bool parseBackendKind(std::string_view name, BackendKind &out);
 /**
  * A functional execution strategy for compiled layers. Implementations
  * wrap the existing executors; CompiledModel dispatches each layer to
- * the backend its compile options selected.
+ * the backend its compile options selected. Every entry point takes
+ * the CompiledLayer, which carries the op shape, the prepared
+ * kernels, the calibrated requantization scalars, and the layer's own
+ * scratch array — the latter is what lets independent branches of one
+ * stage execute concurrently without sharing mutable array state.
  */
 class Backend
 {
@@ -76,22 +80,30 @@ class Backend
                                        unsigned &out_h,
                                        unsigned &out_w) = 0;
 
-    virtual dnn::QTensor maxPool(const dnn::QTensor &in, unsigned r,
-                                 unsigned s, unsigned stride,
-                                 bool same_pad) = 0;
+    /** Max pooling with @p layer's window/stride/padding. */
+    virtual dnn::QTensor maxPool(CompiledLayer &layer,
+                                 const dnn::QTensor &in) = 0;
 
-    /** Average pooling, VALID windows (truncating division). */
-    virtual dnn::QTensor avgPool(const dnn::QTensor &in, unsigned r,
-                                 unsigned s, unsigned stride) = 0;
+    /** Average pooling (truncating division; SAME padding divides
+     * partial windows by their valid-element count). */
+    virtual dnn::QTensor avgPool(CompiledLayer &layer,
+                                 const dnn::QTensor &in) = 0;
+
+    /**
+     * Residual merge: out = sat8(((a + b) * mult) >> shift) with the
+     * layer's calibrated scalars.
+     */
+    virtual dnn::QTensor eltwiseAdd(CompiledLayer &layer,
+                                    const dnn::QTensor &a,
+                                    const dnn::QTensor &b) = 0;
 
     /**
      * Requantize accumulators to bytes: q = sat8((acc * mult) >>
-     * shift), the §IV-D fixed-point sequence with compile-time
-     * calibrated scalars.
+     * shift), the §IV-D fixed-point sequence with @p layer's
+     * compile-time calibrated scalars.
      */
     virtual std::vector<uint8_t> requantize(
-        const std::vector<uint32_t> &acc, uint8_t mult,
-        unsigned shift) = 0;
+        CompiledLayer &layer, const std::vector<uint32_t> &acc) = 0;
 };
 
 /**
@@ -121,14 +133,15 @@ class AnalyticBackend : public Backend
     std::vector<uint32_t> conv(CompiledLayer &layer,
                                const dnn::QTensor &in, unsigned &out_h,
                                unsigned &out_w) override;
-    dnn::QTensor maxPool(const dnn::QTensor &in, unsigned r,
-                         unsigned s, unsigned stride,
-                         bool same_pad) override;
-    dnn::QTensor avgPool(const dnn::QTensor &in, unsigned r,
-                         unsigned s, unsigned stride) override;
-    std::vector<uint8_t> requantize(const std::vector<uint32_t> &acc,
-                                    uint8_t mult,
-                                    unsigned shift) override;
+    dnn::QTensor maxPool(CompiledLayer &layer,
+                         const dnn::QTensor &in) override;
+    dnn::QTensor avgPool(CompiledLayer &layer,
+                         const dnn::QTensor &in) override;
+    dnn::QTensor eltwiseAdd(CompiledLayer &layer, const dnn::QTensor &a,
+                            const dnn::QTensor &b) override;
+    std::vector<uint8_t> requantize(
+        CompiledLayer &layer,
+        const std::vector<uint32_t> &acc) override;
 
   private:
     NeuralCacheConfig cfg;
@@ -137,9 +150,9 @@ class AnalyticBackend : public Backend
 
 /**
  * Build a functional backend. @p ex is required for Functional and
- * Isa (the Isa backend routes avg pooling, SAME-padded pooling, and
- * requantization through the executor's bit-serial helpers — the ISA
- * has no broadcast macro for them yet); @p le is required for Isa.
+ * Isa (the Isa backend routes avg pooling and requantization through
+ * the executor's bit-serial helpers — the ISA has no broadcast macro
+ * for them yet); @p le is required for Isa.
  */
 std::unique_ptr<Backend> makeBackend(BackendKind kind, Executor *ex,
                                      LayerEngine *le);

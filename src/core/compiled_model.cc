@@ -1,5 +1,6 @@
 #include "core/compiled_model.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.hh"
@@ -58,6 +59,73 @@ CompiledModel::backendFor(BackendKind k)
 }
 
 dnn::QTensor
+CompiledModel::runOp(CompiledLayer &layer, dnn::QTensor act)
+{
+    Backend &b = backendFor(layer.backend);
+    switch (layer.op.kind) {
+      case dnn::OpKind::FullyConnected:
+        // Flatten CHW into channels, as TF does for FC-as-1x1.
+        if (act.height() != 1 || act.width() != 1) {
+            dnn::QTensor flat(
+                act.channels() * act.height() * act.width(), 1, 1,
+                act.params());
+            flat.data() = std::move(act.data());
+            act = std::move(flat);
+        }
+        [[fallthrough]];
+      case dnn::OpKind::Conv: {
+        unsigned oh = 0, ow = 0;
+        auto acc = b.conv(layer, act, oh, ow);
+        auto bytes = b.requantize(layer, acc);
+        dnn::QTensor next(layer.op.conv.m, oh, ow);
+        next.data() = std::move(bytes);
+        return next;
+      }
+      case dnn::OpKind::MaxPool:
+        return b.maxPool(layer, act);
+      case dnn::OpKind::AvgPool:
+        return b.avgPool(layer, act);
+      case dnn::OpKind::EltwiseAdd:
+        nc_panic("eltwise '%s' is a merge, not a chain op (run loop "
+                 "bug)", layer.op.name().c_str());
+    }
+    nc_panic("unreachable op kind");
+}
+
+dnn::QTensor
+CompiledModel::runBranch(const CompiledBranch &branch,
+                         dnn::QTensor input)
+{
+    // The serial prefix (the trailing eltwise merge, if any, is
+    // applied by the caller once the shortcut operand exists).
+    size_t n = branch.layerIdx.size();
+    if (branch.endsWithEltwise)
+        --n;
+    size_t serial = branch.splitTail ? n - 2 : n;
+
+    dnn::QTensor act = std::move(input);
+    for (size_t i = 0; i < serial; ++i)
+        act = runOp(layers[branch.layerIdx[i]], std::move(act));
+
+    if (branch.splitTail) {
+        // The expanded-tower fan-out (Mixed_7b/7c): the last two ops
+        // both read the penultimate tensor and their outputs
+        // concatenate in op order.
+        dnn::QTensor t0 = runOp(layers[branch.layerIdx[n - 2]], act);
+        dnn::QTensor t1 =
+            runOp(layers[branch.layerIdx[n - 1]], std::move(act));
+        dnn::QTensor cat(t0.channels() + t1.channels(), t0.height(),
+                         t0.width(), t0.params());
+        auto &buf = cat.data();
+        std::copy(t0.data().begin(), t0.data().end(), buf.begin());
+        std::copy(t1.data().begin(), t1.data().end(),
+                  buf.begin() + static_cast<long>(t0.data().size()));
+        act = std::move(cat);
+    }
+    return act;
+}
+
+dnn::QTensor
 CompiledModel::runLayers(const dnn::QTensor &input)
 {
     nc_assert(input.channels() == inC && input.height() == inH &&
@@ -67,42 +135,71 @@ CompiledModel::runLayers(const dnn::QTensor &input)
               net.name.c_str(), inC, inH, inW);
 
     dnn::QTensor act = input;
-    for (auto &layer : layers) {
-        Backend &b = backendFor(layer.backend);
-        switch (layer.op.kind) {
-          case dnn::OpKind::FullyConnected:
-            // Flatten CHW into channels, as TF does for FC-as-1x1.
-            if (act.height() != 1 || act.width() != 1) {
-                dnn::QTensor flat(
-                    act.channels() * act.height() * act.width(), 1, 1,
-                    act.params());
-                flat.data() = std::move(act.data());
-                act = std::move(flat);
-            }
-            [[fallthrough]];
-          case dnn::OpKind::Conv: {
-            unsigned oh = 0, ow = 0;
-            auto acc = b.conv(layer, act, oh, ow);
-            auto bytes = b.requantize(acc, layer.requantMult,
-                                      layer.requantShift);
-            dnn::QTensor next(layer.op.conv.m, oh, ow);
-            next.data() = std::move(bytes);
-            act = std::move(next);
-            break;
-          }
-          case dnn::OpKind::MaxPool:
-            act = b.maxPool(act, layer.op.pool.r, layer.op.pool.s,
-                            layer.op.pool.stride,
-                            layer.op.pool.samePad);
-            break;
-          case dnn::OpKind::AvgPool:
-            act = b.avgPool(act, layer.op.pool.r, layer.op.pool.s,
-                            layer.op.pool.stride);
-            break;
-          case dnn::OpKind::EltwiseAdd:
-            nc_panic("eltwise layers are not functionally "
-                     "executable (rejected at compile)");
+    for (const CompiledStage &stage : stages) {
+        // Fast path: a plain single-branch chain moves the
+        // activation through without copying it.
+        if (stage.branches.size() == 1 &&
+            !stage.branches.front().endsWithEltwise) {
+            act = runBranch(stage.branches.front(), std::move(act));
+            continue;
         }
+
+        // Mixed/residual stage: every branch reads the stage input;
+        // the independent branch chains fan out over the shared pool
+        // (each branch's layers own disjoint array bands and scratch,
+        // so outputs and cycle charges stay bit-identical for any
+        // thread count).
+        const dnn::QTensor in0 = std::move(act);
+        std::vector<dnn::QTensor> outs(stage.branches.size());
+        pool->parallelFor(stage.branches.size(), [&](size_t bi) {
+            outs[bi] = runBranch(stage.branches[bi], in0);
+        });
+
+        // Residual merges: the eltwise tail adds the shortcut
+        // branch's output (or the stage input, for identity
+        // shortcuts) into the branch result.
+        for (size_t bi = 0; bi < stage.branches.size(); ++bi) {
+            const CompiledBranch &br = stage.branches[bi];
+            if (!br.endsWithEltwise)
+                continue;
+            const dnn::QTensor &operand =
+                stage.shortcutBranch >= 0
+                    ? outs[static_cast<size_t>(stage.shortcutBranch)]
+                    : in0;
+            CompiledLayer &l = layers[br.layerIdx.back()];
+            outs[bi] = backendFor(l.backend)
+                           .eltwiseAdd(l, outs[bi], operand);
+        }
+
+        // Channel-concatenate the non-shortcut branch outputs (CHW is
+        // channel-major, so the concat is a buffer append).
+        size_t total = 0;
+        unsigned out_c = 0;
+        const dnn::QTensor *first = nullptr;
+        for (size_t bi = 0; bi < stage.branches.size(); ++bi) {
+            if (static_cast<int>(bi) == stage.shortcutBranch)
+                continue;
+            total += outs[bi].data().size();
+            out_c += outs[bi].channels();
+            if (!first)
+                first = &outs[bi];
+        }
+        nc_assert(first, "stage with only a shortcut branch");
+        dnn::QTensor cat(out_c, first->height(), first->width(),
+                         in0.params());
+        nc_assert(cat.data().size() == total,
+                  "concat size mismatch: %zu vs %zu",
+                  cat.data().size(), total);
+        size_t off = 0;
+        for (size_t bi = 0; bi < stage.branches.size(); ++bi) {
+            if (static_cast<int>(bi) == stage.shortcutBranch)
+                continue;
+            const auto &src = outs[bi].data();
+            std::copy(src.begin(), src.end(),
+                      cat.data().begin() + static_cast<long>(off));
+            off += src.size();
+        }
+        act = std::move(cat);
     }
     return act;
 }

@@ -50,6 +50,8 @@ struct CompiledLayer
     /// @{
     dnn::QWeights weights;
     mapping::ConvPlan plan;
+    /** The executor transform selection (pack/split/chunk bands). */
+    mapping::FunctionalConvPlan funcPlan;
     /**
      * Filter bytes in §IV-C streaming order — the preprocessed DRAM
      * image the modeled machine would burst into the arrays, built
@@ -59,10 +61,12 @@ struct CompiledLayer
      * is a modeled artifact, not kernel input.
      */
     std::vector<uint8_t> dramImage;
-    /** Calibrated fixed-point requantization: q = sat8((acc*m)>>s). */
+    /** Calibrated fixed-point requantization: q = sat8((acc*m)>>s).
+     * For eltwise layers these are the merge scalars of
+     * sat8(((a+b)*mult)>>shift). */
     uint8_t requantMult = 1;
     unsigned requantShift = 0;
-    /** First flat array index of the layer's stationary filters. */
+    /** First flat array index of the layer's filter band. */
     uint64_t baseArray = 0;
     std::optional<Executor::PreparedConv> funcConv;
     std::optional<LayerEngine::PreparedConvLayer> isaConv;
@@ -72,6 +76,19 @@ struct CompiledLayer
     /// @{
     mapping::PoolPlan poolPlan;
     /// @}
+
+    /** @name Eltwise artifacts */
+    /// @{
+    std::optional<Executor::PreparedEltwise> funcElt;
+    std::optional<LayerEngine::PreparedEltwiseLayer> isaElt;
+    /// @}
+
+    /**
+     * The scratch array the layer-less kernels (pools, eltwise,
+     * requantization) of this layer scribble on — one per branch, so
+     * concurrently executing branches never share mutable arrays.
+     */
+    uint64_t scratchArray = 0;
 };
 
 /** What one run() returns: tensors and timing from a single call. */
@@ -152,12 +169,44 @@ class CompiledModel
     /** The shared worker pool threads count. */
     unsigned threads() const;
 
+    /**
+     * One branch of a compiled stage: indices into compiledLayers()
+     * in execution order, plus the fork/merge structure the run loop
+     * honors (split tails fork on the penultimate tensor, eltwise
+     * tails merge with the shortcut operand).
+     */
+    struct CompiledBranch
+    {
+        std::vector<size_t> layerIdx;
+        bool splitTail = false;
+        bool shortcut = false;
+        bool endsWithEltwise = false;
+    };
+
+    /** One stage: branches execute concurrently, outputs concat. */
+    struct CompiledStage
+    {
+        std::vector<CompiledBranch> branches;
+        int shortcutBranch = -1;
+    };
+
+    /** The stage/branch program (empty for pure-analytic models). */
+    const std::vector<CompiledStage> &compiledStages() const
+    {
+        return stages;
+    }
+
   private:
     friend class Engine;
     CompiledModel();
 
     Backend &backendFor(BackendKind k);
     dnn::QTensor runLayers(const dnn::QTensor &input);
+    dnn::QTensor runOp(CompiledLayer &layer, dnn::QTensor act);
+    /** By value: the fast path moves the activation through; the
+     * branch fan-out passes each branch its own copy. */
+    dnn::QTensor runBranch(const CompiledBranch &branch,
+                           dnn::QTensor input);
 
     dnn::Network net;
     NeuralCacheConfig cfg;
@@ -173,6 +222,7 @@ class CompiledModel
     std::unique_ptr<LayerEngine> isaEngine;
     std::unique_ptr<Backend> refBackend, funcBackend, isaBackend;
     std::vector<CompiledLayer> layers;
+    std::vector<CompiledStage> stages;
 };
 
 } // namespace nc::core

@@ -134,6 +134,8 @@ Controller::execute(sram::Array &arr, const Instruction &inst)
         return bs::shiftUp(arr, inst.a, inst.imm);
       case Opcode::ShiftDown:
         return bs::shiftDown(arr, inst.a, inst.imm);
+      case Opcode::Saturate:
+        return bs::saturate(arr, inst.a, inst.imm);
       case Opcode::Divide:
         return bs::divide(arr, inst.a, inst.b, inst.out, inst.scratch,
                           inst.scratch2, inst.c);

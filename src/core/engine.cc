@@ -14,25 +14,13 @@ namespace
 {
 
 /**
- * Quantization calibration (§IV-D, done once at compile): bound the
- * worst-case accumulator by the largest filter's weight sum against
- * all-255 inputs, then decompose 255/bound into the 8-bit multiplier
- * and truncating right shift the in-array requantizer executes:
- * q = sat8((acc * mult) >> shift).
+ * Decompose 255/acc_max into the 8-bit multiplier and truncating
+ * right shift the in-array requantizer executes: q = sat8((acc *
+ * mult) >> shift).
  */
 void
-calibrateRequant(const dnn::QWeights &w, uint8_t &mult,
-                 unsigned &shift)
+calibrateFromAccMax(uint64_t acc_max, uint8_t &mult, unsigned &shift)
 {
-    uint64_t acc_max = 0;
-    for (unsigned mi = 0; mi < w.m; ++mi) {
-        uint64_t sum = 0;
-        for (unsigned ci = 0; ci < w.c; ++ci)
-            for (unsigned ri = 0; ri < w.r; ++ri)
-                for (unsigned si = 0; si < w.s; ++si)
-                    sum += w.at(mi, ci, ri, si);
-        acc_max = std::max(acc_max, sum * 255);
-    }
     if (acc_max <= 255) { // identity: accumulators already fit a byte
         mult = 1;
         shift = 0;
@@ -48,6 +36,27 @@ calibrateRequant(const dnn::QWeights &w, uint8_t &mult,
         ratio * static_cast<double>(uint64_t(1) << sh));
     mult = static_cast<uint8_t>(std::min<uint64_t>(m8, 255));
     shift = sh;
+}
+
+/**
+ * Quantization calibration (§IV-D, done once at compile): bound the
+ * worst-case accumulator by the largest filter's weight sum against
+ * all-255 inputs.
+ */
+void
+calibrateRequant(const dnn::QWeights &w, uint8_t &mult,
+                 unsigned &shift)
+{
+    uint64_t acc_max = 0;
+    for (unsigned mi = 0; mi < w.m; ++mi) {
+        uint64_t sum = 0;
+        for (unsigned ci = 0; ci < w.c; ++ci)
+            for (unsigned ri = 0; ri < w.r; ++ri)
+                for (unsigned si = 0; si < w.s; ++si)
+                    sum += w.at(mi, ci, ri, si);
+        acc_max = std::max(acc_max, sum * 255);
+    }
+    calibrateFromAccMax(acc_max, mult, shift);
 }
 
 /** The (c, h, w) shape flowing between layers during compilation. */
@@ -140,141 +149,129 @@ Engine::compile(const dnn::Network &net,
     if (uses_isa)
         m.isaEngine = std::make_unique<LayerEngine>(*m.cc, *pool);
 
+    // --- Pass A: validate the topology and build the per-layer and
+    // per-stage program structure (no array placement yet). ---------
     Shape shape{m.inC, m.inH, m.inW};
-    uint64_t next_base = 0; // first free array for stationary filters
     unsigned layer_idx = 0;
+    size_t max_branches = 1;
 
     for (const auto &stage : net.stages) {
-        nc_assert(stage.branches.size() == 1,
-                  "stage '%s': multi-branch stages are analytic-only "
-                  "(functional backends execute single-branch "
-                  "chains)", stage.name.c_str());
-        for (const auto &op : stage.branches.front().ops) {
-            CompiledLayer layer;
-            layer.op = op;
-            layer.backend = opts.backend;
-            if (auto it = opts.layerBackends.find(op.name());
-                it != opts.layerBackends.end())
-                layer.backend = it->second;
+        mapping::StageConcatPlan scp = mapping::planStageConcat(stage);
+        // The stage's common branch input must be what the previous
+        // stage produced (an FC head flattens CHW into channels).
+        bool fc_front =
+            stage.branches.front().ops.front().isConv() &&
+            stage.branches.front().ops.front().conv.isFullyConnected;
+        if (fc_front) {
+            nc_assert(scp.input.c == shape.c * shape.h * shape.w,
+                      "fc stage '%s' expects %u inputs, previous "
+                      "stage produces %ux%ux%u", stage.name.c_str(),
+                      scp.input.c, shape.c, shape.h, shape.w);
+        } else {
+            nc_assert(scp.input.c == shape.c &&
+                          scp.input.h == shape.h &&
+                          scp.input.w == shape.w,
+                      "stage '%s' expects %ux%ux%u input, previous "
+                      "stage produces %ux%ux%u", stage.name.c_str(),
+                      scp.input.c, scp.input.h, scp.input.w, shape.c,
+                      shape.h, shape.w);
+        }
+        max_branches = std::max(max_branches, stage.branches.size());
 
-            if (op.isConv()) {
-                const dnn::ConvOp &co = op.conv;
-                nc_assert(co.c > 0 && co.m > 0 && co.r > 0 && co.s > 0,
-                          "conv '%s': degenerate shape",
-                          co.name.c_str());
-                if (co.isFullyConnected) {
-                    nc_assert(co.c == shape.c * shape.h * shape.w,
-                              "fc '%s' expects %u inputs, previous "
-                              "layer produces %ux%ux%u",
-                              co.name.c_str(), co.c, shape.c, shape.h,
-                              shape.w);
-                } else {
-                    nc_assert(co.c == shape.c && co.h == shape.h &&
-                                  co.w == shape.w,
-                              "conv '%s' expects %ux%ux%u input, "
-                              "previous layer produces %ux%ux%u",
-                              co.name.c_str(), co.c, co.h, co.w,
-                              shape.c, shape.h, shape.w);
-                }
-                // Only the bit-serial kernels map onto arrays; the
-                // reference backend runs CPU loops of any shape.
+        CompiledModel::CompiledStage cstage;
+        cstage.shortcutBranch = scp.shortcutBranch;
+
+        for (const auto &branch : stage.branches) {
+            CompiledModel::CompiledBranch cbranch;
+            cbranch.splitTail = branch.splitTail;
+            cbranch.shortcut = branch.shortcut;
+            cbranch.endsWithEltwise =
+                branch.ops.back().kind == dnn::OpKind::EltwiseAdd;
+
+            for (const auto &op : branch.ops) {
+                CompiledLayer layer;
+                layer.op = op;
+                layer.backend = opts.backend;
+                if (auto it = opts.layerBackends.find(op.name());
+                    it != opts.layerBackends.end())
+                    layer.backend = it->second;
                 bool on_arrays =
                     layer.backend == BackendKind::Functional ||
                     layer.backend == BackendKind::Isa;
-                nc_assert(!on_arrays ||
-                              mapping::fitsFunctionalExecutor(co,
-                                                              geom),
-                          "conv '%s' (C=%u RxS=%ux%u) exceeds the "
-                          "functional executor's one-array mapping",
-                          co.name.c_str(), co.c, co.r, co.s);
 
-                // Weights: explicit bank, else deterministic seed.
-                if (auto it = weights.find(op.name());
-                    it != weights.end()) {
-                    const dnn::QWeights &qw = it->second;
-                    nc_assert(qw.m == co.m && qw.c == co.c &&
-                                  qw.r == co.r && qw.s == co.s,
-                              "weights for '%s' are %ux%ux%ux%u, op "
-                              "wants %ux%ux%ux%u", co.name.c_str(),
-                              qw.m, qw.c, qw.r, qw.s, co.m, co.c,
-                              co.r, co.s);
-                    layer.weights = qw;
+                if (op.isConv()) {
+                    const dnn::ConvOp &co = op.conv;
+                    nc_assert(co.c > 0 && co.m > 0 && co.r > 0 &&
+                                  co.s > 0,
+                              "conv '%s': degenerate shape",
+                              co.name.c_str());
+                    // Only the bit-serial kernels map onto arrays;
+                    // the reference backend runs CPU loops of any
+                    // shape.
+                    layer.funcPlan =
+                        mapping::planFunctionalConv(co, geom);
+                    nc_assert(!on_arrays || layer.funcPlan.fits,
+                              "conv '%s' (C=%u RxS=%ux%u) exceeds "
+                              "every functional mapping",
+                              co.name.c_str(), co.c, co.r, co.s);
+                    nc_assert(layer.backend != BackendKind::Isa ||
+                                  layer.funcPlan.legacy,
+                              "conv '%s' (C=%u RxS=%ux%u) needs the "
+                              "pack/split/chunk mapping, which the "
+                              "broadcast ISA path does not support; "
+                              "route it to the functional backend",
+                              co.name.c_str(), co.c, co.r, co.s);
+
+                    // Weights: explicit bank, else deterministic
+                    // seed.
+                    if (auto it = weights.find(op.name());
+                        it != weights.end()) {
+                        const dnn::QWeights &qw = it->second;
+                        nc_assert(qw.m == co.m && qw.c == co.c &&
+                                      qw.r == co.r && qw.s == co.s,
+                                  "weights for '%s' are "
+                                  "%ux%ux%ux%u, op wants %ux%ux%ux%u",
+                                  co.name.c_str(), qw.m, qw.c, qw.r,
+                                  qw.s, co.m, co.c, co.r, co.s);
+                        layer.weights = qw;
+                    } else {
+                        Rng rng(opts.weightSeed +
+                                0x9e3779b97f4a7c15ull *
+                                    (layer_idx + 1));
+                        layer.weights = dnn::randomQWeights(
+                            rng, co.m, co.c, co.r, co.s);
+                    }
+
+                    // Mapping/tiling + the §IV-C transposed DRAM
+                    // image. stageCost() above already planned this
+                    // op internally for its cost; re-deriving the
+                    // plan here (cheap arithmetic, compile-time only)
+                    // keeps CostModel's interface unchanged while
+                    // exposing the per-layer artifact.
+                    layer.plan = mapping::planConv(co, geom);
+                    mapping::WeightLayout wl(co, layer.plan, geom);
+                    layer.dramImage = wl.dramImage(layer.weights);
+                    calibrateRequant(layer.weights, layer.requantMult,
+                                     layer.requantShift);
+                } else if (op.isPool()) {
+                    layer.poolPlan = mapping::planPool(op.pool, geom);
                 } else {
-                    Rng rng(opts.weightSeed +
-                            0x9e3779b97f4a7c15ull * (layer_idx + 1));
-                    layer.weights = dnn::randomQWeights(
-                        rng, co.m, co.c, co.r, co.s);
+                    // Residual merge: both operands are requantized
+                    // bytes, so the worst-case accumulator is 510 and
+                    // the §IV-D scalars come from the same
+                    // calibration the convs use.
+                    calibrateFromAccMax(2 * 255, layer.requantMult,
+                                        layer.requantShift);
                 }
 
-                // Mapping/tiling + the §IV-C transposed DRAM image.
-                // stageCost() above already planned this op
-                // internally for its cost; re-deriving the plan here
-                // (cheap arithmetic, compile-time only) keeps
-                // CostModel's interface unchanged while exposing the
-                // per-layer artifact.
-                layer.plan = mapping::planConv(co, geom);
-                mapping::WeightLayout wl(co, layer.plan, geom);
-                layer.dramImage = wl.dramImage(layer.weights);
-                calibrateRequant(layer.weights, layer.requantMult,
-                                 layer.requantShift);
-
-                // Pin the filters stationary in this layer's band.
-                // The +1 keeps the shared scratch array in range
-                // too. Reference layers reserve nothing.
-                if (on_arrays) {
-                    layer.baseArray = next_base;
-                    next_base += co.m;
-                    nc_assert(
-                        next_base + 1 <= geom.totalArrays(),
-                        "conv '%s': stationary filters need %llu "
-                        "arrays, cache has %llu", co.name.c_str(),
-                        static_cast<unsigned long long>(next_base +
-                                                        1),
-                        static_cast<unsigned long long>(
-                            geom.totalArrays()));
-                }
-                if (layer.backend == BackendKind::Functional)
-                    layer.funcConv = m.ex->prepareConv(
-                        layer.weights, co.stride, co.samePad,
-                        layer.baseArray);
-                else if (layer.backend == BackendKind::Isa)
-                    layer.isaConv = m.isaEngine->prepareConv(
-                        layer.weights, co.stride, co.samePad,
-                        layer.baseArray);
-
-                shape = {co.m, co.outH(), co.outW()};
-            } else if (op.isPool()) {
-                const dnn::PoolOp &po = op.pool;
-                nc_assert(po.c == shape.c && po.h == shape.h &&
-                              po.w == shape.w,
-                          "pool '%s' expects %ux%ux%u input, "
-                          "previous layer produces %ux%ux%u",
-                          po.name.c_str(), po.c, po.h, po.w, shape.c,
-                          shape.h, shape.w);
-                if (po.isAvg) {
-                    // The bit-serial average pool runs VALID windows;
-                    // SAME is accepted only when it degenerates to
-                    // VALID (no padding needed).
-                    unsigned vh =
-                        dnn::outDim(po.h, po.r, po.stride, false);
-                    unsigned vw =
-                        dnn::outDim(po.w, po.s, po.stride, false);
-                    nc_assert(po.outH() == vh && po.outW() == vw,
-                              "avgPool '%s': SAME padding with "
-                              "partial windows is not functionally "
-                              "supported", po.name.c_str());
-                }
-                layer.poolPlan = mapping::planPool(po, geom);
-                shape = {po.c, po.outH(), po.outW()};
-            } else {
-                nc_assert(false,
-                          "eltwise '%s' is analytic-only (no "
-                          "functional mapping yet)",
-                          op.elt.name.c_str());
+                cbranch.layerIdx.push_back(m.layers.size());
+                m.layers.push_back(std::move(layer));
+                ++layer_idx;
             }
-            m.layers.push_back(std::move(layer));
-            ++layer_idx;
+            cstage.branches.push_back(std::move(cbranch));
         }
+        m.stages.push_back(std::move(cstage));
+        shape = {scp.out.c, scp.out.h, scp.out.w};
     }
 
     // Every per-layer override and every provided weight bank must
@@ -293,11 +290,191 @@ Engine::compile(const dnn::Network &net,
                   net.name.c_str());
     }
 
-    // The layer-less helpers (pools, requantization) scribble on the
-    // first array past the stationary filter bands.
-    m.ex->setScratchBase(next_base);
+    // --- Pass B: array placement. ---------------------------------
+    // One scratch array per concurrently-executing branch (pools,
+    // eltwise merges, and requantization scribble on it); stages
+    // execute serially, so branch slot i is reused across stages.
+    const uint64_t total_arrays = geom.totalArrays();
+    const uint64_t scratch_slots = max_branches;
+
+    uint64_t whole_need = 0;
+    for (const CompiledLayer &layer : m.layers) {
+        bool on_arrays = layer.backend == BackendKind::Functional ||
+                         layer.backend == BackendKind::Isa;
+        if (layer.op.isConv() && on_arrays)
+            whole_need += layer.funcPlan.totalArrays(layer.op.conv.m);
+    }
+    bool all_resident = whole_need + scratch_slots <= total_arrays;
+
+    struct ConvPlacement
+    {
+        uint64_t base = 0;
+        uint64_t band = 0;
+        bool resident = true;
+    };
+    std::vector<ConvPlacement> place(m.layers.size());
+
+    uint64_t scratch_base = 0;
+    if (all_resident) {
+        // Whole-network residency: every conv layer owns its full
+        // band in layer order, filters pinned once at compile
+        // (§IV-E: batches amortize the load forever); scratch slots
+        // sit past the last band.
+        uint64_t next = 0;
+        for (size_t li = 0; li < m.layers.size(); ++li) {
+            CompiledLayer &layer = m.layers[li];
+            bool on_arrays =
+                layer.backend == BackendKind::Functional ||
+                layer.backend == BackendKind::Isa;
+            if (!layer.op.isConv() || !on_arrays)
+                continue;
+            uint64_t need =
+                layer.funcPlan.totalArrays(layer.op.conv.m);
+            place[li] = {next, need, true};
+            layer.baseArray = next;
+            next += need;
+        }
+        scratch_base = next;
+    } else {
+        // Streaming regime: the network exceeds the cache, so conv
+        // layers re-pin filters as they run. Scratch slots sit at the
+        // bottom; every stage re-uses the region above them, with the
+        // stage's branches in disjoint bands so they can execute
+        // concurrently. A band smaller than a layer's full need makes
+        // the kernel cycle filter groups through it.
+        uint64_t avail = total_arrays - scratch_slots;
+        for (size_t si = 0; si < m.stages.size(); ++si) {
+            const CompiledModel::CompiledStage &cstage = m.stages[si];
+            std::vector<uint64_t> need_b(cstage.branches.size(), 0);
+            std::vector<uint64_t> min_b(cstage.branches.size(), 0);
+            for (size_t bi = 0; bi < cstage.branches.size(); ++bi) {
+                for (size_t li : cstage.branches[bi].layerIdx) {
+                    const CompiledLayer &layer = m.layers[li];
+                    bool on_arrays =
+                        layer.backend == BackendKind::Functional ||
+                        layer.backend == BackendKind::Isa;
+                    if (!layer.op.isConv() || !on_arrays)
+                        continue;
+                    nc_assert(layer.backend != BackendKind::Isa,
+                              "conv '%s': network '%s' exceeds the "
+                              "cache (%llu arrays needed, %llu "
+                              "total); the streaming regime is "
+                              "functional-backend only",
+                              layer.op.name().c_str(),
+                              net.name.c_str(),
+                              static_cast<unsigned long long>(
+                                  whole_need + scratch_slots),
+                              static_cast<unsigned long long>(
+                                  total_arrays));
+                    need_b[bi] = std::max(
+                        need_b[bi], layer.funcPlan.totalArrays(
+                                        layer.op.conv.m));
+                    min_b[bi] = std::max(
+                        min_b[bi],
+                        uint64_t(layer.funcPlan.chunks));
+                }
+            }
+            uint64_t need_sum = 0, min_sum = 0;
+            for (size_t bi = 0; bi < need_b.size(); ++bi) {
+                need_sum += need_b[bi];
+                min_sum += min_b[bi];
+            }
+            nc_assert(min_sum <= avail,
+                      "stage '%s' needs %llu arrays concurrently, "
+                      "cache has %llu",
+                      net.stages[si].name.c_str(),
+                      static_cast<unsigned long long>(min_sum +
+                                                      scratch_slots),
+                      static_cast<unsigned long long>(total_arrays));
+            // Every branch gets its need when the stage fits;
+            // otherwise the guaranteed minimum plus an equal share of
+            // the remainder (deterministic, capped at the need).
+            std::vector<uint64_t> band_b = need_b;
+            if (need_sum > avail) {
+                uint64_t left = avail - min_sum;
+                for (size_t bi = 0; bi < band_b.size(); ++bi) {
+                    uint64_t extra = std::min(
+                        need_b[bi] - min_b[bi],
+                        left / (band_b.size() - bi));
+                    band_b[bi] = min_b[bi] + extra;
+                    left -= extra;
+                }
+            }
+            uint64_t next = scratch_slots;
+            for (size_t bi = 0; bi < cstage.branches.size(); ++bi) {
+                for (size_t li : cstage.branches[bi].layerIdx) {
+                    CompiledLayer &layer = m.layers[li];
+                    bool on_arrays =
+                        layer.backend == BackendKind::Functional ||
+                        layer.backend == BackendKind::Isa;
+                    if (!layer.op.isConv() || !on_arrays)
+                        continue;
+                    place[li] = {next, band_b[bi], false};
+                    layer.baseArray = next;
+                }
+                next += band_b[bi];
+            }
+        }
+    }
+
+    // Scratch arrays: one per branch slot, materialized now so the
+    // parallel branch fan-out never mutates the lazy array map.
+    // Pure-reference models are CPU loops only and touch no arrays.
+    if (uses_func || uses_isa) {
+        for (uint64_t i = 0; i < scratch_slots; ++i)
+            m.cc->array(m.cc->coordOf(scratch_base + i));
+    }
+    for (auto &cstage : m.stages) {
+        for (size_t bi = 0; bi < cstage.branches.size(); ++bi) {
+            for (size_t li : cstage.branches[bi].layerIdx)
+                m.layers[li].scratchArray = scratch_base + bi;
+        }
+    }
+    // Legacy direct Executor/LayerEngine helpers share slot 0.
+    m.ex->setScratchBase(scratch_base);
     if (m.isaEngine)
-        m.isaEngine->setScratchBase(next_base);
+        m.isaEngine->setScratchBase(scratch_base);
+
+    // --- Pass C: prepare the per-layer kernels. --------------------
+    for (size_t li = 0; li < m.layers.size(); ++li) {
+        CompiledLayer &layer = m.layers[li];
+        if (layer.op.isConv()) {
+            const dnn::ConvOp &co = layer.op.conv;
+            if (layer.backend == BackendKind::Functional) {
+                layer.funcConv = m.ex->prepareConv(
+                    layer.weights, co.stride, co.samePad,
+                    place[li].base, place[li].band,
+                    place[li].resident);
+                // The band arithmetic above priced chunks from
+                // layer.funcPlan; the executor re-derives its plan
+                // from the same inputs — catch any drift before it
+                // can overlap adjacent bands.
+                nc_assert(layer.funcConv->chunksPerBatch() ==
+                                  layer.funcPlan.chunks &&
+                              layer.funcConv->plan().lanes ==
+                                  layer.funcPlan.lanes,
+                          "conv '%s': executor mapping (%u chunks, "
+                          "%u lanes) disagrees with the compile plan "
+                          "(%u chunks, %u lanes)",
+                          co.name.c_str(),
+                          layer.funcConv->chunksPerBatch(),
+                          layer.funcConv->plan().lanes,
+                          layer.funcPlan.chunks, layer.funcPlan.lanes);
+            } else if (layer.backend == BackendKind::Isa)
+                layer.isaConv = m.isaEngine->prepareConv(
+                    layer.weights, co.stride, co.samePad,
+                    place[li].base);
+        } else if (layer.op.kind == dnn::OpKind::EltwiseAdd) {
+            if (layer.backend == BackendKind::Functional)
+                layer.funcElt = m.ex->prepareEltwise(
+                    layer.requantMult, layer.requantShift,
+                    layer.scratchArray);
+            else if (layer.backend == BackendKind::Isa)
+                layer.isaElt = m.isaEngine->prepareEltwise(
+                    layer.requantMult, layer.requantShift,
+                    layer.scratchArray);
+        }
+    }
 
     // 3. Instantiate the backends the layers use.
     if (uses_ref)

@@ -19,7 +19,8 @@ using dnn::padBefore;
 
 Executor::PreparedConv
 Executor::prepareConv(const dnn::QWeights &w, unsigned stride,
-                      bool same_pad, uint64_t base_array)
+                      bool same_pad, uint64_t base_array,
+                      uint64_t band_arrays, bool resident)
 {
     PreparedConv p;
     p.ex = this;
@@ -30,29 +31,98 @@ Executor::prepareConv(const dnn::QWeights &w, unsigned stride,
     p.stride = stride;
     p.samePad = same_pad;
     p.base = base_array;
+
+    dnn::ConvOp shape;
+    shape.name = "prepared";
+    shape.c = w.c;
+    shape.r = w.r;
+    shape.s = w.s;
+    shape.m = w.m;
+    p.fplan = mapping::planFunctionalConv(shape, cc.geometry());
+    nc_assert(p.fplan.fits,
+              "conv (C=%u RxS=%ux%u) exceeds every functional "
+              "mapping of a %ux%u array", w.c, w.r, w.s,
+              cc.geometry().arrayRows, cc.geometry().arrayCols);
     // The Figure-10 slice map, shared with the ISA path: every array
     // gets the identical layout, so it is derived once here.
-    p.rows = mapping::makeConvRowLayout(cc.geometry(), w.c, w.r, w.s);
+    p.rows = mapping::makeConvRowLayout(cc.geometry(), p.fplan);
 
-    // Materialize every filter batch's array up front: the parallel
-    // regions (here and in run()) must not mutate the lazy array map.
-    for (unsigned mi = 0; mi < w.m; ++mi)
-        cc.array(cc.coordOf(base_array + mi));
+    uint64_t need = p.fplan.totalArrays(w.m);
+    p.band = band_arrays == 0 ? need : std::min(band_arrays, need);
+    nc_assert(p.band >= p.fplan.chunks,
+              "band of %llu arrays cannot hold one filter batch "
+              "(%u chunks)",
+              static_cast<unsigned long long>(p.band),
+              p.fplan.chunks);
+    p.groupBatches = static_cast<unsigned>(p.band / p.fplan.chunks);
+    p.isResident = resident && p.groupBatches >= w.m;
+    if (p.isResident)
+        p.band = need;
+    else
+        p.weights = w; // streaming re-pins need the bank at run time
+
+    // Materialize every band array up front: the parallel regions
+    // (here and in run()) must not mutate the lazy array map.
+    for (uint64_t i = 0; i < p.band; ++i)
+        cc.array(cc.coordOf(base_array + i));
 
     // Filters are stationary for the lifetime of the prepared layer
-    // (the §IV-C transposed preprocessing, paid exactly once).
-    pool.parallelFor(w.m, [&](size_t mi_) {
-        unsigned mi = static_cast<unsigned>(mi_);
-        sram::Array &arr = cc.array(cc.coordOf(base_array + mi));
-        std::vector<uint64_t> vals(p.rows.lanes, 0);
-        for (unsigned k = 0; k < p.rows.rs; ++k) {
+    // (the §IV-C transposed preprocessing, paid exactly once) —
+    // unless the layer streams, in which case run() re-pins each
+    // filter group as it cycles through the band.
+    if (p.isResident) {
+        p.weights = w;
+        p.storeFilters(0, w.m);
+        p.weights = dnn::QWeights{};
+    }
+    return p;
+}
+
+void
+Executor::PreparedConv::storeFilters(unsigned first_batch,
+                                     unsigned count)
+{
+    cache::ComputeCache &cc = ex->cc;
+    const dnn::QWeights &w = weights;
+    const unsigned chunks = fplan.chunks;
+    const unsigned pack = fplan.packFactor;
+    const unsigned split = fplan.splitFactor;
+    const unsigned rs = r * s;
+
+    ex->pool.parallelFor(static_cast<size_t>(count) * chunks,
+                         [&](size_t t) {
+        unsigned mi = first_batch + static_cast<unsigned>(t / chunks);
+        unsigned ch = static_cast<unsigned>(t % chunks);
+        sram::Array &arr = cc.array(cc.coordOf(base + t));
+        unsigned c0 = ch * fplan.chunkChannels;
+        unsigned c1 = std::min(c, c0 + fplan.chunkChannels);
+
+        std::vector<uint64_t> vals(rows.lanes, 0);
+        for (unsigned k = 0; k < rows.rs; ++k) {
             std::fill(vals.begin(), vals.end(), 0);
-            for (unsigned ci = 0; ci < w.c; ++ci)
-                vals[ci] = w.at(mi, ci, k / w.s, k % w.s);
-            bs::storeVector(arr, p.rows.filt[k], vals);
+            if (pack > 1) {
+                for (unsigned l = 0; l < rows.lanes; ++l) {
+                    unsigned ci = c0 + l * pack + k;
+                    if (l * pack + k < fplan.chunkChannels && ci < c1)
+                        vals[l] = w.at(mi, ci, 0, 0);
+                }
+            } else if (split > 1) {
+                for (unsigned ci = c0; ci < c1; ++ci) {
+                    for (unsigned j = 0; j < split; ++j) {
+                        unsigned kg = j * rows.rs + k;
+                        if (kg >= rs)
+                            continue;
+                        vals[(ci - c0) * split + j] =
+                            w.at(mi, ci, kg / s, kg % s);
+                    }
+                }
+            } else {
+                for (unsigned ci = c0; ci < c1; ++ci)
+                    vals[ci - c0] = w.at(mi, ci, k / s, k % s);
+            }
+            bs::storeVector(arr, rows.filt[k], vals);
         }
     });
-    return p;
 }
 
 std::vector<uint32_t>
@@ -70,54 +140,168 @@ Executor::PreparedConv::run(const dnn::QTensor &in, unsigned &out_h,
     unsigned ph = padBefore(in.height(), r, stride, samePad);
     unsigned pw = padBefore(in.width(), s, stride, samePad);
     unsigned oh = out_h, ow = out_w;
+    const unsigned chunks = fplan.chunks;
+    const unsigned pack = fplan.packFactor;
+    const unsigned split = fplan.splitFactor;
+    const unsigned rs = r * s;
+    const size_t win = static_cast<size_t>(oh) * ow;
 
-    std::vector<uint32_t> out(static_cast<size_t>(m) * oh * ow, 0);
+    std::vector<uint32_t> out(static_cast<size_t>(m) * win, 0);
+    // Per-chunk partial accumulators of the current pass; the chunk
+    // merge below models the cross-array sense-amp reduction.
+    std::vector<uint32_t> part;
 
-    // One array per filter batch, spread across the cache the way the
-    // mapper replicates M's over ways (Figure 9). The batches are
-    // fully independent — each task owns its array and its slice of
-    // `out` — so they fan out across the pool.
-    ex->pool.parallelFor(m, [&](size_t mi_) {
-        unsigned mi = static_cast<unsigned>(mi_);
-        sram::Array &arr = cc.array(cc.coordOf(base + mi));
+    unsigned passes =
+        static_cast<unsigned>(divCeil(m, groupBatches));
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        unsigned mb0 = pass * groupBatches;
+        unsigned mb1 = std::min(m, mb0 + groupBatches);
+        // Streaming regime: pin this pass's filter group before its
+        // windows run (whole-layer-resident bands skip this forever).
+        if (!isResident)
+            storeFilters(mb0, mb1 - mb0);
 
-        // One streaming buffer per task, reused for every window.
-        std::vector<uint64_t> vals(rows.lanes, 0);
+        size_t tasks = static_cast<size_t>(mb1 - mb0) * chunks;
+        if (chunks > 1)
+            part.assign(tasks * win, 0);
 
-        for (unsigned y = 0; y < oh; ++y) {
-            for (unsigned x = 0; x < ow; ++x) {
-                // Stream the input window (zero padding stays zero).
-                for (unsigned k = 0; k < rows.rs; ++k) {
-                    int iy = static_cast<int>(y * stride + k / s) -
-                             static_cast<int>(ph);
-                    int ix = static_cast<int>(x * stride + k % s) -
-                             static_cast<int>(pw);
-                    std::fill(vals.begin(), vals.end(), 0);
-                    if (iy >= 0 && ix >= 0 &&
-                        iy < static_cast<int>(in.height()) &&
-                        ix < static_cast<int>(in.width())) {
-                        for (unsigned ci = 0; ci < c; ++ci)
-                            vals[ci] = in.at(ci, iy, ix);
+        // One array per (filter batch, channel chunk), spread across
+        // the cache the way the mapper replicates M's over ways
+        // (Figure 9). The tasks are fully independent — each owns its
+        // array and its slice of the output — so they fan out across
+        // the pool.
+        ex->pool.parallelFor(tasks, [&](size_t t) {
+            unsigned mi = mb0 + static_cast<unsigned>(t / chunks);
+            unsigned ch = static_cast<unsigned>(t % chunks);
+            sram::Array &arr = cc.array(cc.coordOf(base + t));
+            unsigned c0 = ch * fplan.chunkChannels;
+            unsigned c1 = std::min(c, c0 + fplan.chunkChannels);
+
+            // One streaming buffer per task, reused for every window.
+            std::vector<uint64_t> vals(rows.lanes, 0);
+
+            auto in_at = [&](unsigned ci, int iy, int ix) -> uint64_t {
+                if (iy < 0 || ix < 0 ||
+                    iy >= static_cast<int>(in.height()) ||
+                    ix >= static_cast<int>(in.width()))
+                    return 0;
+                return in.at(ci, iy, ix);
+            };
+
+            for (unsigned y = 0; y < oh; ++y) {
+                for (unsigned x = 0; x < ow; ++x) {
+                    if (pack > 1) {
+                        // Packed 1x1: one input slot, one byte per
+                        // MAC, each lane covering `pack` channels.
+                        bs::zero(arr, rows.partial);
+                        int iy = static_cast<int>(y * stride) -
+                                 static_cast<int>(ph);
+                        int ix = static_cast<int>(x * stride) -
+                                 static_cast<int>(pw);
+                        for (unsigned k = 0; k < rows.rs; ++k) {
+                            std::fill(vals.begin(), vals.end(), 0);
+                            for (unsigned l = 0; l < rows.lanes;
+                                 ++l) {
+                                unsigned ci = c0 + l * pack + k;
+                                if (l * pack + k <
+                                        fplan.chunkChannels &&
+                                    ci < c1)
+                                    vals[l] = in_at(ci, iy, ix);
+                            }
+                            bs::storeVector(arr, rows.inp[0], vals);
+                            bs::macScratch(
+                                arr, rows.filt[k], rows.inp[0],
+                                rows.partial.slice(0, acc_bits),
+                                rows.scratch, rows.zrow);
+                        }
+                    } else {
+                        // Stream the input window (zero padding stays
+                        // zero), then the MAC sequence — the original
+                        // kernel order, so untransformed shapes stay
+                        // cycle-identical.
+                        for (unsigned k = 0; k < rows.rs; ++k) {
+                            std::fill(vals.begin(), vals.end(), 0);
+                            if (split > 1) {
+                                for (unsigned ci = c0; ci < c1;
+                                     ++ci) {
+                                    for (unsigned j = 0; j < split;
+                                         ++j) {
+                                        unsigned kg =
+                                            j * rows.rs + k;
+                                        if (kg >= rs)
+                                            continue;
+                                        int iy = static_cast<int>(
+                                                     y * stride +
+                                                     kg / s) -
+                                                 static_cast<int>(ph);
+                                        int ix = static_cast<int>(
+                                                     x * stride +
+                                                     kg % s) -
+                                                 static_cast<int>(pw);
+                                        vals[(ci - c0) * split + j] =
+                                            in_at(ci, iy, ix);
+                                    }
+                                }
+                            } else {
+                                int iy = static_cast<int>(y * stride +
+                                                          k / s) -
+                                         static_cast<int>(ph);
+                                int ix = static_cast<int>(x * stride +
+                                                          k % s) -
+                                         static_cast<int>(pw);
+                                if (iy >= 0 && ix >= 0 &&
+                                    iy < static_cast<int>(
+                                             in.height()) &&
+                                    ix < static_cast<int>(
+                                             in.width())) {
+                                    for (unsigned ci = c0; ci < c1;
+                                         ++ci)
+                                        vals[ci - c0] =
+                                            in.at(ci, iy, ix);
+                                }
+                            }
+                            bs::storeVector(arr, rows.inp[k], vals);
+                        }
+                        // RxS MACs per bit line, then the reduction.
+                        bs::zero(arr, rows.partial);
+                        for (unsigned k = 0; k < rows.rs; ++k) {
+                            bs::macScratch(
+                                arr, rows.filt[k], rows.inp[k],
+                                rows.partial.slice(0, acc_bits),
+                                rows.scratch, rows.zrow);
+                        }
                     }
-                    bs::storeVector(arr, rows.inp[k], vals);
-                }
+                    bs::reduceSum(arr, rows.partial, acc_bits,
+                                  rows.lanes, rows.redScratch);
 
-                // RxS MACs per bit line, then the channel reduction.
-                bs::zero(arr, rows.partial);
-                for (unsigned k = 0; k < rows.rs; ++k) {
-                    bs::macScratch(arr, rows.filt[k], rows.inp[k],
-                                   rows.partial.slice(0, acc_bits),
-                                   rows.scratch, rows.zrow);
+                    uint64_t sum =
+                        bs::loadLane(arr, rows.partial, 0);
+                    if (chunks > 1) {
+                        part[t * win + y * ow + x] =
+                            static_cast<uint32_t>(sum);
+                    } else {
+                        out[(static_cast<size_t>(mi)) * win +
+                            static_cast<size_t>(y) * ow + x] =
+                            static_cast<uint32_t>(sum);
+                    }
                 }
-                bs::reduceSum(arr, rows.partial, acc_bits, rows.lanes,
-                              rows.redScratch);
+            }
+        });
 
-                uint64_t sum = bs::loadLane(arr, rows.partial, 0);
-                out[(static_cast<size_t>(mi) * oh + y) * ow + x] =
-                    static_cast<uint32_t>(sum);
+        // Merge the chunk partials (the shared-sense-amp reduction
+        // across the batch's arrays).
+        if (chunks > 1) {
+            for (unsigned mi = mb0; mi < mb1; ++mi) {
+                for (unsigned ch = 0; ch < chunks; ++ch) {
+                    size_t t =
+                        (static_cast<size_t>(mi - mb0)) * chunks + ch;
+                    for (size_t i = 0; i < win; ++i)
+                        out[static_cast<size_t>(mi) * win + i] +=
+                            part[t * win + i];
+                }
             }
         }
-    });
+    }
     return out;
 }
 
@@ -150,12 +334,25 @@ dnn::QTensor
 Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
                   unsigned stride, bool same_pad)
 {
+    return maxPoolAt(scratchBase, in, r, s, stride, same_pad);
+}
+
+dnn::QTensor
+Executor::maxPoolAt(uint64_t scratch_array, const dnn::QTensor &in,
+                    unsigned r, unsigned s, unsigned stride,
+                    bool same_pad)
+{
     const unsigned bits = 8;
     unsigned cols = cc.geometry().arrayCols;
     unsigned arows = cc.geometry().arrayRows;
-    unsigned lanes = static_cast<unsigned>(roundUpPow2(in.channels()));
-    nc_assert(lanes <= cols, "maxPool: %u channels exceed %u lanes",
-              in.channels(), cols);
+    // Channel ranges beyond one array's bit lines run as extra
+    // serial passes over the same slice map (one lane per channel).
+    unsigned cchunk = std::min(in.channels(), cols);
+    unsigned lanes = static_cast<unsigned>(roundUpPow2(cchunk));
+    nc_assert(lanes <= cols, "maxPool: %u lanes exceed %u bit lines "
+              "(non-power-of-two array width)", lanes, cols);
+    unsigned cpasses = static_cast<unsigned>(
+        divCeil(in.channels(), cchunk));
 
     unsigned oh = dnn::outDim(in.height(), r, stride, same_pad);
     unsigned ow = dnn::outDim(in.width(), s, stride, same_pad);
@@ -163,13 +360,13 @@ Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
     unsigned pw = padBefore(in.width(), s, stride, same_pad);
 
     // The modeled machine runs every window on one array; the
-    // simulator partitions the independent windows into contiguous
-    // chunks, runs each chunk on a task-private array with the
-    // identical slice map, and reduces the (data-independent, hence
-    // partition-independent) cycle counts into the modeled array
-    // after the join.
-    sram::Array &model = cc.array(cc.coordOf(scratchBase));
-    size_t windows = static_cast<size_t>(oh) * ow;
+    // simulator partitions the independent (window, channel-pass)
+    // units into contiguous chunks, runs each chunk on a task-private
+    // array with the identical slice map, and reduces the
+    // (data-independent, hence partition-independent) cycle counts
+    // into the modeled array after the join.
+    sram::Array &model = cc.array(cc.coordOf(scratch_array));
+    size_t windows = static_cast<size_t>(oh) * ow * cpasses;
     size_t chunks = std::min<size_t>(pool.size(), windows);
     std::vector<std::pair<uint64_t, uint64_t>> charged(
         chunks > 0 ? chunks : 1, {0, 0});
@@ -187,8 +384,11 @@ Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
         size_t hi = windows * (chunk + 1) / chunks;
         std::vector<uint64_t> iv(lanes, 0);
         for (size_t wi = lo; wi < hi; ++wi) {
-            unsigned y = static_cast<unsigned>(wi / ow);
-            unsigned x = static_cast<unsigned>(wi % ow);
+            unsigned y = static_cast<unsigned>(wi / cpasses / ow);
+            unsigned x = static_cast<unsigned>(wi / cpasses % ow);
+            unsigned c0 = static_cast<unsigned>(wi % cpasses) *
+                          cchunk;
+            unsigned c1 = std::min(in.channels(), c0 + cchunk);
             bool first = true;
             for (unsigned ri = 0; ri < r; ++ri) {
                 for (unsigned si = 0; si < s; ++si) {
@@ -201,8 +401,8 @@ Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
                         ix >= static_cast<int>(in.width()))
                         continue;
                     std::fill(iv.begin(), iv.end(), 0);
-                    for (unsigned ci = 0; ci < in.channels(); ++ci)
-                        iv[ci] = in.at(ci, iy, ix);
+                    for (unsigned ci = c0; ci < c1; ++ci)
+                        iv[ci - c0] = in.at(ci, iy, ix);
                     bs::storeVector(arr, cur, iv);
                     if (first) {
                         bs::copy(arr, cur, best);
@@ -212,9 +412,9 @@ Executor::maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
                     }
                 }
             }
-            for (unsigned ci = 0; ci < in.channels(); ++ci) {
+            for (unsigned ci = c0; ci < c1; ++ci) {
                 out.at(ci, y, x) = static_cast<uint8_t>(
-                    bs::loadLane(arr, best, ci));
+                    bs::loadLane(arr, best, ci - c0));
             }
         }
         charged[chunk] = {arr.computeCycles(), arr.accessCycles()};
@@ -229,62 +429,116 @@ dnn::QTensor
 Executor::avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
                   unsigned stride)
 {
+    return avgPoolAt(scratchBase, in, r, s, stride, false);
+}
+
+dnn::QTensor
+Executor::avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
+                  unsigned stride, bool same_pad)
+{
+    return avgPoolAt(scratchBase, in, r, s, stride, same_pad);
+}
+
+dnn::QTensor
+Executor::avgPoolAt(uint64_t scratch_array, const dnn::QTensor &in,
+                    unsigned r, unsigned s, unsigned stride,
+                    bool same_pad)
+{
     const unsigned bits = 8;
     const unsigned acc_bits = 2 * bits;
     unsigned ws = r * s;
     unsigned cols = cc.geometry().arrayCols;
-    unsigned lanes = static_cast<unsigned>(roundUpPow2(in.channels()));
-    nc_assert(lanes <= cols, "avgPool: %u channels exceed %u lanes",
-              in.channels(), cols);
+    // Channel ranges beyond one array's bit lines run as extra
+    // serial passes over the same slice map (one lane per channel).
+    unsigned cchunk = std::min(in.channels(), cols);
+    unsigned lanes = static_cast<unsigned>(roundUpPow2(cchunk));
+    nc_assert(lanes <= cols, "avgPool: %u lanes exceed %u bit lines "
+              "(non-power-of-two array width)", lanes, cols);
+    unsigned cpasses = static_cast<unsigned>(
+        divCeil(in.channels(), cchunk));
     nc_assert(ws <= 256, "window too large");
 
-    unsigned oh = dnn::outDim(in.height(), r, stride, false);
-    unsigned ow = dnn::outDim(in.width(), s, stride, false);
+    unsigned oh = dnn::outDim(in.height(), r, stride, same_pad);
+    unsigned ow = dnn::outDim(in.width(), s, stride, same_pad);
+    unsigned ph = padBefore(in.height(), r, stride, same_pad);
+    unsigned pw = padBefore(in.width(), s, stride, same_pad);
 
-    sram::Array &arr = cc.array(cc.coordOf(scratchBase));
+    sram::Array &arr = cc.array(cc.coordOf(scratch_array));
     bs::RowAllocator rows(cc.geometry().arrayRows);
     bs::VecSlice cur = rows.alloc(bits);
     bs::VecSlice acc = rows.alloc(acc_bits);
     unsigned zrow = rows.zeroRow();
 
-    bool pow2 = isPow2(ws);
-    unsigned dbits = pow2 ? 0 : log2Ceil(uint64_t(ws) + 1);
+    // SAME padding shrinks edge windows, so their divisors vary; the
+    // divide bands are carved out whenever any window count can need
+    // the restoring divider, and the divisor streams per window.
+    bool pow2_full = isPow2(ws);
+    bool need_div = !pow2_full || same_pad;
+    unsigned dbits = need_div ? log2Ceil(uint64_t(ws) + 1) : 0;
     bs::VecSlice den, quot, rwork, twork, dwork;
-    if (!pow2) {
+    unsigned den_cur = 0; // divisor currently stored in `den`
+    if (need_div) {
         den = rows.alloc(dbits);
         quot = rows.alloc(acc_bits);
         rwork = rows.alloc(acc_bits + dbits);
         twork = rows.alloc(dbits + 1);
         dwork = rows.alloc(dbits + 1);
-        bs::storeVector(arr, den,
-                        std::vector<uint64_t>(lanes, ws));
+        if (!pow2_full) {
+            bs::storeVector(arr, den,
+                            std::vector<uint64_t>(lanes, ws));
+            den_cur = ws;
+        }
     }
 
     std::vector<uint64_t> iv(lanes, 0);
     dnn::QTensor out(in.channels(), oh, ow, in.params());
-    for (unsigned y = 0; y < oh; ++y) {
-        for (unsigned x = 0; x < ow; ++x) {
-            bs::zero(arr, acc);
-            for (unsigned ri = 0; ri < r; ++ri) {
-                for (unsigned si = 0; si < s; ++si) {
-                    std::fill(iv.begin(), iv.end(), 0);
-                    for (unsigned ci = 0; ci < in.channels(); ++ci)
-                        iv[ci] = in.at(ci, y * stride + ri,
-                                       x * stride + si);
-                    bs::storeVector(arr, cur, iv);
-                    bs::add(arr, acc, cur, acc, zrow);
+    for (unsigned cp = 0; cp < cpasses; ++cp) {
+        unsigned c0 = cp * cchunk;
+        unsigned c1 = std::min(in.channels(), c0 + cchunk);
+        for (unsigned y = 0; y < oh; ++y) {
+            for (unsigned x = 0; x < ow; ++x) {
+                unsigned count = 0;
+                bs::zero(arr, acc);
+                for (unsigned ri = 0; ri < r; ++ri) {
+                    for (unsigned si = 0; si < s; ++si) {
+                        int iy = static_cast<int>(y * stride + ri) -
+                                 static_cast<int>(ph);
+                        int ix = static_cast<int>(x * stride + si) -
+                                 static_cast<int>(pw);
+                        if (iy < 0 || ix < 0 ||
+                            iy >= static_cast<int>(in.height()) ||
+                            ix >= static_cast<int>(in.width()))
+                            continue;
+                        std::fill(iv.begin(), iv.end(), 0);
+                        for (unsigned ci = c0; ci < c1; ++ci)
+                            iv[ci - c0] = in.at(ci, iy, ix);
+                        bs::storeVector(arr, cur, iv);
+                        bs::add(arr, acc, cur, acc, zrow);
+                        ++count;
+                    }
                 }
-            }
-            const bs::VecSlice *result = &acc;
-            if (pow2) {
-                bs::shiftDown(arr, acc, log2Ceil(ws));
-            } else {
-                bs::divide(arr, acc, den, quot, rwork, twork, dwork);
-                result = &quot;
-            }
-            for (unsigned ci = 0; ci < in.channels(); ++ci) {
-                out.at(ci, y, x) = static_cast<uint8_t>(
-                    bs::loadLane(arr, *result, ci));
+                // TF SAME averages exclude padding: divide by the
+                // valid count — a shift when it is a power of two,
+                // the restoring divider otherwise (divisor streamed
+                // when it differs from what the band holds).
+                const bs::VecSlice *result = &acc;
+                if (isPow2(count)) {
+                    bs::shiftDown(arr, acc, log2Ceil(count));
+                } else {
+                    if (count != den_cur) {
+                        bs::storeVector(
+                            arr, den,
+                            std::vector<uint64_t>(lanes, count));
+                        den_cur = count;
+                    }
+                    bs::divide(arr, acc, den, quot, rwork, twork,
+                               dwork);
+                    result = &quot;
+                }
+                for (unsigned ci = c0; ci < c1; ++ci) {
+                    out.at(ci, y, x) = static_cast<uint8_t>(
+                        bs::loadLane(arr, *result, ci - c0));
+                }
             }
         }
     }
@@ -324,11 +578,19 @@ std::vector<uint8_t>
 Executor::requantize(const std::vector<uint32_t> &acc, uint8_t mult,
                      unsigned shift)
 {
+    return requantizeAt(scratchBase, acc, mult, shift);
+}
+
+std::vector<uint8_t>
+Executor::requantizeAt(uint64_t scratch_array,
+                       const std::vector<uint32_t> &acc, uint8_t mult,
+                       unsigned shift)
+{
     const unsigned vbits = 32;
     const unsigned gbits = 8;
     unsigned cols = cc.geometry().arrayCols;
 
-    sram::Array &arr = cc.array(cc.coordOf(scratchBase));
+    sram::Array &arr = cc.array(cc.coordOf(scratch_array));
     bs::RowAllocator rows(cc.geometry().arrayRows);
     bs::VecSlice v = rows.alloc(vbits);
     bs::VecSlice g = rows.alloc(gbits);
@@ -354,6 +616,84 @@ Executor::requantize(const std::vector<uint32_t> &acc, uint8_t mult,
         }
     }
     return out;
+}
+
+Executor::PreparedEltwise
+Executor::prepareEltwise(uint8_t mult, unsigned shift,
+                         uint64_t scratch_array)
+{
+    const unsigned bits = 8;
+
+    PreparedEltwise p;
+    p.ex = this;
+    p.mult = mult;
+    p.sh = shift;
+    p.scratch = scratch_array;
+    cc.array(cc.coordOf(scratch_array)); // materialize up front
+
+    // Row carve-up, fixed once: two operand bytes, the 9-bit sum, the
+    // broadcast multiplier, and the 17-bit product that is shifted
+    // and saturated in place.
+    bs::RowAllocator rows(cc.geometry().arrayRows);
+    p.va = rows.alloc(bits);
+    p.vb = rows.alloc(bits);
+    p.acc = rows.alloc(bits + 1);
+    p.gain = rows.alloc(bits);
+    p.prod = rows.alloc((bits + 1) + bits); // acc.bits + gain.bits
+    p.zrow = rows.zeroRow();
+    return p;
+}
+
+std::vector<uint8_t>
+Executor::PreparedEltwise::run(const std::vector<uint8_t> &a,
+                               const std::vector<uint8_t> &b)
+{
+    const unsigned bits = 8;
+    cache::ComputeCache &cc = ex->cc;
+    nc_assert(a.size() == b.size(),
+              "eltwise operands differ: %zu vs %zu elements", a.size(),
+              b.size());
+
+    unsigned cols = cc.geometry().arrayCols;
+    sram::Array &arr = cc.array(cc.coordOf(scratch));
+
+    // The multiplier is one broadcast scalar per run (other layers
+    // may have scribbled on the scratch array in between).
+    bs::storeVector(arr, gain, std::vector<uint64_t>(cols, mult));
+
+    std::vector<uint8_t> out(a.size());
+    for (size_t base = 0; base < a.size(); base += cols) {
+        size_t n = std::min<size_t>(cols, a.size() - base);
+        std::vector<uint64_t> iv(n);
+        for (size_t i = 0; i < n; ++i)
+            iv[i] = a[base + i];
+        bs::storeVector(arr, va, iv);
+        for (size_t i = 0; i < n; ++i)
+            iv[i] = b[base + i];
+        bs::storeVector(arr, vb, iv);
+
+        // sat8(((a + b) * mult) >> shift): widen add, multiply by
+        // the calibrated 8-bit scalar, truncating shift, in-array
+        // clamp (the §IV-D sequence, one lane per element).
+        bs::add(arr, va, vb, acc, zrow);
+        bs::multiply(arr, acc, gain, prod);
+        bs::shiftDown(arr, prod, sh);
+        bs::saturate(arr, prod, bits);
+        for (size_t i = 0; i < n; ++i) {
+            out[base + i] = static_cast<uint8_t>(bs::loadLane(
+                arr, prod.slice(0, bits),
+                static_cast<unsigned>(i)));
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+Executor::eltwiseAdd(const std::vector<uint8_t> &a,
+                     const std::vector<uint8_t> &b, uint8_t mult,
+                     unsigned shift)
+{
+    return prepareEltwise(mult, shift, scratchBase).run(a, b);
 }
 
 std::vector<uint8_t>

@@ -21,9 +21,14 @@
  * the simulator wall clock shrinks. Thread count: constructor
  * argument, else NC_THREADS, else hardware concurrency.
  *
- * Scope: one array per filter batch (padded channels <= 256 bit
- * lines, RxS <= 12 so the Figure 10 layout fits), which covers the
- * small end-to-end networks the integration tests and examples use.
+ * Scope: shapes inside the one-array-per-filter-batch envelope run
+ * the original untransformed mapping (bit- and cycle-identical to the
+ * historical kernels). Larger shapes engage the §IV-A transforms the
+ * mapper plans (mapping::planFunctionalConv): 1x1 filter packing,
+ * filter splitting for wide windows, and channel chunking across
+ * arrays with the per-chunk partials merged after read-out — which is
+ * what lets Inception-scale layers (2048-channel 1x1s, 5x5 windows)
+ * execute functionally.
  */
 
 #ifndef NC_CORE_EXECUTOR_HH
@@ -64,10 +69,16 @@ class Executor
     /**
      * A convolution layer compiled onto the cache: the Figure-10 row
      * layout is fixed and the filters sit stationary (transposed) in
-     * arrays [base, base+m), so run() only streams input windows and
+     * the layer's array band, so run() only streams input windows and
      * computes — repeatedly, without re-deriving the layout or
      * re-storing weights. Obtained from Executor::prepareConv(); the
      * Executor must outlive every prepared layer it hands out.
+     *
+     * Large layers span several arrays per filter batch (channel
+     * chunks, merged after read-out) and layers whose band is smaller
+     * than filterBatches() x chunks run in grouped passes, re-pinning
+     * each group's filters — the §IV-E streaming regime for networks
+     * that exceed the cache.
      */
     class PreparedConv
     {
@@ -79,33 +90,104 @@ class Executor
         std::vector<uint32_t> run(const dnn::QTensor &in,
                                   unsigned &out_h, unsigned &out_w);
 
-        /** First flat array index of the layer's filter batches. */
+        /** First flat array index of the layer's band. */
         uint64_t baseArray() const { return base; }
-        /** Arrays (filter batches) the layer occupies. */
+        /** Arrays the band holds (>= chunks, <= m x chunks). */
+        uint64_t bandArrays() const { return band; }
+        /** Filter batches (output channels). */
         unsigned filterBatches() const { return m; }
+        /** Arrays one filter batch spans (channel chunks). */
+        unsigned chunksPerBatch() const { return fplan.chunks; }
+        /** Whether filters stay pinned across run() calls. */
+        bool resident() const { return isResident; }
+        /** The mapper's transform selection for this layer. */
+        const mapping::FunctionalConvPlan &plan() const
+        {
+            return fplan;
+        }
 
       private:
         friend class Executor;
         PreparedConv() = default;
 
+        void storeFilters(unsigned first_batch, unsigned count);
+
         Executor *ex = nullptr;
         unsigned m = 0, c = 0, r = 0, s = 0;
         unsigned stride = 1;
         bool samePad = false;
+        bool isResident = true;
+        unsigned groupBatches = 0; ///< filter batches per pass
         uint64_t base = 0;
+        uint64_t band = 0;
+        mapping::FunctionalConvPlan fplan;
         mapping::ConvRowLayout rows; ///< shared Figure-10 carve-up
+        dnn::QWeights weights; ///< kept only for streaming re-pins
     };
 
     /**
      * Compile-once half of conv(): fix the per-array row layout and pin
-     * @p w stationary in arrays [base_array, base_array + w.m). The
-     * returned layer can then run() any number of inputs without
-     * repeating this work. Layers prepared at different base offsets
-     * coexist (each owns its arrays), which is how CompiledModel keeps
-     * a whole network resident.
+     * @p w stationary in the band [base_array, base_array +
+     * band_arrays). The returned layer can then run() any number of
+     * inputs without repeating this work. Layers prepared at different
+     * base offsets coexist (each owns its arrays), which is how
+     * CompiledModel keeps a whole network resident.
+     *
+     * @param band_arrays arrays granted to the layer; 0 means the
+     *     full m x chunks (whole layer resident). A smaller band (at
+     *     least one filter batch's chunks) makes run() stream filter
+     *     groups through the band.
+     * @param resident false forces streaming even when the band
+     *     covers the layer (the filters are re-pinned on every run
+     *     because other layers time-share the same arrays).
      */
     PreparedConv prepareConv(const dnn::QWeights &w, unsigned stride,
-                             bool same_pad, uint64_t base_array = 0);
+                             bool same_pad, uint64_t base_array = 0,
+                             uint64_t band_arrays = 0,
+                             bool resident = true);
+
+    /**
+     * A prepared residual merge: out = sat8(((a + b) * mult) >>
+     * shift) lane-parallel on the scratch array, with the row layout
+     * fixed and the calibrated scalars captured once. run() streams
+     * operand chunks through the array's bit lines.
+     */
+    class PreparedEltwise
+    {
+      public:
+        std::vector<uint8_t> run(const std::vector<uint8_t> &a,
+                                 const std::vector<uint8_t> &b);
+
+        uint8_t multiplier() const { return mult; }
+        unsigned shift() const { return sh; }
+
+      private:
+        friend class Executor;
+        PreparedEltwise() = default;
+
+        Executor *ex = nullptr;
+        uint8_t mult = 1;
+        unsigned sh = 0;
+        uint64_t scratch = 0;
+        bitserial::VecSlice va, vb, acc, gain, prod;
+        unsigned zrow = 0;
+    };
+
+    /**
+     * Compile-once half of eltwiseAdd(): fix the row carve-up on the
+     * scratch array at @p scratch_array and capture the calibrated
+     * requantization scalars.
+     */
+    PreparedEltwise prepareEltwise(uint8_t mult, unsigned shift,
+                                   uint64_t scratch_array);
+
+    /**
+     * Quantized residual merge of two equal-length byte vectors (one
+     * prepare + run). Ground truth: dnn::eltwiseAddQuant.
+     */
+    std::vector<uint8_t> eltwiseAdd(const std::vector<uint8_t> &a,
+                                    const std::vector<uint8_t> &b,
+                                    uint8_t mult, unsigned shift);
 
     /**
      * Quantized convolution (unsigned, zero-point-free): returns the
@@ -130,15 +212,35 @@ class Executor
     dnn::QTensor maxPool(const dnn::QTensor &in, unsigned r, unsigned s,
                          unsigned stride, bool same_pad);
 
+    /** maxPool on an explicit scratch array (parallel branches give
+     * each branch its own so their cycle charges stay disjoint). */
+    dnn::QTensor maxPoolAt(uint64_t scratch_array,
+                           const dnn::QTensor &in, unsigned r,
+                           unsigned s, unsigned stride, bool same_pad);
+
     /**
      * Average pooling: bit-serial window summation followed by
      * in-array division (a shift when the window is a power of two,
      * restoring division otherwise — paper §IV-D notes Inception's
-     * divisors are 4 bits). VALID windows only (every window full),
-     * matching Inception's 8x8 head.
+     * divisors are 4 bits). VALID windows, matching Inception's 8x8
+     * head.
      */
     dnn::QTensor avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
                          unsigned stride);
+
+    /**
+     * Average pooling with optional TF SAME padding: partial windows
+     * divide by their valid-element count (padding excluded), the
+     * divisor streamed per window — what Inception's in-block 3x3/1
+     * average pools need.
+     */
+    dnn::QTensor avgPool(const dnn::QTensor &in, unsigned r, unsigned s,
+                         unsigned stride, bool same_pad);
+
+    /** avgPool on an explicit scratch array. */
+    dnn::QTensor avgPoolAt(uint64_t scratch_array,
+                           const dnn::QTensor &in, unsigned r,
+                           unsigned s, unsigned stride, bool same_pad);
 
     /** ReLU on int8-style values stored as two's complement bytes. */
     std::vector<uint8_t> relu(const std::vector<uint8_t> &vals);
@@ -160,6 +262,11 @@ class Executor
      */
     std::vector<uint8_t> requantize(const std::vector<uint32_t> &acc,
                                     uint8_t mult, unsigned shift);
+
+    /** requantize on an explicit scratch array. */
+    std::vector<uint8_t> requantizeAt(uint64_t scratch_array,
+                                      const std::vector<uint32_t> &acc,
+                                      uint8_t mult, unsigned shift);
 
     /** Lock-step compute cycles consumed so far. */
     uint64_t lockstepCycles() const { return cc.lockstepCycles(); }

@@ -35,6 +35,8 @@ opcodeName(Opcode op)
         return "shiftup";
       case Opcode::ShiftDown:
         return "shiftdown";
+      case Opcode::Saturate:
+        return "saturate";
       case Opcode::Divide:
         return "divide";
       case Opcode::BatchNorm:
@@ -150,6 +152,26 @@ Instruction::search(bitserial::VecSlice a, uint64_t key)
     i.op = Opcode::Search;
     i.a = a;
     i.key = key;
+    return i;
+}
+
+Instruction
+Instruction::shiftDown(bitserial::VecSlice a, unsigned k)
+{
+    Instruction i;
+    i.op = Opcode::ShiftDown;
+    i.a = a;
+    i.imm = k;
+    return i;
+}
+
+Instruction
+Instruction::saturate(bitserial::VecSlice a, unsigned out_bits)
+{
+    Instruction i;
+    i.op = Opcode::Saturate;
+    i.a = a;
+    i.imm = out_bits;
     return i;
 }
 

@@ -43,6 +43,7 @@ enum class Opcode
     Relu,      ///< a <= max(a, 0), two's complement
     ShiftUp,   ///< a <<= imm
     ShiftDown, ///< a >>= imm
+    Saturate,  ///< a <= min(a, 2^imm - 1) (the §IV-D clamp)
     Divide,    ///< out <= a / b (scratch bands required)
     BatchNorm, ///< a <= ((a * b) >> imm) + c (paper §IV-D)
     Search,    ///< tag <= (a == key)
@@ -91,6 +92,9 @@ struct Instruction
                                  bitserial::VecSlice scratch);
     static Instruction relu(bitserial::VecSlice a);
     static Instruction search(bitserial::VecSlice a, uint64_t key);
+    static Instruction shiftDown(bitserial::VecSlice a, unsigned k);
+    static Instruction saturate(bitserial::VecSlice a,
+                                unsigned out_bits);
     /// @}
 };
 

@@ -70,7 +70,8 @@ runConvWindows(cache::ComputeCache &cc, Controller &ctrl,
                const IsaConvProgram &p, const dnn::QTensor &in,
                unsigned m, unsigned c, unsigned r, unsigned s,
                unsigned stride, bool same_pad, uint64_t base,
-               unsigned &out_h, unsigned &out_w, uint64_t &n_programs)
+               unsigned &out_h, unsigned &out_w,
+               std::atomic<uint64_t> &n_programs)
 {
     nc_assert(in.channels() == c,
               "prepared ISA conv expects %u input channels, got %u", c,
@@ -139,6 +140,26 @@ LayerEngine::PreparedConvLayer
 LayerEngine::prepareConv(const dnn::QWeights &w, unsigned stride,
                          bool same_pad, uint64_t base_array)
 {
+    // The broadcast path runs the untransformed one-array mapping
+    // only: pack/split/chunk shapes would need per-chunk programs and
+    // a cross-array merge macro the ISA does not define yet. The
+    // direct-ALU executor covers those shapes.
+    {
+        dnn::ConvOp shape;
+        shape.name = "isa-prepared";
+        shape.c = w.c;
+        shape.r = w.r;
+        shape.s = w.s;
+        shape.m = w.m;
+        mapping::FunctionalConvPlan fp =
+            mapping::planFunctionalConv(shape, cc.geometry());
+        nc_assert(fp.fits && fp.legacy,
+                  "conv (C=%u RxS=%ux%u) needs the pack/split/chunk "
+                  "mapping, which the broadcast ISA path does not "
+                  "support; use the functional (direct-ALU) backend",
+                  w.c, w.r, w.s);
+    }
+
     PreparedConvLayer p;
     p.eng = this;
     p.ctrl = std::make_unique<Controller>(cc, &pool);
@@ -188,7 +209,33 @@ LayerEngine::convLayer(const dnn::QTensor &in, const dnn::QWeights &w,
 
 dnn::QTensor
 LayerEngine::maxPoolLayer(const dnn::QTensor &in, unsigned r,
-                          unsigned s, unsigned stride)
+                          unsigned s, unsigned stride, bool same_pad)
+{
+    if (ctrl.groupSize() == 0)
+        ctrl.enroll(cc.coordOf(scratchBase));
+    return maxPoolBroadcast(ctrl, scratchBase, in, r, s, stride,
+                            same_pad);
+}
+
+dnn::QTensor
+LayerEngine::maxPoolLayerAt(uint64_t scratch_array,
+                            const dnn::QTensor &in, unsigned r,
+                            unsigned s, unsigned stride, bool same_pad)
+{
+    // A throwaway group on the caller's scratch array: parallel
+    // branches must not share the engine-level group (nor its cycle
+    // bookkeeping) while they broadcast concurrently.
+    Controller local(cc, &pool);
+    local.enroll(cc.coordOf(scratch_array));
+    return maxPoolBroadcast(local, scratch_array, in, r, s, stride,
+                            same_pad);
+}
+
+dnn::QTensor
+LayerEngine::maxPoolBroadcast(Controller &grp, uint64_t scratch_array,
+                              const dnn::QTensor &in, unsigned r,
+                              unsigned s, unsigned stride,
+                              bool same_pad)
 {
     const unsigned bits = 8;
     unsigned cols = cc.geometry().arrayCols;
@@ -196,17 +243,17 @@ LayerEngine::maxPoolLayer(const dnn::QTensor &in, unsigned r,
     nc_assert(lanes <= cols, "maxPoolLayer: %u channels exceed %u "
               "lanes", in.channels(), cols);
 
-    unsigned oh = dnn::outDim(in.height(), r, stride, false);
-    unsigned ow = dnn::outDim(in.width(), s, stride, false);
+    unsigned oh = dnn::outDim(in.height(), r, stride, same_pad);
+    unsigned ow = dnn::outDim(in.width(), s, stride, same_pad);
+    unsigned ph = padBefore(in.height(), r, stride, same_pad);
+    unsigned pw = padBefore(in.width(), s, stride, same_pad);
 
     bs::RowAllocator rows(cc.geometry().arrayRows);
     bs::VecSlice cur = rows.alloc(bits);
     bs::VecSlice best = rows.alloc(bits);
     bs::VecSlice cmp = rows.alloc(bits);
 
-    if (ctrl.groupSize() == 0)
-        ctrl.enroll(cc.coordOf(scratchBase));
-    sram::Array &arr = cc.array(cc.coordOf(scratchBase));
+    sram::Array &arr = cc.array(cc.coordOf(scratch_array));
 
     Instruction take_first = Instruction::copy(cur, best);
     Instruction fold;
@@ -219,21 +266,105 @@ LayerEngine::maxPoolLayer(const dnn::QTensor &in, unsigned r,
     for (unsigned y = 0; y < oh; ++y) {
         for (unsigned x = 0; x < ow; ++x) {
             bool first = true;
+            // SAME padding: out-of-image elements simply drop out of
+            // the window's broadcast sequence (max over the valid
+            // ones), so edge windows run shorter programs.
             for (unsigned ri = 0; ri < r; ++ri) {
                 for (unsigned si = 0; si < s; ++si) {
+                    int iy = static_cast<int>(y * stride + ri) -
+                             static_cast<int>(ph);
+                    int ix = static_cast<int>(x * stride + si) -
+                             static_cast<int>(pw);
+                    if (iy < 0 || ix < 0 ||
+                        iy >= static_cast<int>(in.height()) ||
+                        ix >= static_cast<int>(in.width()))
+                        continue;
                     std::vector<uint64_t> iv(lanes, 0);
                     for (unsigned ci = 0; ci < in.channels(); ++ci)
-                        iv[ci] = in.at(ci, y * stride + ri,
-                                       x * stride + si);
+                        iv[ci] = in.at(ci, iy, ix);
                     bs::storeVector(arr, cur, iv);
-                    ctrl.broadcast(first ? take_first : fold);
+                    grp.broadcast(first ? take_first : fold);
                     first = false;
                 }
             }
+            nc_assert(!first, "maxPoolLayer: window (%u,%u) has no "
+                      "valid elements", y, x);
             ++nPrograms;
             for (unsigned ci = 0; ci < in.channels(); ++ci)
                 out.at(ci, y, x) = static_cast<uint8_t>(
                     bs::loadLane(arr, best, ci));
+        }
+    }
+    return out;
+}
+
+LayerEngine::PreparedEltwiseLayer
+LayerEngine::prepareEltwise(uint8_t mult, unsigned shift,
+                            uint64_t scratch_array)
+{
+    const unsigned bits = 8;
+
+    PreparedEltwiseLayer p;
+    p.eng = this;
+    p.mult = mult;
+    p.sh = shift;
+    p.scratch = scratch_array;
+    p.ctrl = std::make_unique<Controller>(cc, &pool);
+    p.ctrl->enroll(cc.coordOf(scratch_array));
+
+    // Row carve-up and the fixed merge program, built exactly once:
+    // widen add, multiply by the calibrated scalar, truncating shift,
+    // in-array clamp — the same §IV-D sequence the direct-ALU kernel
+    // drives, here as four broadcast instructions.
+    bs::RowAllocator rows(cc.geometry().arrayRows);
+    p.va = rows.alloc(bits);
+    p.vb = rows.alloc(bits);
+    p.acc = rows.alloc(bits + 1);
+    p.gain = rows.alloc(bits);
+    p.prod = rows.alloc((bits + 1) + bits);
+    unsigned zrow = rows.zeroRow();
+
+    p.program.push_back(
+        Instruction::add(p.va, p.vb, p.acc, zrow));
+    p.program.push_back(
+        Instruction::multiply(p.acc, p.gain, p.prod));
+    p.program.push_back(Instruction::shiftDown(p.prod, shift));
+    p.program.push_back(Instruction::saturate(p.prod, bits));
+    return p;
+}
+
+std::vector<uint8_t>
+LayerEngine::PreparedEltwiseLayer::run(const std::vector<uint8_t> &a,
+                                       const std::vector<uint8_t> &b)
+{
+    const unsigned bits = 8;
+    cache::ComputeCache &cc = eng->cc;
+    nc_assert(a.size() == b.size(),
+              "eltwise operands differ: %zu vs %zu elements", a.size(),
+              b.size());
+
+    unsigned cols = cc.geometry().arrayCols;
+    sram::Array &arr = cc.array(cc.coordOf(scratch));
+    bs::storeVector(arr, gain, std::vector<uint64_t>(cols, mult));
+
+    std::vector<uint8_t> out(a.size());
+    for (size_t base = 0; base < a.size(); base += cols) {
+        size_t n = std::min<size_t>(cols, a.size() - base);
+        std::vector<uint64_t> iv(n);
+        for (size_t i = 0; i < n; ++i)
+            iv[i] = a[base + i];
+        bs::storeVector(arr, va, iv);
+        for (size_t i = 0; i < n; ++i)
+            iv[i] = b[base + i];
+        bs::storeVector(arr, vb, iv);
+
+        ctrl->run(program);
+        ++eng->nPrograms;
+
+        for (size_t i = 0; i < n; ++i) {
+            out[base + i] = static_cast<uint8_t>(bs::loadLane(
+                arr, prod.slice(0, bits),
+                static_cast<unsigned>(i)));
         }
     }
     return out;

@@ -19,6 +19,7 @@
 #ifndef NC_CORE_LAYER_ENGINE_HH
 #define NC_CORE_LAYER_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -119,11 +120,55 @@ class LayerEngine
     /**
      * Max pooling through the ISA: the window's inputs stream in and
      * a broadcast MaxInto program runs per element (paper §IV-D's
-     * "designating a temporary maximum ... selective copy"). VALID
-     * windows only.
+     * "designating a temporary maximum ... selective copy"). SAME
+     * padding skips the out-of-image elements of edge windows — the
+     * per-window programs just get shorter, exactly as the FSM would
+     * sequence them.
      */
     dnn::QTensor maxPoolLayer(const dnn::QTensor &in, unsigned r,
-                              unsigned s, unsigned stride);
+                              unsigned s, unsigned stride,
+                              bool same_pad = false);
+
+    /**
+     * maxPoolLayer on an explicit scratch array with its own
+     * lock-step group (parallel branches give each branch one so
+     * their broadcasts stay disjoint).
+     */
+    dnn::QTensor maxPoolLayerAt(uint64_t scratch_array,
+                                const dnn::QTensor &in, unsigned r,
+                                unsigned s, unsigned stride,
+                                bool same_pad);
+
+    /**
+     * A prepared residual merge on the broadcast ISA: the row
+     * carve-up and the fixed four-instruction program (Add, Multiply,
+     * ShiftDown, Saturate) are built once; run() streams operand
+     * chunks and broadcasts the program to the scratch array's
+     * group. Bit-identical to Executor::PreparedEltwise and to
+     * dnn::eltwiseAddQuant.
+     */
+    class PreparedEltwiseLayer
+    {
+      public:
+        std::vector<uint8_t> run(const std::vector<uint8_t> &a,
+                                 const std::vector<uint8_t> &b);
+
+      private:
+        friend class LayerEngine;
+        PreparedEltwiseLayer() = default;
+
+        LayerEngine *eng = nullptr;
+        std::unique_ptr<Controller> ctrl; ///< the merge's own group
+        std::vector<Instruction> program;
+        uint8_t mult = 1;
+        unsigned sh = 0;
+        uint64_t scratch = 0;
+        bitserial::VecSlice va, vb, acc, gain, prod;
+    };
+
+    /** Compile-once half of the ISA eltwise merge. */
+    PreparedEltwiseLayer prepareEltwise(uint8_t mult, unsigned shift,
+                                        uint64_t scratch_array);
 
     /** Compute cycles issued over the instruction bus. */
     uint64_t instructionCycles() const { return ctrl.cyclesIssued(); }
@@ -145,11 +190,19 @@ class LayerEngine
     void setScratchBase(uint64_t base) { scratchBase = base; }
 
   private:
+    dnn::QTensor maxPoolBroadcast(Controller &grp,
+                                  uint64_t scratch_array,
+                                  const dnn::QTensor &in, unsigned r,
+                                  unsigned s, unsigned stride,
+                                  bool same_pad);
+
     cache::ComputeCache &cc;
     std::unique_ptr<common::ThreadPool> ownedPool; ///< null when shared
     common::ThreadPool &pool; ///< must outlive ctrl (ctrl borrows it)
     Controller ctrl;
-    uint64_t nPrograms = 0;
+    /** Atomic: prepared layers in parallel branches bump it
+     * concurrently; the sum is order-independent. */
+    std::atomic<uint64_t> nPrograms{0};
     uint64_t scratchBase = 0;
 };
 

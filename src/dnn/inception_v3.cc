@@ -1,5 +1,7 @@
 #include "dnn/inception_v3.hh"
 
+#include "common/logging.hh"
+
 namespace nc::dnn
 {
 
@@ -8,9 +10,9 @@ namespace
 
 /** The four-tower 35x35 block (Mixed_5b/5c/5d). */
 Stage
-mixed5(const std::string &name, unsigned cin, unsigned pool_proj)
+mixed5(const std::string &name, unsigned hw, unsigned cin,
+       unsigned pool_proj)
 {
-    const unsigned hw = 35;
     Stage st;
     st.name = name;
 
@@ -35,9 +37,8 @@ mixed5(const std::string &name, unsigned cin, unsigned pool_proj)
 
 /** The 35->17 reduction block (Mixed_6a). */
 Stage
-mixed6a(unsigned cin)
+mixed6a(unsigned hw, unsigned cin)
 {
-    const unsigned hw = 35;
     Stage st;
     st.name = "Mixed_6a";
 
@@ -60,9 +61,9 @@ mixed6a(unsigned cin)
 
 /** The four-tower 17x17 factorized-7x7 block (Mixed_6b..6e). */
 Stage
-mixed6(const std::string &name, unsigned cin, unsigned mid)
+mixed6(const std::string &name, unsigned hw, unsigned cin,
+       unsigned mid)
 {
-    const unsigned hw = 17;
     Stage st;
     st.name = name;
 
@@ -90,9 +91,8 @@ mixed6(const std::string &name, unsigned cin, unsigned mid)
 
 /** The 17->8 reduction block (Mixed_7a). */
 Stage
-mixed7a(unsigned cin)
+mixed7a(unsigned hw, unsigned cin)
 {
-    const unsigned hw = 17;
     Stage st;
     st.name = "Mixed_7a";
 
@@ -125,9 +125,8 @@ mixed7a(unsigned cin)
  * activation bytes); only the (unused here) value semantics differ.
  */
 Stage
-mixed7(const std::string &name, unsigned cin)
+mixed7(const std::string &name, unsigned hw, unsigned cin)
 {
-    const unsigned hw = 8;
     Stage st;
     st.name = name;
 
@@ -157,54 +156,72 @@ mixed7(const std::string &name, unsigned cin)
 } // namespace
 
 Network
-inceptionV3()
+inceptionV3(unsigned input_hw)
 {
+    // Every VALID window in the stem and the stride-2 reductions must
+    // still be full; 75 is the smallest input that satisfies all of
+    // them (Mixed_7a's 3x3/2 needs a 3-wide 17x17-level map).
+    nc_assert(input_hw >= 75,
+              "inceptionV3: input %u is below the smallest VALID-"
+              "window-preserving size (75)", input_hw);
+
     Network net;
     net.name = "inception-v3";
 
-    // Stem (VALID padding except 2b, per TF-slim).
+    // Stem (VALID padding except 2b, per TF-slim). The spatial sizes
+    // flow from the input; at 299 they are the published
+    // 149/147/147/73/73/71/35 chain.
+    unsigned hw = input_hw;
     net.stages.push_back(singleOpStage(
         "Conv2D_1a_3x3",
-        conv("Conv2D_1a_3x3", 299, 299, 3, 3, 3, 32, 2, false)));
+        conv("Conv2D_1a_3x3", hw, hw, 3, 3, 3, 32, 2, false)));
+    hw = outDim(hw, 3, 2, false);
     net.stages.push_back(singleOpStage(
         "Conv2D_2a_3x3",
-        conv("Conv2D_2a_3x3", 149, 149, 32, 3, 3, 32, 1, false)));
+        conv("Conv2D_2a_3x3", hw, hw, 32, 3, 3, 32, 1, false)));
+    hw = outDim(hw, 3, 1, false);
     net.stages.push_back(singleOpStage(
         "Conv2D_2b_3x3",
-        conv("Conv2D_2b_3x3", 147, 147, 32, 3, 3, 64, 1, true)));
+        conv("Conv2D_2b_3x3", hw, hw, 32, 3, 3, 64, 1, true)));
     net.stages.push_back(singleOpStage(
-        "MaxPool_3a_3x3", maxPool("MaxPool_3a_3x3", 147, 147, 64, 3, 3,
+        "MaxPool_3a_3x3", maxPool("MaxPool_3a_3x3", hw, hw, 64, 3, 3,
                                   2)));
+    hw = outDim(hw, 3, 2, false);
     net.stages.push_back(singleOpStage(
         "Conv2D_3b_1x1",
-        conv("Conv2D_3b_1x1", 73, 73, 64, 1, 1, 80, 1, true)));
+        conv("Conv2D_3b_1x1", hw, hw, 64, 1, 1, 80, 1, true)));
     net.stages.push_back(singleOpStage(
         "Conv2D_4a_3x3",
-        conv("Conv2D_4a_3x3", 73, 73, 80, 3, 3, 192, 1, false)));
+        conv("Conv2D_4a_3x3", hw, hw, 80, 3, 3, 192, 1, false)));
+    hw = outDim(hw, 3, 1, false);
     net.stages.push_back(singleOpStage(
-        "MaxPool_5a_3x3", maxPool("MaxPool_5a_3x3", 71, 71, 192, 3, 3,
+        "MaxPool_5a_3x3", maxPool("MaxPool_5a_3x3", hw, hw, 192, 3, 3,
                                   2)));
+    hw = outDim(hw, 3, 2, false);
 
-    // 35x35 blocks.
-    net.stages.push_back(mixed5("Mixed_5b", 192, 32));
-    net.stages.push_back(mixed5("Mixed_5c", 256, 64));
-    net.stages.push_back(mixed5("Mixed_5d", 288, 64));
+    // 35x35-level blocks.
+    net.stages.push_back(mixed5("Mixed_5b", hw, 192, 32));
+    net.stages.push_back(mixed5("Mixed_5c", hw, 256, 64));
+    net.stages.push_back(mixed5("Mixed_5d", hw, 288, 64));
 
-    // 17x17 blocks.
-    net.stages.push_back(mixed6a(288));
-    net.stages.push_back(mixed6("Mixed_6b", 768, 128));
-    net.stages.push_back(mixed6("Mixed_6c", 768, 160));
-    net.stages.push_back(mixed6("Mixed_6d", 768, 160));
-    net.stages.push_back(mixed6("Mixed_6e", 768, 192));
+    // 17x17-level blocks.
+    net.stages.push_back(mixed6a(hw, 288));
+    hw = outDim(hw, 3, 2, false);
+    net.stages.push_back(mixed6("Mixed_6b", hw, 768, 128));
+    net.stages.push_back(mixed6("Mixed_6c", hw, 768, 160));
+    net.stages.push_back(mixed6("Mixed_6d", hw, 768, 160));
+    net.stages.push_back(mixed6("Mixed_6e", hw, 768, 192));
 
-    // 8x8 blocks.
-    net.stages.push_back(mixed7a(768));
-    net.stages.push_back(mixed7("Mixed_7b", 1280));
-    net.stages.push_back(mixed7("Mixed_7c", 2048));
+    // 8x8-level blocks.
+    net.stages.push_back(mixed7a(hw, 768));
+    hw = outDim(hw, 3, 2, false);
+    net.stages.push_back(mixed7("Mixed_7b", hw, 1280));
+    net.stages.push_back(mixed7("Mixed_7c", hw, 2048));
 
-    // Head.
+    // Head: global average over whatever spatial size flowed here.
     net.stages.push_back(singleOpStage(
-        "AvgPool", avgPool("AvgPool", 8, 8, 2048, 8, 8, 1, false)));
+        "AvgPool",
+        avgPool("AvgPool", hw, hw, 2048, hw, hw, 1, false)));
     net.stages.push_back(singleOpStage(
         "FullyConnected", fullyConnected("FullyConnected", 2048, 1001)));
 

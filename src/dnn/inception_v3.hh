@@ -25,8 +25,17 @@
 namespace nc::dnn
 {
 
-/** Build the full 20-stage Inception v3 network (299x299x3 input). */
-Network inceptionV3();
+/**
+ * Build the full 20-stage Inception v3 network. The default 299x299
+ * input reproduces Table I exactly. Other input sizes keep the whole
+ * topology — every tower, channel width, padding mode, and the
+ * global-average head (whose window follows the flowing feature-map
+ * size) — while scaling the spatial extents, which is what makes a
+ * full functional (bit-serial) run CI-affordable. The input must be
+ * large enough that every VALID reduction still has a full window
+ * (>= 75).
+ */
+Network inceptionV3(unsigned input_hw = 299);
 
 /** One published row of Table I, for validation. */
 struct Table1Row

@@ -251,26 +251,78 @@ maxPoolQuant(const QTensor &in, unsigned r, unsigned s, unsigned stride,
 QTensor
 avgPoolQuant(const QTensor &in, unsigned r, unsigned s, unsigned stride)
 {
-    unsigned oh = outDim(in.height(), r, stride, false);
-    unsigned ow = outDim(in.width(), s, stride, false);
-    unsigned ws = r * s;
+    return avgPoolQuant(in, r, s, stride, false);
+}
+
+QTensor
+avgPoolQuant(const QTensor &in, unsigned r, unsigned s, unsigned stride,
+             bool same_pad)
+{
+    unsigned oh = outDim(in.height(), r, stride, same_pad);
+    unsigned ow = outDim(in.width(), s, stride, same_pad);
+    unsigned ph = padBefore(in.height(), r, stride, same_pad);
+    unsigned pw = padBefore(in.width(), s, stride, same_pad);
 
     QTensor out(in.channels(), oh, ow, in.params());
     for (unsigned ci = 0; ci < in.channels(); ++ci) {
         for (unsigned y = 0; y < oh; ++y) {
             for (unsigned x = 0; x < ow; ++x) {
                 uint32_t sum = 0;
-                for (unsigned ri = 0; ri < r; ++ri)
-                    for (unsigned si = 0; si < s; ++si)
-                        sum += in.at(ci, y * stride + ri,
-                                     x * stride + si);
-                // Truncating division, as the in-array shift/divide
-                // sequence produces (read back modulo 256).
+                unsigned count = 0;
+                for (unsigned ri = 0; ri < r; ++ri) {
+                    for (unsigned si = 0; si < s; ++si) {
+                        int iy = static_cast<int>(y * stride + ri) -
+                                 static_cast<int>(ph);
+                        int ix = static_cast<int>(x * stride + si) -
+                                 static_cast<int>(pw);
+                        if (iy < 0 || ix < 0 ||
+                            iy >= static_cast<int>(in.height()) ||
+                            ix >= static_cast<int>(in.width()))
+                            continue;
+                        sum += in.at(ci, iy, ix);
+                        ++count;
+                    }
+                }
+                // Truncating division by the valid-element count (TF
+                // SAME averages exclude padding), as the in-array
+                // shift/divide sequence produces (read back modulo
+                // 256).
                 out.at(ci, y, x) =
-                    static_cast<uint8_t>((sum / ws) & 0xff);
+                    static_cast<uint8_t>((sum / count) & 0xff);
             }
         }
     }
+    return out;
+}
+
+std::vector<uint8_t>
+eltwiseAddQuant(const std::vector<uint8_t> &a,
+                const std::vector<uint8_t> &b, uint8_t mult,
+                unsigned shift)
+{
+    nc_assert(a.size() == b.size(),
+              "eltwise operands differ: %zu vs %zu elements", a.size(),
+              b.size());
+    std::vector<uint8_t> out(a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        uint64_t t = ((static_cast<uint64_t>(a[i]) + b[i]) * mult) >>
+                     shift;
+        out[i] = static_cast<uint8_t>(t > 0xff ? 0xff : t);
+    }
+    return out;
+}
+
+QTensor
+eltwiseAddQuant(const QTensor &a, const QTensor &b, uint8_t mult,
+                unsigned shift)
+{
+    nc_assert(a.channels() == b.channels() &&
+                  a.height() == b.height() && a.width() == b.width(),
+              "eltwise operands differ: %ux%ux%u vs %ux%ux%u",
+              a.channels(), a.height(), a.width(), b.channels(),
+              b.height(), b.width());
+    QTensor out(a.channels(), a.height(), a.width(), a.params());
+    out.data() = eltwiseAddQuant(a.data(), b.data(), mult, shift);
     return out;
 }
 

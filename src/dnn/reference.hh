@@ -118,14 +118,33 @@ QTensor maxPoolQuant(const QTensor &in, unsigned r, unsigned s,
                      unsigned stride, bool same_pad);
 
 /**
- * Quantized average pooling, VALID windows only, mirroring the
- * bit-serial implementation exactly: window sum followed by a
- * truncating (floor) division by the window size — a shift when RxS
- * is a power of two, restoring division otherwise (paper §IV-D).
- * Ground truth for Executor::avgPool.
+ * Quantized average pooling, VALID windows, mirroring the bit-serial
+ * implementation exactly: window sum followed by a truncating (floor)
+ * division by the window size — a shift when RxS is a power of two,
+ * restoring division otherwise (paper §IV-D). Ground truth for
+ * Executor::avgPool.
  */
 QTensor avgPoolQuant(const QTensor &in, unsigned r, unsigned s,
                      unsigned stride);
+
+/**
+ * Quantized average pooling with optional TF SAME padding: partial
+ * windows divide by the number of valid elements (padding excluded
+ * from the average, as TensorFlow computes it), still truncating.
+ */
+QTensor avgPoolQuant(const QTensor &in, unsigned r, unsigned s,
+                     unsigned stride, bool same_pad);
+
+/**
+ * Quantized residual merge (§IV-D fixed point): out = sat8(((a + b) *
+ * mult) >> shift) per element, with compile-time calibrated scalars —
+ * the oracle the bit-serial eltwise kernel is pinned to.
+ */
+std::vector<uint8_t> eltwiseAddQuant(const std::vector<uint8_t> &a,
+                                     const std::vector<uint8_t> &b,
+                                     uint8_t mult, unsigned shift);
+QTensor eltwiseAddQuant(const QTensor &a, const QTensor &b,
+                        uint8_t mult, unsigned shift);
 
 } // namespace nc::dnn
 

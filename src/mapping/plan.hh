@@ -88,6 +88,49 @@ ConvPlan planConv(const dnn::ConvOp &op, const cache::Geometry &geom,
 PoolPlan planPool(const dnn::PoolOp &op, const cache::Geometry &geom);
 
 /**
+ * How one convolution's (channels x filter positions) work spreads
+ * over functional executor arrays — the §IV-A transforms applied to
+ * the simulator's per-filter-batch mapping:
+ *
+ *  - legacy: one array per filter batch, one channel per bit line,
+ *    the whole RxS window staged (shapes the original executor ran;
+ *    bit- and cycle-identical to it).
+ *  - packing (1x1 filters): packFactor consecutive channels share a
+ *    bit line, inputs stream one byte at a time through a single
+ *    input slot.
+ *  - splitting (RxS > maxFilterBytes): each channel spreads over
+ *    splitFactor bit lines holding effRS filter positions each; the
+ *    split partials merge in the existing cross-lane reduction.
+ *  - chunking (lanes still exceed one array): the channel range is
+ *    cut into `chunks` arrays per filter batch and the per-chunk
+ *    accumulators merge through the shared sense amps (host-side sum
+ *    in the simulator).
+ */
+struct FunctionalConvPlan
+{
+    bool fits = false;
+    bool legacy = true;        ///< untransformed one-array mapping
+    unsigned packFactor = 1;   ///< channels sharing one bit line
+    unsigned splitFactor = 1;  ///< bit lines one channel spreads over
+    unsigned effRS = 0;        ///< MAC slots (filter bytes) per lane
+    unsigned chunkChannels = 0;///< input channels per array chunk
+    unsigned chunks = 1;       ///< arrays one filter batch spans
+    unsigned lanes = 0;        ///< bit lines per chunk (pow2 padded)
+
+    /** Arrays one whole layer of @p m filter batches occupies. */
+    uint64_t
+    totalArrays(unsigned m) const
+    {
+        return uint64_t(m) * chunks;
+    }
+};
+
+/** Plan @p op's functional-array mapping on @p geom. */
+FunctionalConvPlan planFunctionalConv(const dnn::ConvOp &op,
+                                      const cache::Geometry &geom,
+                                      const TransformLimits &lim = {});
+
+/**
  * The Figure-10 per-array row carve-up of one conv layer: filter
  * band, input band, 2-byte product scratchpad, partial sum with
  * cross-lane reduction headroom, reduction scratch, and the reserved
@@ -98,33 +141,74 @@ PoolPlan planPool(const dnn::PoolOp &op, const cache::Geometry &geom);
  */
 struct ConvRowLayout
 {
-    unsigned lanes = 0;   ///< padded channels (one per bit line)
-    unsigned rs = 0;      ///< filter positions RxS
+    unsigned lanes = 0;   ///< bit lines per chunk (one per lane)
+    unsigned rs = 0;      ///< MAC slots per lane (effRS)
     unsigned redBits = 0; ///< partial width incl. reduction headroom
+    unsigned packFactor = 1;  ///< channels sharing one bit line
+    unsigned splitFactor = 1; ///< bit lines one channel spreads over
     std::vector<bitserial::VecSlice> filt, inp;
     bitserial::VecSlice scratch, partial, redScratch;
     unsigned zrow = 0;    ///< reserved all-zero word line
 };
 
-/** Word lines the carve-up of (c, r, s) needs, zero row included. */
+/** Word lines the legacy carve-up of (c, r, s) needs, zero row
+ * included. */
 unsigned convLayoutRows(unsigned c, unsigned r, unsigned s);
 
+/** Word lines a generalized carve-up needs: @p lanes bit lines, @p
+ * mac_slots filter slots, @p input_slots staged input slots. */
+unsigned convLayoutRowsEx(unsigned lanes, unsigned mac_slots,
+                          unsigned input_slots);
+
 /**
- * Build the carve-up on @p geom's array shape. Fatal if it does not
- * fit — call fitsFunctionalExecutor() first to fail gracefully.
+ * Build the legacy (untransformed) carve-up on @p geom's array shape.
+ * Fatal if it does not fit — call fitsFunctionalExecutor() first to
+ * fail gracefully.
  */
 ConvRowLayout makeConvRowLayout(const cache::Geometry &geom,
                                 unsigned c, unsigned r, unsigned s);
 
+/** Build the carve-up a FunctionalConvPlan selected. */
+ConvRowLayout makeConvRowLayout(const cache::Geometry &geom,
+                                const FunctionalConvPlan &plan);
+
 /**
- * Whether the functional executor's one-array-per-filter-batch
- * mapping can run @p op on @p geom: padded channels must fit one
- * array's bit lines and the ConvRowLayout bands must fit its word
- * lines. Engine::compile consults this to fail fast — with a useful
- * message — instead of deep inside a kernel.
+ * Whether the functional executor can run @p op on @p geom through
+ * some combination of the pack/split/chunk transforms. Engine::compile
+ * consults this to fail fast — with a useful message — instead of
+ * deep inside a kernel.
  */
 bool fitsFunctionalExecutor(const dnn::ConvOp &op,
                             const cache::Geometry &geom);
+
+/**
+ * Functional execution plan of one stage's branch structure: per-
+ * branch output shapes, the channel offset each non-shortcut branch's
+ * output occupies in the stage's channel-concatenated output, and the
+ * residual wiring (which branch is the shortcut feeding the eltwise
+ * merges). Validates the topology rules the functional engines
+ * depend on — eltwise only as a branch tail, at most one shortcut
+ * branch, matching merge shapes, uniform branch input and concat
+ * (h, w) — with fatal errors naming the offending op.
+ */
+struct StageConcatPlan
+{
+    struct Shape3
+    {
+        unsigned c = 0, h = 0, w = 0;
+    };
+
+    Shape3 input;               ///< common input of every branch
+    std::vector<Shape3> branchOut;
+    /** Channel offset of each branch's output in the concat (zero and
+     * meaningless for the shortcut branch, whose output merges into
+     * the eltwise adds instead). */
+    std::vector<unsigned> concatOffset;
+    int shortcutBranch = -1;    ///< index, or -1
+    Shape3 out;                 ///< the stage's concatenated output
+};
+
+StageConcatPlan planStageConcat(const dnn::Stage &stage);
 
 } // namespace nc::mapping
 

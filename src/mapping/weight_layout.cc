@@ -48,6 +48,12 @@ WeightLayout::homeOf(unsigned m, unsigned c, unsigned k) const
     }
 
     WeightHome home;
+    // Filter banks wider than one slice's compute ways run in serial
+    // passes (§IV-B): pass p re-uses the same arrays, and its weights
+    // stream after pass p-1's in the DRAM image.
+    unsigned compute_arrays = geom.computeArraysPerSlice();
+    home.pass = array_idx / compute_arrays;
+    array_idx %= compute_arrays;
     unsigned arrays_per_way = geom.arraysPerWay();
     home.coord.slice = 0; // broadcast replicates to other slices
     home.coord.way = array_idx / arrays_per_way;
@@ -65,15 +71,15 @@ WeightLayout::homeOf(unsigned m, unsigned c, unsigned k) const
 namespace
 {
 
-/** Streaming sort key: arrays, then word lines, then bit lines. */
-std::tuple<uint64_t, unsigned, unsigned>
+/** Streaming sort key: pass, arrays, word lines, then bit lines. */
+std::tuple<unsigned, uint64_t, unsigned, unsigned>
 streamKey(const nc::cache::Geometry &geom, const WeightHome &h)
 {
     uint64_t flat =
         (uint64_t(h.coord.way) * geom.banksPerWay + h.coord.bank) *
             geom.arraysPerBank() +
         h.coord.array;
-    return {flat, h.row, h.lane};
+    return {h.pass, flat, h.row, h.lane};
 }
 
 } // namespace

@@ -31,6 +31,13 @@ struct WeightHome
     ArrayCoord coord;  ///< which 8KB array
     unsigned lane = 0; ///< bit line
     unsigned row = 0;  ///< word line of the byte's LSB
+    /**
+     * Serial pass the byte belongs to: filter banks larger than one
+     * slice's compute ways time-multiplex the arrays (§IV-B's serial
+     * passes), and the DRAM image streams pass by pass. Zero for
+     * every layer that fits in one pass.
+     */
+    unsigned pass = 0;
 
     bool operator==(const WeightHome &) const = default;
 };

@@ -15,6 +15,7 @@
 #include "common/rng.hh"
 #include "core/engine.hh"
 #include "core/executor.hh"
+#include "core/layer_engine.hh"
 #include "dnn/random.hh"
 
 namespace
@@ -129,6 +130,41 @@ TEST(BackendParity, OddAvgPoolWindowUsesRestoringDivide)
     auto in = dnn::randomQTensor(wrng, 2, 9, 9);
 
     expectThreeWayParity(net, mw, in, net.name);
+}
+
+TEST(BackendParity, IsaSamePadMaxPoolRunsOnBroadcastPath)
+{
+    // The broadcast MaxInto program used to cover VALID windows only
+    // (SAME fell back to the executor's bit-serial pooling). Edge
+    // windows now simply run shorter programs, so the ISA path owns
+    // SAME padding end to end — pinned here against the reference
+    // and the direct executor.
+    Rng wrng(0x5a3e);
+    dnn::Network net;
+    net.name = "parity-same-maxpool";
+    net.stages.push_back(dnn::singleOpStage(
+        "conv", dnn::conv("conv", 7, 7, 3, 3, 3, 4)));
+    // 3x3 stride-2 SAME over 7x7: output 4x4, with partial windows on
+    // the high edges.
+    net.stages.push_back(dnn::singleOpStage(
+        "pool", dnn::maxPool("pool", 7, 7, 4, 3, 3, 2, true)));
+    net.stages.push_back(dnn::singleOpStage(
+        "head", dnn::conv("head", 4, 4, 4, 1, 1, 2)));
+
+    core::ModelWeights mw;
+    mw.emplace("conv", dnn::randomQWeights(wrng, 4, 3, 3, 3));
+    mw.emplace("head", dnn::randomQWeights(wrng, 2, 4, 1, 1));
+    auto in = dnn::randomQTensor(wrng, 3, 7, 7);
+
+    expectThreeWayParity(net, mw, in, net.name);
+
+    // Directly at the LayerEngine level too: the broadcast pool must
+    // match the reference for every padding mode.
+    cache::ComputeCache cc;
+    core::LayerEngine le(cc, 1u);
+    auto pooled = le.maxPoolLayer(in, 3, 3, 2, /*same_pad=*/true);
+    auto want = dnn::maxPoolQuant(in, 3, 3, 2, true);
+    EXPECT_EQ(pooled.data(), want.data());
 }
 
 TEST(BackendParity, AnalyticMacCyclesMatchFunctionalMeasurement)
