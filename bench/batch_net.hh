@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The shared "batch-functional" workload of the §IV-E batch benches:
+ * fig16_batching's functional datapoint and perf_report's schema-3
+ * batch section measure the identical network and the identical
+ * images, so their numbers stay comparable by construction.
+ */
+
+#ifndef NC_BENCH_BATCH_NET_HH
+#define NC_BENCH_BATCH_NET_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "dnn/layers.hh"
+#include "dnn/random.hh"
+
+namespace nc::benchnet
+{
+
+/** A small conv net the bit-serial executor runs end to end. */
+inline dnn::Network
+batchFunctionalNet()
+{
+    dnn::Network net;
+    net.name = "batch-functional";
+    net.stages.push_back(dnn::singleOpStage(
+        "conv1", dnn::conv("conv1", 12, 12, 8, 3, 3, 4, 1, true)));
+    net.stages.push_back(dnn::singleOpStage(
+        "pool1", dnn::maxPool("pool1", 12, 12, 4, 2, 2, 2)));
+    net.stages.push_back(dnn::singleOpStage(
+        "head", dnn::conv("head", 6, 6, 4, 1, 1, 4)));
+    return net;
+}
+
+/** The deterministic batch both benches feed it. */
+inline std::vector<dnn::QTensor>
+batchFunctionalImages(unsigned batch)
+{
+    Rng rng(0xba7c4);
+    std::vector<dnn::QTensor> images;
+    images.reserve(batch);
+    for (unsigned i = 0; i < batch; ++i)
+        images.push_back(dnn::randomQTensor(rng, 8, 12, 12));
+    return images;
+}
+
+} // namespace nc::benchnet
+
+#endif // NC_BENCH_BATCH_NET_HH

@@ -11,11 +11,15 @@
  * anecdotes. Schema 2 adds the Engine compile/run split: compiling
  * Inception v3 once (mapping + tiling + calibration) versus
  * answering a batched report from the compiled model (arithmetic
- * only) — the §IV-E amortization, measured. See ROADMAP.md
- * "Performance & benchmarking" for the schema.
+ * only) — the §IV-E amortization, measured. Schema 3 adds the batch
+ * section: the image-parallel runBatch fan-out (§IV-E) against the
+ * serial per-image loop on the same functional network, wall time
+ * and measured images/s, outputs verified bit-identical. See
+ * ROADMAP.md "Performance & benchmarking" for the schema.
  * Usage: perf_report [output.json]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -29,6 +33,8 @@
 #include "core/neural_cache.hh"
 #include "dnn/inception_v3.hh"
 #include "dnn/reference.hh"
+
+#include "batch_net.hh"
 
 namespace
 {
@@ -178,6 +184,53 @@ main(int argc, char **argv)
                   compiled.latencyPs == legacy.latencyPs,
               "engine and legacy facade reports disagree");
 
+    // ---- batch: image-parallel runBatch vs the serial loop -----------
+    // The §IV-E scaling primitive, measured: the same functional
+    // network and batch of 8, executed by a one-worker engine (the
+    // serial per-image loop) and by an image-parallel engine fanning
+    // images over >= 2 workers, each image in its own replica of the
+    // pinned filter bands. Outputs must be bit-identical.
+    auto bnet = benchnet::batchFunctionalNet();
+    const unsigned kBatch = 8;
+    auto images = benchnet::batchFunctionalImages(kBatch);
+
+    core::EngineOptions serial_opts;
+    serial_opts.backend = core::BackendKind::Functional;
+    serial_opts.threads = 1;
+    core::Engine serial_engine(serial_opts);
+    auto serial_model = serial_engine.compile(bnet);
+
+    core::EngineOptions par_opts = serial_opts;
+    par_opts.threads =
+        std::max(2u, common::ThreadPool::defaultThreads());
+    core::Engine par_engine(par_opts);
+    auto par_model = par_engine.compile(bnet);
+
+    // Also the untimed warm-up: the first batch pays the one-time
+    // lazy replica pinning, so the timed loops below measure
+    // steady-state execution.
+    auto serial_res = serial_model.runBatch(images);
+    auto par_res = par_model.runBatch(images);
+    for (unsigned i = 0; i < kBatch; ++i)
+        nc_assert(serial_res.outputs[i].data() ==
+                      par_res.outputs[i].data(),
+                  "serial and image-parallel batch disagree on "
+                  "image %u", i);
+
+    // Interleaved best-of-N: the two paths alternate so scheduler
+    // noise hits both alike, and the minimum (the least-preempted
+    // run) is what each path can actually do.
+    double batch_serial_s = 1e30, batch_par_s = 1e30;
+    for (unsigned rep = 0; rep < 3; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        (void)serial_model.runBatch(images);
+        batch_serial_s = std::min(batch_serial_s, secondsSince(t0));
+        t0 = std::chrono::steady_clock::now();
+        (void)par_model.runBatch(images);
+        batch_par_s = std::min(batch_par_s, secondsSince(t0));
+    }
+    double batch_speedup = batch_serial_s / batch_par_s;
+
     unsigned threads = common::ThreadPool::defaultThreads();
     std::FILE *f = std::fopen(path, "w");
     if (!f)
@@ -185,7 +238,7 @@ main(int argc, char **argv)
     std::fprintf(f,
         "{\n"
         "  \"bench\": \"simspeed\",\n"
-        "  \"schema\": 2,\n"
+        "  \"schema\": 3,\n"
         "  \"threads\": %u,\n"
         "  \"micro\": {\n"
         "    \"opadd_mops\": %.2f,\n"
@@ -210,6 +263,19 @@ main(int argc, char **argv)
         "    \"compile_ms\": %.4f,\n"
         "    \"run_ms\": %.4f,\n"
         "    \"runs_per_compile\": %.1f\n"
+        "  },\n"
+        "  \"batch\": {\n"
+        "    \"network\": \"%s\",\n"
+        "    \"backend\": \"functional\",\n"
+        "    \"batch\": %u,\n"
+        "    \"serial_threads\": 1,\n"
+        "    \"parallel_threads\": %u,\n"
+        "    \"image_slots\": %u,\n"
+        "    \"passes\": %llu,\n"
+        "    \"serial_ms\": %.2f,\n"
+        "    \"parallel_ms\": %.2f,\n"
+        "    \"speedup\": %.2f,\n"
+        "    \"images_per_s\": %.1f\n"
         "  }\n"
         "}\n",
         threads,
@@ -218,7 +284,13 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(opt.cycles),
         scalar.seconds * 1e3, opt.seconds * 1e3, conv_speedup,
         opt.cycles / opt.seconds,
-        compile_s * 1e3, run_s * 1e3, compile_s / run_s);
+        compile_s * 1e3, run_s * 1e3, compile_s / run_s,
+        bnet.name.c_str(), kBatch, par_opts.threads,
+        par_model.batchBands().imageSlots,
+        static_cast<unsigned long long>(
+            par_model.batchBands().passes(kBatch)),
+        batch_serial_s * 1e3, batch_par_s * 1e3, batch_speedup,
+        kBatch / batch_par_s);
     std::fclose(f);
 
     std::printf("perf_report: opAdd %.1f Mops/s (ref %.2f, %.0fx), "
@@ -231,6 +303,12 @@ main(int argc, char **argv)
     std::printf("perf_report: engine compile %.3f ms, run %.4f ms "
                 "(%.0f runs amortize one compile)\n",
                 compile_s * 1e3, run_s * 1e3, compile_s / run_s);
+    std::printf("perf_report: batch-%u serial %.1f ms vs parallel "
+                "%.1f ms on %u threads (%.2fx, %.1f img/s, %u image "
+                "slots)\n",
+                kBatch, batch_serial_s * 1e3, batch_par_s * 1e3,
+                par_opts.threads, batch_speedup, kBatch / batch_par_s,
+                par_model.batchBands().imageSlots);
     std::printf("perf_report: wrote %s\n", path);
     return 0;
 }

@@ -1,6 +1,8 @@
 #include "common/thread_pool.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -35,12 +37,30 @@ struct ActivePoolScope
 unsigned
 ThreadPool::defaultThreads()
 {
+    // A misread thread count silently misconfigures every pool in
+    // the process (and with it every cycle-reduction fan-out), so
+    // garbage is a hard configuration error, not a warning that
+    // scrolls past: the value must be a plain positive decimal
+    // integer with no trailing junk, and absurd counts — far beyond
+    // any machine this simulator meets — are rejected as the typos
+    // they are.
+    constexpr long kMaxThreads = 4096;
     if (const char *env = std::getenv("NC_THREADS")) {
         char *end = nullptr;
+        errno = 0;
         long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 1)
-            return static_cast<unsigned>(v);
-        nc_warn("ignoring invalid NC_THREADS value '%s'", env);
+        // strtol quietly skips leading whitespace; a padded value is
+        // as suspect as trailing junk, so both are rejected.
+        if (end == env || *end != '\0' ||
+            std::isspace(static_cast<unsigned char>(env[0])))
+            nc_fatal("NC_THREADS='%s' is not an integer", env);
+        if (errno == ERANGE || v > kMaxThreads)
+            nc_fatal("NC_THREADS='%s' is absurdly large (max %ld)",
+                     env, kMaxThreads);
+        if (v < 1)
+            nc_fatal("NC_THREADS='%s' must be a positive thread "
+                     "count", env);
+        return static_cast<unsigned>(v);
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? hw : 1;

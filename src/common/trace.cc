@@ -1,9 +1,12 @@
 #include "common/trace.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
 #include <sstream>
+
+#include "common/logging.hh"
 
 namespace nc::trace
 {
@@ -18,7 +21,25 @@ flags()
     return f;
 }
 
-/** Parse NC_DEBUG once per reset. */
+/** Flag names are identifiers: [A-Za-z0-9_]+, gem5-style. */
+bool
+validFlagName(const std::string &item)
+{
+    if (item.empty())
+        return false;
+    for (char ch : item)
+        if (!std::isalnum(static_cast<unsigned char>(ch)) &&
+            ch != '_')
+            return false;
+    return true;
+}
+
+/**
+ * Parse NC_DEBUG once per reset. Malformed flag names are hard
+ * configuration errors: a silently-dropped "Contro ller" or
+ * "Executor;" would run the whole simulation without the trace the
+ * user asked for.
+ */
 void
 readEnv()
 {
@@ -27,9 +48,14 @@ readEnv()
         return;
     std::istringstream ss(env);
     std::string item;
-    while (std::getline(ss, item, ','))
-        if (!item.empty())
-            flags().insert(item);
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue; // tolerate "A,,B" / trailing commas
+        if (!validFlagName(item))
+            nc_fatal("NC_DEBUG flag '%s' is not a flag name "
+                     "(letters, digits, underscores)", item.c_str());
+        flags().insert(item);
+    }
 }
 
 bool &

@@ -57,42 +57,46 @@ AnalyticBackend::stageCost(const dnn::Stage &stage) const
 InferenceReport
 AnalyticBackend::report(const dnn::Network &net,
                         const std::vector<StageCost> &stageCosts,
-                        unsigned batch) const
+                        unsigned batch,
+                        const mapping::BatchBandPlan *bands) const
 {
     return assembleBatchReport(net, stageCosts, batch, cfg.sockets,
-                               costModel, cfg.energy);
+                               costModel, cfg.energy, bands);
 }
 
 std::vector<uint32_t>
 AnalyticBackend::conv(CompiledLayer &, const dnn::QTensor &, unsigned &,
-                      unsigned &)
+                      unsigned &, const ExecContext &)
 {
     nc_panic("the analytic backend cannot execute tensors; use "
              "CompiledModel::report() or a functional backend");
 }
 
 dnn::QTensor
-AnalyticBackend::maxPool(CompiledLayer &, const dnn::QTensor &)
+AnalyticBackend::maxPool(CompiledLayer &, const dnn::QTensor &,
+                         const ExecContext &)
 {
     nc_panic("the analytic backend cannot execute tensors");
 }
 
 dnn::QTensor
-AnalyticBackend::avgPool(CompiledLayer &, const dnn::QTensor &)
+AnalyticBackend::avgPool(CompiledLayer &, const dnn::QTensor &,
+                         const ExecContext &)
 {
     nc_panic("the analytic backend cannot execute tensors");
 }
 
 dnn::QTensor
 AnalyticBackend::eltwiseAdd(CompiledLayer &, const dnn::QTensor &,
-                            const dnn::QTensor &)
+                            const dnn::QTensor &, const ExecContext &)
 {
     nc_panic("the analytic backend cannot execute tensors");
 }
 
 std::vector<uint8_t>
 AnalyticBackend::requantize(CompiledLayer &,
-                            const std::vector<uint32_t> &)
+                            const std::vector<uint32_t> &,
+                            const ExecContext &)
 {
     nc_panic("the analytic backend cannot execute tensors");
 }
@@ -108,9 +112,11 @@ class ReferenceBackend : public Backend
   public:
     BackendKind kind() const override { return BackendKind::Reference; }
 
+    // CPU loops carry no array state, so every image slot runs the
+    // identical code: the ExecContext is accepted and ignored.
     std::vector<uint32_t>
     conv(CompiledLayer &layer, const dnn::QTensor &in, unsigned &out_h,
-         unsigned &out_w) override
+         unsigned &out_w, const ExecContext &) override
     {
         return dnn::convQuantUnsigned(in, layer.weights,
                                       layer.op.conv.stride,
@@ -119,7 +125,8 @@ class ReferenceBackend : public Backend
     }
 
     dnn::QTensor
-    maxPool(CompiledLayer &layer, const dnn::QTensor &in) override
+    maxPool(CompiledLayer &layer, const dnn::QTensor &in,
+            const ExecContext &) override
     {
         const dnn::PoolOp &po = layer.op.pool;
         return dnn::maxPoolQuant(in, po.r, po.s, po.stride,
@@ -127,7 +134,8 @@ class ReferenceBackend : public Backend
     }
 
     dnn::QTensor
-    avgPool(CompiledLayer &layer, const dnn::QTensor &in) override
+    avgPool(CompiledLayer &layer, const dnn::QTensor &in,
+            const ExecContext &) override
     {
         const dnn::PoolOp &po = layer.op.pool;
         return dnn::avgPoolQuant(in, po.r, po.s, po.stride,
@@ -136,7 +144,7 @@ class ReferenceBackend : public Backend
 
     dnn::QTensor
     eltwiseAdd(CompiledLayer &layer, const dnn::QTensor &a,
-               const dnn::QTensor &b) override
+               const dnn::QTensor &b, const ExecContext &) override
     {
         return dnn::eltwiseAddQuant(a, b, layer.requantMult,
                                     layer.requantShift);
@@ -144,7 +152,8 @@ class ReferenceBackend : public Backend
 
     std::vector<uint8_t>
     requantize(CompiledLayer &layer,
-               const std::vector<uint32_t> &acc) override
+               const std::vector<uint32_t> &acc,
+               const ExecContext &) override
     {
         // Integer-exact mirror of the in-array sequence: multiply,
         // truncating shift, saturate to 8 bits.
@@ -173,49 +182,55 @@ class FunctionalBackend : public Backend
 
     std::vector<uint32_t>
     conv(CompiledLayer &layer, const dnn::QTensor &in, unsigned &out_h,
-         unsigned &out_w) override
+         unsigned &out_w, const ExecContext &ctx) override
     {
         nc_assert(layer.funcConv.has_value(),
                   "layer '%s' was not prepared for the functional "
                   "backend", layer.op.name().c_str());
-        return layer.funcConv->run(in, out_h, out_w);
+        return layer.funcConv->run(in, out_h, out_w,
+                                   ctx.arrayOffset);
     }
 
     dnn::QTensor
-    maxPool(CompiledLayer &layer, const dnn::QTensor &in) override
+    maxPool(CompiledLayer &layer, const dnn::QTensor &in,
+            const ExecContext &ctx) override
     {
         const dnn::PoolOp &po = layer.op.pool;
-        return ex.maxPoolAt(layer.scratchArray, in, po.r, po.s,
-                            po.stride, po.samePad);
+        return ex.maxPoolAt(layer.scratchArray + ctx.arrayOffset, in,
+                            po.r, po.s, po.stride, po.samePad);
     }
 
     dnn::QTensor
-    avgPool(CompiledLayer &layer, const dnn::QTensor &in) override
+    avgPool(CompiledLayer &layer, const dnn::QTensor &in,
+            const ExecContext &ctx) override
     {
         const dnn::PoolOp &po = layer.op.pool;
-        return ex.avgPoolAt(layer.scratchArray, in, po.r, po.s,
-                            po.stride, po.samePad);
+        return ex.avgPoolAt(layer.scratchArray + ctx.arrayOffset, in,
+                            po.r, po.s, po.stride, po.samePad);
     }
 
     dnn::QTensor
     eltwiseAdd(CompiledLayer &layer, const dnn::QTensor &a,
-               const dnn::QTensor &b) override
+               const dnn::QTensor &b, const ExecContext &ctx) override
     {
         nc_assert(layer.funcElt.has_value(),
                   "eltwise '%s' was not prepared for the functional "
                   "backend", layer.op.name().c_str());
         dnn::QTensor out(a.channels(), a.height(), a.width(),
                          a.params());
-        out.data() = layer.funcElt->run(a.data(), b.data());
+        out.data() = layer.funcElt->run(a.data(), b.data(),
+                                        ctx.arrayOffset);
         return out;
     }
 
     std::vector<uint8_t>
     requantize(CompiledLayer &layer,
-               const std::vector<uint32_t> &acc) override
+               const std::vector<uint32_t> &acc,
+               const ExecContext &ctx) override
     {
-        return ex.requantizeAt(layer.scratchArray, acc,
-                               layer.requantMult, layer.requantShift);
+        return ex.requantizeAt(layer.scratchArray + ctx.arrayOffset,
+                               acc, layer.requantMult,
+                               layer.requantShift);
     }
 
   private:
@@ -233,54 +248,59 @@ class IsaBackend : public Backend
 
     std::vector<uint32_t>
     conv(CompiledLayer &layer, const dnn::QTensor &in, unsigned &out_h,
-         unsigned &out_w) override
+         unsigned &out_w, const ExecContext &ctx) override
     {
         nc_assert(layer.isaConv.has_value(),
                   "layer '%s' was not prepared for the ISA backend",
                   layer.op.name().c_str());
-        return layer.isaConv->run(in, out_h, out_w);
+        return layer.isaConv->run(in, out_h, out_w, ctx.slot);
     }
 
     dnn::QTensor
-    maxPool(CompiledLayer &layer, const dnn::QTensor &in) override
+    maxPool(CompiledLayer &layer, const dnn::QTensor &in,
+            const ExecContext &ctx) override
     {
         // The broadcast MaxInto program sequences VALID and SAME
         // windows alike (edge windows just run shorter programs), so
         // the executor fallback SAME padding used to need is gone.
         const dnn::PoolOp &po = layer.op.pool;
-        return le.maxPoolLayerAt(layer.scratchArray, in, po.r, po.s,
-                                 po.stride, po.samePad);
+        return le.maxPoolLayerAt(layer.scratchArray + ctx.arrayOffset,
+                                 in, po.r, po.s, po.stride,
+                                 po.samePad);
     }
 
     dnn::QTensor
-    avgPool(CompiledLayer &layer, const dnn::QTensor &in) override
+    avgPool(CompiledLayer &layer, const dnn::QTensor &in,
+            const ExecContext &ctx) override
     {
         // No broadcast macro for the sum+divide sequence yet; the
         // executor drives the identical bit-serial micro-ops.
         const dnn::PoolOp &po = layer.op.pool;
-        return ex.avgPoolAt(layer.scratchArray, in, po.r, po.s,
-                            po.stride, po.samePad);
+        return ex.avgPoolAt(layer.scratchArray + ctx.arrayOffset, in,
+                            po.r, po.s, po.stride, po.samePad);
     }
 
     dnn::QTensor
     eltwiseAdd(CompiledLayer &layer, const dnn::QTensor &a,
-               const dnn::QTensor &b) override
+               const dnn::QTensor &b, const ExecContext &ctx) override
     {
         nc_assert(layer.isaElt.has_value(),
                   "eltwise '%s' was not prepared for the ISA backend",
                   layer.op.name().c_str());
         dnn::QTensor out(a.channels(), a.height(), a.width(),
                          a.params());
-        out.data() = layer.isaElt->run(a.data(), b.data());
+        out.data() = layer.isaElt->run(a.data(), b.data(), ctx.slot);
         return out;
     }
 
     std::vector<uint8_t>
     requantize(CompiledLayer &layer,
-               const std::vector<uint32_t> &acc) override
+               const std::vector<uint32_t> &acc,
+               const ExecContext &ctx) override
     {
-        return ex.requantizeAt(layer.scratchArray, acc,
-                               layer.requantMult, layer.requantShift);
+        return ex.requantizeAt(layer.scratchArray + ctx.arrayOffset,
+                               acc, layer.requantMult,
+                               layer.requantShift);
     }
 
   private:

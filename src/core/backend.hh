@@ -56,13 +56,33 @@ const char *backendKindName(BackendKind k);
 bool parseBackendKind(std::string_view name, BackendKind &out);
 
 /**
+ * The per-image execution context of one batch slot (§IV-E):
+ * runBatch fans N images over the pool concurrently, and every image
+ * in flight owns a complete replica of the network's array state —
+ * stationary filter bands and scratch arrays alike — at flat-array
+ * offset slot * perImageArrays. Kernels add arrayOffset to every
+ * array index they touch, so concurrent images never share mutable
+ * arrays and outputs are bit-identical to the serial per-image loop
+ * for any thread count. Slot 0 (offset 0) is the bands the compile
+ * pass placed; run() always executes there.
+ */
+struct ExecContext
+{
+    unsigned slot = 0;        ///< image slot (replica ordinal)
+    uint64_t arrayOffset = 0; ///< flat-array offset of the replica
+};
+
+/**
  * A functional execution strategy for compiled layers. Implementations
  * wrap the existing executors; CompiledModel dispatches each layer to
  * the backend its compile options selected. Every entry point takes
  * the CompiledLayer, which carries the op shape, the prepared
  * kernels, the calibrated requantization scalars, and the layer's own
  * scratch array — the latter is what lets independent branches of one
- * stage execute concurrently without sharing mutable array state.
+ * stage execute concurrently without sharing mutable array state —
+ * plus the ExecContext naming which image slot's array replica the
+ * call runs on (images of one batch execute concurrently, each on
+ * its own replica).
  */
 class Backend
 {
@@ -78,16 +98,19 @@ class Backend
     virtual std::vector<uint32_t> conv(CompiledLayer &layer,
                                        const dnn::QTensor &in,
                                        unsigned &out_h,
-                                       unsigned &out_w) = 0;
+                                       unsigned &out_w,
+                                       const ExecContext &ctx) = 0;
 
     /** Max pooling with @p layer's window/stride/padding. */
     virtual dnn::QTensor maxPool(CompiledLayer &layer,
-                                 const dnn::QTensor &in) = 0;
+                                 const dnn::QTensor &in,
+                                 const ExecContext &ctx) = 0;
 
     /** Average pooling (truncating division; SAME padding divides
      * partial windows by their valid-element count). */
     virtual dnn::QTensor avgPool(CompiledLayer &layer,
-                                 const dnn::QTensor &in) = 0;
+                                 const dnn::QTensor &in,
+                                 const ExecContext &ctx) = 0;
 
     /**
      * Residual merge: out = sat8(((a + b) * mult) >> shift) with the
@@ -95,7 +118,8 @@ class Backend
      */
     virtual dnn::QTensor eltwiseAdd(CompiledLayer &layer,
                                     const dnn::QTensor &a,
-                                    const dnn::QTensor &b) = 0;
+                                    const dnn::QTensor &b,
+                                    const ExecContext &ctx) = 0;
 
     /**
      * Requantize accumulators to bytes: q = sat8((acc * mult) >>
@@ -103,7 +127,8 @@ class Backend
      * compile-time calibrated scalars.
      */
     virtual std::vector<uint8_t> requantize(
-        CompiledLayer &layer, const std::vector<uint32_t> &acc) = 0;
+        CompiledLayer &layer, const std::vector<uint32_t> &acc,
+        const ExecContext &ctx) = 0;
 };
 
 /**
@@ -125,23 +150,32 @@ class AnalyticBackend : public Backend
     /** Price one stage (runs mapping/tiling; compile-time only). */
     StageCost stageCost(const dnn::Stage &stage) const;
 
-    /** Assemble the batched report from compile-time stage costs. */
+    /**
+     * Assemble the batched report from compile-time stage costs.
+     * @p bands is the §IV-E banding the caller executes (CompiledModel
+     * passes its compile-time plan so the report prices exactly the
+     * pass structure runBatch runs); null derives the net-level plan.
+     */
     InferenceReport report(const dnn::Network &net,
                            const std::vector<StageCost> &stageCosts,
-                           unsigned batch) const;
+                           unsigned batch,
+                           const mapping::BatchBandPlan *bands =
+                               nullptr) const;
 
     std::vector<uint32_t> conv(CompiledLayer &layer,
                                const dnn::QTensor &in, unsigned &out_h,
-                               unsigned &out_w) override;
-    dnn::QTensor maxPool(CompiledLayer &layer,
-                         const dnn::QTensor &in) override;
-    dnn::QTensor avgPool(CompiledLayer &layer,
-                         const dnn::QTensor &in) override;
+                               unsigned &out_w,
+                               const ExecContext &ctx) override;
+    dnn::QTensor maxPool(CompiledLayer &layer, const dnn::QTensor &in,
+                         const ExecContext &ctx) override;
+    dnn::QTensor avgPool(CompiledLayer &layer, const dnn::QTensor &in,
+                         const ExecContext &ctx) override;
     dnn::QTensor eltwiseAdd(CompiledLayer &layer, const dnn::QTensor &a,
-                            const dnn::QTensor &b) override;
+                            const dnn::QTensor &b,
+                            const ExecContext &ctx) override;
     std::vector<uint8_t> requantize(
-        CompiledLayer &layer,
-        const std::vector<uint32_t> &acc) override;
+        CompiledLayer &layer, const std::vector<uint32_t> &acc,
+        const ExecContext &ctx) override;
 
   private:
     NeuralCacheConfig cfg;

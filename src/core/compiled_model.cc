@@ -32,7 +32,18 @@ CompiledModel::findLayer(std::string_view name) const
 InferenceReport
 CompiledModel::report(unsigned batch) const
 {
-    return analytic->report(net, stageCosts, batch);
+    // Degenerate sizes are hard errors here — callers (runBatch,
+    // benches, servers) are not trusted to pre-filter them.
+    nc_assert(batch >= 1, "report: batch 0 for network '%s'",
+              net.name.c_str());
+    nc_assert(batch <= kMaxBatch,
+              "report: batch %u exceeds the %u ceiling for '%s'",
+              batch, kMaxBatch, net.name.c_str());
+    // The compile-time banding is authoritative: the report prices
+    // exactly the slot/pass structure runBatch executes (which a
+    // per-layer reference override, say, can shrink below the
+    // all-functional net-level estimate).
+    return analytic->report(net, stageCosts, batch, &bandPlan);
 }
 
 Backend &
@@ -59,7 +70,8 @@ CompiledModel::backendFor(BackendKind k)
 }
 
 dnn::QTensor
-CompiledModel::runOp(CompiledLayer &layer, dnn::QTensor act)
+CompiledModel::runOp(CompiledLayer &layer, dnn::QTensor act,
+                     const ExecContext &ctx)
 {
     Backend &b = backendFor(layer.backend);
     switch (layer.op.kind) {
@@ -75,16 +87,16 @@ CompiledModel::runOp(CompiledLayer &layer, dnn::QTensor act)
         [[fallthrough]];
       case dnn::OpKind::Conv: {
         unsigned oh = 0, ow = 0;
-        auto acc = b.conv(layer, act, oh, ow);
-        auto bytes = b.requantize(layer, acc);
+        auto acc = b.conv(layer, act, oh, ow, ctx);
+        auto bytes = b.requantize(layer, acc, ctx);
         dnn::QTensor next(layer.op.conv.m, oh, ow);
         next.data() = std::move(bytes);
         return next;
       }
       case dnn::OpKind::MaxPool:
-        return b.maxPool(layer, act);
+        return b.maxPool(layer, act, ctx);
       case dnn::OpKind::AvgPool:
-        return b.avgPool(layer, act);
+        return b.avgPool(layer, act, ctx);
       case dnn::OpKind::EltwiseAdd:
         nc_panic("eltwise '%s' is a merge, not a chain op (run loop "
                  "bug)", layer.op.name().c_str());
@@ -94,7 +106,7 @@ CompiledModel::runOp(CompiledLayer &layer, dnn::QTensor act)
 
 dnn::QTensor
 CompiledModel::runBranch(const CompiledBranch &branch,
-                         dnn::QTensor input)
+                         dnn::QTensor input, const ExecContext &ctx)
 {
     // The serial prefix (the trailing eltwise merge, if any, is
     // applied by the caller once the shortcut operand exists).
@@ -105,15 +117,17 @@ CompiledModel::runBranch(const CompiledBranch &branch,
 
     dnn::QTensor act = std::move(input);
     for (size_t i = 0; i < serial; ++i)
-        act = runOp(layers[branch.layerIdx[i]], std::move(act));
+        act = runOp(layers[branch.layerIdx[i]], std::move(act), ctx);
 
     if (branch.splitTail) {
         // The expanded-tower fan-out (Mixed_7b/7c): the last two ops
         // both read the penultimate tensor and their outputs
         // concatenate in op order.
-        dnn::QTensor t0 = runOp(layers[branch.layerIdx[n - 2]], act);
+        dnn::QTensor t0 =
+            runOp(layers[branch.layerIdx[n - 2]], act, ctx);
         dnn::QTensor t1 =
-            runOp(layers[branch.layerIdx[n - 1]], std::move(act));
+            runOp(layers[branch.layerIdx[n - 1]], std::move(act),
+                  ctx);
         dnn::QTensor cat(t0.channels() + t1.channels(), t0.height(),
                          t0.width(), t0.params());
         auto &buf = cat.data();
@@ -126,7 +140,8 @@ CompiledModel::runBranch(const CompiledBranch &branch,
 }
 
 dnn::QTensor
-CompiledModel::runLayers(const dnn::QTensor &input)
+CompiledModel::runLayers(const dnn::QTensor &input,
+                         const ExecContext &ctx)
 {
     nc_assert(input.channels() == inC && input.height() == inH &&
                   input.width() == inW,
@@ -140,7 +155,8 @@ CompiledModel::runLayers(const dnn::QTensor &input)
         // activation through without copying it.
         if (stage.branches.size() == 1 &&
             !stage.branches.front().endsWithEltwise) {
-            act = runBranch(stage.branches.front(), std::move(act));
+            act = runBranch(stage.branches.front(), std::move(act),
+                            ctx);
             continue;
         }
 
@@ -152,7 +168,7 @@ CompiledModel::runLayers(const dnn::QTensor &input)
         const dnn::QTensor in0 = std::move(act);
         std::vector<dnn::QTensor> outs(stage.branches.size());
         pool->parallelFor(stage.branches.size(), [&](size_t bi) {
-            outs[bi] = runBranch(stage.branches[bi], in0);
+            outs[bi] = runBranch(stage.branches[bi], in0, ctx);
         });
 
         // Residual merges: the eltwise tail adds the shortcut
@@ -168,7 +184,7 @@ CompiledModel::runLayers(const dnn::QTensor &input)
                     : in0;
             CompiledLayer &l = layers[br.layerIdx.back()];
             outs[bi] = backendFor(l.backend)
-                           .eltwiseAdd(l, outs[bi], operand);
+                           .eltwiseAdd(l, outs[bi], operand, ctx);
         }
 
         // Channel-concatenate the non-shortcut branch outputs (CHW is
@@ -210,8 +226,47 @@ CompiledModel::run(const dnn::QTensor &input)
     InferenceResult res;
     res.report = report(1);
     if (functional())
-        res.output = runLayers(input);
+        res.output = runLayers(input, ExecContext{});
     return res;
+}
+
+unsigned
+CompiledModel::ensureImageSlots(unsigned want)
+{
+    want = std::max(want, 1u);
+    nc_assert(want <= bandPlan.imageSlots,
+              "%u image slots requested, capacity plans %u", want,
+              bandPlan.imageSlots);
+    bool arrays_in_use = funcBackend != nullptr ||
+                         isaBackend != nullptr;
+    for (unsigned slot = preparedSlots; slot < want; ++slot) {
+        uint64_t off = uint64_t(slot) * bandPlan.perImageArrays;
+        // The replica's scratch arrays, materialized now: the image
+        // fan-out must never mutate the lazy array map.
+        if (arrays_in_use) {
+            for (unsigned i = 0; i < bandPlan.scratchSlots; ++i)
+                cc->array(cc->coordOf(scratchBase + off + i));
+        }
+        for (CompiledLayer &layer : layers) {
+            if (layer.funcConv)
+                layer.funcConv->pinReplica(layer.weights, off);
+            if (layer.isaConv) {
+                unsigned got =
+                    layer.isaConv->pinReplica(layer.weights, off);
+                nc_assert(got == slot,
+                          "ISA conv replica %u landed in slot %u",
+                          slot, got);
+            }
+            if (layer.isaElt) {
+                unsigned got = layer.isaElt->pinReplica(off);
+                nc_assert(got == slot,
+                          "ISA eltwise replica %u landed in slot %u",
+                          slot, got);
+            }
+        }
+    }
+    preparedSlots = std::max(preparedSlots, want);
+    return want;
 }
 
 BatchInferenceResult
@@ -219,15 +274,52 @@ CompiledModel::runBatch(std::span<const dnn::QTensor> inputs)
 {
     nc_assert(!inputs.empty(), "runBatch: empty batch for '%s'",
               net.name.c_str());
+    // Validate the size once, before it is ever narrowed: a negative
+    // or garbage count wrapped into size_t dies here with the real
+    // number in the message.
+    nc_assert(inputs.size() <= kMaxBatch,
+              "runBatch: batch of %zu images exceeds the %u ceiling "
+              "for '%s'", inputs.size(), kMaxBatch, net.name.c_str());
 
     BatchInferenceResult res;
     res.report = report(static_cast<unsigned>(inputs.size()));
-    if (functional()) {
-        res.outputs.reserve(inputs.size());
-        // Filters stay stationary across the whole batch (§IV-E):
-        // only input windows stream per image.
-        for (const auto &in : inputs)
-            res.outputs.push_back(runLayers(in));
+    if (!functional())
+        return res;
+
+    // Validate every image up front, naming the offending batch
+    // index — a shape error must not surface as a layer mismatch
+    // deep inside image 17's third conv.
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const dnn::QTensor &in = inputs[i];
+        nc_assert(in.channels() == inC && in.height() == inH &&
+                      in.width() == inW,
+                  "runBatch: batch input %zu is %ux%ux%u, network "
+                  "'%s' expects %ux%ux%u", i, in.channels(),
+                  in.height(), in.width(), net.name.c_str(), inC, inH,
+                  inW);
+    }
+
+    // Image-parallel execution (§IV-E): filters stay stationary and
+    // the spare array capacity runs `slots` images concurrently,
+    // each image streaming through its own replica of the network's
+    // bands (disjoint array state per image slot). Batches beyond
+    // the spare capacity time-slice into passes — the same pass
+    // structure the analytic report prices. Every image is an
+    // independent computation on its own replica, so the result is
+    // bit-identical to the serial per-image loop for any thread
+    // count and any batch size.
+    unsigned slots = ensureImageSlots(static_cast<unsigned>(
+        std::min<uint64_t>(inputs.size(), bandPlan.imageSlots)));
+    res.outputs.resize(inputs.size());
+    for (size_t first = 0; first < inputs.size(); first += slots) {
+        size_t count =
+            std::min<size_t>(slots, inputs.size() - first);
+        pool->parallelFor(count, [&](size_t k) {
+            ExecContext ctx{static_cast<unsigned>(k),
+                            k * bandPlan.perImageArrays};
+            res.outputs[first + k] =
+                runLayers(inputs[first + k], ctx);
+        });
     }
     return res;
 }

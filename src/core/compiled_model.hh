@@ -114,6 +114,14 @@ struct BatchInferenceResult
 class CompiledModel
 {
   public:
+    /**
+     * Sanity ceiling on batch sizes: large enough for any real
+     * serving batch (the paper's Figure 16 sweeps to 256), small
+     * enough that a negative or garbage size narrowed into an
+     * unsigned is caught instead of allocating terabytes.
+     */
+    static constexpr unsigned kMaxBatch = 1u << 16;
+
     CompiledModel(CompiledModel &&) noexcept;
     CompiledModel &operator=(CompiledModel &&) noexcept;
     ~CompiledModel();
@@ -138,18 +146,37 @@ class CompiledModel
     InferenceResult run(const dnn::QTensor &input);
 
     /**
-     * Execute a batch: filters stay stationary across the whole
-     * span (§IV-E), and the report prices the batch with filter
-     * loading amortized. @p inputs must be non-empty.
+     * Execute a batch image-parallel (§IV-E): filters stay
+     * stationary across the whole span, and the cache's spare array
+     * capacity runs up to batchBands().imageSlots images
+     * concurrently, each in its own replica of the network's bands —
+     * batches beyond that time-slice in passes. Outputs are
+     * bit-identical to the serial per-image loop for any thread
+     * count and any batch size. @p inputs must be non-empty, at most
+     * kMaxBatch images, every image of the network's input shape.
+     * The report prices the batch with filter loading amortized.
      */
     BatchInferenceResult runBatch(std::span<const dnn::QTensor> inputs);
 
     /**
      * The analytic answer alone (no tensor execution): the batched
      * InferenceReport assembled from compile-time stage costs. Cheap
-     * enough to sweep batch sizes on one compiled model.
+     * enough to sweep batch sizes on one compiled model. @p batch
+     * must be in [1, kMaxBatch] — batch 0 is a hard error here, not
+     * something callers are trusted to pre-filter.
      */
     InferenceReport report(unsigned batch = 1) const;
+
+    /**
+     * The §IV-E batch banding the residency planner carved: per-image
+     * footprint, concurrent image slots, time-sliced pass structure.
+     */
+    const mapping::BatchBandPlan &batchBands() const
+    {
+        return bandPlan;
+    }
+    /** Image replicas pinned so far (grows lazily with runBatch). */
+    unsigned preparedImageSlots() const { return preparedSlots; }
 
     /** Per-layer compile artifacts, in execution order. */
     const std::vector<CompiledLayer> &compiledLayers() const
@@ -201,12 +228,22 @@ class CompiledModel
     CompiledModel();
 
     Backend &backendFor(BackendKind k);
-    dnn::QTensor runLayers(const dnn::QTensor &input);
-    dnn::QTensor runOp(CompiledLayer &layer, dnn::QTensor act);
+    dnn::QTensor runLayers(const dnn::QTensor &input,
+                           const ExecContext &ctx);
+    dnn::QTensor runOp(CompiledLayer &layer, dnn::QTensor act,
+                       const ExecContext &ctx);
     /** By value: the fast path moves the activation through; the
      * branch fan-out passes each branch its own copy. */
     dnn::QTensor runBranch(const CompiledBranch &branch,
-                           dnn::QTensor input);
+                           dnn::QTensor input,
+                           const ExecContext &ctx);
+    /**
+     * Lazily pin image replicas 1..want-1 (bands + scratch at
+     * offset slot * perImageArrays) so a batch can fan @p want
+     * images concurrently. Capped by the planner's imageSlots;
+     * replicas persist, so later batches skip the work.
+     */
+    unsigned ensureImageSlots(unsigned want);
 
     dnn::Network net;
     NeuralCacheConfig cfg;
@@ -216,6 +253,9 @@ class CompiledModel
     std::shared_ptr<common::ThreadPool> pool;
     std::unique_ptr<AnalyticBackend> analytic;
     std::vector<StageCost> stageCosts;
+    mapping::BatchBandPlan bandPlan;
+    uint64_t scratchBase = 0;  ///< slot 0's first scratch array
+    unsigned preparedSlots = 1; ///< image replicas pinned so far
 
     std::unique_ptr<cache::ComputeCache> cc;
     std::unique_ptr<Executor> ex;

@@ -310,4 +310,10 @@ CostModel::stageCost(const dnn::Stage &stage) const
     return total;
 }
 
+mapping::BatchBandPlan
+CostModel::planImageBands(const dnn::Network &net) const
+{
+    return mapping::planBatchBands(net, geom);
+}
+
 } // namespace nc::core

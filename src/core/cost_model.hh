@@ -161,6 +161,15 @@ class CostModel
     /** Cost of a whole stage (branches serial). */
     StageCost stageCost(const dnn::Stage &stage) const;
 
+    /**
+     * Image-parallel batch banding of @p net on this geometry
+     * (§IV-E / Figure 16): concurrent image slots and time-sliced
+     * pass counts, priced from the same functional mappings the
+     * executor runs.
+     */
+    mapping::BatchBandPlan planImageBands(const dnn::Network &net)
+        const;
+
     /** Picoseconds of @p cycles on the compute clock. */
     double
     computePs(double cycles) const

@@ -124,6 +124,11 @@ Engine::compile(const dnn::Network &net,
                   "analytic engines never read weights; %zu banks "
                   "were passed for '%s'", weights.size(),
                   net.name.c_str());
+        // No layer placement happens, so the report's §IV-E pass
+        // structure comes from the all-functional net-level banding
+        // (the same one the legacy facade derives).
+        m.bandPlan = mapping::planBatchBands(
+            net, opts.config.geometry);
         return m;
     }
 
@@ -304,7 +309,14 @@ Engine::compile(const dnn::Network &net,
         if (layer.op.isConv() && on_arrays)
             whole_need += layer.funcPlan.totalArrays(layer.op.conv.m);
     }
-    bool all_resident = whole_need + scratch_slots <= total_arrays;
+    // The §IV-E batch banding: one image's footprint (stationary
+    // filter bands + per-branch scratch) and how many images the
+    // spare capacity runs concurrently — runBatch executes exactly
+    // this plan, and the analytic batch report prices the same pass
+    // structure.
+    m.bandPlan = mapping::planBatchBands(
+        whole_need, static_cast<unsigned>(scratch_slots), geom, true);
+    bool all_resident = m.bandPlan.resident;
 
     struct ConvPlacement
     {
@@ -430,6 +442,7 @@ Engine::compile(const dnn::Network &net,
                 m.layers[li].scratchArray = scratch_base + bi;
         }
     }
+    m.scratchBase = scratch_base;
     // Legacy direct Executor/LayerEngine helpers share slot 0.
     m.ex->setScratchBase(scratch_base);
     if (m.isaEngine)

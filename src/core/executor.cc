@@ -70,20 +70,36 @@ Executor::prepareConv(const dnn::QWeights &w, unsigned stride,
     // (the §IV-C transposed preprocessing, paid exactly once) —
     // unless the layer streams, in which case run() re-pins each
     // filter group as it cycles through the band.
-    if (p.isResident) {
-        p.weights = w;
-        p.storeFilters(0, w.m);
-        p.weights = dnn::QWeights{};
-    }
+    if (p.isResident)
+        p.storeFilters(w, 0, w.m, 0);
     return p;
 }
 
 void
-Executor::PreparedConv::storeFilters(unsigned first_batch,
-                                     unsigned count)
+Executor::PreparedConv::pinReplica(const dnn::QWeights &w,
+                                   uint64_t array_offset)
+{
+    nc_assert(isResident,
+              "pinReplica: streaming layers time-share their band "
+              "and cannot hold image replicas");
+    nc_assert(w.m == m && w.c == c && w.r == r && w.s == s,
+              "pinReplica: bank is %ux%ux%ux%u, layer wants "
+              "%ux%ux%ux%u", w.m, w.c, w.r, w.s, m, c, r, s);
+    cache::ComputeCache &cc = ex->cc;
+    // Materialize the replica band up front: the image fan-out must
+    // never mutate the lazy array map.
+    for (uint64_t i = 0; i < band; ++i)
+        cc.array(cc.coordOf(base + array_offset + i));
+    storeFilters(w, 0, m, array_offset);
+}
+
+void
+Executor::PreparedConv::storeFilters(const dnn::QWeights &w,
+                                     unsigned first_batch,
+                                     unsigned count,
+                                     uint64_t array_offset)
 {
     cache::ComputeCache &cc = ex->cc;
-    const dnn::QWeights &w = weights;
     const unsigned chunks = fplan.chunks;
     const unsigned pack = fplan.packFactor;
     const unsigned split = fplan.splitFactor;
@@ -93,7 +109,8 @@ Executor::PreparedConv::storeFilters(unsigned first_batch,
                          [&](size_t t) {
         unsigned mi = first_batch + static_cast<unsigned>(t / chunks);
         unsigned ch = static_cast<unsigned>(t % chunks);
-        sram::Array &arr = cc.array(cc.coordOf(base + t));
+        sram::Array &arr =
+            cc.array(cc.coordOf(base + array_offset + t));
         unsigned c0 = ch * fplan.chunkChannels;
         unsigned c1 = std::min(c, c0 + fplan.chunkChannels);
 
@@ -127,13 +144,16 @@ Executor::PreparedConv::storeFilters(unsigned first_batch,
 
 std::vector<uint32_t>
 Executor::PreparedConv::run(const dnn::QTensor &in, unsigned &out_h,
-                            unsigned &out_w)
+                            unsigned &out_w, uint64_t array_offset)
 {
     const unsigned acc_bits = 24;
     cache::ComputeCache &cc = ex->cc;
     nc_assert(in.channels() == c,
               "prepared conv expects %u input channels, got %u", c,
               in.channels());
+    nc_assert(array_offset == 0 || isResident,
+              "streaming conv layers run at offset 0 only (got %llu)",
+              static_cast<unsigned long long>(array_offset));
 
     out_h = dnn::outDim(in.height(), r, stride, samePad);
     out_w = dnn::outDim(in.width(), s, stride, samePad);
@@ -159,7 +179,7 @@ Executor::PreparedConv::run(const dnn::QTensor &in, unsigned &out_h,
         // Streaming regime: pin this pass's filter group before its
         // windows run (whole-layer-resident bands skip this forever).
         if (!isResident)
-            storeFilters(mb0, mb1 - mb0);
+            storeFilters(weights, mb0, mb1 - mb0, 0);
 
         size_t tasks = static_cast<size_t>(mb1 - mb0) * chunks;
         if (chunks > 1)
@@ -173,7 +193,8 @@ Executor::PreparedConv::run(const dnn::QTensor &in, unsigned &out_h,
         ex->pool.parallelFor(tasks, [&](size_t t) {
             unsigned mi = mb0 + static_cast<unsigned>(t / chunks);
             unsigned ch = static_cast<unsigned>(t % chunks);
-            sram::Array &arr = cc.array(cc.coordOf(base + t));
+            sram::Array &arr =
+                cc.array(cc.coordOf(base + array_offset + t));
             unsigned c0 = ch * fplan.chunkChannels;
             unsigned c1 = std::min(c, c0 + fplan.chunkChannels);
 
@@ -646,7 +667,8 @@ Executor::prepareEltwise(uint8_t mult, unsigned shift,
 
 std::vector<uint8_t>
 Executor::PreparedEltwise::run(const std::vector<uint8_t> &a,
-                               const std::vector<uint8_t> &b)
+                               const std::vector<uint8_t> &b,
+                               uint64_t array_offset)
 {
     const unsigned bits = 8;
     cache::ComputeCache &cc = ex->cc;
@@ -655,7 +677,7 @@ Executor::PreparedEltwise::run(const std::vector<uint8_t> &a,
               b.size());
 
     unsigned cols = cc.geometry().arrayCols;
-    sram::Array &arr = cc.array(cc.coordOf(scratch));
+    sram::Array &arr = cc.array(cc.coordOf(scratch + array_offset));
 
     // The multiplier is one broadcast scalar per run (other layers
     // may have scribbled on the scratch array in between).

@@ -79,6 +79,12 @@ class Executor
      * than filterBatches() x chunks run in grouped passes, re-pinning
      * each group's filters — the §IV-E streaming regime for networks
      * that exceed the cache.
+     *
+     * Batching (§IV-E): a resident layer can pin replica bands at
+     * fixed flat-array offsets (pinReplica), one per concurrently
+     * executing image, and run() then names which replica an image
+     * streams through — concurrent images never share arrays, so a
+     * parallel batch is bit-identical to the serial per-image loop.
      */
     class PreparedConv
     {
@@ -86,9 +92,23 @@ class Executor
         /**
          * Execute the layer on @p in; returns raw accumulators in
          * [m][oh][ow] order, exactly like Executor::conv.
+         * @p array_offset selects the replica band pinned at
+         * base + offset (0 = the band prepareConv placed); streaming
+         * layers accept only offset 0.
          */
         std::vector<uint32_t> run(const dnn::QTensor &in,
-                                  unsigned &out_h, unsigned &out_w);
+                                  unsigned &out_h, unsigned &out_w,
+                                  uint64_t array_offset = 0);
+
+        /**
+         * Pin a stationary replica of @p w in the band
+         * [base + offset, base + offset + bandArrays()): the
+         * per-image copy one extra in-flight image streams through.
+         * Resident layers only (a streaming layer re-pins its shared
+         * band as it runs and cannot overlap images). @p w must be
+         * the bank prepareConv pinned.
+         */
+        void pinReplica(const dnn::QWeights &w, uint64_t array_offset);
 
         /** First flat array index of the layer's band. */
         uint64_t baseArray() const { return base; }
@@ -110,7 +130,8 @@ class Executor
         friend class Executor;
         PreparedConv() = default;
 
-        void storeFilters(unsigned first_batch, unsigned count);
+        void storeFilters(const dnn::QWeights &w, unsigned first_batch,
+                          unsigned count, uint64_t array_offset);
 
         Executor *ex = nullptr;
         unsigned m = 0, c = 0, r = 0, s = 0;
@@ -155,8 +176,12 @@ class Executor
     class PreparedEltwise
     {
       public:
+        /** @p array_offset relocates the run onto the image slot's
+         * scratch replica (scratch + offset); the carve-up is
+         * position-independent, so no per-replica state exists. */
         std::vector<uint8_t> run(const std::vector<uint8_t> &a,
-                                 const std::vector<uint8_t> &b);
+                                 const std::vector<uint8_t> &b,
+                                 uint64_t array_offset = 0);
 
         uint8_t multiplier() const { return mult; }
         unsigned shift() const { return sh; }

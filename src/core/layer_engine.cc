@@ -162,7 +162,6 @@ LayerEngine::prepareConv(const dnn::QWeights &w, unsigned stride,
 
     PreparedConvLayer p;
     p.eng = this;
-    p.ctrl = std::make_unique<Controller>(cc, &pool);
     p.prog = buildConvProgram(cc.geometry(), w);
     p.m = w.m;
     p.c = w.c;
@@ -170,22 +169,48 @@ LayerEngine::prepareConv(const dnn::QWeights &w, unsigned stride,
     p.s = w.s;
     p.stride = stride;
     p.samePad = same_pad;
-    p.base = base_array;
 
     // Enroll one array per filter batch into the layer's own
     // lock-step group and pin its weights — paid exactly once.
+    PreparedConvLayer::SlotGroup g;
+    g.ctrl = std::make_unique<Controller>(cc, &pool);
+    g.base = base_array;
     for (unsigned mi = 0; mi < w.m; ++mi)
-        p.ctrl->enroll(cc.coordOf(base_array + mi));
+        g.ctrl->enroll(cc.coordOf(base_array + mi));
     storeFilters(cc, base_array, w, p.prog);
+    p.groups.push_back(std::move(g));
     return p;
+}
+
+unsigned
+LayerEngine::PreparedConvLayer::pinReplica(const dnn::QWeights &w,
+                                           uint64_t array_offset)
+{
+    nc_assert(w.m == m && w.c == c && w.r == r && w.s == s,
+              "pinReplica: bank is %ux%ux%ux%u, layer wants "
+              "%ux%ux%ux%u", w.m, w.c, w.r, w.s, m, c, r, s);
+    cache::ComputeCache &cc = eng->cc;
+    SlotGroup g;
+    g.ctrl = std::make_unique<Controller>(cc, &eng->pool);
+    g.base = groups.front().base + array_offset;
+    for (unsigned mi = 0; mi < m; ++mi)
+        g.ctrl->enroll(cc.coordOf(g.base + mi));
+    storeFilters(cc, g.base, w, prog);
+    groups.push_back(std::move(g));
+    return static_cast<unsigned>(groups.size() - 1);
 }
 
 std::vector<uint32_t>
 LayerEngine::PreparedConvLayer::run(const dnn::QTensor &in,
-                                    unsigned &out_h, unsigned &out_w)
+                                    unsigned &out_h, unsigned &out_w,
+                                    unsigned slot)
 {
-    return runConvWindows(eng->cc, *ctrl, prog, in, m, c, r, s, stride,
-                          samePad, base, out_h, out_w,
+    nc_assert(slot < groups.size(),
+              "prepared ISA conv has %zu replicas, slot %u requested",
+              groups.size(), slot);
+    SlotGroup &g = groups[slot];
+    return runConvWindows(eng->cc, *g.ctrl, prog, in, m, c, r, s,
+                          stride, samePad, g.base, out_h, out_w,
                           eng->nPrograms);
 }
 
@@ -308,9 +333,11 @@ LayerEngine::prepareEltwise(uint8_t mult, unsigned shift,
     p.eng = this;
     p.mult = mult;
     p.sh = shift;
-    p.scratch = scratch_array;
-    p.ctrl = std::make_unique<Controller>(cc, &pool);
-    p.ctrl->enroll(cc.coordOf(scratch_array));
+    PreparedEltwiseLayer::SlotGroup g;
+    g.ctrl = std::make_unique<Controller>(cc, &pool);
+    g.scratch = scratch_array;
+    g.ctrl->enroll(cc.coordOf(scratch_array));
+    p.groups.push_back(std::move(g));
 
     // Row carve-up and the fixed merge program, built exactly once:
     // widen add, multiply by the calibrated scalar, truncating shift,
@@ -333,18 +360,35 @@ LayerEngine::prepareEltwise(uint8_t mult, unsigned shift,
     return p;
 }
 
+unsigned
+LayerEngine::PreparedEltwiseLayer::pinReplica(uint64_t array_offset)
+{
+    cache::ComputeCache &cc = eng->cc;
+    SlotGroup g;
+    g.ctrl = std::make_unique<Controller>(cc, &eng->pool);
+    g.scratch = groups.front().scratch + array_offset;
+    g.ctrl->enroll(cc.coordOf(g.scratch));
+    groups.push_back(std::move(g));
+    return static_cast<unsigned>(groups.size() - 1);
+}
+
 std::vector<uint8_t>
 LayerEngine::PreparedEltwiseLayer::run(const std::vector<uint8_t> &a,
-                                       const std::vector<uint8_t> &b)
+                                       const std::vector<uint8_t> &b,
+                                       unsigned slot)
 {
     const unsigned bits = 8;
     cache::ComputeCache &cc = eng->cc;
     nc_assert(a.size() == b.size(),
               "eltwise operands differ: %zu vs %zu elements", a.size(),
               b.size());
+    nc_assert(slot < groups.size(),
+              "prepared ISA eltwise has %zu replicas, slot %u "
+              "requested", groups.size(), slot);
+    SlotGroup &g = groups[slot];
 
     unsigned cols = cc.geometry().arrayCols;
-    sram::Array &arr = cc.array(cc.coordOf(scratch));
+    sram::Array &arr = cc.array(cc.coordOf(g.scratch));
     bs::storeVector(arr, gain, std::vector<uint64_t>(cols, mult));
 
     std::vector<uint8_t> out(a.size());
@@ -358,7 +402,7 @@ LayerEngine::PreparedEltwiseLayer::run(const std::vector<uint8_t> &a,
             iv[i] = b[base + i];
         bs::storeVector(arr, vb, iv);
 
-        ctrl->run(program);
+        g.ctrl->run(program);
         ++eng->nPrograms;
 
         for (size_t i = 0; i < n; ++i) {

@@ -75,27 +75,62 @@ class LayerEngine
     class PreparedConvLayer
     {
       public:
-        /** Execute on @p in; accumulators in [m][oh][ow] order. */
+        /**
+         * Execute on @p in; accumulators in [m][oh][ow] order.
+         * @p slot selects which pinned replica's group broadcasts
+         * (0 = the group prepareConv enrolled; others come from
+         * pinReplica) — one per concurrently executing image, each
+         * with its own controller so batched broadcasts never share
+         * group state.
+         */
         std::vector<uint32_t> run(const dnn::QTensor &in,
-                                  unsigned &out_h, unsigned &out_w);
+                                  unsigned &out_h, unsigned &out_w,
+                                  unsigned slot = 0);
 
-        /** Instruction-bus cycles this layer has consumed. */
-        uint64_t cyclesIssued() const { return ctrl->cyclesIssued(); }
+        /**
+         * Pin a stationary replica of @p w in arrays
+         * [base + offset, base + offset + m), enrolled in its own
+         * lock-step group — the §IV-E image-parallel copy one extra
+         * in-flight image broadcasts to. @p w must be the bank
+         * prepareConv pinned. Returns the replica's slot index.
+         */
+        unsigned pinReplica(const dnn::QWeights &w,
+                            uint64_t array_offset);
+
+        /** Instruction-bus cycles this layer has consumed (slot 0). */
+        uint64_t cyclesIssued() const
+        {
+            return groups.front().ctrl->cyclesIssued();
+        }
         /** Arrays enrolled in the layer's lock-step group. */
-        size_t groupSize() const { return ctrl->groupSize(); }
-        uint64_t baseArray() const { return base; }
+        size_t groupSize() const
+        {
+            return groups.front().ctrl->groupSize();
+        }
+        uint64_t baseArray() const { return groups.front().base; }
+        /** Pinned replicas, the prepareConv band included. */
+        unsigned slots() const
+        {
+            return static_cast<unsigned>(groups.size());
+        }
 
       private:
         friend class LayerEngine;
         PreparedConvLayer() = default;
 
+        /** One image slot: a lock-step group over its replica band. */
+        struct SlotGroup
+        {
+            std::unique_ptr<Controller> ctrl;
+            uint64_t base = 0;
+        };
+
         LayerEngine *eng = nullptr;
-        std::unique_ptr<Controller> ctrl; ///< the layer's own group
+        std::vector<SlotGroup> groups; ///< [0] = prepareConv's band
         IsaConvProgram prog;
         unsigned m = 0, c = 0, r = 0, s = 0;
         unsigned stride = 1;
         bool samePad = false;
-        uint64_t base = 0;
     };
 
     /**
@@ -150,19 +185,32 @@ class LayerEngine
     class PreparedEltwiseLayer
     {
       public:
+        /** @p slot selects the scratch replica (0 = prepareEltwise's
+         * array; others come from pinReplica). */
         std::vector<uint8_t> run(const std::vector<uint8_t> &a,
-                                 const std::vector<uint8_t> &b);
+                                 const std::vector<uint8_t> &b,
+                                 unsigned slot = 0);
+
+        /** Enroll the merge's program on the image slot's scratch
+         * replica (scratch + offset); returns the slot index. */
+        unsigned pinReplica(uint64_t array_offset);
 
       private:
         friend class LayerEngine;
         PreparedEltwiseLayer() = default;
 
+        /** One image slot: a group over its scratch replica. */
+        struct SlotGroup
+        {
+            std::unique_ptr<Controller> ctrl;
+            uint64_t scratch = 0;
+        };
+
         LayerEngine *eng = nullptr;
-        std::unique_ptr<Controller> ctrl; ///< the merge's own group
+        std::vector<SlotGroup> groups; ///< [0] = prepareEltwise's
         std::vector<Instruction> program;
         uint8_t mult = 1;
         unsigned sh = 0;
-        uint64_t scratch = 0;
         bitserial::VecSlice va, vb, acc, gain, prod;
     };
 

@@ -30,7 +30,8 @@ InferenceReport
 assembleBatchReport(const dnn::Network &net,
                     std::vector<StageCost> stages, unsigned batch,
                     unsigned sockets, const CostModel &model,
-                    const EnergyConfig &energy)
+                    const EnergyConfig &energy,
+                    const mapping::BatchBandPlan *bands)
 {
     nc_assert(batch >= 1, "empty batch for network '%s'",
               net.name.c_str());
@@ -45,6 +46,19 @@ assembleBatchReport(const dnn::Network &net,
     rep.batch = batch;
     rep.sockets = sockets;
     rep.stages = std::move(stages);
+
+    // Image-parallel pass structure (§IV-E): spare capacity beyond
+    // one image's stationary bands runs extra images concurrently,
+    // the rest of the batch time-slices — the same arithmetic the
+    // functional runBatch fan-out executes.
+    mapping::BatchBandPlan local_bands;
+    if (!bands) {
+        local_bands =
+            mapping::planBatchBands(net, model.geometry());
+        bands = &local_bands;
+    }
+    rep.imageSlots = bands->imageSlots;
+    rep.batchPasses = bands->passes(batch);
 
     double filter_ps = 0; // paid once per layer for the whole batch
     double per_image_ps = 0;

@@ -34,6 +34,17 @@ struct InferenceReport
     std::vector<StageCost> stages;
     PhaseBreakdown phases; ///< summed over stages (per image)
 
+    /**
+     * Image-parallel pass structure (§IV-E / Figure 16): how many
+     * images the spare array capacity executes concurrently once the
+     * filters are stationary, and how many time-sliced passes this
+     * batch therefore needs — the same capacity arithmetic the
+     * functional runBatch fan-out uses (mapping::planBatchBands), so
+     * the analytic and functional batch paths agree on structure.
+     */
+    unsigned imageSlots = 1;
+    uint64_t batchPasses = 1;
+
     /** Batch-1 equivalent per-image latency, picoseconds. */
     double latencyPs = 0;
     /** Whole-batch wall time, picoseconds (one socket). */
@@ -78,13 +89,16 @@ struct NeuralCacheConfig
  * time (paper §IV-E). Shared by the legacy NeuralCache facade and
  * CompiledModel so both produce bit-identical reports — the engine
  * just caches @p stages at compile time instead of re-deriving them
- * per call.
+ * per call. The report's image-parallel pass structure comes from
+ * @p bands when the caller already planned it (CompiledModel caches
+ * the plan at compile time), else from mapping::planBatchBands on
+ * the spot.
  */
-InferenceReport assembleBatchReport(const dnn::Network &net,
-                                    std::vector<StageCost> stages,
-                                    unsigned batch, unsigned sockets,
-                                    const CostModel &model,
-                                    const EnergyConfig &energy);
+InferenceReport assembleBatchReport(
+    const dnn::Network &net, std::vector<StageCost> stages,
+    unsigned batch, unsigned sockets, const CostModel &model,
+    const EnergyConfig &energy,
+    const mapping::BatchBandPlan *bands = nullptr);
 
 /**
  * The accelerator model.

@@ -58,6 +58,8 @@ dumpStats(std::ostream &os, const InferenceReport &rep)
     os << "sim.batch_ms " << rep.batchMs() << "\n";
     os << "sim.throughput_inf_per_s " << rep.throughput() << "\n";
     os << "sim.spill_ms " << rep.spillPs * picoToMs << "\n";
+    os << "sim.image_slots " << rep.imageSlots << "\n";
+    os << "sim.batch_passes " << rep.batchPasses << "\n";
 
     const auto &p = rep.phases;
     os << "phase.filter_load_ms " << p.filterLoadPs * picoToMs << "\n";

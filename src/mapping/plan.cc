@@ -447,4 +447,51 @@ planStageConcat(const dnn::Stage &stage)
     return plan;
 }
 
+BatchBandPlan
+planBatchBands(uint64_t filter_arrays, unsigned scratch_slots,
+               const cache::Geometry &geom, bool fits_resident)
+{
+    BatchBandPlan p;
+    p.filterArrays = filter_arrays;
+    p.scratchSlots = std::max(scratch_slots, 1u);
+    p.perImageArrays = filter_arrays + p.scratchSlots;
+    p.resident =
+        fits_resident && p.perImageArrays <= geom.totalArrays();
+    // Streaming layers time-share bands (and re-pin filter groups as
+    // they run), so a second in-flight image would clobber the
+    // first's filters — only the resident regime multi-slots.
+    p.imageSlots =
+        p.resident ? std::max<unsigned>(
+                         1, static_cast<unsigned>(
+                                geom.totalArrays() / p.perImageArrays))
+                   : 1;
+    return p;
+}
+
+BatchBandPlan
+planBatchBands(const dnn::Network &net, const cache::Geometry &geom)
+{
+    uint64_t filters = 0;
+    unsigned scratch = 1;
+    bool fits = true;
+    for (const dnn::Stage &stage : net.stages) {
+        scratch = std::max(
+            scratch, static_cast<unsigned>(stage.branches.size()));
+        for (const dnn::Branch &branch : stage.branches) {
+            for (const dnn::Op &op : branch.ops) {
+                if (!op.isConv())
+                    continue;
+                FunctionalConvPlan fp =
+                    planFunctionalConv(op.conv, geom);
+                if (!fp.fits) {
+                    fits = false;
+                    continue;
+                }
+                filters += fp.totalArrays(op.conv.m);
+            }
+        }
+    }
+    return planBatchBands(filters, scratch, geom, fits);
+}
+
 } // namespace nc::mapping

@@ -210,6 +210,63 @@ struct StageConcatPlan
 
 StageConcatPlan planStageConcat(const dnn::Stage &stage);
 
+/**
+ * Image-parallel batch banding (paper §IV-E, Figure 16): once a
+ * network's filter bands are pinned stationary, the cache's spare
+ * array capacity processes multiple images simultaneously. One image
+ * slot is a complete copy of the network's working state — every conv
+ * layer's stationary filter band plus one scratch array per
+ * concurrently-executing branch — so slot k lives at flat-array
+ * offset k * perImageArrays and images never share mutable arrays.
+ * Batches beyond imageSlots time-slice: pass p runs images
+ * [p * imageSlots, (p+1) * imageSlots) concurrently.
+ */
+struct BatchBandPlan
+{
+    /** Stationary filter arrays of one image's conv layers. */
+    uint64_t filterArrays = 0;
+    /** Scratch arrays per image (one per concurrent branch). */
+    unsigned scratchSlots = 1;
+    /** Whole per-image footprint: filter bands + scratch. */
+    uint64_t perImageArrays = 1;
+    /** Whole-network residency (one image's bands fit the cache). */
+    bool resident = false;
+    /** Images the spare capacity executes concurrently (>= 1;
+     * exactly 1 in the streaming regime, whose layers time-share
+     * bands and therefore cannot overlap images). */
+    unsigned imageSlots = 1;
+
+    /** Time-sliced passes a batch of @p batch images needs. */
+    uint64_t
+    passes(unsigned batch) const
+    {
+        return (uint64_t(batch) + imageSlots - 1) / imageSlots;
+    }
+};
+
+/**
+ * Carve per-image bands for a network whose one-image footprint is
+ * @p filter_arrays stationary arrays plus @p scratch_slots scratch
+ * arrays. @p fits_resident says whether one image's bands fit the
+ * cache at all (callers that place layers themselves pass their
+ * residency verdict; the streaming regime pins imageSlots to 1).
+ */
+BatchBandPlan planBatchBands(uint64_t filter_arrays,
+                             unsigned scratch_slots,
+                             const cache::Geometry &geom,
+                             bool fits_resident);
+
+/**
+ * Net-level convenience: derive the per-image footprint from every
+ * conv/fc op's functional mapping (planFunctionalConv) and the
+ * widest stage's branch count — the all-functional assumption the
+ * analytic batch report prices. Networks with any op no functional
+ * mapping can place, or whose footprint exceeds the cache, get the
+ * streaming verdict (imageSlots == 1).
+ */
+BatchBandPlan planBatchBands(const dnn::Network &net,
+                             const cache::Geometry &geom);
+
 } // namespace nc::mapping
 
 #endif // NC_MAPPING_PLAN_HH

@@ -69,4 +69,43 @@ TEST(ThreadPool, DisjointWritesNeedNoSynchronization)
         EXPECT_EQ(out[i], i * i);
 }
 
+TEST(ThreadPool, ValidEnvThreadCountIsHonored)
+{
+    setenv("NC_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
+    unsetenv("NC_THREADS");
+}
+
+using ThreadPoolDeath = ::testing::Test;
+
+TEST(ThreadPoolDeath, GarbageEnvThreadCountsAreFatal)
+{
+    // A misread NC_THREADS silently misconfigures every pool in the
+    // process, so garbage must die loudly instead of falling back.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    struct Case
+    {
+        const char *value;
+        const char *expect;
+    } cases[] = {
+        {"abc", "not an integer"},
+        {"3abc", "not an integer"},      // trailing junk
+        {"", "not an integer"},
+        {" 4", "not an integer"},        // no whitespace tolerated
+        {"0", "positive thread count"},  // zero after parse
+        {"-2", "positive thread count"}, // negative
+        {"99999999", "absurdly large"},
+        {"99999999999999999999", "absurdly large"}, // ERANGE
+    };
+    for (const auto &[value, expect] : cases) {
+        setenv("NC_THREADS", value, 1);
+        EXPECT_DEATH((void)ThreadPool::defaultThreads(), expect)
+            << "NC_THREADS='" << value << "'";
+        // The pool constructor takes the same path for size 0.
+        EXPECT_DEATH(ThreadPool(0), "NC_THREADS")
+            << "NC_THREADS='" << value << "'";
+    }
+    unsetenv("NC_THREADS");
+}
+
 } // namespace

@@ -47,6 +47,34 @@ TEST_F(TraceTest, EnvVariableRead)
     EXPECT_FALSE(nc::trace::enabled("Mapper"));
 }
 
+TEST_F(TraceTest, EnvToleratesEmptyItems)
+{
+    setenv("NC_DEBUG", "Mapper,,Executor,", 1);
+    nc::trace::reset();
+    EXPECT_TRUE(nc::trace::enabled("Mapper"));
+    EXPECT_TRUE(nc::trace::enabled("Executor"));
+    unsetenv("NC_DEBUG");
+    nc::trace::reset();
+}
+
+TEST_F(TraceTest, MalformedEnvFlagsAreFatal)
+{
+    // A silently-dropped flag runs the simulation without the trace
+    // the user asked for; malformed names must die loudly.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    for (const char *bad : {"Contro ller", "Executor;", "Mapper,-x",
+                            "flag!"}) {
+        setenv("NC_DEBUG", bad, 1);
+        EXPECT_DEATH(
+            (nc::trace::reset(),
+             (void)nc::trace::enabled("Anything")),
+            "NC_DEBUG flag")
+            << "NC_DEBUG='" << bad << "'";
+    }
+    unsetenv("NC_DEBUG");
+    nc::trace::reset();
+}
+
 TEST_F(TraceTest, DprintfGuarded)
 {
     // Must not emit (and must not evaluate incorrectly) when off.

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared randomized network generators for the parity harnesses:
+ * Inception-style mixed (concat) stages, ResNet-style residual
+ * blocks, and split-tail towers. test_branch_parity.cc pins these
+ * bit-exact across backends per image; test_batch_parity.cc pins the
+ * image-parallel runBatch fan-out against the serial per-image loop
+ * over the same shapes.
+ */
+
+#ifndef NC_TESTS_CORE_BRANCH_NETS_HH
+#define NC_TESTS_CORE_BRANCH_NETS_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "dnn/layers.hh"
+
+namespace nc::testnets
+{
+
+/** An Inception-style mixed stage over @p cin channels at @p hw. */
+inline dnn::Stage
+mixedStage(const std::string &name, unsigned hw, unsigned cin,
+           Rng &rng)
+{
+    dnn::Stage st;
+    st.name = name;
+
+    // Tower 0: 1x1 projection.
+    unsigned m0 = 1 + static_cast<unsigned>(rng.uniformInt(0, 2));
+    st.branches.push_back(dnn::Branch{
+        "b0", {dnn::conv(name + "/b0/1x1", hw, hw, cin, 1, 1, m0)}});
+
+    // Tower 1: 1x1 then 3x3 (both SAME, spatial size preserved).
+    unsigned mid = 1 + static_cast<unsigned>(rng.uniformInt(0, 2));
+    unsigned m1 = 1 + static_cast<unsigned>(rng.uniformInt(0, 2));
+    st.branches.push_back(dnn::Branch{
+        "b1",
+        {dnn::conv(name + "/b1/1x1", hw, hw, cin, 1, 1, mid),
+         dnn::conv(name + "/b1/3x3", hw, hw, mid, 3, 3, m1)}});
+
+    // Tower 2: pool then 1x1, or a bare SAME pool (channels pass
+    // through) — both Inception block shapes.
+    if (rng.uniformInt(0, 1)) {
+        unsigned m2 = 1 + static_cast<unsigned>(rng.uniformInt(0, 1));
+        st.branches.push_back(dnn::Branch{
+            "b2",
+            {dnn::avgPool(name + "/b2/pool", hw, hw, cin, 3, 3, 1,
+                          true),
+             dnn::conv(name + "/b2/1x1", hw, hw, cin, 1, 1, m2)}});
+    } else {
+        st.branches.push_back(dnn::Branch{
+            "b2",
+            {dnn::maxPool(name + "/b2/pool", hw, hw, cin, 3, 3, 1,
+                          true)}});
+    }
+    return st;
+}
+
+/** A ResNet basic block (identity or projection shortcut). */
+inline dnn::Stage
+residualStage(const std::string &name, unsigned hw, unsigned cin,
+              unsigned cout, unsigned stride)
+{
+    unsigned out_hw = dnn::outDim(hw, 3, stride, true);
+    dnn::Stage st;
+    st.name = name;
+
+    dnn::Branch main{
+        "main",
+        {dnn::conv(name + "/conv1", hw, hw, cin, 3, 3, cout, stride,
+                   true),
+         dnn::conv(name + "/conv2", out_hw, out_hw, cout, 3, 3, cout,
+                   1, true),
+         dnn::eltwiseAdd(name + "/add", out_hw, out_hw, cout)}};
+    st.branches.push_back(main);
+
+    if (stride != 1 || cin != cout) {
+        dnn::Branch proj{
+            "proj",
+            {dnn::conv(name + "/proj", hw, hw, cin, 1, 1, cout,
+                       stride, true)}};
+        proj.shortcut = true;
+        st.branches.push_back(proj);
+    }
+    return st;
+}
+
+/** Two chained mixed stages (the second consumes the concat). */
+inline dnn::Network
+randomMixedNet(const std::string &name, unsigned hw, unsigned cin,
+               Rng &rng)
+{
+    dnn::Network net;
+    net.name = name;
+    net.stages.push_back(mixedStage("mix1", hw, cin, rng));
+    unsigned c1 = 0;
+    for (const auto &b : net.stages.back().branches)
+        c1 += b.ops.back().isConv() ? b.ops.back().conv.m
+                                    : b.ops.back().pool.c;
+    net.stages.push_back(mixedStage("mix2", hw, c1, rng));
+    return net;
+}
+
+/** A residual block followed by a 1x1 head conv. */
+inline dnn::Network
+residualNet(const std::string &name, unsigned hw, unsigned cin,
+            unsigned cout, unsigned stride)
+{
+    dnn::Network net;
+    net.name = name;
+    net.stages.push_back(residualStage("block", hw, cin, cout,
+                                       stride));
+    unsigned out_hw = dnn::outDim(hw, 3, stride, true);
+    net.stages.push_back(dnn::singleOpStage(
+        "head", dnn::conv("head", out_hw, out_hw, cout, 1, 1, 2)));
+    return net;
+}
+
+} // namespace nc::testnets
+
+#endif // NC_TESTS_CORE_BRANCH_NETS_HH

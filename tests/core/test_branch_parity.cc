@@ -24,11 +24,15 @@
 #include "dnn/reference.hh"
 #include "mapping/plan.hh"
 
+#include "branch_nets.hh"
+
 namespace
 {
 
 using namespace nc;
 using core::BackendKind;
+using testnets::mixedStage;
+using testnets::residualStage;
 
 /**
  * Compile @p net once per (backend, thread count) and pin every
@@ -62,74 +66,6 @@ expectBranchParity(const dnn::Network &net, const dnn::QTensor &in,
             }
         }
     }
-}
-
-/** An Inception-style mixed stage over @p cin channels at @p hw. */
-dnn::Stage
-mixedStage(const std::string &name, unsigned hw, unsigned cin,
-           Rng &rng)
-{
-    dnn::Stage st;
-    st.name = name;
-
-    // Tower 0: 1x1 projection.
-    unsigned m0 = 1 + static_cast<unsigned>(rng.uniformInt(0, 2));
-    st.branches.push_back(dnn::Branch{
-        "b0", {dnn::conv(name + "/b0/1x1", hw, hw, cin, 1, 1, m0)}});
-
-    // Tower 1: 1x1 then 3x3 (both SAME, spatial size preserved).
-    unsigned mid = 1 + static_cast<unsigned>(rng.uniformInt(0, 2));
-    unsigned m1 = 1 + static_cast<unsigned>(rng.uniformInt(0, 2));
-    st.branches.push_back(dnn::Branch{
-        "b1",
-        {dnn::conv(name + "/b1/1x1", hw, hw, cin, 1, 1, mid),
-         dnn::conv(name + "/b1/3x3", hw, hw, mid, 3, 3, m1)}});
-
-    // Tower 2: pool then 1x1, or a bare SAME pool (channels pass
-    // through) — both Inception block shapes.
-    if (rng.uniformInt(0, 1)) {
-        unsigned m2 = 1 + static_cast<unsigned>(rng.uniformInt(0, 1));
-        st.branches.push_back(dnn::Branch{
-            "b2",
-            {dnn::avgPool(name + "/b2/pool", hw, hw, cin, 3, 3, 1,
-                          true),
-             dnn::conv(name + "/b2/1x1", hw, hw, cin, 1, 1, m2)}});
-    } else {
-        st.branches.push_back(dnn::Branch{
-            "b2",
-            {dnn::maxPool(name + "/b2/pool", hw, hw, cin, 3, 3, 1,
-                          true)}});
-    }
-    return st;
-}
-
-/** A ResNet basic block (identity or projection shortcut). */
-dnn::Stage
-residualStage(const std::string &name, unsigned hw, unsigned cin,
-              unsigned cout, unsigned stride)
-{
-    unsigned out_hw = dnn::outDim(hw, 3, stride, true);
-    dnn::Stage st;
-    st.name = name;
-
-    dnn::Branch main{
-        "main",
-        {dnn::conv(name + "/conv1", hw, hw, cin, 3, 3, cout, stride,
-                   true),
-         dnn::conv(name + "/conv2", out_hw, out_hw, cout, 3, 3, cout,
-                   1, true),
-         dnn::eltwiseAdd(name + "/add", out_hw, out_hw, cout)}};
-    st.branches.push_back(main);
-
-    if (stride != 1 || cin != cout) {
-        dnn::Branch proj{
-            "proj",
-            {dnn::conv(name + "/proj", hw, hw, cin, 1, 1, cout,
-                       stride, true)}};
-        proj.shortcut = true;
-        st.branches.push_back(proj);
-    }
-    return st;
 }
 
 TEST(BranchParity, RandomizedMixedStages)

@@ -349,6 +349,49 @@ TEST(EngineDeath, RunBatchRejectsEmptyBatch)
     EXPECT_DEATH((void)model.runBatch({}), "empty batch");
 }
 
+TEST(EngineDeath, RunBatchNamesOffendingImageIndex)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    core::Engine engine;
+    auto model = engine.compile(tinyNet(), tinyWeights(7));
+    Rng rng(4);
+    std::vector<dnn::QTensor> batch;
+    batch.push_back(dnn::randomQTensor(rng, 3, 8, 8));
+    batch.push_back(dnn::randomQTensor(rng, 3, 8, 8));
+    batch.push_back(dnn::randomQTensor(rng, 5, 8, 8)); // wrong shape
+    EXPECT_DEATH((void)model.runBatch(batch),
+                 "batch input 2 is 5x8x8");
+}
+
+TEST(EngineDeath, RunBatchRejectsAbsurdBatchSize)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    core::Engine engine;
+    auto model = engine.compile(tinyNet(), tinyWeights(7));
+    // One over the ceiling: the size check fires before any image is
+    // validated or executed (all inputs share one tiny tensor).
+    std::vector<dnn::QTensor> batch(
+        size_t(core::CompiledModel::kMaxBatch) + 1,
+        dnn::QTensor(3, 8, 8));
+    EXPECT_DEATH((void)model.runBatch(batch), "exceeds the");
+}
+
+TEST(EngineDeath, ReportRejectsBatchZeroAndAbsurdBatch)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    core::EngineOptions opts;
+    opts.backend = BackendKind::Analytic;
+    core::Engine engine(opts);
+    auto model = engine.compile(tinyNet());
+    EXPECT_DEATH((void)model.report(0), "batch 0");
+    EXPECT_DEATH(
+        (void)model.report(core::CompiledModel::kMaxBatch + 1),
+        "exceeds the");
+    // The boundary itself is legal.
+    EXPECT_GT(model.report(core::CompiledModel::kMaxBatch).batchPs,
+              0.0);
+}
+
 TEST(EngineDeath, RunRejectsWrongInputShape)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";

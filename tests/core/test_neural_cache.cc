@@ -166,6 +166,24 @@ TEST(NeuralCacheSmall, ReportThroughputConsistency)
 // Degenerate inputs are hard errors, never silently-empty (or NaN)
 // reports: a zero batch or an empty network has no meaningful
 // latency/energy answer.
+TEST_F(NeuralCacheInception, BatchReportCarriesPassStructure)
+{
+    // Full-resolution Inception v3 exceeds the cache (~19k arrays),
+    // so the §IV-E banding puts it in the streaming regime: one
+    // image slot, one pass per image — and the legacy facade's
+    // report agrees with the capacity arithmetic.
+    NeuralCache sim;
+    auto rep = sim.inferBatch(*net, 8);
+    EXPECT_EQ(rep.imageSlots, 1u);
+    EXPECT_EQ(rep.batchPasses, 8u);
+
+    auto bands =
+        sim.costModel().planImageBands(*net);
+    EXPECT_FALSE(bands.resident);
+    EXPECT_GT(bands.filterArrays,
+              uint64_t(sim.costModel().geometry().totalArrays()));
+}
+
 TEST(NeuralCacheDeath, ZeroBatchIsHardError)
 {
     nc::dnn::Network tiny;

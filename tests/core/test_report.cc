@@ -77,6 +77,8 @@ TEST(Report, DumpStatsIsMachineReadable)
 
     EXPECT_NE(s.find("sim.network tiny"), std::string::npos);
     EXPECT_NE(s.find("sim.latency_ms"), std::string::npos);
+    EXPECT_NE(s.find("sim.image_slots"), std::string::npos);
+    EXPECT_NE(s.find("sim.batch_passes"), std::string::npos);
     EXPECT_NE(s.find("phase.mac_ms"), std::string::npos);
     EXPECT_NE(s.find("stage.conv.latency_ms"), std::string::npos);
     EXPECT_NE(s.find("stage.pool.passes"), std::string::npos);
