@@ -10,6 +10,9 @@ namespace nc::cache
 ComputeCache::ComputeCache(Geometry geom_) : geom(std::move(geom_))
 {
     ringNet.stops = geom.slices;
+    if (sram::ownership::kEnabled)
+        ownReg = std::make_unique<sram::ownership::Registry>(
+            geom.totalArrays());
 }
 
 uint64_t
@@ -48,10 +51,14 @@ ComputeCache::array(const ArrayCoord &c)
     uint64_t idx = flatIndex(c);
     auto it = arrays.find(idx);
     if (it == arrays.end()) {
+        // Materialization mutates the map and therefore only happens
+        // from serial phases (kernel preparation, replica pinning);
+        // parallel tasks always hit the find() fast path above.
         it = arrays
                  .emplace(idx, std::make_unique<sram::Array>(
                                    geom.arrayRows, geom.arrayCols))
                  .first;
+        it->second->setOwnership(ownReg.get(), idx);
     }
     return *it->second;
 }

@@ -25,6 +25,7 @@
 #include "cache/geometry.hh"
 #include "cache/interconnect.hh"
 #include "sram/array.hh"
+#include "sram/ownership.hh"
 
 namespace nc::cache
 {
@@ -77,6 +78,18 @@ class ComputeCache
 
     void resetCycles();
 
+    /**
+     * The array-ownership race detector of this cache (debug builds;
+     * null under NDEBUG — the hooks in sram::Array are compiled out
+     * there too). Kernels claim flat-array ranges against it via
+     * sram::ownership::ClaimScope before fanning out.
+     */
+    sram::ownership::Registry *
+    ownershipRegistry() const
+    {
+        return ownReg.get();
+    }
+
   private:
     Geometry geom;
     IntraSliceBus sliceBus;
@@ -84,6 +97,7 @@ class ComputeCache
     DramModel dramModel;
     CBox cboxModel;
     std::map<uint64_t, std::unique_ptr<sram::Array>> arrays;
+    std::unique_ptr<sram::ownership::Registry> ownReg;
 };
 
 } // namespace nc::cache

@@ -32,7 +32,37 @@ struct ActivePoolScope
     const ThreadPool *prev;
 };
 
+/**
+ * Task identity for the ownership race detector: each claimed index
+ * gets a fresh process-unique id for the duration of its fn(i) call.
+ * Debug builds only — release builds never assign ids (currentTaskId
+ * stays 0) so the hot loop carries no extra atomic traffic.
+ */
+thread_local uint64_t tl_task_id = 0;
+
+#ifndef NDEBUG
+std::atomic<uint64_t> g_next_task_id{0};
+
+struct PoolTaskScope
+{
+    PoolTaskScope() : prev(tl_task_id)
+    {
+        tl_task_id = g_next_task_id.fetch_add(
+                         1, std::memory_order_relaxed) +
+                     1;
+    }
+    ~PoolTaskScope() { tl_task_id = prev; }
+    uint64_t prev;
+};
+#endif
+
 } // namespace
+
+uint64_t
+currentTaskId()
+{
+    return tl_task_id;
+}
 
 unsigned
 ThreadPool::defaultThreads()
@@ -99,7 +129,22 @@ ThreadPool::runShare()
         size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= jobN)
             break;
-        jobFn(jobCtx, i);
+        try {
+#ifndef NDEBUG
+            PoolTaskScope task_identity;
+#endif
+            jobFn(jobCtx, i);
+        } catch (...) {
+            // First failure wins; park the cursor past the end so no
+            // further indices are claimed (tasks already claimed
+            // still finish — the join below waits for them).
+            {
+                std::lock_guard<std::mutex> lk(mtx);
+                if (!jobErr)
+                    jobErr = std::current_exception();
+            }
+            cursor.store(jobN, std::memory_order_relaxed);
+        }
     }
 }
 
@@ -162,6 +207,7 @@ ThreadPool::parallelForRaw(size_t n, void *ctx,
         jobFn = fn;
         jobCtx = ctx;
         jobN = n;
+        jobErr = nullptr;
         cursor.store(0, std::memory_order_relaxed);
         target = static_cast<unsigned>(helpers);
         joined = 0;
@@ -176,13 +222,22 @@ ThreadPool::parallelForRaw(size_t n, void *ctx,
         ActivePoolScope scope(this);
         runShare();
     }
+    // The join must run even when this thread's own share failed:
+    // workers still borrow jobFn/jobCtx, so unwinding past them would
+    // dangle the callable. runShare() never throws (failures land in
+    // jobErr), so reaching here is unconditional.
+    std::exception_ptr err;
     {
         std::unique_lock<std::mutex> lk(mtx);
         cvDone.wait(lk, [&] { return pending == 0; });
         jobFn = nullptr;
         jobCtx = nullptr;
         jobN = 0;
+        err = jobErr;
+        jobErr = nullptr;
     }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 } // namespace nc::common

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -35,6 +36,16 @@
 
 namespace nc::common
 {
+
+/**
+ * Process-unique nonzero id of the pool task the calling thread is
+ * currently executing, 0 outside any task. Nested parallelFor() calls
+ * run inline and therefore keep the outer task's id — the id names a
+ * unit of concurrency, not a call depth. Debug builds only: always 0
+ * under NDEBUG (the sram ownership race detector, its sole consumer,
+ * is compiled out there too).
+ */
+uint64_t currentTaskId();
 
 /** Fixed-size pool executing index-space loops. */
 class ThreadPool
@@ -57,11 +68,21 @@ class ThreadPool
 
     /**
      * Run fn(i) for every i in [0, n) and block until all calls have
-     * returned. The calling thread participates. fn must not throw
-     * and concurrent calls must touch disjoint state. Allocation-free:
-     * the callable is shared with the workers through a borrowed
-     * pointer + trampoline, never a std::function — safe because the
-     * call blocks until every worker is done with it.
+     * returned. The calling thread participates. Concurrent calls
+     * must touch disjoint state. Allocation-free: the callable is
+     * shared with the workers through a borrowed pointer + trampoline,
+     * never a std::function — safe because the call blocks until
+     * every worker is done with it.
+     *
+     * Exceptions: a throwing task does not deadlock or terminate the
+     * process. The first exception (by completion order) is captured,
+     * the remaining index space is abandoned, the join still waits
+     * for every in-flight task, and the exception rethrows from
+     * parallelFor() on the calling thread. The pool stays usable.
+     * Indices already claimed when the throw lands still run, so
+     * side effects of sibling tasks may or may not have happened —
+     * callers treating an exception as fatal (the simulator's only
+     * use) are unaffected.
      *
      * Re-entrant: a parallelFor issued from inside a task of the same
      * pool (e.g. a per-layer kernel running under a per-branch
@@ -105,6 +126,7 @@ class ThreadPool
     void (*jobFn)(void *, size_t) = nullptr;
     void *jobCtx = nullptr;
     size_t jobN = 0;
+    std::exception_ptr jobErr; ///< first failure of the current job
     std::atomic<size_t> cursor{0};
     unsigned target = 0;    ///< helper slots for the current job
     unsigned joined = 0;    ///< helpers that claimed a slot

@@ -167,6 +167,10 @@ CompiledModel::runLayers(const dnn::QTensor &input,
         // thread count).
         const dnn::QTensor in0 = std::move(act);
         std::vector<dnn::QTensor> outs(stage.branches.size());
+        // (Ownership claims happen at the leaf kernels each branch
+        // runs — a branch-level claim here would conflict with the
+        // real task fan-outs a branch's kernels dispatch whenever
+        // this loop itself collapsed to inline execution.)
         pool->parallelFor(stage.branches.size(), [&](size_t bi) {
             outs[bi] = runBranch(stage.branches[bi], in0, ctx);
         });
@@ -314,6 +318,9 @@ CompiledModel::runBatch(std::span<const dnn::QTensor> inputs)
     for (size_t first = 0; first < inputs.size(); first += slots) {
         size_t count =
             std::min<size_t>(slots, inputs.size() - first);
+        // (Image-slot disjointness is proven statically by the band
+        // plan audit; the runtime ownership claims stay at the leaf
+        // kernels, which carry each image's arrayOffset.)
         pool->parallelFor(count, [&](size_t k) {
             ExecContext ctx{static_cast<unsigned>(k),
                             k * bandPlan.perImageArrays};

@@ -68,6 +68,19 @@ struct CompiledLayer
     unsigned requantShift = 0;
     /** First flat array index of the layer's filter band. */
     uint64_t baseArray = 0;
+    /**
+     * Arrays in the band starting at baseArray (0 for layers that
+     * own no filter band — pools, eltwise, reference-backed convs).
+     * With bandResident the pair records the placement verdict pass
+     * B made, so the static auditor (mapping::auditPlan) can
+     * re-derive every concurrently-live range without re-running
+     * placement.
+     */
+    uint64_t bandArrays = 0;
+    /** Whether the band is pinned stationary (resident regime) or
+     * time-shares its arrays with the branch's other layers
+     * (streaming regime). */
+    bool bandResident = true;
     std::optional<Executor::PreparedConv> funcConv;
     std::optional<LayerEngine::PreparedConvLayer> isaConv;
     /// @}
@@ -222,6 +235,12 @@ class CompiledModel
     {
         return stages;
     }
+
+    /** Slot 0's first scratch array (pass B's placement verdict). */
+    uint64_t scratchBaseArray() const { return scratchBase; }
+
+    /** The configuration the model was compiled against. */
+    const NeuralCacheConfig &config() const { return cfg; }
 
   private:
     friend class Engine;

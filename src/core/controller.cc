@@ -4,6 +4,7 @@
 #include "bitserial/extensions.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "sram/ownership.hh"
 
 namespace nc::core
 {
@@ -68,6 +69,11 @@ Controller::run(const std::vector<Instruction> &program,
     const size_t np = program.size();
     runCycles.assign(group.size() * np, 0);
     pool->parallelFor(group.size(), [&](size_t g) {
+        // Race detector (debug): each task owns its enrolled array.
+        [[maybe_unused]] sram::ownership::ClaimScope own(
+            cc.ownershipRegistry(),
+            sram::ownership::Range{cc.flatIndex(group[g]), 1}, 0,
+            "broadcast program task");
         if (prologue)
             (*prologue)(group[g]);
         sram::Array &arr = cc.array(group[g]);

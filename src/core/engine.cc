@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "dnn/random.hh"
+#include "mapping/plan_audit.hh"
 #include "mapping/weight_layout.hh"
 
 namespace nc::core
@@ -129,6 +130,7 @@ Engine::compile(const dnn::Network &net,
         // (the same one the legacy facade derives).
         m.bandPlan = mapping::planBatchBands(
             net, opts.config.geometry);
+        mapping::auditPlanOrDie(m);
         return m;
     }
 
@@ -344,6 +346,8 @@ Engine::compile(const dnn::Network &net,
                 layer.funcPlan.totalArrays(layer.op.conv.m);
             place[li] = {next, need, true};
             layer.baseArray = next;
+            layer.bandArrays = need;
+            layer.bandResident = true;
             next += need;
         }
         scratch_base = next;
@@ -423,6 +427,8 @@ Engine::compile(const dnn::Network &net,
                         continue;
                     place[li] = {next, band_b[bi], false};
                     layer.baseArray = next;
+                    layer.bandArrays = band_b[bi];
+                    layer.bandResident = false;
                 }
                 next += band_b[bi];
             }
@@ -443,6 +449,7 @@ Engine::compile(const dnn::Network &net,
         }
     }
     m.scratchBase = scratch_base;
+
     // Legacy direct Executor/LayerEngine helpers share slot 0.
     m.ex->setScratchBase(scratch_base);
     if (m.isaEngine)
@@ -499,6 +506,12 @@ Engine::compile(const dnn::Network &net,
     if (uses_isa)
         m.isaBackend = makeBackend(BackendKind::Isa, m.ex.get(),
                                    m.isaEngine.get());
+
+    // 4. The static band-plan audit: prove every concurrently-live
+    //    range disjoint and in-bounds before the model can run.
+    //    Unconditional — a placement bug must die here, with names,
+    //    not as a corrupted activation ten layers later.
+    mapping::auditPlanOrDie(m);
     return m;
 }
 

@@ -9,6 +9,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "dnn/layers.hh"
+#include "sram/ownership.hh"
 
 namespace nc::core
 {
@@ -107,6 +108,11 @@ Executor::PreparedConv::storeFilters(const dnn::QWeights &w,
 
     ex->pool.parallelFor(static_cast<size_t>(count) * chunks,
                          [&](size_t t) {
+        // Race detector (debug): each store task owns its one array.
+        [[maybe_unused]] sram::ownership::ClaimScope own(
+            cc.ownershipRegistry(),
+            sram::ownership::Range{base + array_offset + t, 1}, 0,
+            "conv filter store");
         unsigned mi = first_batch + static_cast<unsigned>(t / chunks);
         unsigned ch = static_cast<unsigned>(t % chunks);
         sram::Array &arr =
@@ -191,6 +197,12 @@ Executor::PreparedConv::run(const dnn::QTensor &in, unsigned &out_h,
         // array and its slice of the output — so they fan out across
         // the pool.
         ex->pool.parallelFor(tasks, [&](size_t t) {
+            // Race detector (debug): this task owns exactly the one
+            // array of its (filter batch, chunk) pair.
+            [[maybe_unused]] sram::ownership::ClaimScope own(
+                cc.ownershipRegistry(),
+                sram::ownership::Range{base + array_offset + t, 1},
+                0, "conv window kernel");
             unsigned mi = mb0 + static_cast<unsigned>(t / chunks);
             unsigned ch = static_cast<unsigned>(t % chunks);
             sram::Array &arr =
@@ -386,6 +398,13 @@ Executor::maxPoolAt(uint64_t scratch_array, const dnn::QTensor &in,
     // array with the identical slice map, and reduces the
     // (data-independent, hence partition-independent) cycle counts
     // into the modeled array after the join.
+    // Race detector (debug): the kernel owns the modeled scratch
+    // array (window tasks run on task-private arrays and only their
+    // cycle counts merge back here after the join).
+    [[maybe_unused]] sram::ownership::ClaimScope own(
+        cc.ownershipRegistry(),
+        sram::ownership::Range{scratch_array, 1}, 0,
+        "maxPool kernel");
     sram::Array &model = cc.array(cc.coordOf(scratch_array));
     size_t windows = static_cast<size_t>(oh) * ow * cpasses;
     size_t chunks = std::min<size_t>(pool.size(), windows);
@@ -677,6 +696,12 @@ Executor::PreparedEltwise::run(const std::vector<uint8_t> &a,
               b.size());
 
     unsigned cols = cc.geometry().arrayCols;
+    // Race detector (debug): the merge owns its branch's scratch
+    // array, displaced into the running image slot.
+    [[maybe_unused]] sram::ownership::ClaimScope own(
+        cc.ownershipRegistry(),
+        sram::ownership::Range{scratch + array_offset, 1}, 0,
+        "eltwise merge kernel");
     sram::Array &arr = cc.array(cc.coordOf(scratch + array_offset));
 
     // The multiplier is one broadcast scalar per run (other layers

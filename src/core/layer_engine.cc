@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "dnn/layers.hh"
+#include "sram/ownership.hh"
 
 namespace nc::core
 {
@@ -388,6 +389,12 @@ LayerEngine::PreparedEltwiseLayer::run(const std::vector<uint8_t> &a,
     SlotGroup &g = groups[slot];
 
     unsigned cols = cc.geometry().arrayCols;
+    // Race detector (debug): the merge owns its slot's scratch array
+    // (the nested broadcast fan-out re-claims it reentrantly).
+    [[maybe_unused]] sram::ownership::ClaimScope own(
+        cc.ownershipRegistry(),
+        sram::ownership::Range{g.scratch, 1}, 0,
+        "ISA eltwise merge kernel");
     sram::Array &arr = cc.array(cc.coordOf(g.scratch));
     bs::storeVector(arr, gain, std::vector<uint64_t>(cols, mult));
 

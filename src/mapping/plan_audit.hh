@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Static band-plan auditor: compile-time proof that a compiled
+ * model's array placement is race-free.
+ *
+ * Every parallelism claim of the run loop — concurrent branches,
+ * §IV-E image slots, nested per-array kernel fan-outs — rests on the
+ * placement invariant that concurrently-live array ranges are
+ * pairwise disjoint and inside the cache geometry. auditPlan() walks
+ * a CompiledModel's placement artifacts (stationary filter bands,
+ * per-branch scratch slots, streaming band groups, and the
+ * planBatchBands image-replica arithmetic) and proves that invariant
+ * statically, reporting every violation with layer/branch/slot names.
+ * Engine::compile() runs it unconditionally and fails fast; the
+ * runtime ownership detector (sram/ownership.hh) then polices the
+ * same contract dynamically in debug builds — the auditor proves the
+ * plan, the detector catches kernels straying from it.
+ *
+ * The range-level core (auditRanges) is exposed separately so tests
+ * can feed deliberately-overlapping plans without fabricating a whole
+ * compiled model.
+ */
+
+#ifndef NC_MAPPING_PLAN_AUDIT_HH
+#define NC_MAPPING_PLAN_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "mapping/plan.hh"
+
+namespace nc::core
+{
+class CompiledModel;
+}
+
+namespace nc::mapping
+{
+
+/**
+ * One placed array range with its liveness/concurrency coordinates.
+ * Two ranges may share arrays only when they can never be live at
+ * the same time in different concurrency units:
+ *  - different epochs (serial stages of the streaming regime) never
+ *    coexist;
+ *  - the same unit (one branch's layers time-sharing a streaming
+ *    band; a claim against itself) is serial by construction, but
+ *    its ranges must then be identical or disjoint — a partial
+ *    overlap is a layout bug even within one unit;
+ *  - everything else must be pairwise disjoint.
+ */
+struct AuditRange
+{
+    /** Always-live epoch (resident bands, scratch slots). */
+    static constexpr uint32_t kAllEpochs = 0xffffffffu;
+
+    std::string label;   ///< diagnostic name ("conv 'x' filter band")
+    uint64_t base = 0;   ///< first flat array index
+    uint64_t arrays = 0; ///< extent (must be >= 1)
+    uint32_t epoch = kAllEpochs; ///< serial stage, or kAllEpochs
+    uint32_t unit = 0;   ///< concurrency unit (branch/layer/slot)
+};
+
+/** One provable defect of a plan. */
+struct AuditViolation
+{
+    std::string message;
+};
+
+/** The auditor's verdict: violations plus coverage counters. */
+struct AuditReport
+{
+    std::vector<AuditViolation> violations;
+    uint64_t rangesChecked = 0;
+    uint64_t pairsChecked = 0;
+
+    bool ok() const { return violations.empty(); }
+    /** All violation messages, newline-joined ("ok" when clean). */
+    std::string summary() const;
+};
+
+/**
+ * The range-level core: bounds-check every range against @p geom,
+ * verify the §IV-E replica arithmetic of @p bands (ranges confined
+ * to one image slot's footprint, slots inside the cache, streaming
+ * pinned to one slot), and prove concurrently-live ranges pairwise
+ * disjoint under the AuditRange liveness rules.
+ */
+AuditReport auditRanges(const std::vector<AuditRange> &ranges,
+                        const cache::Geometry &geom,
+                        const BatchBandPlan &bands);
+
+/**
+ * Audit @p model's compiled placement. Pure inspection: walks the
+ * per-layer bands, scratch assignment, stage/branch structure, and
+ * batch banding; never mutates the model or touches arrays. Analytic
+ * models (no placement) still get their banding arithmetic checked.
+ */
+AuditReport auditPlan(const core::CompiledModel &model);
+
+/**
+ * Fail-fast gate: nc_fatal with every violation message when @p rep
+ * is not clean (@p what names the audited plan). auditPlanOrDie()
+ * routes through this; tests drive it with hand-built range sets.
+ */
+void auditOrDie(const AuditReport &rep, const std::string &what);
+
+/** auditPlan() + nc_fatal on the first violation (compile gate). */
+void auditPlanOrDie(const core::CompiledModel &model);
+
+} // namespace nc::mapping
+
+#endif // NC_MAPPING_PLAN_AUDIT_HH

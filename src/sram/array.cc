@@ -1,6 +1,7 @@
 #include "sram/array.hh"
 
 #include "common/logging.hh"
+#include "sram/ownership.hh"
 
 namespace nc::sram
 {
@@ -18,6 +19,28 @@ Array::checkRow(unsigned r) const
 {
     nc_dassert(r < nrows, "row %u out of %u", r, nrows);
     (void)r;
+    checkOwner();
+}
+
+void
+Array::checkOwner() const
+{
+#ifndef NDEBUG
+    if (ownReg)
+        ownReg->checkAccess(ownIdx);
+#endif
+}
+
+void
+Array::setOwnership(ownership::Registry *reg, uint64_t flat_index)
+{
+#ifndef NDEBUG
+    ownReg = reg;
+    ownIdx = flat_index;
+#else
+    (void)reg;
+    (void)flat_index;
+#endif
 }
 
 BitRow
@@ -453,12 +476,14 @@ Array::opLaneShift(unsigned src, unsigned dst, unsigned shift,
 void
 Array::carrySet(bool v)
 {
+    checkOwner();
     carryLatch.fill(v);
 }
 
 void
 Array::tagSet(bool v)
 {
+    checkOwner();
     tagLatch.fill(v);
 }
 
@@ -472,6 +497,7 @@ Array::resetCycles()
 void
 Array::chargeCycles(uint64_t compute, uint64_t access)
 {
+    checkOwner();
     nComputeCycles += compute;
     nAccessCycles += access;
 }

@@ -41,6 +41,11 @@
 namespace nc::sram
 {
 
+namespace ownership
+{
+class Registry;
+}
+
 /** One compute-capable SRAM array. Default geometry: 256 x 256 (8KB). */
 class Array
 {
@@ -165,6 +170,16 @@ class Array
     void setReferenceMode(bool on) { refMode = on; }
     bool referenceMode() const { return refMode; }
 
+    /**
+     * Attach the array-ownership race detector: every subsequent
+     * state access verifies the calling task owns flat array
+     * @p flat_index in @p reg (see sram/ownership.hh). ComputeCache
+     * tags its arrays at materialization in debug builds; standalone
+     * arrays (unit tests, task-private pooling scratch) stay
+     * untagged and unchecked. No-op under NDEBUG.
+     */
+    void setOwnership(ownership::Registry *reg, uint64_t flat_index);
+
   private:
     /** Sense phase of a dual-row activation (reference path). */
     struct Sensed
@@ -203,6 +218,8 @@ class Array
     static void loadLatch(BitRow &dst, const BitRow &src, bool invert);
 
     void checkRow(unsigned r) const;
+    /** Ownership-detector gate on every state access (debug only). */
+    void checkOwner() const;
 
     unsigned nrows;
     unsigned ncols;
@@ -212,6 +229,8 @@ class Array
     uint64_t nComputeCycles = 0;
     uint64_t nAccessCycles = 0;
     bool refMode = false;
+    ownership::Registry *ownReg = nullptr; ///< null: unchecked
+    uint64_t ownIdx = 0;                   ///< flat index in ownReg
 };
 
 } // namespace nc::sram

@@ -1,0 +1,202 @@
+#include "sram/ownership.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace nc::sram::ownership
+{
+
+namespace
+{
+
+/** High bit separates pool-task tokens from per-thread tokens. */
+constexpr uint64_t kPoolTokenBit = uint64_t(1) << 63;
+
+std::atomic<uint64_t> g_next_thread_token{0};
+
+/** Lazily assigned identity of threads running outside any pool task
+ * (the main thread, plain std::threads in tests). */
+thread_local uint64_t tl_thread_token = 0;
+
+/** Claim scopes the calling thread currently holds, with their labels
+ * (a task claims only on its own thread, so thread-local is exact). */
+thread_local unsigned tl_claim_depth = 0;
+thread_local std::vector<const char *> tl_claim_labels;
+
+uint64_t
+currentToken()
+{
+    if (uint64_t task = common::currentTaskId())
+        return task | kPoolTokenBit;
+    if (tl_thread_token == 0)
+        tl_thread_token = g_next_thread_token.fetch_add(
+                              1, std::memory_order_relaxed) +
+                          1;
+    return tl_thread_token;
+}
+
+/** Render the calling thread's claim labels for a diagnostic. */
+std::string
+ownLabels()
+{
+    if (tl_claim_labels.empty())
+        return "no claims";
+    std::string s;
+    for (const char *l : tl_claim_labels) {
+        if (!s.empty())
+            s += ", ";
+        s += l ? l : "?";
+    }
+    return s;
+}
+
+} // namespace
+
+Registry::Registry(uint64_t narrays)
+    : n(narrays), slots(new Slot[narrays]), labels(narrays)
+{
+}
+
+Registry::~Registry() = default;
+
+void
+Registry::claim(uint64_t base, uint64_t count, const char *label)
+{
+    if (count == 0)
+        return;
+    const uint64_t tok = currentToken();
+    std::lock_guard<std::mutex> lk(mtx);
+    nc_assert(base + count <= n && base + count >= base,
+              "ownership claim '%s' [%" PRIu64 ", %" PRIu64
+              ") exceeds the %" PRIu64 "-array cache",
+              label ? label : "?", base, base + count, n);
+    for (uint64_t i = base; i < base + count; ++i) {
+        uint64_t owner =
+            slots[i].owner.load(std::memory_order_relaxed);
+        if (owner == 0) {
+            slots[i].owner.store(tok, std::memory_order_release);
+            slots[i].depth = 1;
+            labels[i] = label ? label : "?";
+        } else if (owner == tok) {
+            ++slots[i].depth;
+        } else {
+            nc_panic("array-ownership race: claim '%s' (task %" PRIx64
+                     ") overlaps array %" PRIu64
+                     " already claimed as '%s' (task %" PRIx64 ")",
+                     label ? label : "?", tok, i, labels[i].c_str(),
+                     owner);
+        }
+    }
+}
+
+void
+Registry::release(uint64_t base, uint64_t count)
+{
+    if (count == 0)
+        return;
+    const uint64_t tok = currentToken();
+    std::lock_guard<std::mutex> lk(mtx);
+    for (uint64_t i = base; i < base + count; ++i) {
+        nc_assert(i < n, "ownership release beyond table");
+        uint64_t owner =
+            slots[i].owner.load(std::memory_order_relaxed);
+        nc_assert(owner == tok,
+                  "ownership release of array %" PRIu64
+                  " not owned by the releasing task",
+                  i);
+        if (--slots[i].depth == 0) {
+            labels[i].clear();
+            slots[i].owner.store(0, std::memory_order_release);
+        }
+    }
+}
+
+void
+Registry::checkAccess(uint64_t index) const
+{
+    nc_dassert(index < n, "ownership check beyond table");
+    const uint64_t owner =
+        slots[index].owner.load(std::memory_order_acquire);
+    if (owner == 0 && tl_claim_depth == 0)
+        return; // serial phase: unclaimed access to unclaimed array
+    const uint64_t cur = currentToken();
+    if (owner == cur)
+        return;
+    accessViolation(index, owner, cur);
+}
+
+void
+Registry::accessViolation(uint64_t index, uint64_t owner,
+                          uint64_t current) const
+{
+    std::string owner_label;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        owner_label = owner ? labels[index] : "unclaimed";
+        // The owner may have released between the load and here;
+        // that still means this access had no happens-before edge to
+        // the owning kernel, so it stays a hard failure.
+    }
+    nc_panic("array-ownership race on array %" PRIu64
+             ": task %" PRIx64 " (claims: %s) touched state %s "
+             "(task %" PRIx64 ", claim '%s')",
+             index, current, ownLabels().c_str(),
+             owner ? "owned by another task" : "outside its claims",
+             owner, owner_label.c_str());
+}
+
+#ifndef NDEBUG
+
+ClaimScope::ClaimScope(Registry *reg_, Range r, uint64_t offset,
+                       const char *label)
+    : reg(reg_), single(r), off(offset)
+{
+    enter(label);
+}
+
+ClaimScope::ClaimScope(Registry *reg_,
+                       const std::vector<Range> &ranges_,
+                       uint64_t offset, const char *label)
+    : reg(reg_), ranges(ranges_), off(offset)
+{
+    enter(label);
+}
+
+void
+ClaimScope::enter(const char *label)
+{
+    if (!reg)
+        return;
+    if (ranges.empty() && single.arrays == 0)
+        return;
+    if (ranges.empty()) {
+        reg->claim(single.base + off, single.arrays, label);
+    } else {
+        for (const Range &r : ranges)
+            reg->claim(r.base + off, r.arrays, label);
+    }
+    active = true;
+    ++tl_claim_depth;
+    tl_claim_labels.push_back(label);
+}
+
+ClaimScope::~ClaimScope()
+{
+    if (!active)
+        return;
+    if (ranges.empty()) {
+        reg->release(single.base + off, single.arrays);
+    } else {
+        for (const Range &r : ranges)
+            reg->release(r.base + off, r.arrays);
+    }
+    --tl_claim_depth;
+    tl_claim_labels.pop_back();
+}
+
+#endif // !NDEBUG
+
+} // namespace nc::sram::ownership

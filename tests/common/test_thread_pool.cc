@@ -4,8 +4,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/thread_pool.hh"
 
 namespace
@@ -74,6 +79,79 @@ TEST(ThreadPool, ValidEnvThreadCountIsHonored)
     setenv("NC_THREADS", "3", 1);
     EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
     unsetenv("NC_THREADS");
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesAndPoolSurvives)
+{
+    // A throwing task must neither deadlock the join nor kill the
+    // process: the first exception surfaces on the caller and the
+    // pool stays usable for the next job.
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        bool caught = false;
+        try {
+            pool.parallelFor(100, [](size_t i) {
+                if (i == 37)
+                    throw std::runtime_error("task 37 failed");
+            });
+        } catch (const std::runtime_error &e) {
+            caught = true;
+            EXPECT_STREQ(e.what(), "task 37 failed");
+        }
+        EXPECT_TRUE(caught) << threads << " threads";
+
+        // The same pool immediately runs a full clean job.
+        std::atomic<uint64_t> sum{0};
+        pool.parallelFor(100, [&](size_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 99u * 100u / 2) << threads
+                                              << " threads";
+    }
+}
+
+TEST(ThreadPool, NestedParallelForExceptionPropagates)
+{
+    // Nested parallelFor runs inline in the calling task, so an
+    // exception from the inner loop unwinds through the outer task
+    // and still reaches the outermost caller exactly once.
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(8,
+                                  [&](size_t i) {
+                                      pool.parallelFor(4, [&](size_t j) {
+                                          if (i == 3 && j == 2)
+                                              throw std::runtime_error(
+                                                  "inner failure");
+                                      });
+                                  }),
+                 std::runtime_error);
+
+    std::atomic<int> count{0};
+    pool.parallelFor(16, [&](size_t) { ++count; });
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, TaskIdsAreZeroOutsideAndUniquePerTask)
+{
+    EXPECT_EQ(nc::common::currentTaskId(), 0u);
+    ThreadPool pool(4);
+    std::mutex mtx;
+    std::set<uint64_t> ids;
+    pool.parallelFor(64, [&](size_t) {
+        uint64_t id = nc::common::currentTaskId();
+        std::lock_guard<std::mutex> lk(mtx);
+        ids.insert(id);
+    });
+    EXPECT_EQ(nc::common::currentTaskId(), 0u);
+    if (nc::kDebugAsserts) {
+        // Debug builds: every task saw its own nonzero identity.
+        EXPECT_EQ(ids.size(), 64u);
+        EXPECT_EQ(ids.count(0), 0u);
+    } else {
+        // Release: the identity hook compiles out to the 0 constant.
+        EXPECT_EQ(ids.size(), 1u);
+        EXPECT_EQ(ids.count(0), 1u);
+    }
 }
 
 using ThreadPoolDeath = ::testing::Test;
