@@ -14,8 +14,12 @@
  * only) — the §IV-E amortization, measured. Schema 3 adds the batch
  * section: the image-parallel runBatch fan-out (§IV-E) against the
  * serial per-image loop on the same functional network, wall time
- * and measured images/s, outputs verified bit-identical. See
- * ROADMAP.md "Performance & benchmarking" for the schema.
+ * and measured images/s, outputs verified bit-identical. Schema 4
+ * adds the faults section: the same batch with dead arrays — BIST
+ * retire at compile, a mid-batch soft error healed by the canary
+ * repair path — priced against the fault-free run, outputs still
+ * bit-identical. See ROADMAP.md "Performance & benchmarking" for
+ * the schema.
  * Usage: perf_report [output.json]
  */
 
@@ -231,6 +235,38 @@ main(int argc, char **argv)
     }
     double batch_speedup = batch_serial_s / batch_par_s;
 
+    // ---- faults: BIST + self-healing priced ------------------------
+    // The same batch with the first three physical arrays dead: BIST
+    // retires them at compile, placement lands on survivors, outputs
+    // must not move. Then a soft error strikes a guard row mid-model
+    // and the canary repair path (detect -> retire -> substitute ->
+    // re-pin -> retry) must heal it without changing a bit.
+    core::EngineOptions fault_opts = par_opts;
+    fault_opts.faults.killArrays = {0, 1, 2};
+    core::Engine fault_engine(fault_opts);
+    auto fault_model = fault_engine.compile(bnet);
+    auto fault_res = fault_model.runBatch(images); // warm-up
+    for (unsigned i = 0; i < kBatch; ++i)
+        nc_assert(fault_res.outputs[i].data() ==
+                      par_res.outputs[i].data(),
+                  "fault campaign changed batch output %u", i);
+    double batch_fault_s = 1e30;
+    for (unsigned rep = 0; rep < 3; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        (void)fault_model.runBatch(images);
+        batch_fault_s = std::min(batch_fault_s, secondsSince(t0));
+    }
+    auto *fault_cc = fault_model.computeCache();
+    fault_cc->injectFlip(fault_cc->physicalOf(0),
+                         fault_cc->geometry().arrayRows - 1, 7);
+    auto healed = fault_model.runBatch(images);
+    for (unsigned i = 0; i < kBatch; ++i)
+        nc_assert(healed.outputs[i].data() ==
+                      par_res.outputs[i].data(),
+                  "self-healed batch output %u mismatches", i);
+    nc_assert(healed.report.passRetries > 0,
+              "canary repair did not retry any pass");
+
     unsigned threads = common::ThreadPool::defaultThreads();
     std::FILE *f = std::fopen(path, "w");
     if (!f)
@@ -238,7 +274,7 @@ main(int argc, char **argv)
     std::fprintf(f,
         "{\n"
         "  \"bench\": \"simspeed\",\n"
-        "  \"schema\": 3,\n"
+        "  \"schema\": 4,\n"
         "  \"threads\": %u,\n"
         "  \"micro\": {\n"
         "    \"opadd_mops\": %.2f,\n"
@@ -276,6 +312,19 @@ main(int argc, char **argv)
         "    \"parallel_ms\": %.2f,\n"
         "    \"speedup\": %.2f,\n"
         "    \"images_per_s\": %.1f\n"
+        "  },\n"
+        "  \"faults\": {\n"
+        "    \"network\": \"%s\",\n"
+        "    \"killed\": 3,\n"
+        "    \"bist_retired\": %llu,\n"
+        "    \"image_slots\": %u,\n"
+        "    \"batch_ms\": %.2f,\n"
+        "    \"fault_free_ms\": %.2f,\n"
+        "    \"overhead_pct\": %.1f,\n"
+        "    \"repair_detected\": %llu,\n"
+        "    \"repair_retired_total\": %llu,\n"
+        "    \"repair_pass_retries\": %llu,\n"
+        "    \"outputs\": \"bit-identical\"\n"
         "  }\n"
         "}\n",
         threads,
@@ -290,7 +339,15 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(
             par_model.batchBands().passes(kBatch)),
         batch_serial_s * 1e3, batch_par_s * 1e3, batch_speedup,
-        kBatch / batch_par_s);
+        kBatch / batch_par_s,
+        bnet.name.c_str(),
+        static_cast<unsigned long long>(fault_res.report.arraysRetired),
+        fault_model.batchBands().imageSlots, batch_fault_s * 1e3,
+        batch_par_s * 1e3,
+        (batch_fault_s / batch_par_s - 1.0) * 100.0,
+        static_cast<unsigned long long>(healed.report.faultsDetected),
+        static_cast<unsigned long long>(healed.report.arraysRetired),
+        static_cast<unsigned long long>(healed.report.passRetries));
     std::fclose(f);
 
     std::printf("perf_report: opAdd %.1f Mops/s (ref %.2f, %.0fx), "
@@ -309,6 +366,18 @@ main(int argc, char **argv)
                 kBatch, batch_serial_s * 1e3, batch_par_s * 1e3,
                 par_opts.threads, batch_speedup, kBatch / batch_par_s,
                 par_model.batchBands().imageSlots);
+    std::printf("perf_report: faults batch %.1f ms vs %.1f ms clean "
+                "(%.1f%% overhead); BIST retired %llu, mid-run "
+                "repair retired %llu with %llu pass retries, outputs "
+                "bit-identical\n",
+                batch_fault_s * 1e3, batch_par_s * 1e3,
+                (batch_fault_s / batch_par_s - 1.0) * 100.0,
+                static_cast<unsigned long long>(
+                    fault_res.report.arraysRetired),
+                static_cast<unsigned long long>(
+                    healed.report.arraysRetired),
+                static_cast<unsigned long long>(
+                    healed.report.passRetries));
     std::printf("perf_report: wrote %s\n", path);
     return 0;
 }

@@ -19,12 +19,16 @@
 #include <map>
 #include <memory>
 
+#include <vector>
+
 #include "cache/cbox.hh"
 #include "cache/dram.hh"
 #include "common/bits.hh" // for the C++20 guard: <=> below mis-parses pre-C++20
 #include "cache/geometry.hh"
+#include "cache/health.hh"
 #include "cache/interconnect.hh"
 #include "sram/array.hh"
+#include "sram/faults.hh"
 #include "sram/ownership.hh"
 
 namespace nc::cache
@@ -90,6 +94,93 @@ class ComputeCache
         return ownReg.get();
     }
 
+    /** @name Fault injection, health, and self-healing remap
+     *
+     * When faults are configured the cache keeps a logical→physical
+     * translation in front of its arrays: placement, kernels, and
+     * the audit all keep addressing dense logical indices, while
+     * retired physical arrays simply drop out of the map. The table
+     * starts as the identity over BIST survivors; a runtime
+     * retirement substitutes the highest spare physical array for
+     * the casualty's logical slot and shrinks usable capacity by
+     * one. Unconfigured caches keep an empty table and translate
+     * through two branch-free checks.
+     */
+    /// @{
+    /**
+     * Arm fault injection. Must run before any array materializes
+     * (records attach at materialization); creates the registry and
+     * the health map.
+     */
+    void configureFaults(const sram::faults::Config &cfg);
+    bool faultsConfigured() const { return fltReg != nullptr; }
+    sram::faults::Registry *faultRegistry() { return fltReg.get(); }
+    const sram::faults::Registry *
+    faultRegistry() const
+    {
+        return fltReg.get();
+    }
+    /** Null until configureFaults(). */
+    HealthMap *health() { return healthMap.get(); }
+    const HealthMap *health() const { return healthMap.get(); }
+
+    /**
+     * March-scan every suspect array (cache/health.hh), retire the
+     * failures, and rebuild the remap over the survivors. Returns
+     * how many arrays this scan retired.
+     */
+    uint64_t bistScanAndRemap();
+
+    /**
+     * Schedule a one-shot transient flip of (row, lane) in physical
+     * array @p physical (a mid-run soft error at a deterministic
+     * point). Use this instead of faultRegistry()->injectFlip():
+     * creating the record may happen after the struck array
+     * materialized with a null record pointer, so the cache re-binds
+     * the record to the live array here.
+     */
+    void injectFlip(uint64_t physical, unsigned row, unsigned lane);
+
+    /** Arrays usable for placement (total minus retired). */
+    uint64_t
+    usableArrays() const
+    {
+        return remap.empty() ? geom.totalArrays() : remap.size();
+    }
+
+    /** The physical array behind logical index @p logical. */
+    uint64_t
+    physicalOf(uint64_t logical) const
+    {
+        return remap.empty() ? logical : remap[logical];
+    }
+
+    /**
+     * Retire the physical array behind @p logical and substitute the
+     * highest spare: the last logical index's physical array takes
+     * over @p logical (re-bound and zeroed if materialized) and
+     * usableArrays() shrinks by one. The caller guarantees a spare
+     * exists — @p logical must be below usableArrays() - 1, i.e. the
+     * tail entry is not itself live. Returns the substituted
+     * physical index.
+     */
+    uint64_t retireAndSubstitute(uint64_t logical, std::string reason);
+
+    /**
+     * Retire the physical array behind @p logical with no
+     * substitution: the remap compacts over all healthy survivors,
+     * reshuffling the whole logical space. Every materialized
+     * survivor is re-bound to its new logical index and wiped, so
+     * the caller must re-place and re-pin the entire plan afterward
+     * — this is the shed-capacity path (dropping an image slot,
+     * degrading to streaming), not the surgical spare substitution.
+     */
+    void retireCompact(uint64_t logical, std::string reason);
+
+    /** The array at logical @p flat if materialized (else null). */
+    const sram::Array *peekArray(uint64_t flat) const;
+    /// @}
+
   private:
     Geometry geom;
     IntraSliceBus sliceBus;
@@ -98,6 +189,10 @@ class ComputeCache
     CBox cboxModel;
     std::map<uint64_t, std::unique_ptr<sram::Array>> arrays;
     std::unique_ptr<sram::ownership::Registry> ownReg;
+    std::unique_ptr<sram::faults::Registry> fltReg;
+    std::unique_ptr<HealthMap> healthMap;
+    /** Logical→physical translation (empty = identity, no faults). */
+    std::vector<uint64_t> remap;
 };
 
 } // namespace nc::cache

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Array health tracking and BIST: the detection half of the fault
+ * subsystem.
+ *
+ * A HealthMap records, per physical array of one ComputeCache, whether
+ * the array is trusted to compute (healthy) or has been retired, and
+ * why. Two detectors populate it:
+ *
+ *  - bistScan(): a compile-time march test (write 0101…/1010…
+ *    checkerboards through every word line, read back, compare —
+ *    then the inverse pattern, so every cell is exercised at both
+ *    values). Stuck-at cells and dead arrays fail the readback and
+ *    retire before placement, which then simply allocates around
+ *    them (the ComputeCache logical→physical remap compacts the
+ *    survivors).
+ *
+ *  - the runtime canary check (core/compiled_model.cc): every placed
+ *    array reserves a constant-zero guard word line at the top (the
+ *    bitserial::RowAllocator zero row, which padded adds read and
+ *    nothing may ever write). After each batch pass the run loop
+ *    reads the guard row of every in-use array; a non-zero read is a
+ *    mid-run fault, and the model retires the array and repairs.
+ *
+ * The march runs on throwaway Arrays bound to the same per-physical
+ * fault records the real arrays would get, so scanning neither
+ * materializes nor perturbs cache state, and the fault registry's
+ * deterministic touch counters still advance in a reproducible order.
+ * Arrays with no fault record are ideal by construction (the
+ * simulator cannot manufacture a defect outside the registry), so
+ * the scan skips them — a pure shortcut with identical verdicts.
+ */
+
+#ifndef NC_CACHE_HEALTH_HH
+#define NC_CACHE_HEALTH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "sram/array.hh"
+#include "sram/faults.hh"
+
+namespace nc::cache
+{
+
+/** Per-physical-array health of one ComputeCache. */
+class HealthMap
+{
+  public:
+    explicit HealthMap(uint64_t narrays);
+
+    uint64_t arrays() const { return n; }
+    bool
+    healthy(uint64_t index) const
+    {
+        return index < n && state[index] == 0;
+    }
+    uint64_t retiredCount() const { return nRetired; }
+
+    /** Retire @p index with a diagnostic reason. Idempotent. */
+    void retire(uint64_t index, std::string reason);
+
+    /** The retirement reason (null while healthy). */
+    const std::string *reason(uint64_t index) const;
+
+    /** Retired indices, ascending. */
+    std::vector<uint64_t> retired() const;
+
+    /**
+     * Human-readable roll call of every retired array ("none" when
+     * clean) — hard-error messages name the dead, not just count it.
+     */
+    std::string summary() const;
+
+  private:
+    uint64_t n;
+    uint64_t nRetired = 0;
+    std::vector<uint8_t> state; ///< 0 healthy, 1 retired
+    std::map<uint64_t, std::string> reasons;
+};
+
+/**
+ * March @p arr: write/readback-verify checkerboard and inverse
+ * checkerboard over every word line. Returns true when every cell
+ * held both values. Leaves the array's cells holding the last
+ * pattern — run it on a scratch Array, not live state.
+ */
+bool bistMarch(sram::Array &arr);
+
+/**
+ * BIST the whole cache: march every physical array whose record in
+ * @p reg carries a static defect (dead or stuck-at; records are
+ * decided at registry construction, and record-less arrays are ideal
+ * by construction) and retire the failures into @p health. Returns
+ * the number of arrays this scan retired. Transient-only records are
+ * skipped — soft errors are a runtime phenomenon the canary check
+ * owns, and a march under a high flip rate would spuriously retire
+ * healthy silicon. @p reg may be null (no faults configured): the
+ * scan is then a no-op.
+ */
+uint64_t bistScan(const Geometry &geom, sram::faults::Registry *reg,
+                  HealthMap &health);
+
+} // namespace nc::cache
+
+#endif // NC_CACHE_HEALTH_HH

@@ -29,6 +29,13 @@ ArgParser::addUint64(const std::string &name, uint64_t *target,
 }
 
 void
+ArgParser::addDouble(const std::string &name, double *target,
+                     const std::string &help)
+{
+    options.push_back({name, help, Type::Double, target});
+}
+
+void
 ArgParser::addString(const std::string &name, std::string *target,
                      const std::string &help)
 {
@@ -57,6 +64,19 @@ ArgParser::assign(const Option &opt, const std::string &value,
 {
     if (opt.type == Type::String) {
         *static_cast<std::string *>(opt.target) = value;
+        return true;
+    }
+
+    if (opt.type == Type::Double) {
+        errno = 0;
+        char *end = nullptr;
+        double parsed = std::strtod(value.c_str(), &end);
+        if (value.empty() || *end != '\0' || errno != 0) {
+            error = "--" + opt.name + ": '" + value +
+                    "' is not a valid number";
+            return false;
+        }
+        *static_cast<double *>(opt.target) = parsed;
         return true;
     }
 

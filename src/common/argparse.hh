@@ -40,6 +40,9 @@ class ArgParser
     /** Register a 64-bit unsigned option (seeds). */
     void addUint64(const std::string &name, uint64_t *target,
                    const std::string &help);
+    /** Register a floating-point option (rates, thresholds). */
+    void addDouble(const std::string &name, double *target,
+                   const std::string &help);
     /** Register a string option. */
     void addString(const std::string &name, std::string *target,
                    const std::string &help);
@@ -66,7 +69,7 @@ class ArgParser
     std::string usage() const;
 
   private:
-    enum class Type { Unsigned, Uint64, String, Flag };
+    enum class Type { Unsigned, Uint64, Double, String, Flag };
 
     struct Option
     {

@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace nc::common
@@ -99,6 +100,9 @@ ThreadPool::defaultThreads()
 ThreadPool::ThreadPool(unsigned nthreads)
     : nThreads(nthreads != 0 ? nthreads : defaultThreads())
 {
+    // A typo'd NC_* knob must not silently configure nothing; die
+    // here (and in the Engine constructor) before any work runs.
+    checkEnvOnce();
 }
 
 void

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "mapping/plan_audit.hh"
 
 namespace nc::core
 {
@@ -42,8 +43,262 @@ CompiledModel::report(unsigned batch) const
     // The compile-time banding is authoritative: the report prices
     // exactly the slot/pass structure runBatch executes (which a
     // per-layer reference override, say, can shrink below the
-    // all-functional net-level estimate).
-    return analytic->report(net, stageCosts, batch, &bandPlan);
+    // all-functional net-level estimate) — and after runtime
+    // retirements it is the degraded banding, so throughput honestly
+    // shrinks with capacity.
+    InferenceReport rep =
+        analytic->report(net, stageCosts, batch, &bandPlan);
+    rep.faultsDetected = nFaultsDetected;
+    rep.arraysRetired = nArraysRetired;
+    rep.passRetries = nPassRetries;
+    return rep;
+}
+
+void
+CompiledModel::placeAndPrepare(bool force_streaming)
+{
+    const cache::Geometry &geom = cfg.geometry;
+    bool uses_func = false, uses_isa = false;
+    for (const CompiledLayer &layer : layers) {
+        uses_func |= layer.backend == BackendKind::Functional;
+        uses_isa |= layer.backend == BackendKind::Isa;
+    }
+
+    // One scratch array per concurrently-executing branch (pools,
+    // eltwise merges, and requantization scribble on it); stages
+    // execute serially, so branch slot i is reused across stages.
+    uint64_t scratch_slots = 1;
+    for (const CompiledStage &cstage : stages)
+        scratch_slots = std::max<uint64_t>(scratch_slots,
+                                           cstage.branches.size());
+
+    // Capacity: the full geometry, shrunk to the healthy survivors
+    // when a fault campaign has retired arrays.
+    const uint64_t usable =
+        cc->faultsConfigured() ? cc->usableArrays() : 0;
+    const uint64_t capacity =
+        usable == 0 ? geom.totalArrays() : usable;
+
+    uint64_t whole_need = 0;
+    for (const CompiledLayer &layer : layers) {
+        bool on_arrays = layer.backend == BackendKind::Functional ||
+                         layer.backend == BackendKind::Isa;
+        if (layer.op.isConv() && on_arrays)
+            whole_need += layer.funcPlan.totalArrays(layer.op.conv.m);
+    }
+    // The §IV-E batch banding: one image's footprint (stationary
+    // filter bands + per-branch scratch) and how many images the
+    // spare capacity runs concurrently — runBatch executes exactly
+    // this plan, and the analytic batch report prices the same pass
+    // structure.
+    bandPlan = mapping::planBatchBands(
+        whole_need, static_cast<unsigned>(scratch_slots), geom,
+        !force_streaming, usable);
+    bool all_resident = bandPlan.resident;
+
+    struct ConvPlacement
+    {
+        uint64_t base = 0;
+        uint64_t band = 0;
+        bool resident = true;
+    };
+    std::vector<ConvPlacement> place(layers.size());
+
+    uint64_t scratch_base = 0;
+    if (all_resident) {
+        // Whole-network residency: every conv layer owns its full
+        // band in layer order, filters pinned once at compile
+        // (§IV-E: batches amortize the load forever); scratch slots
+        // sit past the last band.
+        uint64_t next = 0;
+        for (size_t li = 0; li < layers.size(); ++li) {
+            CompiledLayer &layer = layers[li];
+            bool on_arrays =
+                layer.backend == BackendKind::Functional ||
+                layer.backend == BackendKind::Isa;
+            if (!layer.op.isConv() || !on_arrays)
+                continue;
+            uint64_t need =
+                layer.funcPlan.totalArrays(layer.op.conv.m);
+            place[li] = {next, need, true};
+            layer.baseArray = next;
+            layer.bandArrays = need;
+            layer.bandResident = true;
+            next += need;
+        }
+        scratch_base = next;
+        usedExtent = next + scratch_slots;
+    } else {
+        // Streaming regime: the network exceeds the (remaining)
+        // cache, so conv layers re-pin filters as they run. Scratch
+        // slots sit at the bottom; every stage re-uses the region
+        // above them, with the stage's branches in disjoint bands so
+        // they can execute concurrently. A band smaller than a
+        // layer's full need makes the kernel cycle filter groups
+        // through it.
+        if (capacity <= scratch_slots)
+            nc_fatal("'%s': %llu usable arrays cannot even hold the "
+                     "%llu scratch slots; retired arrays: %s",
+                     net.name.c_str(),
+                     static_cast<unsigned long long>(capacity),
+                     static_cast<unsigned long long>(scratch_slots),
+                     cc->health()->summary().c_str());
+        uint64_t avail = capacity - scratch_slots;
+        usedExtent = scratch_slots;
+        for (size_t si = 0; si < stages.size(); ++si) {
+            const CompiledStage &cstage = stages[si];
+            std::vector<uint64_t> need_b(cstage.branches.size(), 0);
+            std::vector<uint64_t> min_b(cstage.branches.size(), 0);
+            for (size_t bi = 0; bi < cstage.branches.size(); ++bi) {
+                for (size_t li : cstage.branches[bi].layerIdx) {
+                    const CompiledLayer &layer = layers[li];
+                    bool on_arrays =
+                        layer.backend == BackendKind::Functional ||
+                        layer.backend == BackendKind::Isa;
+                    if (!layer.op.isConv() || !on_arrays)
+                        continue;
+                    nc_assert(layer.backend != BackendKind::Isa,
+                              "conv '%s': network '%s' exceeds the "
+                              "cache (%llu arrays needed, %llu "
+                              "total); the streaming regime is "
+                              "functional-backend only",
+                              layer.op.name().c_str(),
+                              net.name.c_str(),
+                              static_cast<unsigned long long>(
+                                  whole_need + scratch_slots),
+                              static_cast<unsigned long long>(
+                                  capacity));
+                    need_b[bi] = std::max(
+                        need_b[bi], layer.funcPlan.totalArrays(
+                                        layer.op.conv.m));
+                    min_b[bi] = std::max(
+                        min_b[bi],
+                        uint64_t(layer.funcPlan.chunks));
+                }
+            }
+            uint64_t need_sum = 0, min_sum = 0;
+            for (size_t bi = 0; bi < need_b.size(); ++bi) {
+                need_sum += need_b[bi];
+                min_sum += min_b[bi];
+            }
+            // A shrunken capacity that cannot hold even the minimum
+            // streaming footprint is the hard floor of graceful
+            // degradation — die naming the retired arrays.
+            if (min_sum > avail && cc->faultsConfigured())
+                nc_fatal("stage '%s' of '%s' needs %llu arrays "
+                         "concurrently but only %llu usable remain; "
+                         "retired arrays: %s",
+                         net.stages[si].name.c_str(),
+                         net.name.c_str(),
+                         static_cast<unsigned long long>(
+                             min_sum + scratch_slots),
+                         static_cast<unsigned long long>(capacity),
+                         cc->health()->summary().c_str());
+            nc_assert(min_sum <= avail,
+                      "stage '%s' needs %llu arrays concurrently, "
+                      "cache has %llu",
+                      net.stages[si].name.c_str(),
+                      static_cast<unsigned long long>(min_sum +
+                                                      scratch_slots),
+                      static_cast<unsigned long long>(capacity));
+            // Every branch gets its need when the stage fits;
+            // otherwise the guaranteed minimum plus an equal share of
+            // the remainder (deterministic, capped at the need).
+            std::vector<uint64_t> band_b = need_b;
+            if (need_sum > avail) {
+                uint64_t left = avail - min_sum;
+                for (size_t bi = 0; bi < band_b.size(); ++bi) {
+                    uint64_t extra = std::min(
+                        need_b[bi] - min_b[bi],
+                        left / (band_b.size() - bi));
+                    band_b[bi] = min_b[bi] + extra;
+                    left -= extra;
+                }
+            }
+            uint64_t next = scratch_slots;
+            for (size_t bi = 0; bi < cstage.branches.size(); ++bi) {
+                for (size_t li : cstage.branches[bi].layerIdx) {
+                    CompiledLayer &layer = layers[li];
+                    bool on_arrays =
+                        layer.backend == BackendKind::Functional ||
+                        layer.backend == BackendKind::Isa;
+                    if (!layer.op.isConv() || !on_arrays)
+                        continue;
+                    place[li] = {next, band_b[bi], false};
+                    layer.baseArray = next;
+                    layer.bandArrays = band_b[bi];
+                    layer.bandResident = false;
+                }
+                next += band_b[bi];
+            }
+            usedExtent = std::max(usedExtent, next);
+        }
+    }
+
+    // Scratch arrays: one per branch slot, materialized now so the
+    // parallel branch fan-out never mutates the lazy array map.
+    // Pure-reference models are CPU loops only and touch no arrays.
+    if (uses_func || uses_isa) {
+        for (uint64_t i = 0; i < scratch_slots; ++i)
+            cc->array(cc->coordOf(scratch_base + i));
+    }
+    for (CompiledStage &cstage : stages) {
+        for (size_t bi = 0; bi < cstage.branches.size(); ++bi) {
+            for (size_t li : cstage.branches[bi].layerIdx)
+                layers[li].scratchArray = scratch_base + bi;
+        }
+    }
+    scratchBase = scratch_base;
+
+    // Legacy direct Executor/LayerEngine helpers share slot 0.
+    ex->setScratchBase(scratch_base);
+    if (isaEngine)
+        isaEngine->setScratchBase(scratch_base);
+
+    // --- Pass C: prepare the per-layer kernels. --------------------
+    for (size_t li = 0; li < layers.size(); ++li) {
+        CompiledLayer &layer = layers[li];
+        if (layer.op.isConv()) {
+            const dnn::ConvOp &co = layer.op.conv;
+            if (layer.backend == BackendKind::Functional) {
+                layer.funcConv = ex->prepareConv(
+                    layer.weights, co.stride, co.samePad,
+                    place[li].base, place[li].band,
+                    place[li].resident);
+                // The band arithmetic above priced chunks from
+                // layer.funcPlan; the executor re-derives its plan
+                // from the same inputs — catch any drift before it
+                // can overlap adjacent bands.
+                nc_assert(layer.funcConv->chunksPerBatch() ==
+                                  layer.funcPlan.chunks &&
+                              layer.funcConv->plan().lanes ==
+                                  layer.funcPlan.lanes,
+                          "conv '%s': executor mapping (%u chunks, "
+                          "%u lanes) disagrees with the compile plan "
+                          "(%u chunks, %u lanes)",
+                          co.name.c_str(),
+                          layer.funcConv->chunksPerBatch(),
+                          layer.funcConv->plan().lanes,
+                          layer.funcPlan.chunks, layer.funcPlan.lanes);
+            } else if (layer.backend == BackendKind::Isa)
+                layer.isaConv = isaEngine->prepareConv(
+                    layer.weights, co.stride, co.samePad,
+                    place[li].base);
+        } else if (layer.op.kind == dnn::OpKind::EltwiseAdd) {
+            if (layer.backend == BackendKind::Functional)
+                layer.funcElt = ex->prepareEltwise(
+                    layer.requantMult, layer.requantShift,
+                    layer.scratchArray);
+            else if (layer.backend == BackendKind::Isa)
+                layer.isaElt = isaEngine->prepareEltwise(
+                    layer.requantMult, layer.requantShift,
+                    layer.scratchArray);
+        }
+    }
+
+    // Replicas (if any were pinned) are stale after a re-place; they
+    // re-pin lazily on the next batch pass.
+    preparedSlots = 1;
 }
 
 Backend &
@@ -224,13 +479,157 @@ CompiledModel::runLayers(const dnn::QTensor &input,
     return act;
 }
 
+uint64_t
+CompiledModel::liveArrayExtent() const
+{
+    return bandPlan.resident
+               ? uint64_t(preparedSlots) * bandPlan.perImageArrays
+               : usedExtent;
+}
+
+std::vector<uint64_t>
+CompiledModel::canaryScan()
+{
+    // Every functional layout reserves the top word line as the
+    // constant-zero row (bitserial::RowAllocator::zeroRow) and never
+    // legally writes it, so a non-zero guard row is proof of a fault
+    // — and the blast radius of an unnoticed one is real: padded
+    // adds read that row. rowRef() touches the row, which re-applies
+    // stuck clamps and pending transient flips before we look.
+    std::vector<uint64_t> bad;
+    const uint64_t extent = liveArrayExtent();
+    for (uint64_t l = 0; l < extent; ++l) {
+        const sram::Array *arr = cc->peekArray(l);
+        if (!arr)
+            continue; // unmaterialized: no data to corrupt
+        if (arr->rowRef(arr->rows() - 1).popcount() != 0)
+            bad.push_back(l);
+    }
+    return bad;
+}
+
+bool
+CompiledModel::canarySweepAndRepair(unsigned &budget)
+{
+    std::vector<uint64_t> bad = canaryScan();
+    if (bad.empty())
+        return true;
+    nFaultsDetected += bad.size();
+    if (budget == 0)
+        nc_fatal("'%s': fault retry budget (%u) exhausted with %zu "
+                 "guard rows still corrupt; retired arrays: %s",
+                 net.name.c_str(), faultCfg.retryBudget, bad.size(),
+                 cc->health()->summary().c_str());
+    --budget;
+    for (uint64_t l : bad) {
+        // A full re-place reshuffles the logical space, making the
+        // remaining scanned indices stale; the next sweep (the retry
+        // always rescans) catches any survivors.
+        if (repairOne(l))
+            break;
+    }
+    // Re-prove the healed plan before trusting it with a retry.
+    mapping::auditPlanOrDie(*this);
+    return false;
+}
+
+bool
+CompiledModel::repairOne(uint64_t logical)
+{
+    if (cc->usableArrays() > liveArrayExtent()) {
+        // Spare available: surgical substitution — only the touched
+        // replica re-pins, nothing else moves.
+        uint64_t spare = cc->retireAndSubstitute(
+            logical, "canary: guard row corrupted");
+        ++nArraysRetired;
+        repinLogical(logical);
+        // The spare may have been the tail of a planned-but-unpinned
+        // image slot; shrink the slot count to what still fits.
+        if (bandPlan.resident &&
+            uint64_t(bandPlan.imageSlots) * bandPlan.perImageArrays >
+                cc->usableArrays())
+            bandPlan.imageSlots = static_cast<unsigned>(
+                cc->usableArrays() / bandPlan.perImageArrays);
+        nc_inform("'%s': retired logical array %llu (physical %llu "
+                  "substituted), %llu usable remain, %u image slots",
+                  net.name.c_str(),
+                  static_cast<unsigned long long>(logical),
+                  static_cast<unsigned long long>(spare),
+                  static_cast<unsigned long long>(cc->usableArrays()),
+                  bandPlan.imageSlots);
+        return false;
+    }
+
+    // No spare left: shed capacity and re-place the whole plan over
+    // the survivors — fewer image slots, or the streaming regime
+    // once one image's bands no longer fit. placeAndPrepare dies
+    // with the retired-array roster when even the minimum streaming
+    // footprint is gone.
+    bool was_resident = bandPlan.resident;
+    unsigned was_slots = bandPlan.imageSlots;
+    cc->retireCompact(logical, "canary: guard row corrupted");
+    ++nArraysRetired;
+    placeAndPrepare(false);
+    nc_inform("'%s': retired logical array %llu with no spare; "
+              "re-placed over %llu arrays (%s, %u image slots; was "
+              "%s, %u)",
+              net.name.c_str(),
+              static_cast<unsigned long long>(logical),
+              static_cast<unsigned long long>(cc->usableArrays()),
+              bandPlan.resident ? "resident" : "streaming",
+              bandPlan.imageSlots,
+              was_resident ? "resident" : "streaming", was_slots);
+    return true;
+}
+
+void
+CompiledModel::repinLogical(uint64_t logical)
+{
+    uint64_t slot_off = 0;
+    uint64_t q = logical;
+    if (bandPlan.resident) {
+        uint64_t slot = logical / bandPlan.perImageArrays;
+        slot_off = slot * bandPlan.perImageArrays;
+        q = logical - slot_off;
+    }
+    // Scratch arrays hold no pinned state (kernels write before they
+    // read); materializing the substitute is enough.
+    if (q >= scratchBase && q < scratchBase + bandPlan.scratchSlots) {
+        cc->array(cc->coordOf(logical));
+        return;
+    }
+    for (CompiledLayer &layer : layers) {
+        if (!layer.funcConv || layer.bandArrays == 0)
+            continue;
+        if (q < layer.baseArray ||
+            q >= layer.baseArray + layer.bandArrays)
+            continue;
+        // Streaming bands re-pin their filter groups on every run;
+        // only a resident band's stationary filters need restoring.
+        if (layer.funcConv->resident())
+            layer.funcConv->pinReplica(layer.weights, slot_off);
+        return;
+    }
+    nc_panic("logical array %llu is in no live band (repair bug)",
+             static_cast<unsigned long long>(logical));
+}
+
 InferenceResult
 CompiledModel::run(const dnn::QTensor &input)
 {
     InferenceResult res;
+    if (functional()) {
+        unsigned budget = faultCfg.retryBudget;
+        for (;;) {
+            res.output = runLayers(input, ExecContext{});
+            if (!canaryOn || canarySweepAndRepair(budget))
+                break;
+            ++nPassRetries; // detected, repaired: recompute
+        }
+    }
+    // Assembled after execution so runtime retirements (degraded
+    // banding, fault counters) price into this very call's report.
     res.report = report(1);
-    if (functional())
-        res.output = runLayers(input, ExecContext{});
     return res;
 }
 
@@ -286,48 +685,61 @@ CompiledModel::runBatch(std::span<const dnn::QTensor> inputs)
               "for '%s'", inputs.size(), kMaxBatch, net.name.c_str());
 
     BatchInferenceResult res;
+    if (functional()) {
+        // Validate every image up front, naming the offending batch
+        // index — a shape error must not surface as a layer mismatch
+        // deep inside image 17's third conv.
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            const dnn::QTensor &in = inputs[i];
+            nc_assert(in.channels() == inC && in.height() == inH &&
+                          in.width() == inW,
+                      "runBatch: batch input %zu is %ux%ux%u, network "
+                      "'%s' expects %ux%ux%u", i, in.channels(),
+                      in.height(), in.width(), net.name.c_str(), inC,
+                      inH, inW);
+        }
+
+        // Image-parallel execution (§IV-E): filters stay stationary
+        // and the spare array capacity runs `slots` images
+        // concurrently, each image streaming through its own replica
+        // of the network's bands (disjoint array state per image
+        // slot). Batches beyond the spare capacity time-slice into
+        // passes — the same pass structure the analytic report
+        // prices. Every image is an independent computation on its
+        // own replica, so the result is bit-identical to the serial
+        // per-image loop for any thread count and any batch size.
+        // With the canary armed, a pass whose scan finds corruption
+        // repairs and reruns — slot count and regime re-read each
+        // iteration because repair may have degraded them.
+        unsigned budget = faultCfg.retryBudget;
+        res.outputs.resize(inputs.size());
+        size_t first = 0;
+        while (first < inputs.size()) {
+            unsigned slots = ensureImageSlots(static_cast<unsigned>(
+                std::min<uint64_t>(inputs.size() - first,
+                                   bandPlan.imageSlots)));
+            size_t count =
+                std::min<size_t>(slots, inputs.size() - first);
+            // (Image-slot disjointness is proven statically by the
+            // band plan audit; the runtime ownership claims stay at
+            // the leaf kernels, which carry each image's
+            // arrayOffset.)
+            pool->parallelFor(count, [&](size_t k) {
+                ExecContext ctx{static_cast<unsigned>(k),
+                                k * bandPlan.perImageArrays};
+                res.outputs[first + k] =
+                    runLayers(inputs[first + k], ctx);
+            });
+            if (canaryOn && !canarySweepAndRepair(budget)) {
+                ++nPassRetries;
+                continue; // rerun this pass on the healed plan
+            }
+            first += count;
+        }
+    }
+    // Assembled after execution so runtime retirements (degraded
+    // banding, fault counters) price into this very call's report.
     res.report = report(static_cast<unsigned>(inputs.size()));
-    if (!functional())
-        return res;
-
-    // Validate every image up front, naming the offending batch
-    // index — a shape error must not surface as a layer mismatch
-    // deep inside image 17's third conv.
-    for (size_t i = 0; i < inputs.size(); ++i) {
-        const dnn::QTensor &in = inputs[i];
-        nc_assert(in.channels() == inC && in.height() == inH &&
-                      in.width() == inW,
-                  "runBatch: batch input %zu is %ux%ux%u, network "
-                  "'%s' expects %ux%ux%u", i, in.channels(),
-                  in.height(), in.width(), net.name.c_str(), inC, inH,
-                  inW);
-    }
-
-    // Image-parallel execution (§IV-E): filters stay stationary and
-    // the spare array capacity runs `slots` images concurrently,
-    // each image streaming through its own replica of the network's
-    // bands (disjoint array state per image slot). Batches beyond
-    // the spare capacity time-slice into passes — the same pass
-    // structure the analytic report prices. Every image is an
-    // independent computation on its own replica, so the result is
-    // bit-identical to the serial per-image loop for any thread
-    // count and any batch size.
-    unsigned slots = ensureImageSlots(static_cast<unsigned>(
-        std::min<uint64_t>(inputs.size(), bandPlan.imageSlots)));
-    res.outputs.resize(inputs.size());
-    for (size_t first = 0; first < inputs.size(); first += slots) {
-        size_t count =
-            std::min<size_t>(slots, inputs.size() - first);
-        // (Image-slot disjointness is proven statically by the band
-        // plan audit; the runtime ownership claims stay at the leaf
-        // kernels, which carry each image's arrayOffset.)
-        pool->parallelFor(count, [&](size_t k) {
-            ExecContext ctx{static_cast<unsigned>(k),
-                            k * bandPlan.perImageArrays};
-            res.outputs[first + k] =
-                runLayers(inputs[first + k], ctx);
-        });
-    }
     return res;
 }
 

@@ -28,6 +28,7 @@
 #include "dnn/layers.hh"
 #include "dnn/tensor.hh"
 #include "mapping/plan.hh"
+#include "sram/faults.hh"
 
 namespace nc::core
 {
@@ -242,6 +243,24 @@ class CompiledModel
     /** The configuration the model was compiled against. */
     const NeuralCacheConfig &config() const { return cfg; }
 
+    /** @name Fault tolerance (sram/faults.hh, cache/health.hh) */
+    /// @{
+    /** The fault campaign the model was compiled under (enabled()
+     * false when none was configured). */
+    const sram::faults::Config &faultConfig() const { return faultCfg; }
+    /**
+     * Whether the runtime canary check runs after every pass: faults
+     * configured with canary on, and every on-array layer on the
+     * functional backend (the broadcast-ISA path has no runtime
+     * repair — it is covered by compile-time BIST only).
+     */
+    bool canaryArmed() const { return canaryOn; }
+    /** Flat logical indices [0, extent) the current plan touches:
+     * pinned replicas in the resident regime, the placed region in
+     * the streaming regime. The canary scans exactly this span. */
+    uint64_t liveArrayExtent() const;
+    /// @}
+
   private:
     friend class Engine;
     CompiledModel();
@@ -264,6 +283,46 @@ class CompiledModel
      */
     unsigned ensureImageSlots(unsigned want);
 
+    /**
+     * Pass B + C of compilation, re-runnable: plan the §IV-E banding
+     * over the currently usable arrays, place every on-array layer,
+     * materialize scratch, and prepare the per-layer kernels.
+     * Engine::compile runs it once; runtime repair re-runs it to
+     * shed capacity (fewer image slots, or streaming once one
+     * image's bands no longer fit) after arrays retire. Resets
+     * preparedSlots to 1 — replicas re-pin lazily on the next pass.
+     */
+    void placeAndPrepare(bool force_streaming);
+
+    /**
+     * Read every live array's guard row (the reserved constant-zero
+     * word line, bitserial::RowAllocator::zeroRow — always the top
+     * row) and return the logical indices whose guard is corrupt.
+     * The touch itself re-applies pending fault state, so a
+     * transient struck since the last scan cannot hide.
+     */
+    std::vector<uint64_t> canaryScan();
+    /**
+     * One post-pass canary round: scan, and when corruption is found
+     * charge @p budget, retire/repair every casualty, and re-audit
+     * the healed plan. Returns true when the scan was clean (the
+     * pass output is trustworthy); false means the caller must rerun
+     * the pass. Exhausting the budget with corruption still present
+     * is fatal, naming the retired arrays.
+     */
+    bool canarySweepAndRepair(unsigned &budget);
+    /**
+     * Retire faulty @p logical. With a spare available the
+     * substitution is surgical: only the affected band replica (or
+     * scratch slot) re-pins, and at most the planned-but-unpinned
+     * slot count shrinks. With no spare the whole plan re-places
+     * over the survivors (returns true: logical indices reshuffled).
+     */
+    bool repairOne(uint64_t logical);
+    /** Re-pin whatever the plan keeps at @p logical after a
+     * substitution (conv replica band, or nothing for scratch). */
+    void repinLogical(uint64_t logical);
+
     dnn::Network net;
     NeuralCacheConfig cfg;
     BackendKind kind = BackendKind::Analytic;
@@ -275,6 +334,16 @@ class CompiledModel
     mapping::BatchBandPlan bandPlan;
     uint64_t scratchBase = 0;  ///< slot 0's first scratch array
     unsigned preparedSlots = 1; ///< image replicas pinned so far
+
+    sram::faults::Config faultCfg; ///< enabled() false: no campaign
+    bool canaryOn = false;     ///< post-pass guard-row check armed
+    uint64_t usedExtent = 0;   ///< streaming: top of the placed region
+    /** @name Cumulative fault counters (into InferenceReport) */
+    /// @{
+    uint64_t nFaultsDetected = 0;
+    uint64_t nArraysRetired = 0;
+    uint64_t nPassRetries = 0;
+    /// @}
 
     std::unique_ptr<cache::ComputeCache> cc;
     std::unique_ptr<Executor> ex;

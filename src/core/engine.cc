@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "dnn/random.hh"
 #include "mapping/plan_audit.hh"
@@ -72,6 +73,10 @@ Engine::Engine(Options opts_)
     : opts(std::move(opts_)),
       pool(std::make_shared<common::ThreadPool>(opts.threads))
 {
+    common::checkEnvOnce();
+    // NC_FAULTS overlays the programmatic campaign, exactly like
+    // NC_THREADS overlays opts.threads (strict parse, fatal on junk).
+    opts.faults = sram::faults::configFromEnv(opts.faults);
 }
 
 CompiledModel
@@ -119,6 +124,13 @@ Engine::compile(const dnn::Network &net,
     }
 
     if (opts.backend == BackendKind::Analytic) {
+        // Faults break arrays; the analytic model has none. Failing
+        // here beats silently reporting ideal-silicon numbers for a
+        // campaign the caller thought was running.
+        if (opts.faults.enabled())
+            nc_fatal("fault injection configured for '%s', but the "
+                     "analytic backend has no arrays to break (use a "
+                     "functional backend)", net.name.c_str());
         // Pure timing model: no functional state at all — and no
         // silent discard of filter banks the caller thought mattered.
         nc_assert(weights.empty(),
@@ -141,6 +153,28 @@ Engine::compile(const dnn::Network &net,
     m.cc = std::make_unique<cache::ComputeCache>(geom);
     m.ex = std::make_unique<Executor>(*m.cc, *pool);
 
+    // Fault campaign: arm the injection registry before any array
+    // materializes, then march-scan (BIST) so statically broken
+    // arrays retire before placement ever sees them — the remap
+    // compacts the survivors and everything downstream just plans
+    // over fewer interchangeable arrays.
+    if (opts.faults.enabled()) {
+        m.faultCfg = opts.faults;
+        m.cc->configureFaults(opts.faults);
+        if (opts.faults.bist) {
+            uint64_t retired = m.cc->bistScanAndRemap();
+            m.nArraysRetired += retired;
+            if (retired > 0)
+                nc_inform("BIST retired %llu of %llu arrays "
+                          "compiling '%s': %s",
+                          static_cast<unsigned long long>(retired),
+                          static_cast<unsigned long long>(
+                              geom.totalArrays()),
+                          net.name.c_str(),
+                          m.cc->health()->summary().c_str());
+        }
+    }
+
     // Which backends do the layers actually use?
     bool uses_isa = opts.backend == BackendKind::Isa;
     bool uses_func = opts.backend == BackendKind::Functional;
@@ -155,6 +189,23 @@ Engine::compile(const dnn::Network &net,
     }
     if (uses_isa)
         m.isaEngine = std::make_unique<LayerEngine>(*m.cc, *pool);
+
+    // Runtime repair (canary check -> retire -> re-pin -> retry) is
+    // functional-backend-only: the broadcast-ISA engine caches
+    // per-array programs the remap would silently invalidate. ISA
+    // layer mixes still get compile-time BIST, but injecting
+    // mid-run transients into them would corrupt outputs with no
+    // detector — refuse the campaign instead.
+    if (opts.faults.enabled()) {
+        if (uses_isa && opts.faults.transientRate > 0)
+            nc_fatal("'%s' routes layers to the broadcast-ISA "
+                     "backend, which has no runtime repair; "
+                     "transient injection (rate %g) requires an "
+                     "all-functional layer mix (BIST-only campaigns "
+                     "— transient=0 — work on any backend)",
+                     net.name.c_str(), opts.faults.transientRate);
+        m.canaryOn = opts.faults.canary && uses_func && !uses_isa;
+    }
 
     // --- Pass A: validate the topology and build the per-layer and
     // per-stage program structure (no array placement yet). ---------
@@ -297,204 +348,12 @@ Engine::compile(const dnn::Network &net,
                   net.name.c_str());
     }
 
-    // --- Pass B: array placement. ---------------------------------
-    // One scratch array per concurrently-executing branch (pools,
-    // eltwise merges, and requantization scribble on it); stages
-    // execute serially, so branch slot i is reused across stages.
-    const uint64_t total_arrays = geom.totalArrays();
-    const uint64_t scratch_slots = max_branches;
-
-    uint64_t whole_need = 0;
-    for (const CompiledLayer &layer : m.layers) {
-        bool on_arrays = layer.backend == BackendKind::Functional ||
-                         layer.backend == BackendKind::Isa;
-        if (layer.op.isConv() && on_arrays)
-            whole_need += layer.funcPlan.totalArrays(layer.op.conv.m);
-    }
-    // The §IV-E batch banding: one image's footprint (stationary
-    // filter bands + per-branch scratch) and how many images the
-    // spare capacity runs concurrently — runBatch executes exactly
-    // this plan, and the analytic batch report prices the same pass
-    // structure.
-    m.bandPlan = mapping::planBatchBands(
-        whole_need, static_cast<unsigned>(scratch_slots), geom, true);
-    bool all_resident = m.bandPlan.resident;
-
-    struct ConvPlacement
-    {
-        uint64_t base = 0;
-        uint64_t band = 0;
-        bool resident = true;
-    };
-    std::vector<ConvPlacement> place(m.layers.size());
-
-    uint64_t scratch_base = 0;
-    if (all_resident) {
-        // Whole-network residency: every conv layer owns its full
-        // band in layer order, filters pinned once at compile
-        // (§IV-E: batches amortize the load forever); scratch slots
-        // sit past the last band.
-        uint64_t next = 0;
-        for (size_t li = 0; li < m.layers.size(); ++li) {
-            CompiledLayer &layer = m.layers[li];
-            bool on_arrays =
-                layer.backend == BackendKind::Functional ||
-                layer.backend == BackendKind::Isa;
-            if (!layer.op.isConv() || !on_arrays)
-                continue;
-            uint64_t need =
-                layer.funcPlan.totalArrays(layer.op.conv.m);
-            place[li] = {next, need, true};
-            layer.baseArray = next;
-            layer.bandArrays = need;
-            layer.bandResident = true;
-            next += need;
-        }
-        scratch_base = next;
-    } else {
-        // Streaming regime: the network exceeds the cache, so conv
-        // layers re-pin filters as they run. Scratch slots sit at the
-        // bottom; every stage re-uses the region above them, with the
-        // stage's branches in disjoint bands so they can execute
-        // concurrently. A band smaller than a layer's full need makes
-        // the kernel cycle filter groups through it.
-        uint64_t avail = total_arrays - scratch_slots;
-        for (size_t si = 0; si < m.stages.size(); ++si) {
-            const CompiledModel::CompiledStage &cstage = m.stages[si];
-            std::vector<uint64_t> need_b(cstage.branches.size(), 0);
-            std::vector<uint64_t> min_b(cstage.branches.size(), 0);
-            for (size_t bi = 0; bi < cstage.branches.size(); ++bi) {
-                for (size_t li : cstage.branches[bi].layerIdx) {
-                    const CompiledLayer &layer = m.layers[li];
-                    bool on_arrays =
-                        layer.backend == BackendKind::Functional ||
-                        layer.backend == BackendKind::Isa;
-                    if (!layer.op.isConv() || !on_arrays)
-                        continue;
-                    nc_assert(layer.backend != BackendKind::Isa,
-                              "conv '%s': network '%s' exceeds the "
-                              "cache (%llu arrays needed, %llu "
-                              "total); the streaming regime is "
-                              "functional-backend only",
-                              layer.op.name().c_str(),
-                              net.name.c_str(),
-                              static_cast<unsigned long long>(
-                                  whole_need + scratch_slots),
-                              static_cast<unsigned long long>(
-                                  total_arrays));
-                    need_b[bi] = std::max(
-                        need_b[bi], layer.funcPlan.totalArrays(
-                                        layer.op.conv.m));
-                    min_b[bi] = std::max(
-                        min_b[bi],
-                        uint64_t(layer.funcPlan.chunks));
-                }
-            }
-            uint64_t need_sum = 0, min_sum = 0;
-            for (size_t bi = 0; bi < need_b.size(); ++bi) {
-                need_sum += need_b[bi];
-                min_sum += min_b[bi];
-            }
-            nc_assert(min_sum <= avail,
-                      "stage '%s' needs %llu arrays concurrently, "
-                      "cache has %llu",
-                      net.stages[si].name.c_str(),
-                      static_cast<unsigned long long>(min_sum +
-                                                      scratch_slots),
-                      static_cast<unsigned long long>(total_arrays));
-            // Every branch gets its need when the stage fits;
-            // otherwise the guaranteed minimum plus an equal share of
-            // the remainder (deterministic, capped at the need).
-            std::vector<uint64_t> band_b = need_b;
-            if (need_sum > avail) {
-                uint64_t left = avail - min_sum;
-                for (size_t bi = 0; bi < band_b.size(); ++bi) {
-                    uint64_t extra = std::min(
-                        need_b[bi] - min_b[bi],
-                        left / (band_b.size() - bi));
-                    band_b[bi] = min_b[bi] + extra;
-                    left -= extra;
-                }
-            }
-            uint64_t next = scratch_slots;
-            for (size_t bi = 0; bi < cstage.branches.size(); ++bi) {
-                for (size_t li : cstage.branches[bi].layerIdx) {
-                    CompiledLayer &layer = m.layers[li];
-                    bool on_arrays =
-                        layer.backend == BackendKind::Functional ||
-                        layer.backend == BackendKind::Isa;
-                    if (!layer.op.isConv() || !on_arrays)
-                        continue;
-                    place[li] = {next, band_b[bi], false};
-                    layer.baseArray = next;
-                    layer.bandArrays = band_b[bi];
-                    layer.bandResident = false;
-                }
-                next += band_b[bi];
-            }
-        }
-    }
-
-    // Scratch arrays: one per branch slot, materialized now so the
-    // parallel branch fan-out never mutates the lazy array map.
-    // Pure-reference models are CPU loops only and touch no arrays.
-    if (uses_func || uses_isa) {
-        for (uint64_t i = 0; i < scratch_slots; ++i)
-            m.cc->array(m.cc->coordOf(scratch_base + i));
-    }
-    for (auto &cstage : m.stages) {
-        for (size_t bi = 0; bi < cstage.branches.size(); ++bi) {
-            for (size_t li : cstage.branches[bi].layerIdx)
-                m.layers[li].scratchArray = scratch_base + bi;
-        }
-    }
-    m.scratchBase = scratch_base;
-
-    // Legacy direct Executor/LayerEngine helpers share slot 0.
-    m.ex->setScratchBase(scratch_base);
-    if (m.isaEngine)
-        m.isaEngine->setScratchBase(scratch_base);
-
-    // --- Pass C: prepare the per-layer kernels. --------------------
-    for (size_t li = 0; li < m.layers.size(); ++li) {
-        CompiledLayer &layer = m.layers[li];
-        if (layer.op.isConv()) {
-            const dnn::ConvOp &co = layer.op.conv;
-            if (layer.backend == BackendKind::Functional) {
-                layer.funcConv = m.ex->prepareConv(
-                    layer.weights, co.stride, co.samePad,
-                    place[li].base, place[li].band,
-                    place[li].resident);
-                // The band arithmetic above priced chunks from
-                // layer.funcPlan; the executor re-derives its plan
-                // from the same inputs — catch any drift before it
-                // can overlap adjacent bands.
-                nc_assert(layer.funcConv->chunksPerBatch() ==
-                                  layer.funcPlan.chunks &&
-                              layer.funcConv->plan().lanes ==
-                                  layer.funcPlan.lanes,
-                          "conv '%s': executor mapping (%u chunks, "
-                          "%u lanes) disagrees with the compile plan "
-                          "(%u chunks, %u lanes)",
-                          co.name.c_str(),
-                          layer.funcConv->chunksPerBatch(),
-                          layer.funcConv->plan().lanes,
-                          layer.funcPlan.chunks, layer.funcPlan.lanes);
-            } else if (layer.backend == BackendKind::Isa)
-                layer.isaConv = m.isaEngine->prepareConv(
-                    layer.weights, co.stride, co.samePad,
-                    place[li].base);
-        } else if (layer.op.kind == dnn::OpKind::EltwiseAdd) {
-            if (layer.backend == BackendKind::Functional)
-                layer.funcElt = m.ex->prepareEltwise(
-                    layer.requantMult, layer.requantShift,
-                    layer.scratchArray);
-            else if (layer.backend == BackendKind::Isa)
-                layer.isaElt = m.isaEngine->prepareEltwise(
-                    layer.requantMult, layer.requantShift,
-                    layer.scratchArray);
-        }
-    }
+    // --- Pass B + C: array placement and kernel preparation. ------
+    // Shared with the runtime repair path, which re-places the plan
+    // over fewer arrays after retirements — compile is just the
+    // first placement, over the BIST survivors.
+    (void)max_branches;
+    m.placeAndPrepare(false);
 
     // 3. Instantiate the backends the layers use.
     if (uses_ref)

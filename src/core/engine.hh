@@ -26,6 +26,7 @@
 
 #include "core/backend.hh"
 #include "core/compiled_model.hh"
+#include "sram/faults.hh"
 
 namespace nc::core
 {
@@ -50,6 +51,16 @@ struct EngineOptions
     NeuralCacheConfig config;
     /** Seed for deterministically generated absent weights. */
     uint64_t weightSeed = 0x5eed;
+    /**
+     * SRAM fault-injection campaign (sram/faults.hh). Disabled by
+     * default (no rates, no kill list) — then the fault machinery is
+     * never instantiated and execution is bit- and cost-identical to
+     * a build without it. The NC_FAULTS environment variable overlays
+     * these fields at Engine construction. Fault injection requires a
+     * functional backend: the analytic model has no arrays to break,
+     * so Analytic + faults is a hard error.
+     */
+    sram::faults::Config faults;
 };
 
 /** Compiles networks into immutable CompiledModels. */

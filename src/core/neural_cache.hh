@@ -45,6 +45,20 @@ struct InferenceReport
     unsigned imageSlots = 1;
     uint64_t batchPasses = 1;
 
+    /**
+     * @name Fault-tolerance counters (cumulative for the model)
+     *
+     * Zero unless fault injection is configured. arraysRetired
+     * counts BIST retirements plus runtime canary retirements;
+     * faultsDetected counts runtime canary detections; passRetries
+     * counts passes re-executed after a detect→repair cycle.
+     */
+    /// @{
+    uint64_t faultsDetected = 0;
+    uint64_t arraysRetired = 0;
+    uint64_t passRetries = 0;
+    /// @}
+
     /** Batch-1 equivalent per-image latency, picoseconds. */
     double latencyPs = 0;
     /** Whole-batch wall time, picoseconds (one socket). */

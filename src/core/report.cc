@@ -60,6 +60,9 @@ dumpStats(std::ostream &os, const InferenceReport &rep)
     os << "sim.spill_ms " << rep.spillPs * picoToMs << "\n";
     os << "sim.image_slots " << rep.imageSlots << "\n";
     os << "sim.batch_passes " << rep.batchPasses << "\n";
+    os << "sim.faults_detected " << rep.faultsDetected << "\n";
+    os << "sim.arrays_retired " << rep.arraysRetired << "\n";
+    os << "sim.pass_retries " << rep.passRetries << "\n";
 
     const auto &p = rep.phases;
     os << "phase.filter_load_ms " << p.filterLoadPs * picoToMs << "\n";

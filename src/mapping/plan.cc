@@ -449,21 +449,27 @@ planStageConcat(const dnn::Stage &stage)
 
 BatchBandPlan
 planBatchBands(uint64_t filter_arrays, unsigned scratch_slots,
-               const cache::Geometry &geom, bool fits_resident)
+               const cache::Geometry &geom, bool fits_resident,
+               uint64_t usable_arrays)
 {
+    uint64_t capacity = usable_arrays == 0 ? geom.totalArrays()
+                                           : usable_arrays;
+    nc_assert(capacity <= geom.totalArrays(),
+              "usable capacity %llu exceeds the %llu-array geometry",
+              static_cast<unsigned long long>(capacity),
+              static_cast<unsigned long long>(geom.totalArrays()));
     BatchBandPlan p;
     p.filterArrays = filter_arrays;
     p.scratchSlots = std::max(scratch_slots, 1u);
     p.perImageArrays = filter_arrays + p.scratchSlots;
-    p.resident =
-        fits_resident && p.perImageArrays <= geom.totalArrays();
+    p.resident = fits_resident && p.perImageArrays <= capacity;
     // Streaming layers time-share bands (and re-pin filter groups as
     // they run), so a second in-flight image would clobber the
     // first's filters — only the resident regime multi-slots.
     p.imageSlots =
         p.resident ? std::max<unsigned>(
                          1, static_cast<unsigned>(
-                                geom.totalArrays() / p.perImageArrays))
+                                capacity / p.perImageArrays))
                    : 1;
     return p;
 }

@@ -250,11 +250,16 @@ struct BatchBandPlan
  * arrays. @p fits_resident says whether one image's bands fit the
  * cache at all (callers that place layers themselves pass their
  * residency verdict; the streaming regime pins imageSlots to 1).
+ * @p usable_arrays caps the capacity below the geometry total when
+ * arrays have been retired (cache/health.hh); 0 means the full
+ * geometry. Residency and imageSlots both honor the cap, which is
+ * how capacity degrades gracefully as faults retire arrays.
  */
 BatchBandPlan planBatchBands(uint64_t filter_arrays,
                              unsigned scratch_slots,
                              const cache::Geometry &geom,
-                             bool fits_resident);
+                             bool fits_resident,
+                             uint64_t usable_arrays = 0);
 
 /**
  * Net-level convenience: derive the per-image footprint from every

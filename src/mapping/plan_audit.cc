@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "cache/compute_cache.hh"
 #include "common/logging.hh"
 #include "core/compiled_model.hh"
 
@@ -55,10 +56,17 @@ AuditReport::summary() const
 
 AuditReport
 auditRanges(const std::vector<AuditRange> &ranges,
-            const cache::Geometry &geom, const BatchBandPlan &bands)
+            const cache::Geometry &geom, const BatchBandPlan &bands,
+            uint64_t usable_arrays)
 {
     AuditReport rep;
-    const uint64_t total = geom.totalArrays();
+    const uint64_t total =
+        usable_arrays == 0 ? geom.totalArrays() : usable_arrays;
+    if (total > geom.totalArrays())
+        addViolation(rep, "usable capacity " + std::to_string(total) +
+                              " exceeds the " +
+                              std::to_string(geom.totalArrays()) +
+                              "-array geometry");
 
     // The §IV-E banding arithmetic itself.
     if (bands.scratchSlots < 1)
@@ -243,7 +251,43 @@ auditPlan(const core::CompiledModel &model)
         }
     }
 
-    AuditReport rep = auditRanges(ranges, geom, bands);
+    const cache::ComputeCache *cc = model.computeCache();
+    uint64_t usable = 0;
+    if (cc && cc->faultsConfigured())
+        usable = cc->usableArrays();
+
+    AuditReport rep = auditRanges(ranges, geom, bands, usable);
+
+    // The fault-tolerance invariant: no live range — in any image
+    // replica — may touch a retired physical array. The remap
+    // guarantees this by construction; the audit re-proves it after
+    // every compile and every runtime repair, because a repair bug
+    // here means silently computing on dead silicon.
+    if (cc && cc->health()) {
+        const cache::HealthMap &hm = *cc->health();
+        unsigned slots = bands.resident ? bands.imageSlots : 1;
+        for (const AuditRange &r : ranges) {
+            for (unsigned s = 0; s < slots; ++s) {
+                uint64_t off = uint64_t(s) * bands.perImageArrays;
+                if (r.base + off + r.arrays > cc->usableArrays())
+                    break; // out of capacity: reported above
+                for (uint64_t i = 0; i < r.arrays; ++i) {
+                    uint64_t logical = r.base + off + i;
+                    uint64_t phys = cc->physicalOf(logical);
+                    if (hm.healthy(phys))
+                        continue;
+                    addViolation(
+                        rep,
+                        describe(r) + " slot " + std::to_string(s) +
+                            " maps logical array " +
+                            std::to_string(logical) +
+                            " onto retired physical array " +
+                            std::to_string(phys));
+                }
+            }
+        }
+    }
+
     rep.violations.insert(rep.violations.begin(),
                           structural.violations.begin(),
                           structural.violations.end());

@@ -86,17 +86,26 @@ struct AuditReport
  * verify the §IV-E replica arithmetic of @p bands (ranges confined
  * to one image slot's footprint, slots inside the cache, streaming
  * pinned to one slot), and prove concurrently-live ranges pairwise
- * disjoint under the AuditRange liveness rules.
+ * disjoint under the AuditRange liveness rules. @p usable_arrays
+ * shrinks the capacity bound below the geometry when arrays have
+ * been retired (0 = the full geometry): ranges live in the dense
+ * logical space the health remap exposes, so the whole plan —
+ * replicas included — must fit the survivors.
  */
 AuditReport auditRanges(const std::vector<AuditRange> &ranges,
                         const cache::Geometry &geom,
-                        const BatchBandPlan &bands);
+                        const BatchBandPlan &bands,
+                        uint64_t usable_arrays = 0);
 
 /**
  * Audit @p model's compiled placement. Pure inspection: walks the
  * per-layer bands, scratch assignment, stage/branch structure, and
  * batch banding; never mutates the model or touches arrays. Analytic
  * models (no placement) still get their banding arithmetic checked.
+ * Models with configured faults are audited against the shrunken
+ * usable capacity, and every live logical index — every band, every
+ * scratch slot, every image replica — is proven to map to a healthy
+ * physical array (no live range touches a retired array).
  */
 AuditReport auditPlan(const core::CompiledModel &model);
 

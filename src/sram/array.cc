@@ -1,6 +1,7 @@
 #include "sram/array.hh"
 
 #include "common/logging.hh"
+#include "sram/faults.hh"
 #include "sram/ownership.hh"
 
 namespace nc::sram
@@ -18,8 +19,23 @@ void
 Array::checkRow(unsigned r) const
 {
     nc_dassert(r < nrows, "row %u out of %u", r, nrows);
-    (void)r;
     checkOwner();
+    // The fault-injection hook: the whole cost of an unfaulted array
+    // is this one pointer test (live in release builds, unlike the
+    // ownership gate above — see sram/faults.hh).
+    if (flt)
+        applyFaults(r);
+    (void)r;
+}
+
+void
+Array::applyFaults(unsigned r) const
+{
+    // checkRow is const because reads funnel through it, but fault
+    // application mutates the touched cells by design (stuck clamps,
+    // scrambles, flips are array state, not observer state).
+    auto *self = const_cast<Array *>(this);
+    self->flt->onTouch(self->cells[r], r);
 }
 
 void

@@ -46,6 +46,11 @@ namespace ownership
 class Registry;
 }
 
+namespace faults
+{
+class ArrayFaults;
+}
+
 /** One compute-capable SRAM array. Default geometry: 256 x 256 (8KB). */
 class Array
 {
@@ -180,6 +185,19 @@ class Array
      */
     void setOwnership(ownership::Registry *reg, uint64_t flat_index);
 
+    /**
+     * Attach a fault-injection record (sram/faults.hh): every
+     * subsequent touch of a word line re-applies the record's
+     * defects to it before the access proceeds. Unlike the ownership
+     * detector this is live in release builds — faults must be
+     * injectable under the optimized kernels — but an array without
+     * a record (the configured-but-ideal case) pays exactly one
+     * pointer test per touched row, and nothing at all reaches here
+     * when no registry is configured.
+     */
+    void setFaults(faults::ArrayFaults *rec) { flt = rec; }
+    const faults::ArrayFaults *faultRecord() const { return flt; }
+
   private:
     /** Sense phase of a dual-row activation (reference path). */
     struct Sensed
@@ -220,6 +238,8 @@ class Array
     void checkRow(unsigned r) const;
     /** Ownership-detector gate on every state access (debug only). */
     void checkOwner() const;
+    /** Cold path of the fault hook (out of line; checkRow branches). */
+    void applyFaults(unsigned r) const;
 
     unsigned nrows;
     unsigned ncols;
@@ -231,6 +251,7 @@ class Array
     bool refMode = false;
     ownership::Registry *ownReg = nullptr; ///< null: unchecked
     uint64_t ownIdx = 0;                   ///< flat index in ownReg
+    faults::ArrayFaults *flt = nullptr;    ///< null: ideal array
 };
 
 } // namespace nc::sram

@@ -1,0 +1,308 @@
+#include "sram/faults.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace nc::sram::faults
+{
+
+namespace
+{
+
+/**
+ * Stateless counter-mode hash (splitmix64 finalizer over a mixed
+ * key). All fault-site decisions derive from this, so a (seed,
+ * array, site) triple names the same defect on every run, thread
+ * count, and platform.
+ */
+uint64_t
+mix(uint64_t a, uint64_t b)
+{
+    uint64_t z = a + 0x9e3779b97f4a7c15ull * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Map a hash to a uniform real in [0, 1). */
+double
+toUnit(uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/** Site tags keep the per-array decision streams independent. */
+enum : uint64_t
+{
+    kSiteKill = 1,
+    kSiteStuck = 2,
+    kSiteStuckRow = 3,
+    kSiteStuckLane = 4,
+    kSiteStuckVal = 5,
+    kSiteTransient = 6,
+    kSiteTransientLane = 7,
+    kSiteScramble = 8,
+};
+
+uint64_t
+siteHash(uint64_t seed, uint64_t array, uint64_t site, uint64_t extra)
+{
+    return mix(mix(seed, array), mix(site, extra));
+}
+
+[[noreturn]] void
+badKey(const std::string &key)
+{
+    static const char *known[] = {"seed",      "stuck",   "transient",
+                                  "kill",      "kill_list", "bist",
+                                  "canary",    "retries"};
+    // Nearest known key by edit distance — same spirit as the
+    // unknown-NC_* variable rejection (common/env.cc).
+    size_t best = SIZE_MAX;
+    const char *hint = nullptr;
+    for (const char *k : known) {
+        size_t la = key.size(), lb = std::strlen(k);
+        std::vector<size_t> prev(lb + 1), cur(lb + 1);
+        for (size_t j = 0; j <= lb; ++j)
+            prev[j] = j;
+        for (size_t i = 1; i <= la; ++i) {
+            cur[0] = i;
+            for (size_t j = 1; j <= lb; ++j)
+                cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1,
+                                   prev[j - 1] +
+                                       (key[i - 1] != k[j - 1])});
+            std::swap(prev, cur);
+        }
+        if (prev[lb] < best) {
+            best = prev[lb];
+            hint = k;
+        }
+    }
+    nc_fatal("NC_FAULTS key '%s' is unknown; did you mean '%s'?",
+             key.c_str(), hint);
+}
+
+uint64_t
+parseU64(const std::string &key, const std::string &val)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(val.c_str(), &end, 0);
+    if (end == val.c_str() || *end != '\0' || errno == ERANGE ||
+        std::isspace(static_cast<unsigned char>(val[0])))
+        nc_fatal("NC_FAULTS %s='%s' is not an integer", key.c_str(),
+                 val.c_str());
+    return v;
+}
+
+double
+parseRate(const std::string &key, const std::string &val)
+{
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0' || errno == ERANGE ||
+        std::isspace(static_cast<unsigned char>(val[0])))
+        nc_fatal("NC_FAULTS %s='%s' is not a number", key.c_str(),
+                 val.c_str());
+    if (v < 0.0 || v > 1.0)
+        nc_fatal("NC_FAULTS %s=%s is outside [0, 1]", key.c_str(),
+                 val.c_str());
+    return v;
+}
+
+bool
+parseBool(const std::string &key, const std::string &val)
+{
+    if (val == "0" || val == "1")
+        return val == "1";
+    nc_fatal("NC_FAULTS %s='%s' must be 0 or 1", key.c_str(),
+             val.c_str());
+}
+
+} // namespace
+
+Config
+configFromEnv(Config base)
+{
+    const char *env = std::getenv("NC_FAULTS");
+    if (!env)
+        return base;
+    std::istringstream ss(env);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue; // tolerate "a=1,,b=2" / trailing commas
+        size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == item.size())
+            nc_fatal("NC_FAULTS item '%s' is not key=value",
+                     item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        if (key == "seed")
+            base.seed = parseU64(key, val);
+        else if (key == "stuck")
+            base.stuckRate = parseRate(key, val);
+        else if (key == "transient")
+            base.transientRate = parseRate(key, val);
+        else if (key == "kill")
+            base.killRate = parseRate(key, val);
+        else if (key == "kill_list") {
+            std::istringstream ls(val);
+            std::string idx;
+            while (std::getline(ls, idx, ':'))
+                base.killArrays.push_back(parseU64(key, idx));
+        } else if (key == "bist")
+            base.bist = parseBool(key, val);
+        else if (key == "canary")
+            base.canary = parseBool(key, val);
+        else if (key == "retries")
+            base.retryBudget =
+                static_cast<unsigned>(parseU64(key, val));
+        else
+            badKey(key);
+    }
+    return base;
+}
+
+bool
+ArrayFaults::faulty() const
+{
+    return dead || !stuckList.empty() || !pendingFlips.empty() ||
+           transientRate > 0;
+}
+
+void
+ArrayFaults::onTouch(BitRow &row, unsigned r)
+{
+    ++nTouches;
+
+    if (!pendingFlips.empty()) {
+        // Scheduled one-shot transients: flip and forget, applied at
+        // the next touch of the struck word line. Guard rows are
+        // touched by every canary scan, so a flip scheduled there is
+        // detected at the latest by the end of the current pass.
+        for (const auto &[fr, fl] : pendingFlips)
+            if (fr == r && fl < row.width())
+                row.set(fl, !row.get(fl));
+        std::erase_if(pendingFlips,
+                      [r](const auto &p) { return p.first == r; });
+    }
+
+    if (dead) {
+        // Dead periphery: every touched word line senses
+        // deterministic garbage (stable per (array, row, touch)).
+        for (size_t w = 0; w < row.wordCount(); ++w)
+            row.setWord(w, siteHash(seed, index, kSiteScramble,
+                                    (uint64_t(r) << 32) | w));
+        return;
+    }
+
+    for (const StuckCell &c : stuckList)
+        if (c.row == r && c.lane < row.width())
+            row.set(c.lane, c.value);
+
+    if (transientRate > 0 &&
+        toUnit(siteHash(seed, index, kSiteTransient, nTouches)) <
+            transientRate) {
+        unsigned lane = static_cast<unsigned>(
+            siteHash(seed, index, kSiteTransientLane, nTouches) %
+            row.width());
+        row.set(lane, !row.get(lane));
+    }
+}
+
+Registry::Registry(const Config &cfg_, uint64_t narrays,
+                   unsigned rows_, unsigned cols_)
+    : cfg(cfg_), n(narrays), rows(rows_), cols(cols_), records(narrays)
+{
+    // Decide every static defect now: the hot path must never
+    // allocate, and BIST must be able to enumerate suspect arrays
+    // without touching ideal ones.
+    for (uint64_t i = 0; i < n; ++i) {
+        bool dead =
+            cfg.killRate > 0 &&
+            toUnit(siteHash(cfg.seed, i, kSiteKill, 0)) < cfg.killRate;
+        bool stuck =
+            cfg.stuckRate > 0 &&
+            toUnit(siteHash(cfg.seed, i, kSiteStuck, 0)) <
+                cfg.stuckRate;
+        if (dead)
+            killArray(i);
+        if (stuck)
+            addStuck(i,
+                     static_cast<unsigned>(
+                         siteHash(cfg.seed, i, kSiteStuckRow, 0) %
+                         rows),
+                     static_cast<unsigned>(
+                         siteHash(cfg.seed, i, kSiteStuckLane, 0) %
+                         cols),
+                     (siteHash(cfg.seed, i, kSiteStuckVal, 0) & 1) !=
+                         0);
+        if (cfg.transientRate > 0)
+            ensureRecord(i).transientRate = cfg.transientRate;
+    }
+    for (uint64_t i : cfg.killArrays)
+        killArray(i);
+    for (const auto &[i, c] : cfg.stuckCells)
+        addStuck(i, c.row, c.lane, c.value);
+}
+
+ArrayFaults &
+Registry::ensureRecord(uint64_t index)
+{
+    nc_assert(index < n, "fault record index %llu out of %llu arrays",
+              static_cast<unsigned long long>(index),
+              static_cast<unsigned long long>(n));
+    auto &rec = records[index];
+    if (!rec) {
+        rec = std::make_unique<ArrayFaults>();
+        rec->index = index;
+        rec->seed = cfg.seed;
+        rec->cols = cols;
+    }
+    return *rec;
+}
+
+uint64_t
+Registry::staticFaultCount() const
+{
+    uint64_t count = 0;
+    for (const auto &rec : records)
+        count += rec && (rec->dead || !rec->stuckList.empty());
+    return count;
+}
+
+void
+Registry::killArray(uint64_t index)
+{
+    ensureRecord(index).dead = true;
+}
+
+void
+Registry::addStuck(uint64_t index, unsigned row, unsigned lane,
+                   bool value)
+{
+    nc_assert(row < rows && lane < cols,
+              "stuck cell (%u, %u) outside the %ux%u array", row,
+              lane, rows, cols);
+    ensureRecord(index).stuckList.push_back({row, lane, value});
+}
+
+void
+Registry::injectFlip(uint64_t index, unsigned row, unsigned lane)
+{
+    nc_assert(row < rows && lane < cols,
+              "transient site (%u, %u) outside the %ux%u array", row,
+              lane, rows, cols);
+    ensureRecord(index).pendingFlips.emplace_back(row, lane);
+}
+
+} // namespace nc::sram::faults

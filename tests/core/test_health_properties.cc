@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Plan-audit × health interaction, property-style: retire randomized
+ * array subsets on shrunken geometries and prove every randomized
+ * branch net still compiles past the static plan auditor
+ * (mapping::auditPlanOrDie runs on every compile), stays
+ * bit-identical to the fault-free reference, and degrades its image
+ * slots / residency regime at exactly the documented capacity
+ * thresholds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/engine.hh"
+#include "dnn/random.hh"
+
+#include "branch_nets.hh"
+
+namespace
+{
+
+using namespace nc;
+using core::BackendKind;
+
+/** 96 arrays: room for branch nets, small enough that a third of the
+ * cache dying visibly moves the capacity arithmetic. */
+core::EngineOptions
+shrunkenOpts()
+{
+    core::EngineOptions opts;
+    opts.backend = BackendKind::Functional;
+    opts.threads = 3;
+    opts.config.geometry.slices = 1;
+    opts.config.geometry.waysPerSlice = 6;
+    return opts;
+}
+
+TEST(HealthProperties, RandomRetirementsAuditCleanAndStayBitExact)
+{
+    const uint64_t total =
+        shrunkenOpts().config.geometry.totalArrays();
+    ASSERT_EQ(total, 96u);
+
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        Rng rng(0x4ea1 + seed);
+        const dnn::Network nets[] = {
+            testnets::randomMixedNet("hp-mixed", 5, 3, rng),
+            testnets::residualNet("hp-res", 6, 3, 4, 1),
+        };
+        for (const dnn::Network &net : nets) {
+            auto clean =
+                core::Engine(shrunkenOpts()).compile(net);
+            Rng irng(0xbeef ^ seed);
+            auto img = dnn::randomQTensor(irng, clean.inputChannels(),
+                                          clean.inputHeight(),
+                                          clean.inputWidth());
+            auto want = clean.run(img).output.data();
+            const uint64_t perImage =
+                clean.batchBands().perImageArrays;
+
+            // A random subset of up to a third of the cache dies.
+            std::set<uint64_t> kills;
+            uint64_t nkills = uint64_t(
+                rng.uniformInt(1, int64_t(total / 3)));
+            while (kills.size() < nkills)
+                kills.insert(
+                    uint64_t(rng.uniformInt(0, int64_t(total - 1))));
+
+            auto opts = shrunkenOpts();
+            opts.faults.killArrays.assign(kills.begin(),
+                                          kills.end());
+            // Compiling at all proves the degraded plan passed the
+            // static band auditor (it runs on every compile).
+            auto model = core::Engine(opts).compile(net);
+
+            auto res = model.run(img);
+            EXPECT_EQ(res.output.data(), want)
+                << net.name << " seed " << seed << " with "
+                << kills.size() << " arrays dead";
+            EXPECT_EQ(res.report.arraysRetired, kills.size());
+
+            // Capacity arithmetic: the per-image footprint never
+            // changes, the slot count shrinks to what survives.
+            const auto &bands = model.batchBands();
+            EXPECT_EQ(bands.perImageArrays, perImage);
+            const uint64_t usable = total - kills.size();
+            ASSERT_EQ(model.computeCache()->usableArrays(), usable);
+            if (bands.resident)
+                EXPECT_EQ(bands.imageSlots, usable / perImage);
+            else
+                EXPECT_EQ(bands.imageSlots, 1u);
+        }
+    }
+}
+
+TEST(HealthProperties, DegradationThresholdsAreExact)
+{
+    // 20 single-array ways; this net pins 5 filter arrays + 1
+    // scratch slot per image (the §IV-E over-capacity fixture), so
+    // the slot ladder is pure division: 18 usable → 3 slots, 12 → 2,
+    // 6 → 1, and 5 — less than one image's footprint — forces the
+    // streaming regime.
+    dnn::Network net;
+    net.name = "hp-thresholds";
+    net.stages.push_back(dnn::singleOpStage(
+        "conv1", dnn::conv("conv1", 8, 8, 3, 3, 3, 2)));
+    net.stages.push_back(dnn::singleOpStage(
+        "pool1", dnn::maxPool("pool1", 8, 8, 2, 2, 2, 2)));
+    net.stages.push_back(dnn::singleOpStage(
+        "head", dnn::conv("head", 4, 4, 2, 1, 1, 3)));
+
+    core::EngineOptions opts;
+    opts.backend = BackendKind::Functional;
+    opts.threads = 3;
+    opts.config.geometry.slices = 1;
+    opts.config.geometry.waysPerSlice = 20;
+    opts.config.geometry.banksPerWay = 1;
+    opts.config.geometry.subarraysPerBank = 1;
+    opts.config.geometry.arraysPerSubarray = 1;
+
+    auto clean = core::Engine(opts).compile(net);
+    ASSERT_TRUE(clean.batchBands().resident);
+    ASSERT_EQ(clean.batchBands().perImageArrays, 6u);
+    ASSERT_EQ(clean.batchBands().imageSlots, 3u);
+
+    Rng rng(0x7e57);
+    std::vector<dnn::QTensor> inputs;
+    for (unsigned i = 0; i < 4; ++i)
+        inputs.push_back(dnn::randomQTensor(rng, 3, 8, 8));
+    std::vector<std::vector<uint8_t>> want;
+    for (const auto &in : inputs)
+        want.push_back(clean.run(in).output.data());
+
+    struct Step
+    {
+        uint64_t killed;
+        bool resident;
+        unsigned slots;
+    } ladder[] = {
+        {2, true, 3},   // 18 usable: capacity untouched by the loss
+        {8, true, 2},   // 12 usable: one slot shed
+        {14, true, 1},  // 6 usable: exactly one image fits
+        {15, false, 1}, // 5 usable: below one footprint — streaming
+    };
+    for (const Step &step : ladder) {
+        auto fopts = opts;
+        for (uint64_t i = 0; i < step.killed; ++i)
+            fopts.faults.killArrays.push_back(i);
+        auto model = core::Engine(fopts).compile(net);
+        EXPECT_EQ(model.batchBands().resident, step.resident)
+            << step.killed << " killed";
+        EXPECT_EQ(model.batchBands().imageSlots, step.slots)
+            << step.killed << " killed";
+        for (size_t i = 0; i < inputs.size(); ++i)
+            EXPECT_EQ(model.run(inputs[i]).output.data(), want[i])
+                << step.killed << " killed, image " << i;
+    }
+
+    // One batch on the degraded two-slot plan: time-sliced into two
+    // passes, still bit-identical to the fault-free serial loop.
+    auto fopts = opts;
+    for (uint64_t i = 0; i < 8; ++i)
+        fopts.faults.killArrays.push_back(i);
+    auto model = core::Engine(fopts).compile(net);
+    auto res = model.runBatch(inputs);
+    ASSERT_EQ(res.outputs.size(), inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i)
+        EXPECT_EQ(res.outputs[i].data(), want[i]) << i;
+    EXPECT_EQ(res.report.imageSlots, 2u);
+    EXPECT_EQ(res.report.batchPasses, 2u);
+}
+
+} // namespace

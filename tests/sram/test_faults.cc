@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Fault-injection registry semantics: deterministic fault-site
+ * decisions, sense-time application at the checkRow funnel, strict
+ * NC_FAULTS parsing, and the zero-overhead identity of record-less
+ * arrays.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sram/array.hh"
+#include "sram/faults.hh"
+
+namespace
+{
+
+using namespace nc;
+using sram::Array;
+namespace flt = nc::sram::faults;
+
+TEST(FaultConfig, EnabledOnlyWhenAFaultSourceIsSet)
+{
+    flt::Config cfg;
+    EXPECT_FALSE(cfg.enabled()); // seed/bist/canary alone arm nothing
+
+    flt::Config stuck;
+    stuck.stuckRate = 0.1;
+    EXPECT_TRUE(stuck.enabled());
+
+    flt::Config killed;
+    killed.killArrays = {3};
+    EXPECT_TRUE(killed.enabled());
+
+    flt::Config cell;
+    cell.stuckCells = {{0, {1, 2, true}}};
+    EXPECT_TRUE(cell.enabled());
+}
+
+TEST(FaultRegistry, SameSeedSameCampaignAcrossRegistries)
+{
+    flt::Config cfg;
+    cfg.seed = 42;
+    cfg.killRate = 0.3;
+    cfg.stuckRate = 0.3;
+    flt::Registry a(cfg, 64, 16, 32), b(cfg, 64, 16, 32);
+    ASSERT_GT(a.staticFaultCount(), 0u);
+    EXPECT_EQ(a.staticFaultCount(), b.staticFaultCount());
+    for (uint64_t i = 0; i < 64; ++i) {
+        const flt::ArrayFaults *ra = a.recordFor(i);
+        const flt::ArrayFaults *rb = b.recordFor(i);
+        ASSERT_EQ(ra == nullptr, rb == nullptr) << "array " << i;
+        if (!ra)
+            continue;
+        EXPECT_EQ(ra->killed(), rb->killed()) << "array " << i;
+        ASSERT_EQ(ra->stuck().size(), rb->stuck().size());
+        for (size_t s = 0; s < ra->stuck().size(); ++s) {
+            EXPECT_EQ(ra->stuck()[s].row, rb->stuck()[s].row);
+            EXPECT_EQ(ra->stuck()[s].lane, rb->stuck()[s].lane);
+            EXPECT_EQ(ra->stuck()[s].value, rb->stuck()[s].value);
+        }
+    }
+
+    // A different seed draws a different campaign.
+    flt::Config other = cfg;
+    other.seed = 43;
+    flt::Registry c(other, 64, 16, 32);
+    bool differs = a.staticFaultCount() != c.staticFaultCount();
+    for (uint64_t i = 0; !differs && i < 64; ++i) {
+        const flt::ArrayFaults *ra = a.recordFor(i);
+        const flt::ArrayFaults *rc = c.recordFor(i);
+        differs = (ra == nullptr) != (rc == nullptr) ||
+                  (ra && rc && ra->killed() != rc->killed());
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultArray, DeadArraySensesDeterministicGarbage)
+{
+    flt::Config cfg;
+    flt::Registry reg(cfg, 4, 8, 32);
+    reg.killArray(2);
+    Array arr(8, 32);
+    arr.setFaults(reg.recordFor(2));
+    EXPECT_NE(arr.rowRef(0).popcount(), 0u); // zeroed cells lie
+
+    // The garbage is stable per (array, row, word): a second
+    // identically-configured pair senses the same bits.
+    flt::Registry reg2(cfg, 4, 8, 32);
+    reg2.killArray(2);
+    Array arr2(8, 32);
+    arr2.setFaults(reg2.recordFor(2));
+    const sram::BitRow &r = arr.rowRef(3);
+    const sram::BitRow &r2 = arr2.rowRef(3);
+    for (size_t w = 0; w < r.wordCount(); ++w)
+        EXPECT_EQ(r.word(w), r2.word(w)) << "word " << w;
+}
+
+TEST(FaultArray, StuckCellClampsOnEveryTouch)
+{
+    flt::Config cfg;
+    flt::Registry reg(cfg, 2, 8, 32);
+    reg.addStuck(0, 3, 5, true);
+    reg.addStuck(1, 1, 2, false);
+
+    Array hi(8, 32);
+    hi.setFaults(reg.recordFor(0));
+    hi.rowMut(3) = sram::BitRow(32); // write all-zero
+    EXPECT_TRUE(hi.peek(3, 5));      // clamps at sense
+    EXPECT_FALSE(hi.peek(3, 4));     // neighbors untouched
+
+    Array lo(8, 32);
+    lo.setFaults(reg.recordFor(1));
+    lo.poke(1, 2, true); // the cell cannot hold a one
+    EXPECT_FALSE(lo.peek(1, 2));
+}
+
+TEST(FaultArray, PendingFlipAppliesExactlyOnce)
+{
+    flt::Config cfg;
+    flt::Registry reg(cfg, 1, 8, 32);
+    reg.injectFlip(0, 2, 7);
+    Array arr(8, 32);
+    arr.setFaults(reg.recordFor(0));
+    EXPECT_TRUE(arr.peek(2, 7));  // applied at the first touch
+    EXPECT_TRUE(arr.peek(2, 7));  // not re-flipped on later touches
+    EXPECT_EQ(arr.rowRef(2).popcount(), 1u);
+    EXPECT_EQ(arr.rowRef(1).popcount(), 0u); // other rows untouched
+}
+
+TEST(FaultArray, TransientRateOneFlipsOneBitPerTouch)
+{
+    flt::Config cfg;
+    cfg.transientRate = 1.0;
+    flt::Registry reg(cfg, 1, 8, 32);
+    Array arr(8, 32);
+    arr.setFaults(reg.recordFor(0));
+    EXPECT_EQ(arr.rowRef(0).popcount(), 1u);
+}
+
+TEST(FaultArray, RecordlessArrayBehavesIdentically)
+{
+    // A registry is armed, but this array drew no defects: its record
+    // is null and behavior must be bit-identical to a fault-free
+    // array.
+    flt::Config cfg;
+    flt::Registry reg(cfg, 2, 8, 32);
+    reg.killArray(0);
+    ASSERT_EQ(reg.recordFor(1), nullptr);
+
+    Array ideal(8, 32), hooked(8, 32);
+    hooked.setFaults(reg.recordFor(1));
+    for (unsigned r = 0; r < 8; ++r)
+        for (unsigned l = 0; l < 32; l += 3) {
+            ideal.poke(r, l, true);
+            hooked.poke(r, l, true);
+        }
+    for (unsigned r = 0; r < 8; ++r)
+        for (size_t w = 0; w < ideal.rowRef(r).wordCount(); ++w)
+            EXPECT_EQ(ideal.rowRef(r).word(w),
+                      hooked.rowRef(r).word(w));
+}
+
+TEST(FaultEnv, OverlaysEveryKeyAndToleratesEmptyItems)
+{
+    setenv("NC_FAULTS",
+           "seed=0x5,stuck=0.25,transient=0.5,kill=1,,"
+           "kill_list=1:2:3,bist=0,canary=0,retries=7,",
+           1);
+    flt::Config cfg = flt::configFromEnv();
+    EXPECT_EQ(cfg.seed, 5u);
+    EXPECT_DOUBLE_EQ(cfg.stuckRate, 0.25);
+    EXPECT_DOUBLE_EQ(cfg.transientRate, 0.5);
+    EXPECT_DOUBLE_EQ(cfg.killRate, 1.0);
+    ASSERT_EQ(cfg.killArrays.size(), 3u);
+    EXPECT_EQ(cfg.killArrays[0], 1u);
+    EXPECT_EQ(cfg.killArrays[2], 3u);
+    EXPECT_FALSE(cfg.bist);
+    EXPECT_FALSE(cfg.canary);
+    EXPECT_EQ(cfg.retryBudget, 7u);
+    unsetenv("NC_FAULTS");
+
+    // Without the variable the base passes through untouched.
+    flt::Config base;
+    base.stuckRate = 0.125;
+    EXPECT_DOUBLE_EQ(flt::configFromEnv(base).stuckRate, 0.125);
+}
+
+using FaultEnvDeath = ::testing::Test;
+
+TEST(FaultEnvDeath, MalformedCampaignsDieLoudly)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    struct Case
+    {
+        const char *value;
+        const char *expect;
+    } cases[] = {
+        {"stuk=0.5", "did you mean 'stuck'"},
+        {"retrys=3", "did you mean 'retries'"},
+        {"stuck=1.5", "outside"},
+        {"stuck=abc", "not a number"},
+        {"retries", "not key=value"},
+        {"=3", "not key=value"},
+        {"bist=2", "must be 0 or 1"},
+        {"seed=12junk", "not an integer"},
+    };
+    for (const auto &[value, expect] : cases) {
+        setenv("NC_FAULTS", value, 1);
+        EXPECT_DEATH((void)flt::configFromEnv(), expect)
+            << "NC_FAULTS='" << value << "'";
+    }
+    unsetenv("NC_FAULTS");
+}
+
+} // namespace
