@@ -18,8 +18,13 @@
  * adds the faults section: the same batch with dead arrays — BIST
  * retire at compile, a mid-batch soft error healed by the canary
  * repair path — priced against the fault-free run, outputs still
- * bit-identical. See ROADMAP.md "Performance & benchmarking" for
- * the schema.
+ * bit-identical. Schema 5 adds the serve section: the deadline-
+ * driven dynamic batcher behind the loopback transport — closed-loop
+ * p50/p99 latency, images/s, mean batch occupancy, every served
+ * output verified bit-identical to direct runBatch, plus a paused-
+ * batcher probe proving admission control rejects (typed, counted)
+ * past --max-inflight. See ROADMAP.md "Performance & benchmarking"
+ * for the schema.
  * Usage: perf_report [output.json]
  */
 
@@ -37,6 +42,8 @@
 #include "core/neural_cache.hh"
 #include "dnn/inception_v3.hh"
 #include "dnn/reference.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
 
 #include "batch_net.hh"
 
@@ -267,6 +274,66 @@ main(int argc, char **argv)
     nc_assert(healed.report.passRetries > 0,
               "canary repair did not retry any pass");
 
+    // ---- serve: dynamic batching behind the loopback transport -------
+    // The serving front end around the same image-parallel model:
+    // closed-loop clients through the wire protocol, the batcher
+    // coalescing under its deadline, every served output compared
+    // bit for bit against the direct runBatch of the same inputs.
+    const unsigned kServeRequests = 48, kServeClients = 4;
+    serve::LoadStats serveStats;
+    {
+        serve::ServerOptions sopts;
+        sopts.batcher.deadlineMs = 2;
+        sopts.batcher.maxInflight = 256;
+        serve::InferenceServer server(par_model, sopts);
+        serve::LoadGenOptions lopts;
+        lopts.requests = kServeRequests;
+        lopts.clients = kServeClients;
+        lopts.seed = 1;
+        serveStats = serve::runLoadGen(par_model, server, lopts);
+        server.shutdown();
+    }
+    nc_assert(serveStats.completed == kServeRequests &&
+                  serveStats.mismatched == 0 &&
+                  serveStats.errors == 0,
+              "serve run lost or corrupted requests: %llu ok, %llu "
+              "mismatched, %llu errors",
+              static_cast<unsigned long long>(serveStats.completed),
+              static_cast<unsigned long long>(serveStats.mismatched),
+              static_cast<unsigned long long>(serveStats.errors));
+
+    // Backpressure, demonstrated rather than assumed: a paused
+    // batcher with a cap of 4 must queue the first four requests and
+    // reject the overflow with the typed status, never silently.
+    const unsigned kCap = 4, kOffered = 8;
+    uint64_t serveRejected = 0;
+    {
+        serve::ServerOptions sopts;
+        sopts.batcher.maxInflight = kCap;
+        sopts.batcher.startPaused = true;
+        serve::InferenceServer server(par_model, sopts);
+        auto client = server.loopback();
+        for (unsigned i = 0; i < kOffered; ++i) {
+            serve::wire::RequestFrame req;
+            req.id = i + 1;
+            req.input = images[i % kBatch];
+            client.send(req);
+        }
+        server.batcher().resume();
+        for (unsigned i = 0; i < kOffered; ++i) {
+            auto rsp = client.receive();
+            nc_assert(rsp.has_value(),
+                      "backpressure probe response %u missing", i);
+            if (rsp->status == serve::wire::Status::Rejected)
+                ++serveRejected;
+        }
+        server.shutdown();
+    }
+    nc_assert(serveRejected == kOffered - kCap,
+              "cap %u rejected %llu of %u offered", kCap,
+              static_cast<unsigned long long>(serveRejected),
+              kOffered);
+
     unsigned threads = common::ThreadPool::defaultThreads();
     std::FILE *f = std::fopen(path, "w");
     if (!f)
@@ -274,7 +341,7 @@ main(int argc, char **argv)
     std::fprintf(f,
         "{\n"
         "  \"bench\": \"simspeed\",\n"
-        "  \"schema\": 4,\n"
+        "  \"schema\": 5,\n"
         "  \"threads\": %u,\n"
         "  \"micro\": {\n"
         "    \"opadd_mops\": %.2f,\n"
@@ -325,6 +392,23 @@ main(int argc, char **argv)
         "    \"repair_retired_total\": %llu,\n"
         "    \"repair_pass_retries\": %llu,\n"
         "    \"outputs\": \"bit-identical\"\n"
+        "  },\n"
+        "  \"serve\": {\n"
+        "    \"network\": \"%s\",\n"
+        "    \"transport\": \"loopback\",\n"
+        "    \"loop\": \"closed\",\n"
+        "    \"requests\": %u,\n"
+        "    \"clients\": %u,\n"
+        "    \"deadline_ms\": 2,\n"
+        "    \"max_inflight\": 256,\n"
+        "    \"p50_ms\": %.3f,\n"
+        "    \"p99_ms\": %.3f,\n"
+        "    \"images_per_s\": %.1f,\n"
+        "    \"mean_occupancy\": %.2f,\n"
+        "    \"backpressure_cap\": %u,\n"
+        "    \"backpressure_offered\": %u,\n"
+        "    \"rejected\": %llu,\n"
+        "    \"outputs\": \"bit-identical\"\n"
         "  }\n"
         "}\n",
         threads,
@@ -347,7 +431,11 @@ main(int argc, char **argv)
         (batch_fault_s / batch_par_s - 1.0) * 100.0,
         static_cast<unsigned long long>(healed.report.faultsDetected),
         static_cast<unsigned long long>(healed.report.arraysRetired),
-        static_cast<unsigned long long>(healed.report.passRetries));
+        static_cast<unsigned long long>(healed.report.passRetries),
+        bnet.name.c_str(), kServeRequests, kServeClients,
+        serveStats.p50Ms, serveStats.p99Ms, serveStats.imagesPerSec,
+        serveStats.meanOccupancy, kCap, kOffered,
+        static_cast<unsigned long long>(serveRejected));
     std::fclose(f);
 
     std::printf("perf_report: opAdd %.1f Mops/s (ref %.2f, %.0fx), "
@@ -378,6 +466,15 @@ main(int argc, char **argv)
                     healed.report.arraysRetired),
                 static_cast<unsigned long long>(
                     healed.report.passRetries));
+    std::printf("perf_report: serve %u reqs, %u clients over "
+                "loopback: p50 %.2f ms, p99 %.2f ms, %.1f img/s, "
+                "mean occupancy %.2f; cap-%u probe rejected %llu of "
+                "%u, outputs bit-identical\n",
+                kServeRequests, kServeClients, serveStats.p50Ms,
+                serveStats.p99Ms, serveStats.imagesPerSec,
+                serveStats.meanOccupancy, kCap,
+                static_cast<unsigned long long>(serveRejected),
+                kOffered);
     std::printf("perf_report: wrote %s\n", path);
     return 0;
 }

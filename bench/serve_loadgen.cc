@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Load generator for the inference serving front end.
+ *
+ * Hosts an InferenceServer around the shared "batch-functional"
+ * workload (bench/batch_net.hh) and drives it with open- or
+ * closed-loop traffic over either transport, recording p50/p99
+ * latency, images/s, the batch-occupancy histogram, and the
+ * backpressure reject count — optionally as JSON for CI artifacts.
+ * Every served output is verified bit-identical to a direct
+ * CompiledModel::runBatch of the same inputs unless --no-verify;
+ * the process exits nonzero on any mismatch or transport error, so
+ * CI can gate on it.
+ *
+ * Usage: serve_loadgen [--mode loopback|socket] [--requests N]
+ *          [--clients N] [--rate RPS] [--threads N] [--seed S]
+ *          [--port P] [--deadline-ms D] [--max-inflight M]
+ *          [--priority P] [--json PATH] [--no-verify]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/argparse.hh"
+#include "common/logging.hh"
+#include "core/engine.hh"
+#include "serve/flags.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
+
+#include "batch_net.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nc;
+
+    serve::ServeFlags flags;
+    std::string mode = "loopback";
+    unsigned requests = 64, clients = 4, threads = 0;
+    double rate = 0;
+    uint64_t seed = 1;
+    std::string jsonPath;
+    bool noVerify = false;
+    common::ArgParser args("serve_loadgen",
+                           "Load generator for the serving front end");
+    flags.registerWith(args);
+    args.addString("mode", &mode, "loopback|socket transport");
+    args.addUint("requests", &requests, "total requests to send", 1,
+                 1u << 20);
+    args.addUint("clients", &clients, "concurrent client channels", 1,
+                 256);
+    args.addDouble("rate", &rate,
+                   "open-loop arrivals/s (0 = closed loop)");
+    args.addUnsigned("threads", &threads, "engine workers (0 = auto)");
+    args.addUint64("seed", &seed, "request input seed");
+    args.addString("json", &jsonPath, "write stats JSON here");
+    args.addFlag("no-verify", &noVerify,
+                 "skip the direct-runBatch parity check");
+    args.parse(argc, argv);
+    if (mode != "loopback" && mode != "socket")
+        nc_fatal("--mode must be loopback or socket (got '%s')",
+                 mode.c_str());
+
+    // The shared §IV-E bench workload, so serve numbers stay
+    // comparable with the batch section of BENCH_simspeed.json.
+    auto net = benchnet::batchFunctionalNet();
+    core::EngineOptions eopts;
+    eopts.backend = core::BackendKind::Functional;
+    eopts.threads = threads;
+    core::Engine engine(eopts);
+    auto model = engine.compile(net);
+
+    serve::InferenceServer server(model, flags.serverOptions());
+    if (mode == "socket") {
+        std::string err;
+        if (!server.start(&err))
+            nc_fatal("cannot start the socket server (%s) — use "
+                     "--mode loopback", err.c_str());
+        std::printf("serve_loadgen: serving on 127.0.0.1:%u\n",
+                    server.port());
+    }
+
+    serve::LoadGenOptions lopts;
+    lopts.requests = requests;
+    lopts.clients = clients;
+    lopts.openLoopRps = rate;
+    lopts.priority = flags.priority;
+    lopts.seed = seed;
+    lopts.verify = !noVerify;
+    lopts.overSocket = mode == "socket";
+    auto stats = serve::runLoadGen(model, server, lopts);
+    server.shutdown();
+
+    std::printf(
+        "serve_loadgen: %s %s, %u clients: %llu ok, %llu rejected, "
+        "%llu errors — p50 %.2f ms, p99 %.2f ms, %.1f img/s, "
+        "mean occupancy %.2f (deadline %u ms, max-inflight %u)\n",
+        mode.c_str(), rate > 0 ? "open-loop" : "closed-loop", clients,
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.rejected),
+        static_cast<unsigned long long>(stats.errors), stats.p50Ms,
+        stats.p99Ms, stats.imagesPerSec, stats.meanOccupancy,
+        flags.deadlineMs, flags.maxInflight);
+    if (!noVerify)
+        std::printf("serve_loadgen: %llu/%llu served outputs "
+                    "bit-identical to direct runBatch\n",
+                    static_cast<unsigned long long>(stats.completed -
+                                                    stats.mismatched),
+                    static_cast<unsigned long long>(stats.completed));
+
+    if (!jsonPath.empty()) {
+        std::FILE *f = std::fopen(jsonPath.c_str(), "w");
+        if (!f)
+            nc_fatal("cannot open %s for writing", jsonPath.c_str());
+        std::fprintf(f,
+            "{\n"
+            "  \"bench\": \"serve\",\n"
+            "  \"schema\": 1,\n"
+            "  \"mode\": \"%s\",\n"
+            "  \"loop\": \"%s\",\n"
+            "  \"requests\": %u,\n"
+            "  \"clients\": %u,\n"
+            "  \"rate_rps\": %.1f,\n"
+            "  \"deadline_ms\": %u,\n"
+            "  \"max_inflight\": %u,\n"
+            "  \"completed\": %llu,\n"
+            "  \"rejected\": %llu,\n"
+            "  \"errors\": %llu,\n"
+            "  \"p50_ms\": %.3f,\n"
+            "  \"p99_ms\": %.3f,\n"
+            "  \"images_per_s\": %.1f,\n"
+            "  \"mean_occupancy\": %.2f,\n"
+            "  \"occupancy_hist\": [",
+            mode.c_str(), rate > 0 ? "open" : "closed", requests,
+            clients, rate, flags.deadlineMs, flags.maxInflight,
+            static_cast<unsigned long long>(stats.completed),
+            static_cast<unsigned long long>(stats.rejected),
+            static_cast<unsigned long long>(stats.errors),
+            stats.p50Ms, stats.p99Ms, stats.imagesPerSec,
+            stats.meanOccupancy);
+        for (size_t n = 1; n < stats.occupancyHist.size(); ++n)
+            std::fprintf(f, "%s%llu", n > 1 ? ", " : "",
+                         static_cast<unsigned long long>(
+                             stats.occupancyHist[n]));
+        std::fprintf(f,
+            "],\n"
+            "  \"verified\": \"%s\"\n"
+            "}\n",
+            noVerify ? "skipped"
+                     : (stats.mismatched ? "MISMATCH"
+                                         : "bit-identical"));
+        std::fclose(f);
+        std::printf("serve_loadgen: wrote %s\n", jsonPath.c_str());
+    }
+
+    if (stats.mismatched > 0)
+        nc_fatal("%llu served outputs diverged from direct runBatch",
+                 static_cast<unsigned long long>(stats.mismatched));
+    if (stats.errors > 0)
+        nc_fatal("%llu requests failed in transport",
+                 static_cast<unsigned long long>(stats.errors));
+    return 0;
+}

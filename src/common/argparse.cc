@@ -22,6 +22,15 @@ ArgParser::addUnsigned(const std::string &name, unsigned *target,
 }
 
 void
+ArgParser::addUint(const std::string &name, unsigned *target,
+                   const std::string &help, unsigned minVal,
+                   unsigned maxVal)
+{
+    Option opt{name, help, Type::Unsigned, target, minVal, maxVal};
+    options.push_back(opt);
+}
+
+void
 ArgParser::addUint64(const std::string &name, uint64_t *target,
                      const std::string &help)
 {
@@ -93,11 +102,20 @@ ArgParser::assign(const Option &opt, const std::string &value,
                 "' is not a valid non-negative integer";
         return false;
     }
-    if (opt.type == Type::Unsigned)
+    if (opt.type == Type::Unsigned) {
+        if (parsed < opt.minVal || parsed > opt.maxVal) {
+            std::ostringstream os;
+            os << "--" << opt.name << ": " << value
+               << " out of range [" << opt.minVal << ", "
+               << opt.maxVal << "]";
+            error = os.str();
+            return false;
+        }
         *static_cast<unsigned *>(opt.target) =
             static_cast<unsigned>(parsed);
-    else
+    } else {
         *static_cast<uint64_t *>(opt.target) = parsed;
+    }
     return true;
 }
 

@@ -37,6 +37,15 @@ class ArgParser
     /** Register an unsigned option; *target keeps its default. */
     void addUnsigned(const std::string &name, unsigned *target,
                      const std::string &help);
+    /**
+     * Register a bounded unsigned option: strict parse plus a range
+     * check, so out-of-range values (a port over 65535, a priority
+     * over the wire band) die naming the flag and the valid range
+     * instead of wrapping or passing through.
+     */
+    void addUint(const std::string &name, unsigned *target,
+                 const std::string &help, unsigned minVal,
+                 unsigned maxVal);
     /** Register a 64-bit unsigned option (seeds). */
     void addUint64(const std::string &name, uint64_t *target,
                    const std::string &help);
@@ -77,6 +86,9 @@ class ArgParser
         std::string help;
         Type type = Type::String;
         void *target = nullptr;
+        /** Inclusive bounds, Unsigned only (addUint sets them). */
+        unsigned minVal = 0;
+        unsigned maxVal = 0xffffffffu;
     };
 
     const Option *find(const std::string &name) const;

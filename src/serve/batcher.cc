@@ -1,0 +1,240 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nc::serve
+{
+
+namespace
+{
+
+double
+msSince(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+} // namespace
+
+double
+BatcherStats::meanOccupancy() const
+{
+    uint64_t images = 0, flushes = 0;
+    for (size_t n = 1; n < occupancyHist.size(); ++n) {
+        images += n * occupancyHist[n];
+        flushes += occupancyHist[n];
+    }
+    return flushes ? static_cast<double>(images) / flushes : 0.0;
+}
+
+DynamicBatcher::DynamicBatcher(core::CompiledModel &model_,
+                               BatcherOptions opts_)
+    : model(model_), opts(opts_)
+{
+    if (!model.functional())
+        nc_fatal("DynamicBatcher needs a functional model: backend "
+                 "'%s' produces no output tensors to serve",
+                 core::backendKindName(model.backend()));
+    if (opts.maxInflight == 0)
+        nc_fatal("DynamicBatcher: maxInflight must be >= 1");
+    if (opts.deadlineMs == 0)
+        nc_fatal("DynamicBatcher: deadlineMs must be >= 1");
+    perPass = opts.maxBatch ? opts.maxBatch
+                            : model.batchBands().imageSlots;
+    perPass = std::clamp(perPass, 1u, core::CompiledModel::kMaxBatch);
+    counters.occupancyHist.assign(perPass + 1, 0);
+    paused = opts.startPaused;
+    runner = std::thread([this] { runnerLoop(); });
+}
+
+DynamicBatcher::~DynamicBatcher()
+{
+    drain();
+}
+
+void
+DynamicBatcher::submit(dnn::QTensor input, uint8_t priority,
+                       Completion done)
+{
+    nc_assert(priority <= wire::kMaxPriority,
+              "priority %u out of band", priority);
+    Result refusal;
+    {
+        std::lock_guard lk(mtx);
+        if (draining || stopped) {
+            refusal.status = wire::Status::ShuttingDown;
+            refusal.message = "server is draining";
+        } else if (input.channels() != model.inputChannels() ||
+                   input.height() != model.inputHeight() ||
+                   input.width() != model.inputWidth()) {
+            refusal.status = wire::Status::BadRequest;
+            refusal.message = detail::format(
+                "input shape %ux%ux%u does not match the model's "
+                "%ux%ux%u",
+                input.channels(), input.height(), input.width(),
+                model.inputChannels(), model.inputHeight(),
+                model.inputWidth());
+            ++counters.badRequests;
+        } else if (queue.size() + executing >= opts.maxInflight) {
+            refusal.status = wire::Status::Rejected;
+            refusal.message = detail::format(
+                "in-flight cap %u reached — backpressure",
+                opts.maxInflight);
+            ++counters.rejected;
+        } else {
+            ++counters.accepted;
+            queue.push_back(Pending{std::move(input), priority,
+                                    nextSeq++, Clock::now(),
+                                    std::move(done)});
+            cv.notify_all();
+            return;
+        }
+    }
+    // Refusals complete inline on the caller's thread, outside the
+    // lock (the completion may immediately resubmit).
+    done(std::move(refusal));
+}
+
+std::vector<DynamicBatcher::Pending>
+DynamicBatcher::takeBatch()
+{
+    // Deterministic composition: highest priority first, admission
+    // order (seq) as the tie-break. seq is unique, so this is a total
+    // order — identical submissions compose identical batches.
+    std::sort(queue.begin(), queue.end(),
+              [](const Pending &a, const Pending &b) {
+                  if (a.priority != b.priority)
+                      return a.priority > b.priority;
+                  return a.seq < b.seq;
+              });
+    size_t n = std::min<size_t>(queue.size(), perPass);
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    std::move(queue.begin(), queue.begin() + static_cast<ptrdiff_t>(n),
+              std::back_inserter(batch));
+    queue.erase(queue.begin(), queue.begin() + static_cast<ptrdiff_t>(n));
+    return batch;
+}
+
+void
+DynamicBatcher::runnerLoop()
+{
+    std::unique_lock lk(mtx);
+    for (;;) {
+        if (queue.empty()) {
+            if (draining)
+                break;
+            cv.wait(lk, [&] { return !queue.empty() || draining; });
+            continue;
+        }
+        if (paused && !draining) {
+            cv.wait(lk, [&] { return !paused || draining; });
+            continue;
+        }
+        if (queue.size() < perPass && !draining) {
+            // Undersized: wait for more work until the oldest queued
+            // request's deadline, then flush what we have.
+            auto oldest = std::min_element(
+                              queue.begin(), queue.end(),
+                              [](const Pending &a, const Pending &b) {
+                                  return a.seq < b.seq;
+                              })
+                              ->arrival;
+            auto deadline =
+                oldest + std::chrono::milliseconds(opts.deadlineMs);
+            if (Clock::now() < deadline) {
+                cv.wait_until(lk, deadline);
+                continue; // re-evaluate: new work, drain, or expiry
+            }
+            ++counters.deadlineFlushes;
+        }
+        auto batch = takeBatch();
+        executing = static_cast<unsigned>(batch.size());
+        uint64_t passIdx = counters.passes++;
+        ++counters.occupancyHist[batch.size()];
+        lk.unlock();
+
+        std::vector<dnn::QTensor> inputs;
+        inputs.reserve(batch.size());
+        for (auto &p : batch)
+            inputs.push_back(std::move(p.input));
+        auto execStart = Clock::now();
+        auto res = model.runBatch(inputs);
+        auto done = Clock::now();
+
+        // Publish the counters before delivering: a completion that
+        // reads stats() must see its own pass accounted for.
+        lk.lock();
+        executing = 0;
+        counters.served += batch.size();
+        cv.notify_all(); // drain() waits for executing to settle
+        lk.unlock();
+
+        // Completions in batch order (priority desc, seq asc).
+        for (size_t i = 0; i < batch.size(); ++i) {
+            Result r;
+            r.status = wire::Status::Ok;
+            r.output = std::move(res.outputs[i]);
+            r.queueMs = msSince(batch[i].arrival, execStart);
+            r.latencyMs = msSince(batch[i].arrival, done);
+            r.passIndex = passIdx;
+            r.batchSize = static_cast<unsigned>(batch.size());
+            batch[i].done(std::move(r));
+        }
+
+        lk.lock();
+    }
+    stopped = true;
+    cv.notify_all();
+}
+
+void
+DynamicBatcher::drain()
+{
+    {
+        std::lock_guard lk(mtx);
+        draining = true;
+        paused = false;
+        cv.notify_all();
+    }
+    // Join exactly once; later drain() calls (the destructor's,
+    // typically) see an unjoinable thread and return immediately.
+    std::lock_guard jl(joinMtx);
+    if (runner.joinable())
+        runner.join();
+}
+
+void
+DynamicBatcher::pause()
+{
+    std::lock_guard lk(mtx);
+    paused = true;
+    cv.notify_all();
+}
+
+void
+DynamicBatcher::resume()
+{
+    std::lock_guard lk(mtx);
+    paused = false;
+    cv.notify_all();
+}
+
+size_t
+DynamicBatcher::queued() const
+{
+    std::lock_guard lk(mtx);
+    return queue.size();
+}
+
+BatcherStats
+DynamicBatcher::stats() const
+{
+    std::lock_guard lk(mtx);
+    return counters;
+}
+
+} // namespace nc::serve

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Deadline-driven dynamic batcher in front of a CompiledModel.
+ *
+ * Concurrent in-flight requests coalesce into the image-parallel
+ * runBatch passes the §IV-E residency planner already carves: the
+ * batcher queues admitted requests and flushes a pass when either the
+ * model's image slots fill or the oldest queued request's latency
+ * deadline expires — min(imageSlots reached, deadline expiry) — so
+ * light traffic pays at most one deadline of extra latency and heavy
+ * traffic runs at full batch occupancy.
+ *
+ * Semantics:
+ *  - Admission control: at most maxInflight requests queued+executing;
+ *    the next submit completes immediately with Status::Rejected (a
+ *    loud typed response, never a silent drop).
+ *  - Priorities: each flush serves the highest-priority queued
+ *    requests first (wire::kMaxPriority band); ties break by
+ *    admission order (sequence number), so identical runs compose
+ *    identical batches — the determinism the parity suite and the
+ *    bench numbers rely on.
+ *  - Shape validation: an input that does not match the model dies
+ *    here with Status::BadRequest instead of reaching runBatch (whose
+ *    shape mismatch is a hard process error).
+ *  - Drain: drain() stops admission (subsequent submits complete with
+ *    Status::ShuttingDown), flushes every queued request in normal
+ *    passes, and joins the runner.
+ *
+ * One runner thread serializes runBatch calls (the model's array
+ * state is single-run; parallelism comes from the engine's pool
+ * fanning the pass's images). Completions are invoked on the runner
+ * thread — rejected/bad-request submits complete on the caller's
+ * thread — and must not re-enter the batcher except via submit.
+ *
+ * pause()/resume() freeze the runner between passes so tests and the
+ * backpressure probe can compose a queue deterministically; paused
+ * time does not count against deadlines' usefulness (deadlines still
+ * expire, the runner just won't look until resumed).
+ */
+
+#ifndef NC_SERVE_BATCHER_HH
+#define NC_SERVE_BATCHER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/compiled_model.hh"
+#include "serve/wire.hh"
+
+namespace nc::serve
+{
+
+/** Batcher tuning; the CLI flags in flags.hh mirror these. */
+struct BatcherOptions
+{
+    /**
+     * Flush deadline in milliseconds: an undersized batch launches
+     * once the oldest queued request has waited this long.
+     */
+    unsigned deadlineMs = 2;
+    /** Admission cap on queued + executing requests. */
+    unsigned maxInflight = 256;
+    /**
+     * Images per pass; 0 uses the model's batchBands().imageSlots
+     * (the §IV-E concurrency the cache capacity supports) — the
+     * natural flush quantum, since a larger batch only time-slices.
+     */
+    unsigned maxBatch = 0;
+    /** Start with the runner frozen (tests/bench compose queues). */
+    bool startPaused = false;
+};
+
+/** Aggregate counters; stats() snapshots them consistently. */
+struct BatcherStats
+{
+    uint64_t accepted = 0;   ///< admitted into the queue
+    uint64_t rejected = 0;   ///< typed Rejected completions
+    uint64_t badRequests = 0; ///< shape/validation failures
+    uint64_t served = 0;     ///< Ok completions
+    uint64_t passes = 0;     ///< runBatch passes launched
+    uint64_t deadlineFlushes = 0; ///< passes launched undersized
+    /** occupancyHist[n] = passes that served exactly n requests
+     * (index 0 unused; size imagesPerPass()+1). */
+    std::vector<uint64_t> occupancyHist;
+
+    /** Mean images per pass (0 when no pass ran). */
+    double meanOccupancy() const;
+};
+
+/** Coalesces submitted requests into deadline-bounded passes. */
+class DynamicBatcher
+{
+  public:
+    /**
+     * A served (or refused) request: the wire-level response minus
+     * the id, which the transport layer owns.
+     */
+    struct Result
+    {
+        wire::Status status = wire::Status::Ok;
+        dnn::QTensor output;
+        double queueMs = 0;
+        double latencyMs = 0;
+        uint64_t passIndex = 0;
+        unsigned batchSize = 0;
+        std::string message;
+    };
+
+    using Completion = std::function<void(Result)>;
+
+    /** @p model must outlive the batcher. */
+    DynamicBatcher(core::CompiledModel &model, BatcherOptions opts);
+    /** Drains and joins (equivalent to drain()). */
+    ~DynamicBatcher();
+
+    DynamicBatcher(const DynamicBatcher &) = delete;
+    DynamicBatcher &operator=(const DynamicBatcher &) = delete;
+
+    /**
+     * Submit one request. Admitted requests complete on the runner
+     * thread once their pass finishes; refused ones (over the
+     * in-flight cap, wrong shape, draining) complete inline on the
+     * calling thread with the typed non-Ok status. @p priority must
+     * be within wire::kMaxPriority (transports validate first).
+     */
+    void submit(dnn::QTensor input, uint8_t priority, Completion done);
+
+    /**
+     * Stop admission, flush every queued request, join the runner.
+     * Idempotent. Implicitly resumes a paused batcher — drain means
+     * "finish the work", not "freeze with work queued".
+     */
+    void drain();
+
+    /** @name Deterministic-composition hooks (tests, bench probes) */
+    /// @{
+    void pause();
+    void resume();
+    /// @}
+
+    /** The flush quantum actually in use. */
+    unsigned imagesPerPass() const { return perPass; }
+    /** Queued (not yet executing) requests right now. */
+    size_t queued() const;
+    /** Consistent snapshot of the aggregate counters. */
+    BatcherStats stats() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending
+    {
+        dnn::QTensor input;
+        uint8_t priority = 0;
+        uint64_t seq = 0; ///< admission order, the deterministic tie-break
+        Clock::time_point arrival;
+        Completion done;
+    };
+
+    void runnerLoop();
+    /** Pop the next pass's requests (priority desc, seq asc). */
+    std::vector<Pending> takeBatch();
+
+    core::CompiledModel &model;
+    BatcherOptions opts;
+    unsigned perPass;
+
+    mutable std::mutex mtx;
+    std::mutex joinMtx; ///< serializes drain()'s one-time join
+    std::condition_variable cv;
+    std::vector<Pending> queue;
+    uint64_t nextSeq = 0;
+    unsigned executing = 0; ///< requests inside the current pass
+    bool paused = false;
+    bool draining = false;
+    bool stopped = false;
+    BatcherStats counters;
+    std::thread runner;
+};
+
+} // namespace nc::serve
+
+#endif // NC_SERVE_BATCHER_HH

@@ -1,0 +1,21 @@
+#include "serve/flags.hh"
+
+#include "serve/wire.hh"
+
+namespace nc::serve
+{
+
+void
+ServeFlags::registerWith(common::ArgParser &args)
+{
+    args.addUint("port", &port,
+                 "TCP port on 127.0.0.1 (0 = ephemeral)", 0, 65535);
+    args.addUint("deadline-ms", &deadlineMs,
+                 "batching flush deadline in ms", 1, 600000);
+    args.addUint("max-inflight", &maxInflight,
+                 "admission cap on in-flight requests", 1, 65536);
+    args.addUint("priority", &priority, "request priority (0 = bulk)",
+                 0, wire::kMaxPriority);
+}
+
+} // namespace nc::serve

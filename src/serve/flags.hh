@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The serving CLI surface shared by the server binary
+ * (examples/serve_demo) and the load generator (bench/serve_loadgen):
+ * one struct, one registration call, identical flag names, bounds,
+ * and error messages on both sides. All four flags use the strict
+ * bounded parser (ArgParser::addUint), so garbage and out-of-range
+ * values die naming the flag.
+ */
+
+#ifndef NC_SERVE_FLAGS_HH
+#define NC_SERVE_FLAGS_HH
+
+#include "common/argparse.hh"
+#include "serve/batcher.hh"
+#include "serve/server.hh"
+
+namespace nc::serve
+{
+
+/** Parsed --port/--deadline-ms/--max-inflight/--priority values. */
+struct ServeFlags
+{
+    unsigned port = 0;        ///< TCP port, 0 = ephemeral
+    unsigned deadlineMs = 2;  ///< batcher flush deadline
+    unsigned maxInflight = 256; ///< admission cap
+    unsigned priority = 0;    ///< request priority (0..kMaxPriority)
+
+    /** Register the four flags on @p args (bounds enforced). */
+    void registerWith(common::ArgParser &args);
+
+    /** Fold the batcher-facing values into server options. */
+    ServerOptions
+    serverOptions() const
+    {
+        ServerOptions o;
+        o.port = port;
+        o.batcher.deadlineMs = deadlineMs;
+        o.batcher.maxInflight = maxInflight;
+        return o;
+    }
+};
+
+} // namespace nc::serve
+
+#endif // NC_SERVE_FLAGS_HH

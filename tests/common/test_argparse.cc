@@ -124,6 +124,65 @@ TEST(ArgParser, Uint64AcceptsLargeSeeds)
     EXPECT_FALSE(tryParse(p, argv2, err));
 }
 
+TEST(ArgParser, UintEnforcesInclusiveBounds)
+{
+    unsigned port = 0, priority = 0;
+    ArgParser p("prog", "test");
+    p.addUint("port", &port, "tcp port", 0, 65535);
+    p.addUint("priority", &priority, "request priority", 0, 7);
+
+    std::string err;
+    {
+        // Both bounds are inclusive.
+        const char *argv[] = {"prog", "--port", "65535",
+                              "--priority=7"};
+        ASSERT_TRUE(tryParse(p, argv, err)) << err;
+        EXPECT_EQ(port, 65535u);
+        EXPECT_EQ(priority, 7u);
+    }
+    {
+        const char *argv[] = {"prog", "--port", "65536"};
+        EXPECT_FALSE(tryParse(p, argv, err));
+        EXPECT_NE(err.find("--port"), std::string::npos);
+        EXPECT_NE(err.find("[0, 65535]"), std::string::npos);
+        EXPECT_EQ(port, 65535u); // untouched by the failed parse
+    }
+    {
+        const char *argv[] = {"prog", "--priority", "8"};
+        EXPECT_FALSE(tryParse(p, argv, err));
+        EXPECT_NE(err.find("[0, 7]"), std::string::npos);
+    }
+    {
+        // Still a strict parse underneath the range check.
+        const char *argv[] = {"prog", "--port", "80h"};
+        EXPECT_FALSE(tryParse(p, argv, err));
+        EXPECT_NE(err.find("--port"), std::string::npos);
+    }
+}
+
+TEST(ArgParser, UintLowerBoundRejectsZero)
+{
+    unsigned inflight = 256;
+    ArgParser p("prog", "test");
+    p.addUint("max-inflight", &inflight, "admission cap", 1, 65536);
+
+    std::string err;
+    const char *argv[] = {"prog", "--max-inflight", "0"};
+    EXPECT_FALSE(tryParse(p, argv, err));
+    EXPECT_NE(err.find("[1, 65536]"), std::string::npos);
+    EXPECT_EQ(inflight, 256u);
+}
+
+TEST(ArgParserDeathTest, ParseExitsOnOutOfRangeUint)
+{
+    unsigned port = 0;
+    ArgParser p("prog", "test");
+    p.addUint("port", &port, "tcp port", 0, 65535);
+    const char *argv[] = {"prog", "--port", "70000"};
+    EXPECT_EXIT(p.parse(3, argv), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
 TEST(ArgParser, HelpReturnsFalseWithEmptyError)
 {
     unsigned batch = 1;

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared fixture bits for the serving tests: a tiny two-layer CNN
+ * (small enough that a functional runBatch pass is milliseconds, so
+ * the batcher tests can afford many passes) and a deterministic
+ * input generator.
+ */
+
+#ifndef NC_TESTS_SERVE_TEST_NET_HH
+#define NC_TESTS_SERVE_TEST_NET_HH
+
+#include "common/rng.hh"
+#include "core/engine.hh"
+#include "dnn/random.hh"
+
+namespace serve_test
+{
+
+/** conv 3x3 over a CxHxW input, then a 1x1 two-class head. */
+inline nc::dnn::Network
+tinyNet(unsigned c = 3, unsigned hw = 8, unsigned filters = 4)
+{
+    nc::dnn::Network net;
+    net.name = "serve-tiny";
+    net.stages.push_back(nc::dnn::singleOpStage(
+        "c1", nc::dnn::conv("c1", hw, hw, c, 3, 3, filters)));
+    net.stages.push_back(nc::dnn::singleOpStage(
+        "head", nc::dnn::conv("head", hw, hw, filters, 1, 1, 2)));
+    return net;
+}
+
+/** A functional engine for serving tests. */
+inline nc::core::EngineOptions
+functionalOpts(unsigned threads = 1)
+{
+    nc::core::EngineOptions opts;
+    opts.backend = nc::core::BackendKind::Functional;
+    opts.threads = threads;
+    return opts;
+}
+
+/** Request i's input for @p model, deterministic from (seed, i). */
+inline nc::dnn::QTensor
+inputFor(const nc::core::CompiledModel &model, uint64_t seed,
+         uint64_t i)
+{
+    nc::Rng rng(seed * 7919 + i + 1);
+    return nc::dnn::randomQTensor(rng, model.inputChannels(),
+                                  model.inputHeight(),
+                                  model.inputWidth());
+}
+
+} // namespace serve_test
+
+#endif // NC_TESTS_SERVE_TEST_NET_HH

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * DynamicBatcher semantics: coalescing, deadline flushes, priority
+ * ordering with deterministic tie-breaks, admission backpressure,
+ * and drain-on-shutdown. pause()/resume() freeze the runner so the
+ * tests compose queues without racing it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "serve/batcher.hh"
+
+#include "serve_test_net.hh"
+
+namespace
+{
+
+using namespace nc;
+using serve::DynamicBatcher;
+
+/** Gathers completions (they arrive on the runner thread). */
+struct Collector
+{
+    struct Entry
+    {
+        uint64_t tag;
+        DynamicBatcher::Result result;
+    };
+
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<Entry> entries;
+
+    DynamicBatcher::Completion tagged(uint64_t tag)
+    {
+        return [this, tag](DynamicBatcher::Result r) {
+            std::lock_guard<std::mutex> lock(m);
+            entries.push_back({tag, std::move(r)});
+            cv.notify_all();
+        };
+    }
+
+    /** Block until @p n completions arrived (fails the test on 30s). */
+    std::vector<Entry> waitFor(size_t n)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        bool ok = cv.wait_for(lock, std::chrono::seconds(30),
+                              [&] { return entries.size() >= n; });
+        EXPECT_TRUE(ok) << "only " << entries.size() << " of " << n
+                        << " completions arrived";
+        return entries;
+    }
+
+    /** Copy (not reference): the vector may still grow. */
+    Entry of(uint64_t tag)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        for (auto &e : entries)
+            if (e.tag == tag)
+                return e;
+        ADD_FAILURE() << "no completion for tag " << tag;
+        return {};
+    }
+};
+
+class BatcherTest : public ::testing::Test
+{
+  protected:
+    BatcherTest()
+        : engine(serve_test::functionalOpts()),
+          model(engine.compile(serve_test::tinyNet()))
+    {
+    }
+
+    dnn::QTensor input(uint64_t i)
+    {
+        return serve_test::inputFor(model, 5, i);
+    }
+
+    core::Engine engine;
+    core::CompiledModel model;
+    Collector got;
+};
+
+TEST_F(BatcherTest, CoalescesAFullQuantumIntoOnePass)
+{
+    serve::BatcherOptions opts;
+    opts.maxBatch = 4;
+    opts.startPaused = true;
+    DynamicBatcher batcher(model, opts);
+    ASSERT_EQ(batcher.imagesPerPass(), 4u);
+
+    for (uint64_t i = 0; i < 4; ++i)
+        batcher.submit(input(i), 0, got.tagged(i));
+    EXPECT_EQ(batcher.queued(), 4u);
+    batcher.resume();
+
+    auto entries = got.waitFor(4);
+    for (auto &e : entries) {
+        EXPECT_EQ(e.result.status, serve::wire::Status::Ok);
+        EXPECT_EQ(e.result.passIndex, 0u) << "split across passes";
+        EXPECT_EQ(e.result.batchSize, 4u);
+        EXPECT_GE(e.result.latencyMs, e.result.queueMs);
+    }
+    auto stats = batcher.stats();
+    EXPECT_EQ(stats.accepted, 4u);
+    EXPECT_EQ(stats.served, 4u);
+    EXPECT_EQ(stats.passes, 1u);
+    EXPECT_EQ(stats.deadlineFlushes, 0u) << "a full batch is not a "
+                                            "deadline flush";
+    ASSERT_EQ(stats.occupancyHist.size(), 5u);
+    EXPECT_EQ(stats.occupancyHist[4], 1u);
+    EXPECT_DOUBLE_EQ(stats.meanOccupancy(), 4.0);
+}
+
+TEST_F(BatcherTest, DeadlineFlushesAnUndersizedBatch)
+{
+    serve::BatcherOptions opts;
+    opts.deadlineMs = 1;
+    opts.maxBatch = 8; // far more slots than traffic
+    DynamicBatcher batcher(model, opts);
+
+    batcher.submit(input(0), 0, got.tagged(0));
+    batcher.submit(input(1), 0, got.tagged(1));
+    auto entries = got.waitFor(2);
+    for (auto &e : entries)
+        EXPECT_EQ(e.result.status, serve::wire::Status::Ok);
+
+    auto stats = batcher.stats();
+    EXPECT_EQ(stats.served, 2u);
+    EXPECT_GE(stats.deadlineFlushes, 1u)
+        << "an undersized batch only launches via the deadline";
+    EXPECT_EQ(stats.passes, stats.deadlineFlushes);
+}
+
+TEST_F(BatcherTest, HigherPrioritiesFlushFirst)
+{
+    serve::BatcherOptions opts;
+    opts.maxBatch = 2;
+    opts.startPaused = true;
+    DynamicBatcher batcher(model, opts);
+
+    // Tags encode the priority band: submit low first so only the
+    // sort (not arrival order) can put urgent work in pass 0.
+    uint8_t prio[6] = {0, 0, 3, 3, 7, 7};
+    for (uint64_t i = 0; i < 6; ++i)
+        batcher.submit(input(i), prio[i], got.tagged(i));
+    batcher.resume();
+    got.waitFor(6);
+
+    auto passOf = [&](uint64_t tag) { return got.of(tag).result.passIndex; };
+    EXPECT_EQ(passOf(4), 0u);
+    EXPECT_EQ(passOf(5), 0u);
+    EXPECT_EQ(passOf(2), 1u);
+    EXPECT_EQ(passOf(3), 1u);
+    EXPECT_EQ(passOf(0), 2u);
+    EXPECT_EQ(passOf(1), 2u);
+}
+
+TEST_F(BatcherTest, EqualPrioritiesKeepAdmissionOrder)
+{
+    // The deterministic tie-break: same priority, one-slot passes —
+    // completion pass indices must follow submission order exactly,
+    // so identical runs compose identical batches.
+    serve::BatcherOptions opts;
+    opts.maxBatch = 1;
+    opts.startPaused = true;
+    DynamicBatcher batcher(model, opts);
+
+    for (uint64_t i = 0; i < 4; ++i)
+        batcher.submit(input(i), 5, got.tagged(i));
+    batcher.resume();
+    got.waitFor(4);
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(got.of(i).result.passIndex, i);
+}
+
+TEST_F(BatcherTest, BackpressureRejectsPastTheCapInline)
+{
+    serve::BatcherOptions opts;
+    opts.maxInflight = 2;
+    opts.startPaused = true;
+    DynamicBatcher batcher(model, opts);
+
+    batcher.submit(input(0), 0, got.tagged(0));
+    batcher.submit(input(1), 0, got.tagged(1));
+    // The cap is queued + executing; the third submit must complete
+    // inline on this thread with the typed status, not block.
+    batcher.submit(input(2), 0, got.tagged(2));
+    {
+        auto e = got.of(2);
+        EXPECT_EQ(e.result.status, serve::wire::Status::Rejected);
+        EXPECT_NE(e.result.message.find("backpressure"),
+                  std::string::npos)
+            << e.result.message;
+    }
+    batcher.resume();
+    auto entries = got.waitFor(3);
+    auto stats = batcher.stats();
+    EXPECT_EQ(stats.accepted, 2u);
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.served, 2u);
+    (void)entries;
+}
+
+TEST_F(BatcherTest, WrongShapeIsBadRequestNotACrash)
+{
+    DynamicBatcher batcher(model, {});
+    dnn::QTensor wrong(model.inputChannels() + 1, model.inputHeight(),
+                       model.inputWidth());
+    batcher.submit(wrong, 0, got.tagged(0));
+    auto e = got.of(0);
+    EXPECT_EQ(e.result.status, serve::wire::Status::BadRequest);
+    EXPECT_FALSE(e.result.message.empty());
+    EXPECT_EQ(batcher.stats().badRequests, 1u);
+}
+
+TEST_F(BatcherTest, DrainServesEverythingThenRefuses)
+{
+    serve::BatcherOptions opts;
+    opts.maxBatch = 2;
+    opts.startPaused = true; // queue first, then drain must resume
+    DynamicBatcher batcher(model, opts);
+
+    for (uint64_t i = 0; i < 5; ++i)
+        batcher.submit(input(i), 0, got.tagged(i));
+    batcher.drain();
+
+    // Everything admitted before the drain completed Ok — graceful
+    // shutdown never abandons accepted work.
+    auto entries = got.waitFor(5);
+    for (auto &e : entries)
+        EXPECT_EQ(e.result.status, serve::wire::Status::Ok);
+    EXPECT_EQ(batcher.stats().served, 5u);
+    EXPECT_EQ(batcher.queued(), 0u);
+
+    batcher.submit(input(9), 0, got.tagged(9));
+    EXPECT_EQ(got.of(9).result.status,
+              serve::wire::Status::ShuttingDown);
+    batcher.drain(); // idempotent
+}
+
+TEST_F(BatcherTest, ServedOutputsMatchDirectRuns)
+{
+    serve::BatcherOptions opts;
+    opts.maxBatch = 3;
+    opts.startPaused = true;
+    DynamicBatcher batcher(model, opts);
+
+    std::vector<dnn::QTensor> inputs;
+    for (uint64_t i = 0; i < 3; ++i)
+        inputs.push_back(input(i));
+    for (uint64_t i = 0; i < 3; ++i)
+        batcher.submit(inputs[i], 0, got.tagged(i));
+    batcher.resume();
+    got.waitFor(3);
+    batcher.drain();
+
+    // The model is idle now; direct runs give the ground truth.
+    for (uint64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(got.of(i).result.output.data(),
+                  model.run(inputs[i]).output.data())
+            << "request " << i;
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+/** @file The shared --port/--deadline-ms/--max-inflight/--priority
+ * flag block: registration, bounds, and the fold into ServerOptions. */
+
+#include <gtest/gtest.h>
+
+#include "common/argparse.hh"
+#include "serve/flags.hh"
+#include "serve/wire.hh"
+
+namespace
+{
+
+using nc::common::ArgParser;
+using nc::serve::ServeFlags;
+
+TEST(ServeFlags, ParsesAndFoldsIntoServerOptions)
+{
+    ServeFlags flags;
+    ArgParser p("prog", "test");
+    flags.registerWith(p);
+
+    std::string err;
+    const char *argv[] = {"prog",          "--port=8080",
+                          "--deadline-ms", "10",
+                          "--max-inflight", "32",
+                          "--priority",    "7"};
+    ASSERT_TRUE(p.tryParse(8, argv, err)) << err;
+    EXPECT_EQ(flags.port, 8080u);
+    EXPECT_EQ(flags.deadlineMs, 10u);
+    EXPECT_EQ(flags.maxInflight, 32u);
+    EXPECT_EQ(flags.priority, 7u);
+
+    auto opts = flags.serverOptions();
+    EXPECT_EQ(opts.port, 8080u);
+    EXPECT_EQ(opts.batcher.deadlineMs, 10u);
+    EXPECT_EQ(opts.batcher.maxInflight, 32u);
+}
+
+TEST(ServeFlags, DefaultsMatchTheBatcherDefaults)
+{
+    ServeFlags flags;
+    nc::serve::BatcherOptions defaults;
+    EXPECT_EQ(flags.deadlineMs, defaults.deadlineMs);
+    EXPECT_EQ(flags.maxInflight, defaults.maxInflight);
+    EXPECT_EQ(flags.port, 0u) << "default is an ephemeral port";
+    EXPECT_EQ(flags.priority, 0u) << "default is the bulk band";
+}
+
+TEST(ServeFlags, BoundsTrackTheWireProtocol)
+{
+    struct Case
+    {
+        const char *flag;
+        const char *value;
+        const char *range;
+    };
+    const Case bad[] = {
+        {"--port", "65536", "[0, 65535]"},
+        {"--deadline-ms", "0", "[1, 600000]"},
+        {"--max-inflight", "0", "[1, 65536]"},
+        {"--priority", "8", "[0, 7]"},
+    };
+    static_assert(nc::serve::wire::kMaxPriority == 7,
+                  "priority bound drifted from the wire band");
+    for (const auto &c : bad) {
+        ServeFlags flags;
+        ArgParser p("prog", "test");
+        flags.registerWith(p);
+        std::string err;
+        const char *argv[] = {"prog", c.flag, c.value};
+        EXPECT_FALSE(p.tryParse(3, argv, err)) << c.flag;
+        EXPECT_NE(err.find(c.range), std::string::npos)
+            << c.flag << ": " << err;
+    }
+}
+
+} // namespace
