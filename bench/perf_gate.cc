@@ -1,0 +1,280 @@
+/**
+ * @file
+ * CI perf-regression gate over BENCH_simspeed.json.
+ *
+ * Compares a freshly generated report against the committed baseline
+ * and fails (exit 1) when a gated throughput metric dropped by more
+ * than the tolerance (default 15%). Gated metrics:
+ *
+ *   - micro.tiers.<t>.opadd_mops and
+ *     micro.tiers.<t>.store_vector_mlanes_per_s for every dispatch
+ *     tier present in BOTH files — a tier only one host can run is
+ *     skipped, so an avx512 baseline does not fail an avx2 runner;
+ *   - conv_layer.sim_cycles_per_sec, only when the two reports were
+ *     generated at the same dispatch tier (otherwise the numbers
+ *     measure different kernels and the comparison is noise);
+ *   - the top-level micro.opadd_mops / store_vector_mlanes_per_s
+ *     pair as a schema-5 fallback when a file has no tiers section.
+ *
+ * Improvements are never an error; the gate is one-sided. The JSON
+ * reader is deliberately minimal: it understands exactly the object/
+ * string/number subset perf_report emits, flattened to dotted paths.
+ *
+ * Usage: perf_gate BASELINE.json NEW.json [--tolerance FRAC]
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** Flat view of a JSON document: dotted path -> scalar token. */
+using Doc = std::map<std::string, std::string>;
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    const char *file;
+
+    void
+    fail(const char *what) const
+    {
+        std::fprintf(stderr, "perf_gate: %s: malformed JSON (%s)\n",
+                     file, what);
+        std::exit(2);
+    }
+
+    void
+    ws()
+    {
+        while (p < end && std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+    }
+
+    char
+    peek()
+    {
+        ws();
+        if (p == end)
+            fail("unexpected end");
+        return *p;
+    }
+
+    std::string
+    string()
+    {
+        if (peek() != '"')
+            fail("expected string");
+        ++p;
+        std::string s;
+        while (p < end && *p != '"') {
+            if (*p == '\\')
+                fail("escapes unsupported");
+            s += *p++;
+        }
+        if (p == end)
+            fail("unterminated string");
+        ++p;
+        return s;
+    }
+
+    void
+    value(Doc &doc, const std::string &path)
+    {
+        char c = peek();
+        if (c == '{') {
+            ++p;
+            if (peek() == '}') {
+                ++p;
+                return;
+            }
+            for (;;) {
+                std::string key = string();
+                if (peek() != ':')
+                    fail("expected ':'");
+                ++p;
+                value(doc, path.empty() ? key : path + "." + key);
+                char d = peek();
+                ++p;
+                if (d == '}')
+                    return;
+                if (d != ',')
+                    fail("expected ',' or '}'");
+            }
+        }
+        if (c == '"') {
+            doc[path] = string();
+            return;
+        }
+        // Bare scalar: number / true / false / null.
+        std::string tok;
+        while (p < end && !std::isspace(static_cast<unsigned char>(*p))
+               && *p != ',' && *p != '}' && *p != ']')
+            tok += *p++;
+        if (tok.empty())
+            fail("expected value");
+        doc[path] = tok;
+    }
+};
+
+Doc
+load(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f) {
+        std::fprintf(stderr, "perf_gate: cannot open %s\n", path);
+        std::exit(2);
+    }
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    Doc doc;
+    Parser ps{text.data(), text.data() + text.size(), path};
+    ps.value(doc, "");
+    return doc;
+}
+
+std::optional<double>
+number(const Doc &doc, const std::string &path)
+{
+    auto it = doc.find(path);
+    if (it == doc.end())
+        return std::nullopt;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string
+text(const Doc &doc, const std::string &path)
+{
+    auto it = doc.find(path);
+    return it == doc.end() ? std::string() : it->second;
+}
+
+/** Tiers with a micro.tiers.<name> section, in ladder order. */
+std::vector<std::string>
+tiersOf(const Doc &doc)
+{
+    std::vector<std::string> out;
+    for (const char *t : {"scalar", "avx2", "avx512"})
+        if (doc.count("micro.tiers." + std::string(t) +
+                      ".opadd_mops"))
+            out.push_back(t);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double tolerance = 0.15;
+    std::vector<const char *> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc)
+            tolerance = std::strtod(argv[++i], nullptr);
+        else
+            files.push_back(argv[i]);
+    }
+    if (files.size() != 2) {
+        std::fprintf(stderr, "usage: perf_gate BASELINE.json NEW.json "
+                             "[--tolerance FRAC]\n");
+        return 2;
+    }
+
+    Doc base = load(files[0]);
+    Doc next = load(files[1]);
+
+    unsigned failures = 0, checked = 0;
+    auto check = [&](const std::string &metric, double was,
+                     double now) {
+        ++checked;
+        double delta = was > 0 ? now / was - 1.0 : 0.0;
+        bool bad = delta < -tolerance;
+        std::printf("perf_gate: %-11s %-45s %12.2f -> %12.2f "
+                    "(%+.1f%%)\n",
+                    bad ? "REGRESSION" : "ok", metric.c_str(), was,
+                    now, delta * 100.0);
+        if (bad)
+            ++failures;
+    };
+
+    // Per-tier kernel throughputs: only tiers both reports measured.
+    auto base_tiers = tiersOf(base);
+    auto next_tiers = tiersOf(next);
+    bool tiered = false;
+    for (const auto &t : base_tiers) {
+        bool have = false;
+        for (const auto &u : next_tiers)
+            have |= u == t;
+        if (!have) {
+            std::printf("perf_gate: skip       tier %s (not runnable "
+                        "on this host/build)\n",
+                        t.c_str());
+            continue;
+        }
+        tiered = true;
+        for (const char *m :
+             {"opadd_mops", "store_vector_mlanes_per_s"}) {
+            std::string path = "micro.tiers." + t + "." + m;
+            auto was = number(base, path), now = number(next, path);
+            if (was && now)
+                check(path, *was, *now);
+        }
+    }
+
+    // Schema-5 fallback: no tiers section on one side, so compare
+    // the top-level micros (same dispatch assumed by the old schema).
+    if (!tiered) {
+        for (const char *m : {"micro.opadd_mops",
+                              "micro.store_vector_mlanes_per_s"}) {
+            auto was = number(base, m), now = number(next, m);
+            if (was && now)
+                check(m, *was, *now);
+        }
+    }
+
+    // End-to-end sim throughput is only comparable when both reports
+    // dispatched the same kernels (missing dispatch = schema 5,
+    // compared as-is for continuity).
+    std::string bd = text(base, "dispatch"), nd = text(next, "dispatch");
+    if (bd == nd || bd.empty() || nd.empty()) {
+        auto was = number(base, "conv_layer.sim_cycles_per_sec");
+        auto now = number(next, "conv_layer.sim_cycles_per_sec");
+        if (was && now)
+            check("conv_layer.sim_cycles_per_sec", *was, *now);
+    } else {
+        std::printf("perf_gate: skip       "
+                    "conv_layer.sim_cycles_per_sec (dispatch %s vs "
+                    "%s)\n",
+                    bd.c_str(), nd.c_str());
+    }
+
+    if (checked == 0) {
+        std::fprintf(stderr, "perf_gate: no comparable metrics "
+                             "between %s and %s\n",
+                     files[0], files[1]);
+        return 2;
+    }
+    if (failures) {
+        std::printf("perf_gate: FAIL — %u of %u metrics regressed "
+                    "past %.0f%%\n",
+                    failures, checked, tolerance * 100.0);
+        return 1;
+    }
+    std::printf("perf_gate: PASS — %u metrics within %.0f%% of "
+                "baseline\n",
+                checked, tolerance * 100.0);
+    return 0;
+}

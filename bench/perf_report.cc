@@ -23,20 +23,32 @@
  * p50/p99 latency, images/s, mean batch occupancy, every served
  * output verified bit-identical to direct runBatch, plus a paused-
  * batcher probe proving admission control rejects (typed, counted)
- * past --max-inflight. See ROADMAP.md "Performance & benchmarking"
- * for the schema.
+ * past --max-inflight. Schema 6 adds the SIMD dispatch dimension:
+ * the resolved dispatch tier and the host's best tier next to
+ * host_cores, and a micro.tiers section timing the opAdd and
+ * storeVector kernels at every tier this host/build can run
+ * (scalar / avx2 / avx512, pinned with forceTier). All micro
+ * numbers are interleaved best-of-3 so scheduler noise hits every
+ * tier alike; bench/perf_gate diffs this file against the committed
+ * baseline and fails CI on regressions. See ROADMAP.md
+ * "Performance & benchmarking" for the schema.
  * Usage: perf_report [output.json]
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bitserial/layout.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "common/thread_pool.hh"
+#include "sram/kernels.hh"
 #include "core/engine.hh"
 #include "core/executor.hh"
 #include "core/neural_cache.hh"
@@ -77,6 +89,51 @@ timePerCall(F fn)
     return secondsSince(t0) / reps;
 }
 
+/**
+ * One interleaved micro measurement: a workload, its calibrated rep
+ * count, and the best (least-preempted) per-call time seen so far.
+ */
+struct Measurement
+{
+    std::function<void()> fn;
+    unsigned reps = 1;
+    double best_s = 1e30;
+};
+
+/**
+ * Time every measurement interleaved, best-of-@p rounds: calibrate
+ * each to ~0.1 s, then cycle through the whole list per round so
+ * scheduler noise lands on all of them alike, keeping each one's
+ * minimum. The minimum — not the mean — is what the code can
+ * actually do; it is what the perf gate compares.
+ */
+void
+runInterleaved(std::vector<Measurement> &meas, unsigned rounds = 3)
+{
+    for (auto &m : meas) {
+        auto t0 = std::chrono::steady_clock::now();
+        m.fn();
+        double once = secondsSince(t0);
+        m.reps = once > 0.1
+                     ? 1
+                     : static_cast<unsigned>(0.1 / (once + 1e-9)) + 1;
+    }
+    for (unsigned round = 0; round < rounds; ++round) {
+        for (auto &m : meas) {
+            // Each rep is timed on its own and only the fastest kept:
+            // on a 1-vCPU host a 0.1 s window always absorbs timer
+            // interrupts, and averaging them in would understate what
+            // the code can do by several percent. The workloads run
+            // tens of microseconds each, so the clock reads are noise.
+            for (unsigned i = 0; i < m.reps; ++i) {
+                auto t0 = std::chrono::steady_clock::now();
+                m.fn();
+                m.best_s = std::min(m.best_s, secondsSince(t0));
+            }
+        }
+    }
+}
+
 struct ConvResult
 {
     std::vector<uint32_t> out;
@@ -110,7 +167,13 @@ main(int argc, char **argv)
 {
     const char *path = argc > 1 ? argv[1] : "BENCH_simspeed.json";
 
-    // ---- micro: full-adder micro-op throughput -----------------------
+    // Resolve dispatch up front: activeTier() parses NC_SIMD (fatal
+    // on a bogus or unsupported spec) before any timing runs.
+    const common::simd::Tier dispatch = sram::kern::activeTier();
+    const common::simd::Tier host_best = sram::kern::bestTier();
+    const auto tiers = sram::kern::availableTiers();
+
+    // ---- micro: opAdd and storeVector at every runnable tier ---------
     sram::Array fast(256, 256), ref(256, 256);
     Rng rng(13);
     for (unsigned r = 0; r < 256; ++r)
@@ -129,12 +192,6 @@ main(int argc, char **argv)
             r = (r + 1) % 250;
         }
     };
-    double add_fast_s = timePerCall([&] { addLoop(fast); });
-    double add_ref_s = timePerCall([&] { addLoop(ref); });
-    double add_fast_mops = kOps / add_fast_s / 1e6;
-    double add_ref_mops = kOps / add_ref_s / 1e6;
-
-    // ---- micro: transposed store throughput --------------------------
     bitserial::VecSlice slice{200, 8};
     std::vector<uint64_t> values(256);
     for (auto &v : values)
@@ -144,10 +201,42 @@ main(int argc, char **argv)
         for (unsigned i = 0; i < kStores; ++i)
             bitserial::storeVector(a, slice, values);
     };
-    double st_fast_s = timePerCall([&] { storeLoop(fast); });
-    double st_ref_s = timePerCall([&] { storeLoop(ref); });
-    double st_fast_ml = kStores * 256.0 / st_fast_s / 1e6;
-    double st_ref_ml = kStores * 256.0 / st_ref_s / 1e6;
+
+    // One measurement list, interleaved best-of-3: per tier the add
+    // and store kernels (pinned with forceTier inside the workload),
+    // plus the bit-by-bit reference versions (tier-independent).
+    std::vector<Measurement> meas(2 * tiers.size() + 2);
+    for (size_t ti = 0; ti < tiers.size(); ++ti) {
+        common::simd::Tier t = tiers[ti];
+        meas[ti].fn = [&, t] {
+            sram::kern::forceTier(t);
+            addLoop(fast);
+        };
+        meas[tiers.size() + ti].fn = [&, t] {
+            sram::kern::forceTier(t);
+            storeLoop(fast);
+        };
+    }
+    meas[2 * tiers.size()].fn = [&] { addLoop(ref); };
+    meas[2 * tiers.size() + 1].fn = [&] { storeLoop(ref); };
+    runInterleaved(meas);
+    sram::kern::forceTier(dispatch);
+
+    std::vector<double> tier_add_mops(tiers.size());
+    std::vector<double> tier_st_ml(tiers.size());
+    double add_fast_mops = 0, st_fast_ml = 0;
+    for (size_t ti = 0; ti < tiers.size(); ++ti) {
+        tier_add_mops[ti] = kOps / meas[ti].best_s / 1e6;
+        tier_st_ml[ti] =
+            kStores * 256.0 / meas[tiers.size() + ti].best_s / 1e6;
+        if (tiers[ti] == dispatch) {
+            add_fast_mops = tier_add_mops[ti];
+            st_fast_ml = tier_st_ml[ti];
+        }
+    }
+    double add_ref_mops = kOps / meas[2 * tiers.size()].best_s / 1e6;
+    double st_ref_ml =
+        kStores * 256.0 / meas[2 * tiers.size() + 1].best_s / 1e6;
 
     // ---- end to end: representative conv layer -----------------------
     Rng wrng(7);
@@ -166,6 +255,15 @@ main(int argc, char **argv)
               "modeled cycles changed: %llu vs %llu",
               static_cast<unsigned long long>(scalar.cycles),
               static_cast<unsigned long long>(opt.cycles));
+    // Best-of-3 on the optimized path: sim_cycles_per_sec is gated,
+    // so it gets the same least-preempted-run treatment as the
+    // micros (the scalar baseline only feeds the speedup ratio).
+    for (unsigned rep = 0; rep < 2; ++rep) {
+        ConvResult again = runConv(in, w, /*scalar=*/false);
+        nc_assert(again.cycles == opt.cycles,
+                  "conv cycles moved between repeats");
+        opt.seconds = std::min(opt.seconds, again.seconds);
+    }
     double conv_speedup = scalar.seconds / opt.seconds;
 
     // ---- engine: compile-once vs run-many amortization ---------------
@@ -335,21 +433,46 @@ main(int argc, char **argv)
               kOffered);
 
     unsigned threads = common::ThreadPool::defaultThreads();
+    unsigned host_cores = std::max(
+        1u, static_cast<unsigned>(std::thread::hardware_concurrency()));
+
+    // micro.tiers: one object per runnable tier, narrowest first.
+    std::string tiers_json;
+    for (size_t ti = 0; ti < tiers.size(); ++ti) {
+        char buf[192];
+        std::snprintf(buf, sizeof buf,
+                      "      \"%s\": {\n"
+                      "        \"opadd_mops\": %.2f,\n"
+                      "        \"store_vector_mlanes_per_s\": %.2f\n"
+                      "      }%s\n",
+                      common::simd::tierName(tiers[ti]),
+                      tier_add_mops[ti], tier_st_ml[ti],
+                      ti + 1 < tiers.size() ? "," : "");
+        tiers_json += buf;
+    }
+
     std::FILE *f = std::fopen(path, "w");
     if (!f)
         nc_fatal("cannot open %s for writing", path);
     std::fprintf(f,
         "{\n"
         "  \"bench\": \"simspeed\",\n"
-        "  \"schema\": 5,\n"
+        "  \"schema\": 6,\n"
         "  \"threads\": %u,\n"
+        "  \"host_cores\": %u,\n"
+        "  \"dispatch\": \"%s\",\n"
+        "  \"host_best\": \"%s\",\n"
         "  \"micro\": {\n"
+        "    \"timing\": \"interleaved best-of-3\",\n"
         "    \"opadd_mops\": %.2f,\n"
         "    \"opadd_ref_mops\": %.2f,\n"
         "    \"opadd_speedup\": %.2f,\n"
         "    \"store_vector_mlanes_per_s\": %.2f,\n"
         "    \"store_vector_ref_mlanes_per_s\": %.2f,\n"
-        "    \"store_vector_speedup\": %.2f\n"
+        "    \"store_vector_speedup\": %.2f,\n"
+        "    \"tiers\": {\n"
+        "%s"
+        "    }\n"
         "  },\n"
         "  \"conv_layer\": {\n"
         "    \"shape\": \"in 16x14x14, filters 8x16x3x3, stride 1, "
@@ -411,9 +534,10 @@ main(int argc, char **argv)
         "    \"outputs\": \"bit-identical\"\n"
         "  }\n"
         "}\n",
-        threads,
+        threads, host_cores, common::simd::tierName(dispatch),
+        common::simd::tierName(host_best),
         add_fast_mops, add_ref_mops, add_fast_mops / add_ref_mops,
-        st_fast_ml, st_ref_ml, st_fast_ml / st_ref_ml,
+        st_fast_ml, st_ref_ml, st_fast_ml / st_ref_ml, tiers_json.c_str(),
         static_cast<unsigned long long>(opt.cycles),
         scalar.seconds * 1e3, opt.seconds * 1e3, conv_speedup,
         opt.cycles / opt.seconds,
@@ -438,13 +562,21 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(serveRejected));
     std::fclose(f);
 
-    std::printf("perf_report: opAdd %.1f Mops/s (ref %.2f, %.0fx), "
-                "storeVector %.1f Mlanes/s (ref %.2f, %.0fx), "
-                "conv %.1f ms vs %.1f ms scalar (%.1fx, %u threads)\n",
+    std::printf("perf_report: dispatch %s (host best %s, %u cores): "
+                "opAdd %.1f Mops/s (ref %.2f, %.0fx), storeVector "
+                "%.1f Mlanes/s (ref %.2f, %.0fx), conv %.1f ms vs "
+                "%.1f ms scalar (%.1fx, %u threads)\n",
+                common::simd::tierName(dispatch),
+                common::simd::tierName(host_best), host_cores,
                 add_fast_mops, add_ref_mops,
                 add_fast_mops / add_ref_mops, st_fast_ml, st_ref_ml,
                 st_fast_ml / st_ref_ml, opt.seconds * 1e3,
                 scalar.seconds * 1e3, conv_speedup, threads);
+    for (size_t ti = 0; ti < tiers.size(); ++ti)
+        std::printf("perf_report: tier %-6s opAdd %8.1f Mops/s, "
+                    "storeVector %8.1f Mlanes/s\n",
+                    common::simd::tierName(tiers[ti]),
+                    tier_add_mops[ti], tier_st_ml[ti]);
     std::printf("perf_report: engine compile %.3f ms, run %.4f ms "
                 "(%.0f runs amortize one compile)\n",
                 compile_s * 1e3, run_s * 1e3, compile_s / run_s);

@@ -1,9 +1,12 @@
 #include "bitserial/layout.hh"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/arena.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "sram/kernels.hh"
 
 namespace nc::bitserial
 {
@@ -47,7 +50,7 @@ RowAllocator::reset()
 
 void
 storeVector(sram::Array &arr, const VecSlice &slice,
-            const std::vector<uint64_t> &values)
+            std::span<const uint64_t> values)
 {
     nc_assert(values.size() <= arr.cols(),
               "%zu values exceed %u lanes", values.size(), arr.cols());
@@ -63,20 +66,75 @@ storeVector(sram::Array &arr, const VecSlice &slice,
         return;
     }
 
-    // Word-parallel path: each 64-lane block is one 64x64 bit-matrix
-    // transpose — block word buf[i] holds lane i's value going in and
-    // bit-plane b's word coming out, so every array word is touched
-    // exactly once.
     const size_t nblocks = (arr.cols() + 63) / 64;
-    uint64_t buf[64];
-    for (size_t blk = 0; blk < nblocks; ++blk) {
-        for (unsigned i = 0; i < 64; ++i) {
-            size_t lane = blk * 64 + i;
-            buf[i] = lane < values.size() ? values[lane] : 0;
+    const auto &kt = sram::kern::active();
+    common::ArenaScope scratch;
+
+    // Narrow elements (the 8-bit-quantized common case): skip the
+    // transpose entirely and peel bit planes straight out of the
+    // values, one word of 64 lanes per pack step.
+    if (slice.bits <= 8) {
+        std::span<uint64_t> planes =
+            scratch.alloc(size_t(slice.bits) * nblocks);
+        kt.packPlanes(values.data(), values.size(), slice.bits,
+                      planes.data(), nblocks);
+        for (unsigned b = 0; b < slice.bits; ++b) {
+            sram::BitRow &row = arr.rowMut(slice.row(b));
+            for (size_t blk = 0; blk < nblocks; ++blk)
+                row.setWord(blk, planes[size_t(b) * nblocks + blk]);
         }
-        transpose64(buf);
-        for (unsigned b = 0; b < slice.bits; ++b)
-            arr.rowMut(slice.row(b)).setWord(blk, buf[b]);
+        return;
+    }
+
+    // Wide elements: one batched 64x64 bit-matrix transpose over all
+    // blocks — word [blk*64 + i] holds lane i's value going in and
+    // bit-plane i's word coming out — then row-major write-back, so
+    // every array word (and every row's fault hook) is touched once.
+    std::span<uint64_t> blocks = scratch.alloc(nblocks * 64);
+    if (!values.empty())
+        std::memcpy(blocks.data(), values.data(),
+                    values.size() * sizeof(uint64_t));
+    std::memset(blocks.data() + values.size(), 0,
+                (nblocks * 64 - values.size()) * sizeof(uint64_t));
+    kt.transposeBlocks(blocks.data(), nblocks);
+    for (unsigned b = 0; b < slice.bits; ++b) {
+        sram::BitRow &row = arr.rowMut(slice.row(b));
+        for (size_t blk = 0; blk < nblocks; ++blk)
+            row.setWord(blk, blocks[blk * 64 + b]);
+    }
+}
+
+void
+storeSplat(sram::Array &arr, const VecSlice &slice, uint64_t value,
+           size_t count)
+{
+    nc_assert(count <= arr.cols(), "%zu values exceed %u lanes",
+              count, arr.cols());
+    nc_assert(slice.bits <= 64, "slice wider than 64 bits");
+
+    if (arr.referenceMode()) {
+        for (unsigned lane = 0; lane < arr.cols(); ++lane) {
+            uint64_t v = lane < count ? value : 0;
+            for (unsigned b = 0; b < slice.bits; ++b)
+                arr.poke(slice.row(b), lane, bit(v, b));
+        }
+        return;
+    }
+
+    // A broadcast needs no transpose: bit plane b is a run of
+    // `count` ones (or zeros) followed by zeros.
+    const size_t nblocks = (arr.cols() + 63) / 64;
+    for (unsigned b = 0; b < slice.bits; ++b) {
+        sram::BitRow &row = arr.rowMut(slice.row(b));
+        const bool set = bit(value, b);
+        for (size_t blk = 0; blk < nblocks; ++blk) {
+            uint64_t w = 0;
+            if (set && count > blk * 64) {
+                size_t n = count - blk * 64;
+                w = n >= 64 ? ~uint64_t(0) : lowMask(unsigned(n));
+            }
+            row.setWord(blk, w);
+        }
     }
 }
 
@@ -92,19 +150,20 @@ loadVector(const sram::Array &arr, const VecSlice &slice)
         return out;
     }
 
+    // Row-major gather (one fault-hook touch per row), one batched
+    // transpose over all blocks, then the lanes fall out contiguous.
     const size_t nblocks = (arr.cols() + 63) / 64;
-    uint64_t buf[64];
-    for (size_t blk = 0; blk < nblocks; ++blk) {
-        for (unsigned b = 0; b < 64; ++b) {
-            buf[b] = b < slice.bits
-                         ? arr.rowRef(slice.row(b)).word(blk)
-                         : 0;
-        }
-        transpose64(buf);
-        size_t n = std::min<size_t>(64, arr.cols() - blk * 64);
-        for (size_t i = 0; i < n; ++i)
-            out[blk * 64 + i] = buf[i];
+    common::ArenaScope scratch;
+    std::span<uint64_t> blocks = scratch.alloc(nblocks * 64);
+    std::memset(blocks.data(), 0, nblocks * 64 * sizeof(uint64_t));
+    for (unsigned b = 0; b < slice.bits && b < 64; ++b) {
+        const sram::BitRow &row = arr.rowRef(slice.row(b));
+        for (size_t blk = 0; blk < nblocks; ++blk)
+            blocks[blk * 64 + b] = row.word(blk);
     }
+    sram::kern::active().transposeBlocks(blocks.data(), nblocks);
+    std::memcpy(out.data(), blocks.data(),
+                arr.cols() * sizeof(uint64_t));
     return out;
 }
 

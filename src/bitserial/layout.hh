@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 
 #include "sram/array.hh"
 
@@ -91,9 +92,27 @@ class RowAllocator
 /**
  * Store @p values into @p slice of @p arr (debug path: pokes bits, no
  * cycles charged). Lane i takes values[i]; extra lanes are zeroed.
+ * The word-parallel path batches all 64-lane blocks through one
+ * transpose (or bit-plane pack for elements of <= 8 bits) per call,
+ * on arena scratch — no per-call heap traffic.
  */
 void storeVector(sram::Array &arr, const VecSlice &slice,
-                 const std::vector<uint64_t> &values);
+                 std::span<const uint64_t> values);
+
+inline void
+storeVector(sram::Array &arr, const VecSlice &slice,
+            const std::vector<uint64_t> &values)
+{
+    storeVector(arr, slice, std::span<const uint64_t>(values));
+}
+
+/**
+ * Store @p count copies of @p value into @p slice (extra lanes
+ * zeroed) — the broadcast form of storeVector. No transpose at all:
+ * each bit plane is a constant run of @p count lanes.
+ */
+void storeSplat(sram::Array &arr, const VecSlice &slice,
+                uint64_t value, size_t count);
 
 /** Read the elements held by @p slice (debug path, no cycles). */
 std::vector<uint64_t> loadVector(const sram::Array &arr,

@@ -19,7 +19,7 @@ namespace
 
 /** Every environment variable the simulator reads. Keep sorted. */
 constexpr const char *kKnown[] = {"NC_DEBUG", "NC_FAULTS",
-                                  "NC_THREADS"};
+                                  "NC_SIMD", "NC_THREADS"};
 
 size_t
 editDistance(const std::string &a, const char *b)
@@ -63,7 +63,7 @@ checkEnvOrDie()
             }
         }
         nc_fatal("unknown environment variable %s (did you mean %s? "
-                 "known: NC_DEBUG, NC_FAULTS, NC_THREADS)",
+                 "known: NC_DEBUG, NC_FAULTS, NC_SIMD, NC_THREADS)",
                  name.c_str(), hint);
     }
 }

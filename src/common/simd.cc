@@ -1,0 +1,77 @@
+#include "common/simd.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace nc::common::simd
+{
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+    case Tier::Scalar:
+        return "scalar";
+    case Tier::Avx2:
+        return "avx2";
+    case Tier::Avx512:
+        return "avx512";
+    }
+    return "scalar";
+}
+
+Tier
+cpuBestTier()
+{
+    // __builtin_cpu_supports runs CPUID once per feature under the
+    // hood and both GCC and Clang provide it on x86; any other
+    // target simply has no wide tier to offer.
+    static const Tier best = [] {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+        // The 512-bit kernels use masked byte extraction
+        // (_mm512_movepi8_mask, BW subset) and their embedded 256-bit
+        // remainder kernels use VPTERNLOGQ on ymm registers (VL
+        // subset) — F alone (early Xeon Phi) does not qualify. Every
+        // server core with BW also has VL (Skylake-SP onward).
+        if (__builtin_cpu_supports("avx512f") &&
+            __builtin_cpu_supports("avx512bw") &&
+            __builtin_cpu_supports("avx512vl"))
+            return Tier::Avx512;
+        if (__builtin_cpu_supports("avx2"))
+            return Tier::Avx2;
+#endif
+        return Tier::Scalar;
+    }();
+    return best;
+}
+
+Tier
+resolveTierSpec(const char *spec, Tier best)
+{
+    if (!spec || std::strcmp(spec, "auto") == 0)
+        return best;
+    Tier want;
+    if (std::strcmp(spec, "scalar") == 0)
+        want = Tier::Scalar;
+    else if (std::strcmp(spec, "avx2") == 0)
+        want = Tier::Avx2;
+    else if (std::strcmp(spec, "avx512") == 0)
+        want = Tier::Avx512;
+    else
+        // Mirrors NC_THREADS strictness: padding, case variants, and
+        // typos are configuration errors, not requests to guess.
+        nc_fatal("NC_SIMD='%s' is not a dispatch tier (expected "
+                 "scalar, avx2, avx512, or auto)",
+                 spec);
+    if (want > best)
+        // A silent fallback would run (and benchmark) narrower
+        // kernels than the operator asked for; name what this host
+        // can actually do instead.
+        nc_fatal("NC_SIMD='%s' is not available on this host/build "
+                 "(best tier: %s)",
+                 spec, tierName(best));
+    return want;
+}
+
+} // namespace nc::common::simd

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Host-SIMD tier taxonomy and the NC_SIMD knob's strict grammar.
+ *
+ * The fused sense/logic/write-back passes of sram::Array and the
+ * bit-matrix transposes of bitserial::storeVector/loadVector exist in
+ * three widths: portable 64-bit words, AVX2 (256-bit, 4 words per
+ * step), and AVX-512 (512-bit, 8 words per step). This header names
+ * the tiers and resolves what a run may use; the kernels themselves
+ * and the dispatch table live in sram/kernels.hh (the tier ladder is
+ * a property of the host, the tables a property of the simulator).
+ *
+ * Tiers form a strict ladder — every host that can run a tier can
+ * run all tiers below it, both in silicon (no shipping AVX-512 part
+ * lacks AVX2) and in this build (a compiler that accepts -mavx512f
+ * accepts -mavx2) — so "what the host supports" is a single value,
+ * not a set. The AVX-512 tier requires the F, BW, and VL subsets.
+ *
+ * NC_SIMD=scalar|avx2|avx512|auto selects the tier, parsed exactly
+ * as strictly as NC_THREADS: any other spelling is fatal, and
+ * requesting a tier above the host's ladder is fatal too, naming the
+ * best tier the host does have — a silent fallback would benchmark
+ * the wrong kernels while claiming otherwise.
+ */
+
+#ifndef NC_COMMON_SIMD_HH
+#define NC_COMMON_SIMD_HH
+
+namespace nc::common::simd
+{
+
+/** Kernel width tiers, narrowest first (the ladder order). */
+enum class Tier : int
+{
+    Scalar = 0, ///< portable uint64_t words, 64 lanes per step
+    Avx2 = 1,   ///< 256-bit vectors, 256 lanes per step
+    Avx512 = 2, ///< 512-bit vectors (F+BW+VL), 512 lanes per step
+};
+
+/** Lower-case tier name, matching the NC_SIMD grammar. */
+const char *tierName(Tier t);
+
+/**
+ * The widest tier this CPU can execute (CPUID-derived, cached after
+ * the first call). Says nothing about what this *build* contains —
+ * sram::kern::bestTier() intersects this with the compiled-in
+ * tables and is what dispatch decisions must use.
+ */
+Tier cpuBestTier();
+
+/**
+ * Resolve an NC_SIMD-style spec against a host whose best tier is
+ * @p best. nullptr and "auto" yield @p best; "scalar"/"avx2"/
+ * "avx512" yield that tier when best allows it and die naming
+ * @p best otherwise; anything else (padding, case, typos) dies
+ * listing the grammar. Pure — tests exercise every branch on any
+ * host by passing a synthetic @p best.
+ */
+Tier resolveTierSpec(const char *spec, Tier best);
+
+} // namespace nc::common::simd
+
+#endif // NC_COMMON_SIMD_HH

@@ -6,6 +6,7 @@
 #include "bitserial/alu.hh"
 #include "bitserial/extensions.hh"
 #include "bitserial/layout.hh"
+#include "common/arena.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "dnn/layers.hh"
@@ -120,7 +121,11 @@ Executor::PreparedConv::storeFilters(const dnn::QWeights &w,
         unsigned c0 = ch * fplan.chunkChannels;
         unsigned c1 = std::min(c, c0 + fplan.chunkChannels);
 
-        std::vector<uint64_t> vals(rows.lanes, 0);
+        // Streaming buffer on this worker's scratch arena: filters
+        // repin every pass in the streaming regime, so a heap
+        // allocation here would recur per (batch, chunk) task.
+        common::ArenaScope scratch;
+        std::span<uint64_t> vals = scratch.alloc(rows.lanes);
         for (unsigned k = 0; k < rows.rs; ++k) {
             std::fill(vals.begin(), vals.end(), 0);
             if (pack > 1) {
@@ -210,8 +215,11 @@ Executor::PreparedConv::run(const dnn::QTensor &in, unsigned &out_h,
             unsigned c0 = ch * fplan.chunkChannels;
             unsigned c1 = std::min(c, c0 + fplan.chunkChannels);
 
-            // One streaming buffer per task, reused for every window.
-            std::vector<uint64_t> vals(rows.lanes, 0);
+            // One streaming buffer per task on the worker's scratch
+            // arena, reused for every window.
+            common::ArenaScope scratch;
+            std::span<uint64_t> vals = scratch.alloc(rows.lanes);
+            std::fill(vals.begin(), vals.end(), 0);
 
             auto in_at = [&](unsigned ci, int iy, int ix) -> uint64_t {
                 if (iy < 0 || ix < 0 ||
@@ -422,7 +430,9 @@ Executor::maxPoolAt(uint64_t scratch_array, const dnn::QTensor &in,
 
         size_t lo = windows * chunk / chunks;
         size_t hi = windows * (chunk + 1) / chunks;
-        std::vector<uint64_t> iv(lanes, 0);
+        common::ArenaScope task_scratch;
+        std::span<uint64_t> iv = task_scratch.alloc(lanes);
+        std::fill(iv.begin(), iv.end(), 0);
         for (size_t wi = lo; wi < hi; ++wi) {
             unsigned y = static_cast<unsigned>(wi / cpasses / ow);
             unsigned x = static_cast<unsigned>(wi / cpasses % ow);
@@ -524,13 +534,14 @@ Executor::avgPoolAt(uint64_t scratch_array, const dnn::QTensor &in,
         twork = rows.alloc(dbits + 1);
         dwork = rows.alloc(dbits + 1);
         if (!pow2_full) {
-            bs::storeVector(arr, den,
-                            std::vector<uint64_t>(lanes, ws));
+            bs::storeSplat(arr, den, ws, lanes);
             den_cur = ws;
         }
     }
 
-    std::vector<uint64_t> iv(lanes, 0);
+    common::ArenaScope scratch;
+    std::span<uint64_t> iv = scratch.alloc(lanes);
+    std::fill(iv.begin(), iv.end(), 0);
     dnn::QTensor out(in.channels(), oh, ow, in.params());
     for (unsigned cp = 0; cp < cpasses; ++cp) {
         unsigned c0 = cp * cchunk;
@@ -566,9 +577,7 @@ Executor::avgPoolAt(uint64_t scratch_array, const dnn::QTensor &in,
                     bs::shiftDown(arr, acc, log2Ceil(count));
                 } else {
                     if (count != den_cur) {
-                        bs::storeVector(
-                            arr, den,
-                            std::vector<uint64_t>(lanes, count));
+                        bs::storeSplat(arr, den, count, lanes);
                         den_cur = count;
                     }
                     bs::divide(arr, acc, den, quot, rwork, twork,
@@ -636,15 +645,15 @@ Executor::requantizeAt(uint64_t scratch_array,
     bs::VecSlice g = rows.alloc(gbits);
     bs::VecSlice prod = rows.alloc(vbits + gbits);
 
+    common::ArenaScope scratch;
+    std::span<uint64_t> vv = scratch.alloc(cols);
     std::vector<uint8_t> out(acc.size());
     for (size_t base = 0; base < acc.size(); base += cols) {
         size_t n = std::min<size_t>(cols, acc.size() - base);
-        std::vector<uint64_t> vv(n);
         for (size_t i = 0; i < n; ++i)
             vv[i] = acc[base + i];
-        bs::storeVector(arr, v, vv);
-        bs::storeVector(arr, g,
-                        std::vector<uint64_t>(n, mult));
+        bs::storeVector(arr, v, vv.first(n));
+        bs::storeSplat(arr, g, mult, n);
         bs::multiply(arr, v, g, prod);
         bs::shiftDown(arr, prod, shift);
         // In-array clamp: lanes whose value exceeds 8 bits saturate
@@ -706,18 +715,19 @@ Executor::PreparedEltwise::run(const std::vector<uint8_t> &a,
 
     // The multiplier is one broadcast scalar per run (other layers
     // may have scribbled on the scratch array in between).
-    bs::storeVector(arr, gain, std::vector<uint64_t>(cols, mult));
+    bs::storeSplat(arr, gain, mult, cols);
 
+    common::ArenaScope scratch;
+    std::span<uint64_t> iv = scratch.alloc(cols);
     std::vector<uint8_t> out(a.size());
     for (size_t base = 0; base < a.size(); base += cols) {
         size_t n = std::min<size_t>(cols, a.size() - base);
-        std::vector<uint64_t> iv(n);
         for (size_t i = 0; i < n; ++i)
             iv[i] = a[base + i];
-        bs::storeVector(arr, va, iv);
+        bs::storeVector(arr, va, iv.first(n));
         for (size_t i = 0; i < n; ++i)
             iv[i] = b[base + i];
-        bs::storeVector(arr, vb, iv);
+        bs::storeVector(arr, vb, iv.first(n));
 
         // sat8(((a + b) * mult) >> shift): widen add, multiply by
         // the calibrated 8-bit scalar, truncating shift, in-array

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bitserial/alu.hh"
+#include "common/arena.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
@@ -49,7 +50,8 @@ void
 storeFilters(cache::ComputeCache &cc, uint64_t base,
              const dnn::QWeights &w, const IsaConvProgram &p)
 {
-    std::vector<uint64_t> fv(p.rows.lanes, 0);
+    common::ArenaScope scratch;
+    std::span<uint64_t> fv = scratch.alloc(p.rows.lanes);
     for (unsigned mi = 0; mi < w.m; ++mi) {
         sram::Array &arr = cc.array(cc.coordOf(base + mi));
         for (unsigned k = 0; k < p.rows.rs; ++k) {
@@ -288,6 +290,10 @@ LayerEngine::maxPoolBroadcast(Controller &grp, uint64_t scratch_array,
     fold.b = cur;
     fold.scratch = cmp;
 
+    // One streaming buffer for every window, on the arena.
+    common::ArenaScope scratch;
+    std::span<uint64_t> iv = scratch.alloc(lanes);
+
     dnn::QTensor out(in.channels(), oh, ow, in.params());
     for (unsigned y = 0; y < oh; ++y) {
         for (unsigned x = 0; x < ow; ++x) {
@@ -305,7 +311,7 @@ LayerEngine::maxPoolBroadcast(Controller &grp, uint64_t scratch_array,
                         iy >= static_cast<int>(in.height()) ||
                         ix >= static_cast<int>(in.width()))
                         continue;
-                    std::vector<uint64_t> iv(lanes, 0);
+                    std::fill(iv.begin(), iv.end(), 0);
                     for (unsigned ci = 0; ci < in.channels(); ++ci)
                         iv[ci] = in.at(ci, iy, ix);
                     bs::storeVector(arr, cur, iv);
@@ -396,18 +402,19 @@ LayerEngine::PreparedEltwiseLayer::run(const std::vector<uint8_t> &a,
         sram::ownership::Range{g.scratch, 1}, 0,
         "ISA eltwise merge kernel");
     sram::Array &arr = cc.array(cc.coordOf(g.scratch));
-    bs::storeVector(arr, gain, std::vector<uint64_t>(cols, mult));
+    bs::storeSplat(arr, gain, mult, cols);
 
+    common::ArenaScope scratch;
+    std::span<uint64_t> iv = scratch.alloc(cols);
     std::vector<uint8_t> out(a.size());
     for (size_t base = 0; base < a.size(); base += cols) {
         size_t n = std::min<size_t>(cols, a.size() - base);
-        std::vector<uint64_t> iv(n);
         for (size_t i = 0; i < n; ++i)
             iv[i] = a[base + i];
-        bs::storeVector(arr, va, iv);
+        bs::storeVector(arr, va, iv.first(n));
         for (size_t i = 0; i < n; ++i)
             iv[i] = b[base + i];
-        bs::storeVector(arr, vb, iv);
+        bs::storeVector(arr, vb, iv.first(n));
 
         g.ctrl->run(program);
         ++eng->nPrograms;

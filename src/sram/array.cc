@@ -2,17 +2,38 @@
 
 #include "common/logging.hh"
 #include "sram/faults.hh"
+#include "sram/kernels.hh"
 #include "sram/ownership.hh"
 
 namespace nc::sram
 {
 
 Array::Array(unsigned rows_, unsigned cols_)
-    : nrows(rows_), ncols(cols_), cells(rows_, BitRow(cols_)),
-      carryLatch(cols_), tagLatch(cols_)
+    : nrows(rows_), ncols(cols_), nwords((cols_ + 63) / 64),
+      tmask(cols_ % 64 ? (uint64_t(1) << (cols_ % 64)) - 1
+                       : ~uint64_t(0)),
+      cells(rows_, BitRow(cols_)), carryLatch(cols_), tagLatch(cols_)
 {
     nc_assert(rows_ > 0 && cols_ > 0, "degenerate array %ux%u",
               rows_, cols_);
+}
+
+void
+Array::touchRows(unsigned ra, unsigned rb, unsigned dst) const
+{
+    nc_dassert(ra < nrows, "row %u out of %u", ra, nrows);
+    nc_dassert(rb == kNoTouch || rb < nrows, "row %u out of %u", rb,
+               nrows);
+    nc_dassert(dst == kNoTouch || dst < nrows, "row %u out of %u",
+               dst, nrows);
+    checkOwner();
+    if (flt) {
+        applyFaults(ra);
+        if (rb != kNoTouch)
+            applyFaults(rb);
+        if (dst != kNoTouch)
+            applyFaults(dst);
+    }
 }
 
 void
@@ -126,223 +147,266 @@ Array::writeBack(unsigned dst, const BitRow &value, bool pred)
         cells[dst] = value;
 }
 
-template <class F>
 void
-Array::fused2(unsigned ra, unsigned rb, unsigned dst, bool pred, F f)
+Array::fused2(unsigned ra, unsigned rb, unsigned dst, bool pred,
+              kern::Logic2 op)
 {
-    checkRow(ra);
-    checkRow(rb);
-    checkRow(dst);
-    nc_assert(ra != rb, "dual activation of the same word line %u", ra);
-    const uint64_t *a = cells[ra].wordData();
-    const uint64_t *b = cells[rb].wordData();
-    uint64_t *d = cells[dst].wordData();
-    const uint64_t *t = tagLatch.wordData();
-    const size_t nw = cells[dst].wordCount();
-    const uint64_t tm = cells[dst].tailMask();
-    for (size_t i = 0; i < nw; ++i) {
-        uint64_t v = f(a[i], b[i]);
-        if (i + 1 == nw)
-            v &= tm;
-        d[i] = pred ? ((d[i] & ~t[i]) | (v & t[i])) : v;
-    }
+    // Hot shape: everything that cannot happen on a resolved,
+    // unfaulted array (first-op dispatch, fault re-application, the
+    // same-row programming error) funnels through one predicted-
+    // not-taken branch into the out-of-line slow body, and the
+    // kernel is reached by a frameless sibling call — the per-op
+    // wrapper cost is otherwise comparable to the pass itself on
+    // the default 4-word geometry.
+    const kern::Table *t = kern::g_active.load(std::memory_order_acquire);
+    if (!t || flt || ra == rb) [[unlikely]]
+        return fused2Slow(ra, rb, dst, pred, op);
+    nc_dassert(ra < nrows && rb < nrows && dst < nrows,
+               "row out of %u", nrows);
+    checkOwner();
+    if (pred)
+        t->logic2Pred(op, cells[ra].wordData(), cells[rb].wordData(),
+                      cells[dst].wordData(), tagLatch.wordData(),
+                      nwords, tmask);
+    else
+        t->logic2(op, cells[ra].wordData(), cells[rb].wordData(),
+                  cells[dst].wordData(), nwords, tmask);
 }
 
-template <class F>
-void
-Array::fused1(unsigned src, unsigned dst, bool pred, F f)
+[[gnu::noinline]] void
+Array::fused2Slow(unsigned ra, unsigned rb, unsigned dst, bool pred,
+                  kern::Logic2 op)
 {
-    checkRow(src);
-    checkRow(dst);
-    const uint64_t *s = cells[src].wordData();
-    uint64_t *d = cells[dst].wordData();
-    const uint64_t *t = tagLatch.wordData();
-    const size_t nw = cells[dst].wordCount();
-    const uint64_t tm = cells[dst].tailMask();
-    for (size_t i = 0; i < nw; ++i) {
-        uint64_t v = f(s[i]);
-        if (i + 1 == nw)
-            v &= tm;
-        d[i] = pred ? ((d[i] & ~t[i]) | (v & t[i])) : v;
-    }
+    touchRows(ra, rb, dst);
+    nc_assert(ra != rb, "dual activation of the same word line %u", ra);
+    const kern::Table &t = kern::active();
+    if (pred)
+        t.logic2Pred(op, cells[ra].wordData(), cells[rb].wordData(),
+                     cells[dst].wordData(), tagLatch.wordData(),
+                     nwords, tmask);
+    else
+        t.logic2(op, cells[ra].wordData(), cells[rb].wordData(),
+                 cells[dst].wordData(), nwords, tmask);
+}
+
+void
+Array::fused1(unsigned src, unsigned dst, bool pred, bool invert)
+{
+    const kern::Table *t = kern::g_active.load(std::memory_order_acquire);
+    if (!t || flt) [[unlikely]]
+        return fused1Slow(src, dst, pred, invert);
+    nc_dassert(src < nrows && dst < nrows, "row out of %u", nrows);
+    checkOwner();
+    if (pred)
+        t->copyPred(cells[src].wordData(), cells[dst].wordData(),
+                    tagLatch.wordData(), nwords, tmask, invert);
+    else
+        t->copy(cells[src].wordData(), cells[dst].wordData(), nwords,
+                tmask, invert);
+}
+
+[[gnu::noinline]] void
+Array::fused1Slow(unsigned src, unsigned dst, bool pred, bool invert)
+{
+    touchRows(src, dst);
+    const kern::Table &t = kern::active();
+    if (pred)
+        t.copyPred(cells[src].wordData(), cells[dst].wordData(),
+                   tagLatch.wordData(), nwords, tmask, invert);
+    else
+        t.copy(cells[src].wordData(), cells[dst].wordData(), nwords,
+               tmask, invert);
 }
 
 void
 Array::fusedImm(unsigned dst, bool pred, uint64_t v)
 {
-    checkRow(dst);
-    uint64_t *d = cells[dst].wordData();
-    const uint64_t *t = tagLatch.wordData();
-    const size_t nw = cells[dst].wordCount();
-    const uint64_t tm = cells[dst].tailMask();
-    for (size_t i = 0; i < nw; ++i) {
-        uint64_t w = i + 1 == nw ? v & tm : v;
-        d[i] = pred ? ((d[i] & ~t[i]) | (w & t[i])) : w;
-    }
+    touchRows(dst);
+    const kern::Table &t = kern::active();
+    if (pred)
+        t.immPred(v, cells[dst].wordData(), tagLatch.wordData(),
+                  nwords, tmask);
+    else
+        t.imm(v, cells[dst].wordData(), nwords, tmask);
 }
 
 void
 Array::fusedLatchStore(const BitRow &src, unsigned dst, bool pred)
 {
-    checkRow(dst);
+    touchRows(dst);
     // src is a latch row: its tail lanes are already zero.
-    const uint64_t *s = src.wordData();
-    uint64_t *d = cells[dst].wordData();
-    const uint64_t *t = tagLatch.wordData();
-    for (size_t i = 0, nw = cells[dst].wordCount(); i < nw; ++i)
-        d[i] = pred ? ((d[i] & ~t[i]) | (s[i] & t[i])) : s[i];
+    const kern::Table &t = kern::active();
+    if (pred)
+        t.latchStorePred(src.wordData(), cells[dst].wordData(),
+                         tagLatch.wordData(), nwords);
+    else
+        t.latchStore(src.wordData(), cells[dst].wordData(), nwords);
 }
 
-template <class F>
 void
-Array::fusedTag(unsigned r, F f)
+Array::fusedTag(unsigned r, kern::TagFold op)
 {
-    checkRow(r);
-    const uint64_t *s = cells[r].wordData();
-    uint64_t *t = tagLatch.wordData();
-    for (size_t i = 0, nw = tagLatch.wordCount(); i < nw; ++i)
-        t[i] = f(t[i], s[i]);
+    touchRows(r);
+    kern::active().tagFold(op, tagLatch.wordData(),
+                           cells[r].wordData(), nwords);
 }
 
 void
 Array::loadLatch(BitRow &dst, const BitRow &src, bool invert)
 {
-    const uint64_t *s = src.wordData();
-    uint64_t *d = dst.wordData();
-    const size_t nw = dst.wordCount();
-    const uint64_t tm = dst.tailMask();
-    for (size_t i = 0; i < nw; ++i) {
-        uint64_t v = invert ? ~s[i] : s[i];
-        d[i] = i + 1 == nw ? v & tm : v;
+    kern::active().loadLatch(dst.wordData(), src.wordData(),
+                             dst.wordCount(), dst.tailMask(), invert);
+}
+
+[[gnu::noinline]] void
+Array::refFused2(unsigned ra, unsigned rb, unsigned dst, bool pred,
+                 kern::Logic2 op)
+{
+    Sensed s = sense(ra, rb);
+    switch (op) {
+    case kern::Logic2::And:
+        writeBack(dst, s.bl, pred);
+        break;
+    case kern::Logic2::Nor:
+        writeBack(dst, s.blb, pred);
+        break;
+    case kern::Logic2::Or:
+        writeBack(dst, ~s.blb, pred);
+        break;
+    case kern::Logic2::Xor:
+        writeBack(dst, ~(s.bl | s.blb), pred);
+        break;
+    case kern::Logic2::Xnor:
+        writeBack(dst, s.bl | s.blb, pred);
+        break;
     }
+}
+
+[[gnu::noinline]] void
+Array::refAdd(unsigned ra, unsigned rb, unsigned dst, bool pred)
+{
+    Sensed s = sense(ra, rb);
+    BitRow axb = ~(s.bl | s.blb);            // A XOR B
+    BitRow sum = axb ^ carryLatch;           // A ^ B ^ Cin
+    BitRow cout = s.bl | (axb & carryLatch); // A&B + (A^B)&Cin
+    writeBack(dst, sum, pred);
+    carryLatch = cout;
+}
+
+[[gnu::noinline]] void
+Array::refCopy(unsigned src, unsigned dst, bool pred, bool invert)
+{
+    checkRow(src);
+    if (invert)
+        writeBack(dst, ~cells[src], pred);
+    else
+        writeBack(dst, cells[src], pred);
 }
 
 void
 Array::opAnd(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    if (refMode) {
-        writeBack(dst, sense(ra, rb).bl, pred);
-        return;
-    }
-    fused2(ra, rb, dst, pred,
-           [](uint64_t a, uint64_t b) { return a & b; });
+    if (refMode) [[unlikely]]
+        return refFused2(ra, rb, dst, pred, kern::Logic2::And);
+    fused2(ra, rb, dst, pred, kern::Logic2::And);
 }
 
 void
 Array::opNor(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    if (refMode) {
-        writeBack(dst, sense(ra, rb).blb, pred);
-        return;
-    }
-    fused2(ra, rb, dst, pred,
-           [](uint64_t a, uint64_t b) { return ~a & ~b; });
+    if (refMode) [[unlikely]]
+        return refFused2(ra, rb, dst, pred, kern::Logic2::Nor);
+    fused2(ra, rb, dst, pred, kern::Logic2::Nor);
 }
 
 void
 Array::opOr(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    if (refMode) {
-        writeBack(dst, ~sense(ra, rb).blb, pred);
-        return;
-    }
-    fused2(ra, rb, dst, pred,
-           [](uint64_t a, uint64_t b) { return a | b; });
+    if (refMode) [[unlikely]]
+        return refFused2(ra, rb, dst, pred, kern::Logic2::Or);
+    fused2(ra, rb, dst, pred, kern::Logic2::Or);
 }
 
 void
 Array::opXor(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    if (refMode) {
-        Sensed s = sense(ra, rb);
-        writeBack(dst, ~(s.bl | s.blb), pred);
-        return;
-    }
-    fused2(ra, rb, dst, pred,
-           [](uint64_t a, uint64_t b) { return a ^ b; });
+    if (refMode) [[unlikely]]
+        return refFused2(ra, rb, dst, pred, kern::Logic2::Xor);
+    fused2(ra, rb, dst, pred, kern::Logic2::Xor);
 }
 
 void
 Array::opXnor(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    if (refMode) {
-        Sensed s = sense(ra, rb);
-        writeBack(dst, s.bl | s.blb, pred);
-        return;
-    }
-    fused2(ra, rb, dst, pred,
-           [](uint64_t a, uint64_t b) { return ~(a ^ b); });
+    if (refMode) [[unlikely]]
+        return refFused2(ra, rb, dst, pred, kern::Logic2::Xnor);
+    fused2(ra, rb, dst, pred, kern::Logic2::Xnor);
 }
 
 void
 Array::opAdd(unsigned ra, unsigned rb, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    if (refMode) {
-        Sensed s = sense(ra, rb);
-        BitRow axb = ~(s.bl | s.blb);            // A XOR B
-        BitRow sum = axb ^ carryLatch;           // A ^ B ^ Cin
-        BitRow cout = s.bl | (axb & carryLatch); // A&B + (A^B)&Cin
-        writeBack(dst, sum, pred);
-        carryLatch = cout;
-        return;
-    }
-    checkRow(ra);
-    checkRow(rb);
-    checkRow(dst);
-    nc_assert(ra != rb, "dual activation of the same word line %u", ra);
-    const uint64_t *a = cells[ra].wordData();
-    const uint64_t *b = cells[rb].wordData();
-    uint64_t *d = cells[dst].wordData();
-    uint64_t *c = carryLatch.wordData();
-    const uint64_t *t = tagLatch.wordData();
-    const size_t nw = cells[dst].wordCount();
-    const uint64_t tm = cells[dst].tailMask();
     // Sum write-back honours predication; the carry latch updates
     // unconditionally, exactly like the hardware's full-adder cycle.
-    // Operand words are read before the destination word is written,
-    // so dst may alias ra or rb (in-place accumulation).
-    for (size_t i = 0; i < nw; ++i) {
-        uint64_t aw = a[i], bw = b[i], cw = c[i];
-        uint64_t axb = aw ^ bw;
-        uint64_t sum = axb ^ cw;
-        uint64_t cout = (aw & bw) | (axb & cw);
-        if (i + 1 == nw) {
-            sum &= tm;
-            cout &= tm;
-        }
-        d[i] = pred ? ((d[i] & ~t[i]) | (sum & t[i])) : sum;
-        c[i] = cout;
-    }
+    // Operand chunks are read before the destination chunk is
+    // written, so dst may alias ra or rb (in-place accumulation).
+    // Hot shape mirrors fused2: one cold branch, sibling call.
+    const kern::Table *t = kern::g_active.load(std::memory_order_acquire);
+    if (refMode || !t || flt || ra == rb) [[unlikely]]
+        return opAddSlow(ra, rb, dst, pred);
+    nc_dassert(ra < nrows && rb < nrows && dst < nrows,
+               "row out of %u", nrows);
+    checkOwner();
+    if (pred)
+        t->addPred(cells[ra].wordData(), cells[rb].wordData(),
+                   cells[dst].wordData(), carryLatch.wordData(),
+                   tagLatch.wordData(), nwords, tmask);
+    else
+        t->add(cells[ra].wordData(), cells[rb].wordData(),
+               cells[dst].wordData(), carryLatch.wordData(), nwords,
+               tmask);
+}
+
+[[gnu::noinline]] void
+Array::opAddSlow(unsigned ra, unsigned rb, unsigned dst, bool pred)
+{
+    if (refMode)
+        return refAdd(ra, rb, dst, pred);
+    touchRows(ra, rb, dst);
+    nc_assert(ra != rb, "dual activation of the same word line %u", ra);
+    const kern::Table &t = kern::active();
+    if (pred)
+        t.addPred(cells[ra].wordData(), cells[rb].wordData(),
+                  cells[dst].wordData(), carryLatch.wordData(),
+                  tagLatch.wordData(), nwords, tmask);
+    else
+        t.add(cells[ra].wordData(), cells[rb].wordData(),
+              cells[dst].wordData(), carryLatch.wordData(), nwords,
+              tmask);
 }
 
 void
 Array::opCopy(unsigned src, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    if (refMode) {
-        checkRow(src);
-        writeBack(dst, cells[src], pred);
-        return;
-    }
-    fused1(src, dst, pred, [](uint64_t s) { return s; });
+    if (refMode) [[unlikely]]
+        return refCopy(src, dst, pred, /*invert=*/false);
+    fused1(src, dst, pred, /*invert=*/false);
 }
 
 void
 Array::opCopyInv(unsigned src, unsigned dst, bool pred)
 {
     ++nComputeCycles;
-    if (refMode) {
-        checkRow(src);
-        writeBack(dst, ~cells[src], pred);
-        return;
-    }
-    fused1(src, dst, pred, [](uint64_t s) { return ~s; });
+    if (refMode) [[unlikely]]
+        return refCopy(src, dst, pred, /*invert=*/true);
+    fused1(src, dst, pred, /*invert=*/true);
 }
 
 void
@@ -396,7 +460,7 @@ Array::opTagAnd(unsigned r)
         tagLatch = tagLatch & cells[r];
         return;
     }
-    fusedTag(r, [](uint64_t t, uint64_t s) { return t & s; });
+    fusedTag(r, kern::TagFold::And);
 }
 
 void
@@ -408,7 +472,7 @@ Array::opTagAndInv(unsigned r)
         tagLatch = tagLatch & ~cells[r];
         return;
     }
-    fusedTag(r, [](uint64_t t, uint64_t s) { return t & ~s; });
+    fusedTag(r, kern::TagFold::AndInv);
 }
 
 void
@@ -420,7 +484,7 @@ Array::opTagOr(unsigned r)
         tagLatch = tagLatch | cells[r];
         return;
     }
-    fusedTag(r, [](uint64_t t, uint64_t s) { return t | s; });
+    fusedTag(r, kern::TagFold::Or);
 }
 
 void
@@ -432,14 +496,11 @@ Array::opTagAndXnor(unsigned ra, unsigned rb)
         tagLatch = tagLatch & (s.bl | s.blb);
         return;
     }
-    checkRow(ra);
-    checkRow(rb);
+    touchRows(ra, rb);
     nc_assert(ra != rb, "dual activation of the same word line %u", ra);
-    const uint64_t *a = cells[ra].wordData();
-    const uint64_t *b = cells[rb].wordData();
-    uint64_t *t = tagLatch.wordData();
-    for (size_t i = 0, nw = tagLatch.wordCount(); i < nw; ++i)
-        t[i] &= ~(a[i] ^ b[i]);
+    kern::active().tagAndXnor(tagLatch.wordData(),
+                              cells[ra].wordData(),
+                              cells[rb].wordData(), nwords);
 }
 
 void

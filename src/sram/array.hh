@@ -23,11 +23,14 @@
  *
  * Implementation: every op is a single allocation-free pass over the
  * operand rows' 64-bit words — sense, logic, and predicated write-back
- * fuse into one word-level loop, 64 lanes per iteration. A bit-by-bit
- * reference implementation of the same semantics remains available
- * behind setReferenceMode(true); differential tests and the perf_report
- * baseline run it to pin the fast kernels (state, latches, and cycle
- * counts must match exactly).
+ * fuse into one width-templated kernel (sram/kernels.hh) running 64,
+ * 256, or 512 lanes per iteration depending on the SIMD tier chosen
+ * at startup (CPUID, NC_SIMD override); carry and predicate lanes
+ * stay in-register across the pass. A bit-by-bit reference
+ * implementation of the same semantics remains available behind
+ * setReferenceMode(true); differential tests and the perf_report
+ * baseline run it to pin the fast kernels at every tier (state,
+ * latches, and cycle counts must match exactly).
  */
 
 #ifndef NC_SRAM_ARRAY_HH
@@ -44,6 +47,12 @@ namespace nc::sram
 namespace ownership
 {
 class Registry;
+}
+
+namespace kern
+{
+enum class Logic2;
+enum class TagFold;
 }
 
 namespace faults
@@ -210,17 +219,44 @@ class Array
     /** Commit @p value to @p dst honouring predication (reference). */
     void writeBack(unsigned dst, const BitRow &value, bool pred);
 
+    /** @name Reference-mode op bodies
+     * Kept out of line (noinline in array.cc): their BitRow
+     * temporaries otherwise inflate the hot ops' stack frames and
+     * prologues, which costs more than the fused kernel call itself
+     * on the default 4-word geometry.
+     */
+    /// @{
+    void refFused2(unsigned ra, unsigned rb, unsigned dst, bool pred,
+                   kern::Logic2 op);
+    void refAdd(unsigned ra, unsigned rb, unsigned dst, bool pred);
+    void refCopy(unsigned src, unsigned dst, bool pred, bool invert);
+    /// @}
+
     /**
      * Fused sense + logic + predicated write-back: one pass over the
-     * operand words, 64 lanes at a time. @p f combines the two sensed
-     * words into the value to commit.
+     * operand words through the active SIMD kernel table
+     * (sram/kernels.hh). @p op selects how the two sensed rows
+     * combine into the value to commit.
      */
-    template <class F>
-    void fused2(unsigned ra, unsigned rb, unsigned dst, bool pred, F f);
+    void fused2(unsigned ra, unsigned rb, unsigned dst, bool pred,
+                kern::Logic2 op);
 
-    /** Single-source variant (@p f maps the sensed word). */
-    template <class F>
-    void fused1(unsigned src, unsigned dst, bool pred, F f);
+    /** Single-source variant (optionally inverting the sense). */
+    void fused1(unsigned src, unsigned dst, bool pred, bool invert);
+
+    /** @name Cold bodies of the fused ops
+     * One predicted-not-taken branch in each hot op funnels every
+     * non-steady-state case here (first-op dispatch resolution,
+     * fault re-application, programming-error asserts), keeping the
+     * hot bodies frameless so the kernel is a sibling call.
+     */
+    /// @{
+    void fused2Slow(unsigned ra, unsigned rb, unsigned dst, bool pred,
+                    kern::Logic2 op);
+    void fused1Slow(unsigned src, unsigned dst, bool pred,
+                    bool invert);
+    void opAddSlow(unsigned ra, unsigned rb, unsigned dst, bool pred);
+    /// @}
 
     /** Commit the constant word @p v to every word of @p dst. */
     void fusedImm(unsigned dst, bool pred, uint64_t v);
@@ -228,14 +264,22 @@ class Array
     /** Predicated write-back of a latch row (tag/carry) into @p dst. */
     void fusedLatchStore(const BitRow &src, unsigned dst, bool pred);
 
-    /** tag <= f(tag, row r), word-wise (the tag-fold family). */
-    template <class F>
-    void fusedTag(unsigned r, F f);
+    /** tag <= fold(tag, row r), word-wise (the tag-fold family). */
+    void fusedTag(unsigned r, kern::TagFold op);
 
     /** dst latch <= src (row or latch), optionally inverted. */
     static void loadLatch(BitRow &dst, const BitRow &src, bool invert);
 
     void checkRow(unsigned r) const;
+    /**
+     * checkRow for the row set of one fused op, folded into a single
+     * fault-hook branch (kNoTouch entries are skipped). The hot ops
+     * touch two or three rows each; three separate checkRow calls
+     * triple the pointer tests on the ideal-array fast path.
+     */
+    static constexpr unsigned kNoTouch = ~0u;
+    void touchRows(unsigned ra, unsigned rb = kNoTouch,
+                   unsigned dst = kNoTouch) const;
     /** Ownership-detector gate on every state access (debug only). */
     void checkOwner() const;
     /** Cold path of the fault hook (out of line; checkRow branches). */
@@ -243,6 +287,14 @@ class Array
 
     unsigned nrows;
     unsigned ncols;
+    /**
+     * Row geometry, cached once: every row (and both latches) of
+     * this array shares the same word count and tail mask, and the
+     * fused ops are hot enough that re-deriving them per op from the
+     * BitRow costs measurable time.
+     */
+    size_t nwords;
+    uint64_t tmask;
     std::vector<BitRow> cells;
     BitRow carryLatch;
     BitRow tagLatch;

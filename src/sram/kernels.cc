@@ -1,0 +1,90 @@
+// Runtime dispatch over the per-tier kernel tables: resolve once
+// (CPUID best tier, NC_SIMD override), publish the chosen table, and
+// let tests/benches pin tiers explicitly.
+
+#include "sram/kernels.hh"
+
+#include <cstdlib>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace nc::sram::kern
+{
+
+namespace
+{
+
+using common::simd::Tier;
+
+const Table *
+tableFor(Tier t)
+{
+    switch (t) {
+    case Tier::Scalar:
+        return scalarTable();
+    case Tier::Avx2:
+        return avx2Table();
+    case Tier::Avx512:
+        return avx512Table();
+    }
+    return scalarTable();
+}
+
+} // namespace
+
+constinit std::atomic<const Table *> g_active{nullptr};
+
+common::simd::Tier
+bestTier()
+{
+    // The ladder is monotonic in both dimensions — a CPU with a tier
+    // has every lower one, and a build with a tier's TU compiled has
+    // every lower TU — so "best" is the min of the two heights.
+    static const Tier best = [] {
+        Tier cpu = common::simd::cpuBestTier();
+        Tier b = Tier::Scalar;
+        if (avx2Table() && cpu >= Tier::Avx2)
+            b = Tier::Avx2;
+        if (avx512Table() && cpu >= Tier::Avx512)
+            b = Tier::Avx512;
+        return b;
+    }();
+    return best;
+}
+
+const Table &
+resolveActive()
+{
+    // First compute op of the process (or the first after a test
+    // reset): a typo'd NC_* knob dies before any kernel runs, then
+    // NC_SIMD picks the tier (strictly — see common/simd.hh).
+    common::checkEnvOnce();
+    Tier t = common::simd::resolveTierSpec(std::getenv("NC_SIMD"),
+                                           bestTier());
+    const Table *tb = tableFor(t);
+    g_active.store(tb, std::memory_order_release);
+    return *tb;
+}
+
+void
+forceTier(common::simd::Tier t)
+{
+    if (t > bestTier())
+        nc_fatal("SIMD tier '%s' is not available on this host/build "
+                 "(best tier: %s)",
+                 common::simd::tierName(t),
+                 common::simd::tierName(bestTier()));
+    g_active.store(tableFor(t), std::memory_order_release);
+}
+
+std::vector<common::simd::Tier>
+availableTiers()
+{
+    std::vector<common::simd::Tier> out;
+    for (int t = 0; t <= static_cast<int>(bestTier()); ++t)
+        out.push_back(static_cast<common::simd::Tier>(t));
+    return out;
+}
+
+} // namespace nc::sram::kern

@@ -1,0 +1,31 @@
+// AVX2 kernel tier. This TU alone is compiled with -mavx2 (see
+// src/CMakeLists.txt); everything else in the library stays at the
+// baseline ISA so the binary runs on any x86-64 host and dispatch
+// stays a runtime decision. On compilers without the flag the tier
+// degrades to a nullptr table and the ladder tops out lower.
+
+#include "sram/kernels_impl.hh"
+
+namespace nc::sram::kern
+{
+
+#if defined(__AVX2__)
+
+const Table *
+avx2Table()
+{
+    static const Table t = makeTable<Avx2B>(common::simd::Tier::Avx2);
+    return &t;
+}
+
+#else
+
+const Table *
+avx2Table()
+{
+    return nullptr;
+}
+
+#endif
+
+} // namespace nc::sram::kern

@@ -1,0 +1,31 @@
+// AVX-512 kernel tier (F+BW+VL: the pass bodies need 512-bit logic,
+// VPMOVB2M byte masks, and 256-bit VPTERNLOGQ for the remainder
+// kernels). This TU alone is compiled with -mavx512f -mavx512bw
+// -mavx512vl; see kernels_avx2.cc for the dispatch rationale.
+
+#include "sram/kernels_impl.hh"
+
+namespace nc::sram::kern
+{
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+const Table *
+avx512Table()
+{
+    static const Table t =
+        makeTable<Avx512B>(common::simd::Tier::Avx512);
+    return &t;
+}
+
+#else
+
+const Table *
+avx512Table()
+{
+    return nullptr;
+}
+
+#endif
+
+} // namespace nc::sram::kern

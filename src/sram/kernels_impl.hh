@@ -1,0 +1,878 @@
+/**
+ * @file
+ * The width-templated kernel bodies behind sram/kernels.hh.
+ *
+ * Included only by the per-tier translation units (kernels_scalar.cc,
+ * kernels_avx2.cc, kernels_avx512.cc), each compiled with its own -m
+ * flags; the backends self-gate on the compiler's feature macros so a
+ * TU built without the flags still compiles (to a stub — see the
+ * nullptr tables in those files).
+ *
+ * A backend describes one register width: vector type V, step W in
+ * 64-bit words, and the handful of lane-wise primitives the passes
+ * need. Passes are templated over <backend, op, predication>, keep
+ * carry and predicate lanes in registers across each chunk, and
+ * recurse into the backend's Narrower sibling for remainder words,
+ * so a 512-bit pass over a 6-word row runs one 256-bit chunk and two
+ * scalar words rather than six scalar words.
+ *
+ * All memory access goes through std::memcpy-based load/store (the
+ * compilers lower these to plain/unaligned vector moves), never
+ * through casted pointers, so alignment and strict-aliasing behavior
+ * is defined at every tier — see ISSUE 9's UBSan requirement.
+ */
+
+#ifndef NC_SRAM_KERNELS_IMPL_HH
+#define NC_SRAM_KERNELS_IMPL_HH
+
+#include <cstring>
+#include <type_traits>
+
+#include "sram/kernels.hh"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace nc::sram::kern
+{
+
+// Everything here has internal linkage, on purpose: the same
+// templates instantiate differently per TU (Avx2B's ternary-logic
+// primitives depend on whether the including TU was built with
+// AVX-512VL), so letting the instantiations share COMDAT symbols
+// would hand the linker a choice between a VL and a non-VL body for
+// the avx2 tier — and the wrong pick SIGILLs on a non-VL host. One
+// private copy per tier TU keeps each dispatch table self-consistent
+// with the flags it was compiled under.
+namespace
+{
+
+/** Portable backend: one 64-bit word (64 lanes) per step. */
+struct ScalarB
+{
+    using V = uint64_t;
+    using Narrower = void; ///< terminates the remainder recursion
+    static constexpr size_t W = 1;
+
+    static V
+    load(const uint64_t *p)
+    {
+        V v;
+        std::memcpy(&v, p, sizeof v);
+        return v;
+    }
+    static void
+    store(uint64_t *p, V v)
+    {
+        std::memcpy(p, &v, sizeof v);
+    }
+    static V splat(uint64_t x) { return x; }
+    static V and_(V a, V b) { return a & b; }
+    static V or_(V a, V b) { return a | b; }
+    static V xor_(V a, V b) { return a ^ b; }
+    /** ~a & b (operand order matches the VPANDN instruction). */
+    static V andnot(V a, V b) { return ~a & b; }
+    static V not_(V a) { return ~a; }
+    static V shr(V v, unsigned n) { return v >> n; }
+    static V shl(V v, unsigned n) { return v << n; }
+    /** a ^ b ^ c — the full-adder sum. */
+    static V sum3(V a, V b, V c) { return a ^ b ^ c; }
+    /** majority(a, b, c) — the full-adder carry-out. */
+    static V maj3(V a, V b, V c) { return (a & b) | ((a ^ b) & c); }
+    /** Lane blend: t ? v : d. */
+    static V blend(V t, V v, V d) { return (v & t) | (d & ~t); }
+    /** Chunk mask whose highest word is the row's tail mask. */
+    static V lastMask(uint64_t tm) { return tm; }
+
+    /** Bit b of each of 64 packed bytes, as one plane word. */
+    static uint64_t
+    packPlane(const uint8_t bytes[64], unsigned b)
+    {
+        uint64_t w = 0;
+        for (unsigned i = 0; i < 64; ++i)
+            w |= uint64_t((bytes[i] >> b) & 1u) << i;
+        return w;
+    }
+};
+
+#if defined(__AVX2__)
+
+/** AVX2 backend: four words (256 lanes) per step. */
+struct Avx2B
+{
+    using V = __m256i;
+    using Narrower = ScalarB;
+    static constexpr size_t W = 4;
+
+    static V
+    load(const uint64_t *p)
+    {
+        V v;
+        std::memcpy(&v, p, sizeof v);
+        return v;
+    }
+    static void
+    store(uint64_t *p, V v)
+    {
+        std::memcpy(p, &v, sizeof v);
+    }
+    static V
+    splat(uint64_t x)
+    {
+        return _mm256_set1_epi64x(static_cast<long long>(x));
+    }
+    static V and_(V a, V b) { return _mm256_and_si256(a, b); }
+    static V or_(V a, V b) { return _mm256_or_si256(a, b); }
+    static V xor_(V a, V b) { return _mm256_xor_si256(a, b); }
+    static V andnot(V a, V b) { return _mm256_andnot_si256(a, b); }
+    static V not_(V a) { return _mm256_xor_si256(a, splat(~uint64_t(0))); }
+    static V
+    shr(V v, unsigned n)
+    {
+        return _mm256_srl_epi64(v, _mm_cvtsi32_si128(int(n)));
+    }
+    static V
+    shl(V v, unsigned n)
+    {
+        return _mm256_sll_epi64(v, _mm_cvtsi32_si128(int(n)));
+    }
+#if defined(__AVX512VL__)
+    // With AVX-512VL each 3-input boolean collapses to one VPTERNLOGQ
+    // (imm = truth table over A:0xF0 B:0xCC C:0xAA), shortening the
+    // carry chain of the dominant single-chunk opAdd geometry.
+    static V
+    sum3(V a, V b, V c)
+    {
+        return _mm256_ternarylogic_epi64(a, b, c, 0x96);
+    }
+    static V
+    maj3(V a, V b, V c)
+    {
+        return _mm256_ternarylogic_epi64(a, b, c, 0xE8);
+    }
+    static V
+    blend(V t, V v, V d)
+    {
+        return _mm256_ternarylogic_epi64(t, v, d, 0xCA);
+    }
+#else
+    static V sum3(V a, V b, V c) { return xor_(xor_(a, b), c); }
+    static V
+    maj3(V a, V b, V c)
+    {
+        return or_(and_(a, b), and_(xor_(a, b), c));
+    }
+    static V blend(V t, V v, V d) { return or_(and_(v, t), andnot(t, d)); }
+#endif
+    static V
+    lastMask(uint64_t tm)
+    {
+        return _mm256_set_epi64x(static_cast<long long>(tm), -1, -1,
+                                 -1);
+    }
+
+    static uint64_t
+    packPlane(const uint8_t bytes[64], unsigned b)
+    {
+        // Left-shift each byte so bit b lands in bit 7, then let
+        // VPMOVMSKB collect the sign bits. The 16-bit shift cannot
+        // contaminate the read bit: for shifts <= 7, each byte's bit
+        // 7 still comes from within that byte.
+        V v0, v1;
+        std::memcpy(&v0, bytes, 32);
+        std::memcpy(&v1, bytes + 32, 32);
+        __m128i cnt = _mm_cvtsi32_si128(int(7 - b));
+        auto lo = static_cast<uint32_t>(
+            _mm256_movemask_epi8(_mm256_sll_epi16(v0, cnt)));
+        auto hi = static_cast<uint32_t>(
+            _mm256_movemask_epi8(_mm256_sll_epi16(v1, cnt)));
+        return uint64_t(lo) | (uint64_t(hi) << 32);
+    }
+};
+
+#endif // __AVX2__
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+/** AVX-512 backend: eight words (512 lanes) per step. */
+struct Avx512B
+{
+    using V = __m512i;
+    using Narrower = Avx2B; ///< -mavx512f implies AVX2 on GCC/Clang
+    static constexpr size_t W = 8;
+
+    static V
+    load(const uint64_t *p)
+    {
+        V v;
+        std::memcpy(&v, p, sizeof v);
+        return v;
+    }
+    static void
+    store(uint64_t *p, V v)
+    {
+        std::memcpy(p, &v, sizeof v);
+    }
+    static V
+    splat(uint64_t x)
+    {
+        return _mm512_set1_epi64(static_cast<long long>(x));
+    }
+    static V and_(V a, V b) { return _mm512_and_si512(a, b); }
+    static V or_(V a, V b) { return _mm512_or_si512(a, b); }
+    static V xor_(V a, V b) { return _mm512_xor_si512(a, b); }
+    static V andnot(V a, V b) { return _mm512_andnot_si512(a, b); }
+    static V not_(V a) { return _mm512_xor_si512(a, splat(~uint64_t(0))); }
+    static V
+    shr(V v, unsigned n)
+    {
+        return _mm512_srl_epi64(v, _mm_cvtsi32_si128(int(n)));
+    }
+    static V
+    shl(V v, unsigned n)
+    {
+        return _mm512_sll_epi64(v, _mm_cvtsi32_si128(int(n)));
+    }
+    static V
+    sum3(V a, V b, V c)
+    {
+        return _mm512_ternarylogic_epi64(a, b, c, 0x96);
+    }
+    static V
+    maj3(V a, V b, V c)
+    {
+        return _mm512_ternarylogic_epi64(a, b, c, 0xE8);
+    }
+    static V
+    blend(V t, V v, V d)
+    {
+        return _mm512_ternarylogic_epi64(t, v, d, 0xCA);
+    }
+    static V
+    lastMask(uint64_t tm)
+    {
+        return _mm512_set_epi64(static_cast<long long>(tm), -1, -1,
+                                -1, -1, -1, -1, -1);
+    }
+
+    static uint64_t
+    packPlane(const uint8_t bytes[64], unsigned b)
+    {
+        // One masked sign-bit extraction for the whole block; the
+        // VPMOVB2M byte mask is why this tier requires AVX512BW.
+        V v;
+        std::memcpy(&v, bytes, 64);
+        __m128i cnt = _mm_cvtsi32_si128(int(7 - b));
+        return static_cast<uint64_t>(
+            _mm512_movepi8_mask(_mm512_sll_epi16(v, cnt)));
+    }
+};
+
+#endif // __AVX512F__ && __AVX512BW__
+
+/** @name Logic ops for the two-operand family */
+/// @{
+struct OpAnd
+{
+    template <class B>
+    static typename B::V
+    apply(typename B::V a, typename B::V b)
+    {
+        return B::and_(a, b);
+    }
+};
+struct OpNor
+{
+    template <class B>
+    static typename B::V
+    apply(typename B::V a, typename B::V b)
+    {
+        return B::andnot(a, B::not_(b)); // ~a & ~b
+    }
+};
+struct OpOr
+{
+    template <class B>
+    static typename B::V
+    apply(typename B::V a, typename B::V b)
+    {
+        return B::or_(a, b);
+    }
+};
+struct OpXor
+{
+    template <class B>
+    static typename B::V
+    apply(typename B::V a, typename B::V b)
+    {
+        return B::xor_(a, b);
+    }
+};
+struct OpXnor
+{
+    template <class B>
+    static typename B::V
+    apply(typename B::V a, typename B::V b)
+    {
+        return B::not_(B::xor_(a, b));
+    }
+};
+/// @}
+
+/**
+ * Predicated commit of @p v into the destination chunk: lanes where
+ * the tag holds 1 take v, others keep d.
+ */
+template <class B>
+inline typename B::V
+predMerge(typename B::V v, typename B::V tv, typename B::V dv)
+{
+    return B::blend(tv, v, dv);
+}
+
+/** All-ones tail masks are the norm (width % 64 == 0): skip them. */
+inline bool
+maskedTail(uint64_t tm)
+{
+    return tm != ~uint64_t(0);
+}
+
+template <class B, class OP, bool PRED>
+void
+logic2Pass(const uint64_t *a, const uint64_t *b, uint64_t *d,
+           const uint64_t *t, size_t nw, uint64_t tm)
+{
+    size_t i = 0;
+    for (; i + B::W <= nw; i += B::W) {
+        auto v = OP::template apply<B>(B::load(a + i), B::load(b + i));
+        if (maskedTail(tm) && i + B::W == nw)
+            v = B::and_(v, B::lastMask(tm));
+        if constexpr (PRED)
+            v = predMerge<B>(v, B::load(t + i), B::load(d + i));
+        B::store(d + i, v);
+    }
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (i < nw)
+            logic2Pass<typename B::Narrower, OP, PRED>(
+                a + i, b + i, d + i, t + i, nw - i, tm);
+    }
+}
+
+template <class B, bool PRED>
+void
+addPass(const uint64_t *a, const uint64_t *b, uint64_t *d, uint64_t *c,
+        const uint64_t *t, size_t nw, uint64_t tm)
+{
+    size_t i = 0;
+    for (; i + B::W <= nw; i += B::W) {
+        // All operand chunks (dst included when predicated) load
+        // before either store, and chunks advance forward, so dst
+        // may alias ra or rb (in-place accumulation).
+        auto av = B::load(a + i);
+        auto bv = B::load(b + i);
+        auto cv = B::load(c + i);
+        auto sum = B::sum3(av, bv, cv);
+        auto cout = B::maj3(av, bv, cv);
+        if (maskedTail(tm) && i + B::W == nw) {
+            auto lm = B::lastMask(tm);
+            sum = B::and_(sum, lm);
+            cout = B::and_(cout, lm);
+        }
+        if constexpr (PRED)
+            sum = predMerge<B>(sum, B::load(t + i), B::load(d + i));
+        B::store(d + i, sum);
+        B::store(c + i, cout);
+    }
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (i < nw)
+            addPass<typename B::Narrower, PRED>(a + i, b + i, d + i,
+                                                c + i, t + i, nw - i,
+                                                tm);
+    }
+}
+
+template <class B, bool INV, bool PRED>
+void
+copyPass(const uint64_t *s, uint64_t *d, const uint64_t *t, size_t nw,
+         uint64_t tm)
+{
+    size_t i = 0;
+    for (; i + B::W <= nw; i += B::W) {
+        auto v = B::load(s + i);
+        if constexpr (INV)
+            v = B::not_(v);
+        if (maskedTail(tm) && i + B::W == nw)
+            v = B::and_(v, B::lastMask(tm));
+        if constexpr (PRED)
+            v = predMerge<B>(v, B::load(t + i), B::load(d + i));
+        B::store(d + i, v);
+    }
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (i < nw)
+            copyPass<typename B::Narrower, INV, PRED>(
+                s + i, d + i, t + i, nw - i, tm);
+    }
+}
+
+template <class B, bool PRED>
+void
+immPass(uint64_t v, uint64_t *d, const uint64_t *t, size_t nw,
+        uint64_t tm)
+{
+    auto vv = B::splat(v);
+    size_t i = 0;
+    for (; i + B::W <= nw; i += B::W) {
+        auto w = vv;
+        if (maskedTail(tm) && i + B::W == nw)
+            w = B::and_(w, B::lastMask(tm));
+        if constexpr (PRED)
+            w = predMerge<B>(w, B::load(t + i), B::load(d + i));
+        B::store(d + i, w);
+    }
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (i < nw)
+            immPass<typename B::Narrower, PRED>(v, d + i, t + i,
+                                                nw - i, tm);
+    }
+}
+
+template <class B, bool PRED>
+void
+latchStorePass(const uint64_t *s, uint64_t *d, const uint64_t *t,
+               size_t nw)
+{
+    // The source is a latch row whose tail lanes are already zero:
+    // no mask needed at any width.
+    size_t i = 0;
+    for (; i + B::W <= nw; i += B::W) {
+        auto v = B::load(s + i);
+        if constexpr (PRED)
+            v = predMerge<B>(v, B::load(t + i), B::load(d + i));
+        B::store(d + i, v);
+    }
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (i < nw)
+            latchStorePass<typename B::Narrower, PRED>(s + i, d + i,
+                                                       t + i, nw - i);
+    }
+}
+
+/** Tag folds: both operands already honour the zero-tail invariant. */
+template <class B, TagFold OP>
+void
+tagFoldPass(uint64_t *t, const uint64_t *s, size_t nw)
+{
+    size_t i = 0;
+    for (; i + B::W <= nw; i += B::W) {
+        auto tv = B::load(t + i);
+        auto sv = B::load(s + i);
+        typename B::V v;
+        if constexpr (OP == TagFold::And)
+            v = B::and_(tv, sv);
+        else if constexpr (OP == TagFold::AndInv)
+            v = B::andnot(sv, tv); // t & ~s
+        else
+            v = B::or_(tv, sv);
+        B::store(t + i, v);
+    }
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (i < nw)
+            tagFoldPass<typename B::Narrower, OP>(t + i, s + i,
+                                                  nw - i);
+    }
+}
+
+template <class B>
+void
+tagAndXnorPass(uint64_t *t, const uint64_t *a, const uint64_t *b,
+               size_t nw)
+{
+    // t &= ~(a ^ b): the xor's tail is zero (both inputs masked), so
+    // its complement's tail ones vanish against t's zero tail.
+    size_t i = 0;
+    for (; i + B::W <= nw; i += B::W) {
+        auto x = B::xor_(B::load(a + i), B::load(b + i));
+        B::store(t + i, B::andnot(x, B::load(t + i)));
+    }
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (i < nw)
+            tagAndXnorPass<typename B::Narrower>(t + i, a + i, b + i,
+                                                 nw - i);
+    }
+}
+
+template <class B, bool INV>
+void
+loadLatchPass(uint64_t *d, const uint64_t *s, size_t nw, uint64_t tm)
+{
+    size_t i = 0;
+    for (; i + B::W <= nw; i += B::W) {
+        auto v = B::load(s + i);
+        if constexpr (INV)
+            v = B::not_(v); // sets tail lanes: mask below
+        if (maskedTail(tm) && i + B::W == nw)
+            v = B::and_(v, B::lastMask(tm));
+        B::store(d + i, v);
+    }
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (i < nw)
+            loadLatchPass<typename B::Narrower, INV>(d + i, s + i,
+                                                     nw - i, tm);
+    }
+}
+
+/**
+ * One 64x64 transpose stage schedule (Hacker's Delight fig. 7-6):
+ * butterfly j with mask m, j halving from 32 to 1.
+ */
+constexpr unsigned kStageJ[6] = {32, 16, 8, 4, 2, 1};
+constexpr uint64_t kStageMask[6] = {
+    0x00000000FFFFFFFFULL, 0x0000FFFF0000FFFFULL,
+    0x00FF00FF00FF00FFULL, 0x0F0F0F0F0F0F0F0FULL,
+    0x3333333333333333ULL, 0x5555555555555555ULL,
+};
+
+template <class B>
+inline void
+transposeBlock(uint64_t *a)
+{
+    for (unsigned s = 0; s < 6; ++s) {
+        const unsigned j = kStageJ[s];
+        const uint64_t m = kStageMask[s];
+        if constexpr (B::W > 1) {
+            // Stages whose butterfly span covers whole chunks run
+            // vectorized: within each 2j-aligned pair of j-word
+            // halves, the k indices are contiguous.
+            if (j >= B::W) {
+                auto mv = B::splat(m);
+                for (unsigned base = 0; base < 64; base += 2 * j)
+                    for (unsigned k = base; k < base + j; k += B::W) {
+                        auto lo = B::load(a + k);
+                        auto hi = B::load(a + k + j);
+                        auto t =
+                            B::and_(B::xor_(B::shr(lo, j), hi), mv);
+                        B::store(a + k + j, B::xor_(hi, t));
+                        B::store(a + k, B::xor_(lo, B::shl(t, j)));
+                    }
+                continue;
+            }
+        }
+        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+            uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k + j] ^= t;
+            a[k] ^= t << j;
+        }
+    }
+}
+
+template <class B>
+void
+transposeBlocksPass(uint64_t *blocks, size_t nblocks)
+{
+    for (size_t blk = 0; blk < nblocks; ++blk)
+        transposeBlock<B>(blocks + blk * 64);
+}
+
+template <class B>
+void
+packPlanesPass(const uint64_t *vals, size_t nvals, unsigned bits,
+               uint64_t *planes, size_t nblocks)
+{
+    for (size_t blk = 0; blk < nblocks; ++blk) {
+        // Narrow the block's 64 elements to bytes once, then peel
+        // one plane word per bit.
+        alignas(64) uint8_t bytes[64];
+        const size_t lane0 = blk * 64;
+        const size_t n =
+            nvals > lane0 ? (nvals - lane0 < 64 ? nvals - lane0 : 64)
+                          : 0;
+        for (size_t i = 0; i < n; ++i)
+            bytes[i] = static_cast<uint8_t>(vals[lane0 + i]);
+        if (n < 64)
+            std::memset(bytes + n, 0, 64 - n);
+        for (unsigned b = 0; b < bits; ++b)
+            planes[b * nblocks + blk] = B::packPlane(bytes, b);
+    }
+}
+
+/** @name Table wrappers (the function-pointer shapes)
+ *
+ * Unpredicated and predicated forms are separate entry points: the
+ * unpredicated ones are the hot inner loops of every arithmetic
+ * kernel and stay within six integer argument registers so Array's
+ * ops reach them as frameless sibling calls (kernels.hh). Each
+ * wrapper first hands rows narrower than its own chunk straight to
+ * the narrower tier's wrapper — the default 256-column geometry is
+ * half an AVX-512 chunk, and threading it through the generic
+ * chunk-loop + remainder recursion costs more bookkeeping than the
+ * whole pass does work. addW additionally special-cases the exact
+ * one-chunk add: that is the opAdd inner loop, hot enough that the
+ * loop scaffolding around a single 3-load/2-op/2-store chunk shows
+ * up in perf_report.
+ */
+/// @{
+template <class B, class OP, bool PRED>
+inline void
+logic2Op(const uint64_t *a, const uint64_t *b, uint64_t *d,
+         const uint64_t *t, size_t nw, uint64_t tm)
+{
+    logic2Pass<B, OP, PRED>(a, b, d, t, nw, tm);
+}
+
+template <class B, bool PRED>
+inline void
+logic2Switch(Logic2 op, const uint64_t *a, const uint64_t *b,
+             uint64_t *d, const uint64_t *t, size_t nw, uint64_t tm)
+{
+    switch (op) {
+    case Logic2::And:
+        logic2Op<B, OpAnd, PRED>(a, b, d, t, nw, tm);
+        break;
+    case Logic2::Nor:
+        logic2Op<B, OpNor, PRED>(a, b, d, t, nw, tm);
+        break;
+    case Logic2::Or:
+        logic2Op<B, OpOr, PRED>(a, b, d, t, nw, tm);
+        break;
+    case Logic2::Xor:
+        logic2Op<B, OpXor, PRED>(a, b, d, t, nw, tm);
+        break;
+    case Logic2::Xnor:
+        logic2Op<B, OpXnor, PRED>(a, b, d, t, nw, tm);
+        break;
+    }
+}
+
+template <class B>
+void
+logic2W(Logic2 op, const uint64_t *a, const uint64_t *b, uint64_t *d,
+        size_t nw, uint64_t tm)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W)
+            return logic2W<typename B::Narrower>(op, a, b, d, nw, tm);
+    }
+    logic2Switch<B, false>(op, a, b, d, nullptr, nw, tm);
+}
+
+template <class B>
+void
+logic2PredW(Logic2 op, const uint64_t *a, const uint64_t *b,
+            uint64_t *d, const uint64_t *t, size_t nw, uint64_t tm)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W)
+            return logic2PredW<typename B::Narrower>(op, a, b, d, t,
+                                                     nw, tm);
+    }
+    logic2Switch<B, true>(op, a, b, d, t, nw, tm);
+}
+
+/**
+ * Exactly one chunk of width B: the opAdd hot path. The carry row is
+ * a loop-carried dependency across consecutive adds (stored here,
+ * reloaded by the next op), so the chunk is written with as short a
+ * load-to-store chain as the backend allows.
+ */
+template <class B>
+inline void
+addChunk(const uint64_t *a, const uint64_t *b, uint64_t *d,
+         uint64_t *c, uint64_t tm)
+{
+    auto av = B::load(a);
+    auto bv = B::load(b);
+    auto cv = B::load(c);
+    auto sum = B::sum3(av, bv, cv);
+    auto cout = B::maj3(av, bv, cv);
+    if (maskedTail(tm)) {
+        auto lm = B::lastMask(tm);
+        sum = B::and_(sum, lm);
+        cout = B::and_(cout, lm);
+    }
+    B::store(d, sum);
+    B::store(c, cout);
+}
+
+template <class B>
+void
+addW(const uint64_t *a, const uint64_t *b, uint64_t *d, uint64_t *c,
+     size_t nw, uint64_t tm)
+{
+    if (nw == B::W)
+        return addChunk<B>(a, b, d, c, tm);
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W) {
+            // One chunk of the narrower sibling (the default
+            // 256-column row under the 512-bit tier) is common
+            // enough to resolve here rather than re-dispatch.
+            if (nw == B::Narrower::W)
+                return addChunk<typename B::Narrower>(a, b, d, c, tm);
+            return addW<typename B::Narrower>(a, b, d, c, nw, tm);
+        }
+    }
+    addPass<B, false>(a, b, d, c, nullptr, nw, tm);
+}
+
+template <class B>
+void
+addPredW(const uint64_t *a, const uint64_t *b, uint64_t *d,
+         uint64_t *c, const uint64_t *t, size_t nw, uint64_t tm)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W)
+            return addPredW<typename B::Narrower>(a, b, d, c, t, nw,
+                                                  tm);
+    }
+    addPass<B, true>(a, b, d, c, t, nw, tm);
+}
+
+template <class B>
+void
+copyW(const uint64_t *s, uint64_t *d, size_t nw, uint64_t tm,
+      bool invert)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W)
+            return copyW<typename B::Narrower>(s, d, nw, tm, invert);
+    }
+    if (invert)
+        copyPass<B, true, false>(s, d, nullptr, nw, tm);
+    else
+        copyPass<B, false, false>(s, d, nullptr, nw, tm);
+}
+
+template <class B>
+void
+copyPredW(const uint64_t *s, uint64_t *d, const uint64_t *t,
+          size_t nw, uint64_t tm, bool invert)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W)
+            return copyPredW<typename B::Narrower>(s, d, t, nw, tm,
+                                                   invert);
+    }
+    if (invert)
+        copyPass<B, true, true>(s, d, t, nw, tm);
+    else
+        copyPass<B, false, true>(s, d, t, nw, tm);
+}
+
+template <class B>
+void
+immW(uint64_t v, uint64_t *d, size_t nw, uint64_t tm)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W)
+            return immW<typename B::Narrower>(v, d, nw, tm);
+    }
+    immPass<B, false>(v, d, nullptr, nw, tm);
+}
+
+template <class B>
+void
+immPredW(uint64_t v, uint64_t *d, const uint64_t *t, size_t nw,
+         uint64_t tm)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W)
+            return immPredW<typename B::Narrower>(v, d, t, nw, tm);
+    }
+    immPass<B, true>(v, d, t, nw, tm);
+}
+
+template <class B>
+void
+latchStoreW(const uint64_t *s, uint64_t *d, size_t nw)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W)
+            return latchStoreW<typename B::Narrower>(s, d, nw);
+    }
+    latchStorePass<B, false>(s, d, nullptr, nw);
+}
+
+template <class B>
+void
+latchStorePredW(const uint64_t *s, uint64_t *d, const uint64_t *t,
+                size_t nw)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W)
+            return latchStorePredW<typename B::Narrower>(s, d, t, nw);
+    }
+    latchStorePass<B, true>(s, d, t, nw);
+}
+
+template <class B>
+void
+tagFoldW(TagFold op, uint64_t *t, const uint64_t *s, size_t nw)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W) {
+            tagFoldW<typename B::Narrower>(op, t, s, nw);
+            return;
+        }
+    }
+    switch (op) {
+    case TagFold::And:
+        tagFoldPass<B, TagFold::And>(t, s, nw);
+        break;
+    case TagFold::AndInv:
+        tagFoldPass<B, TagFold::AndInv>(t, s, nw);
+        break;
+    case TagFold::Or:
+        tagFoldPass<B, TagFold::Or>(t, s, nw);
+        break;
+    }
+}
+
+template <class B>
+void
+loadLatchW(uint64_t *d, const uint64_t *s, size_t nw, uint64_t tm,
+           bool invert)
+{
+    if constexpr (!std::is_same_v<typename B::Narrower, void>) {
+        if (nw < B::W) {
+            loadLatchW<typename B::Narrower>(d, s, nw, tm, invert);
+            return;
+        }
+    }
+    if (invert)
+        loadLatchPass<B, true>(d, s, nw, tm);
+    else
+        loadLatchPass<B, false>(d, s, nw, tm);
+}
+/// @}
+
+/** Assemble one tier's dispatch table from the B instantiations. */
+template <class B>
+Table
+makeTable(common::simd::Tier tier)
+{
+    Table t{};
+    t.tier = tier;
+    t.logic2 = &logic2W<B>;
+    t.logic2Pred = &logic2PredW<B>;
+    t.add = &addW<B>;
+    t.addPred = &addPredW<B>;
+    t.copy = &copyW<B>;
+    t.copyPred = &copyPredW<B>;
+    t.imm = &immW<B>;
+    t.immPred = &immPredW<B>;
+    t.latchStore = &latchStoreW<B>;
+    t.latchStorePred = &latchStorePredW<B>;
+    t.tagFold = &tagFoldW<B>;
+    t.tagAndXnor = &tagAndXnorPass<B>;
+    t.loadLatch = &loadLatchW<B>;
+    t.transposeBlocks = &transposeBlocksPass<B>;
+    t.packPlanes = &packPlanesPass<B>;
+    return t;
+}
+
+} // namespace
+
+} // namespace nc::sram::kern
+
+
+#endif // NC_SRAM_KERNELS_IMPL_HH

@@ -1,0 +1,16 @@
+// Portable kernel tier: always compiled, always available — the
+// floor of the dispatch ladder and the NC_SIMD=scalar CI leg.
+
+#include "sram/kernels_impl.hh"
+
+namespace nc::sram::kern
+{
+
+const Table *
+scalarTable()
+{
+    static const Table t = makeTable<ScalarB>(common::simd::Tier::Scalar);
+    return &t;
+}
+
+} // namespace nc::sram::kern

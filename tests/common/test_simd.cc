@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The SIMD dispatch ladder: strict NC_SIMD spec parsing
+ * (common/simd.hh) and the runtime tier controls behind the Array
+ * kernels (sram/kernels.hh).
+ *
+ * resolveTierSpec is pure — spec string in, tier out, against an
+ * explicit "best the host can run" — so the rejection contract is
+ * testable on any machine: asking for a tier above the synthetic
+ * best must die naming the best tier, regardless of what CPU the
+ * suite happens to run on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/simd.hh"
+#include "sram/kernels.hh"
+
+namespace
+{
+
+using nc::common::simd::resolveTierSpec;
+using nc::common::simd::Tier;
+using nc::common::simd::tierName;
+
+TEST(SimdSpec, MissingAndAutoFollowTheHostBest)
+{
+    EXPECT_EQ(resolveTierSpec(nullptr, Tier::Scalar), Tier::Scalar);
+    EXPECT_EQ(resolveTierSpec(nullptr, Tier::Avx512), Tier::Avx512);
+    EXPECT_EQ(resolveTierSpec("auto", Tier::Scalar), Tier::Scalar);
+    EXPECT_EQ(resolveTierSpec("auto", Tier::Avx2), Tier::Avx2);
+}
+
+TEST(SimdSpec, ExactNamesResolveWhenRunnable)
+{
+    EXPECT_EQ(resolveTierSpec("scalar", Tier::Avx512), Tier::Scalar);
+    EXPECT_EQ(resolveTierSpec("avx2", Tier::Avx2), Tier::Avx2);
+    EXPECT_EQ(resolveTierSpec("avx512", Tier::Avx512), Tier::Avx512);
+    // Asking for less than the host offers is always honoured (the
+    // perf baseline's scalar leg depends on it).
+    EXPECT_EQ(resolveTierSpec("avx2", Tier::Avx512), Tier::Avx2);
+}
+
+TEST(SimdSpec, TierNamesRoundTrip)
+{
+    for (Tier t : {Tier::Scalar, Tier::Avx2, Tier::Avx512})
+        EXPECT_EQ(resolveTierSpec(tierName(t), Tier::Avx512), t);
+}
+
+using SimdSpecDeath = ::testing::Test;
+
+TEST(SimdSpecDeath, UnrunnableTierDiesNamingTheHostBest)
+{
+    // The NC_SIMD=avx512-on-a-narrower-host contract: no silent
+    // fallback; the error names what this host can actually do.
+    EXPECT_DEATH(resolveTierSpec("avx512", Tier::Avx2),
+                 "NC_SIMD='avx512' is not available.*best tier: avx2");
+    EXPECT_DEATH(resolveTierSpec("avx512", Tier::Scalar),
+                 "best tier: scalar");
+    EXPECT_DEATH(resolveTierSpec("avx2", Tier::Scalar),
+                 "NC_SIMD='avx2' is not available.*best tier: scalar");
+}
+
+TEST(SimdSpecDeath, TyposAndCaseVariantsAreConfigurationErrors)
+{
+    EXPECT_DEATH(resolveTierSpec("AVX2", Tier::Avx512),
+                 "NC_SIMD='AVX2' is not a dispatch tier");
+    EXPECT_DEATH(resolveTierSpec(" avx2", Tier::Avx512),
+                 "not a dispatch tier");
+    EXPECT_DEATH(resolveTierSpec("sse2", Tier::Avx512),
+                 "not a dispatch tier");
+    EXPECT_DEATH(resolveTierSpec("", Tier::Avx512),
+                 "not a dispatch tier");
+}
+
+TEST(TierLadder, AvailableTiersRunFromScalarToBest)
+{
+    auto tiers = nc::sram::kern::availableTiers();
+    ASSERT_FALSE(tiers.empty());
+    EXPECT_EQ(tiers.front(), Tier::Scalar);
+    EXPECT_EQ(tiers.back(), nc::sram::kern::bestTier());
+    for (size_t i = 1; i < tiers.size(); ++i)
+        EXPECT_LT(static_cast<int>(tiers[i - 1]),
+                  static_cast<int>(tiers[i]));
+}
+
+TEST(TierLadder, ForceTierPinsDispatch)
+{
+    Tier prev = nc::sram::kern::activeTier();
+    for (Tier t : nc::sram::kern::availableTiers()) {
+        nc::sram::kern::forceTier(t);
+        EXPECT_EQ(nc::sram::kern::activeTier(), t);
+    }
+    nc::sram::kern::forceTier(prev);
+}
+
+using TierLadderDeath = ::testing::Test;
+
+TEST(TierLadderDeath, ForcingAnUnrunnableTierDies)
+{
+    if (nc::sram::kern::bestTier() == Tier::Avx512)
+        GTEST_SKIP() << "host runs every tier";
+    EXPECT_DEATH(nc::sram::kern::forceTier(Tier::Avx512),
+                 "not available on this host/build.*best tier:");
+}
+
+} // namespace

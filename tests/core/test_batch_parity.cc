@@ -22,6 +22,7 @@
 #include "common/rng.hh"
 #include "core/engine.hh"
 #include "dnn/random.hh"
+#include "sram/kernels.hh"
 
 #include "branch_nets.hh"
 
@@ -99,6 +100,42 @@ TEST(BatchParity, ParallelBatchMatchesSerialLoopAcrossBackends)
             }
         }
     }
+}
+
+TEST(BatchParity, EverySimdTierReproducesTheBatchBitExactly)
+{
+    // End-to-end tier parity: the whole engine pipeline — layout,
+    // bit-serial arithmetic, batching — run once per runnable SIMD
+    // dispatch tier, must produce the identical batch output. This
+    // is the integration-level counterpart of the per-op kernel
+    // diff suite (tests/sram/test_array_kernels.cc).
+    Rng rng(0x51bd);
+    auto net = testnets::randomMixedNet("batch-simd", 5, 2, rng);
+
+    core::EngineOptions opts;
+    opts.threads = 1;
+    core::Engine engine(opts);
+    auto model = engine.compile(net);
+    auto inputs = randomBatch(4, model.inputChannels(),
+                              model.inputHeight(), 0x51bd);
+
+    const auto prev = sram::kern::activeTier();
+    std::vector<std::vector<uint8_t>> golden;
+    for (auto tier : sram::kern::availableTiers()) {
+        sram::kern::forceTier(tier);
+        auto res = model.runBatch(inputs);
+        ASSERT_EQ(res.outputs.size(), inputs.size());
+        if (golden.empty()) {
+            for (const auto &out : res.outputs)
+                golden.push_back(out.data());
+            continue;
+        }
+        for (size_t i = 0; i < golden.size(); ++i)
+            EXPECT_EQ(res.outputs[i].data(), golden[i])
+                << "image " << i << " diverged at tier "
+                << common::simd::tierName(tier);
+    }
+    sram::kern::forceTier(prev);
 }
 
 TEST(BatchParity, RepeatedBatchesAndInterleavedRunsAreBitIdentical)

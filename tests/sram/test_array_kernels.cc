@@ -4,36 +4,49 @@
  *
  * Every Array::op* has two implementations: the fused word-level fast
  * path and the bit-by-bit reference path (setReferenceMode). These
- * tests drive both with identical stimulus — all ops, predication on
- * and off, widths that are not multiples of 64 — and require
- * bit-exact agreement of every row, both latches, and both cycle
- * counters after every step. The transposed storeVector/loadVector
- * fast paths are pinned the same way.
+ * tests drive both with identical stimulus — every runnable SIMD
+ * dispatch tier (pinned with forceTier), all ops, predication on and
+ * off, widths that are not multiples of 64 — and require bit-exact
+ * agreement of every row, both latches, and both cycle counters
+ * after every step. The transposed storeVector/loadVector fast paths
+ * are pinned the same way.
  */
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <tuple>
 
 #include "bitserial/layout.hh"
 #include "common/rng.hh"
 #include "sram/array.hh"
+#include "sram/kernels.hh"
 
 namespace
 {
 
 using nc::Rng;
+using nc::common::simd::Tier;
 using nc::sram::Array;
 
 constexpr unsigned kRows = 16;
 
-class KernelDiff : public ::testing::TestWithParam<unsigned>
+class KernelDiff
+    : public ::testing::TestWithParam<std::tuple<Tier, unsigned>>
 {
   protected:
     void
     SetUp() override
     {
-        unsigned cols = GetParam();
+        // Pin this case's dispatch tier; TearDown restores the
+        // previous one so later suites in the same process see the
+        // normal NC_SIMD/CPUID resolution. The reference array runs
+        // the bit-by-bit path regardless of tier, so every tier's
+        // kernels are pinned against tier-independent semantics.
+        prev = nc::sram::kern::activeTier();
+        nc::sram::kern::forceTier(std::get<0>(GetParam()));
+        unsigned cols = this->cols();
         fast = std::make_unique<Array>(kRows, cols);
         ref = std::make_unique<Array>(kRows, cols);
         ref->setReferenceMode(true);
@@ -55,6 +68,12 @@ class KernelDiff : public ::testing::TestWithParam<unsigned>
         });
     }
 
+    void
+    TearDown() override
+    {
+        nc::sram::kern::forceTier(prev);
+    }
+
     template <class F>
     void
     both(F f)
@@ -69,7 +88,9 @@ class KernelDiff : public ::testing::TestWithParam<unsigned>
         for (unsigned r = 0; r < kRows; ++r) {
             EXPECT_TRUE(fast->rowRef(r) == ref->rowRef(r))
                 << what << ": row " << r << " diverged (cols "
-                << GetParam() << ")";
+                << cols() << ", tier "
+                << nc::common::simd::tierName(std::get<0>(GetParam()))
+                << ")";
         }
         EXPECT_TRUE(fast->carry() == ref->carry())
             << what << ": carry latch diverged";
@@ -81,7 +102,10 @@ class KernelDiff : public ::testing::TestWithParam<unsigned>
             << what << ": access cycle drift";
     }
 
+    unsigned cols() const { return std::get<1>(GetParam()); }
+
     std::unique_ptr<Array> fast, ref;
+    Tier prev = Tier::Scalar;
 };
 
 TEST_P(KernelDiff, LogicOps)
@@ -144,7 +168,7 @@ TEST_P(KernelDiff, TagFamily)
 
 TEST_P(KernelDiff, LaneShift)
 {
-    unsigned cols = GetParam();
+    unsigned cols = this->cols();
     for (unsigned shift : {0u, 1u, 7u, 63u, 64u, 65u, cols - 1, cols,
                            cols + 3}) {
         both([&](Array &a) { a.opLaneShift(0, 10, shift); });
@@ -171,7 +195,7 @@ TEST_P(KernelDiff, RandomOpSoup)
 {
     // A few hundred randomly chosen ops with random operands: the two
     // paths must stay in lock-step the whole way.
-    Rng rng(0x5eed ^ GetParam());
+    Rng rng(0x5eed ^ cols());
     for (unsigned step = 0; step < 300; ++step) {
         unsigned op = static_cast<unsigned>(rng.uniformInt(0, 12));
         unsigned ra = static_cast<unsigned>(
@@ -184,7 +208,7 @@ TEST_P(KernelDiff, RandomOpSoup)
             rng.uniformInt(0, kRows - 1));
         bool pred = rng.uniformBits(1) != 0;
         unsigned shift = static_cast<unsigned>(
-            rng.uniformInt(0, GetParam()));
+            rng.uniformInt(0, cols()));
         both([&](Array &a) {
             switch (op) {
               case 0: a.opAnd(ra, rb, dst, pred); break;
@@ -208,7 +232,7 @@ TEST_P(KernelDiff, RandomOpSoup)
 
 TEST_P(KernelDiff, TransposedStoreLoadRoundTrip)
 {
-    unsigned cols = GetParam();
+    unsigned cols = this->cols();
     Rng rng(0xAB1E ^ cols);
     for (unsigned bits : {1u, 7u, 8u, 13u, 64u}) {
         if (bits > kRows)
@@ -238,8 +262,16 @@ TEST_P(KernelDiff, TransposedStoreLoadRoundTrip)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Widths, KernelDiff,
-                         ::testing::Values(1u, 3u, 37u, 64u, 65u, 127u,
-                                           128u, 200u, 256u));
+INSTANTIATE_TEST_SUITE_P(
+    TiersXWidths, KernelDiff,
+    ::testing::Combine(
+        ::testing::ValuesIn(nc::sram::kern::availableTiers()),
+        ::testing::Values(1u, 3u, 37u, 64u, 65u, 127u, 128u, 200u,
+                          256u)),
+    [](const ::testing::TestParamInfo<KernelDiff::ParamType> &info) {
+        return std::string(nc::common::simd::tierName(
+                   std::get<0>(info.param))) +
+               "_w" + std::to_string(std::get<1>(info.param));
+    });
 
 } // namespace
