@@ -30,7 +30,10 @@
  * (scalar / avx2 / avx512, pinned with forceTier). All micro
  * numbers are interleaved best-of-3 so scheduler noise hits every
  * tier alike; bench/perf_gate diffs this file against the committed
- * baseline and fails CI on regressions. See ROADMAP.md
+ * baseline and fails CI on regressions. Schema 7 adds the static
+ * program verifier's coverage to the engine section
+ * (programs_verified, verify_ms), asserted to stay a fraction of the
+ * measured compile wall time. See ROADMAP.md
  * "Performance & benchmarking" for the schema.
  * Usage: perf_report [output.json]
  */
@@ -281,8 +284,18 @@ main(int argc, char **argv)
         (void)m;
     });
     core::Engine engine(eopts);
+    auto compile_t0 = std::chrono::steady_clock::now();
     auto model = engine.compile(inception);
+    double one_compile_s = secondsSince(compile_t0);
     double run_s = timePerCall([&] { (void)model.report(16); });
+
+    // The static program verifier runs inside compile(); its cost is
+    // a phase of that same wall time, never extra.
+    nc_assert(model.programsVerified() > 0,
+              "compile verified no programs");
+    nc_assert(model.verifyMs() <= one_compile_s * 1e3,
+              "verify_ms %.4f exceeds the compile wall time %.4f ms",
+              model.verifyMs(), one_compile_s * 1e3);
 
     // The compiled model must answer exactly what the legacy
     // per-call facade answers.
@@ -457,7 +470,7 @@ main(int argc, char **argv)
     std::fprintf(f,
         "{\n"
         "  \"bench\": \"simspeed\",\n"
-        "  \"schema\": 6,\n"
+        "  \"schema\": 7,\n"
         "  \"threads\": %u,\n"
         "  \"host_cores\": %u,\n"
         "  \"dispatch\": \"%s\",\n"
@@ -488,7 +501,9 @@ main(int argc, char **argv)
         "    \"backend\": \"analytic\",\n"
         "    \"compile_ms\": %.4f,\n"
         "    \"run_ms\": %.4f,\n"
-        "    \"runs_per_compile\": %.1f\n"
+        "    \"runs_per_compile\": %.1f,\n"
+        "    \"programs_verified\": %llu,\n"
+        "    \"verify_ms\": %.4f\n"
         "  },\n"
         "  \"batch\": {\n"
         "    \"network\": \"%s\",\n"
@@ -542,6 +557,8 @@ main(int argc, char **argv)
         scalar.seconds * 1e3, opt.seconds * 1e3, conv_speedup,
         opt.cycles / opt.seconds,
         compile_s * 1e3, run_s * 1e3, compile_s / run_s,
+        static_cast<unsigned long long>(model.programsVerified()),
+        model.verifyMs(),
         bnet.name.c_str(), kBatch, par_opts.threads,
         par_model.batchBands().imageSlots,
         static_cast<unsigned long long>(

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "core/program_verify.hh"
 #include "mapping/plan_audit.hh"
 
 namespace nc::core
@@ -51,6 +52,8 @@ CompiledModel::report(unsigned batch) const
     rep.faultsDetected = nFaultsDetected;
     rep.arraysRetired = nArraysRetired;
     rep.passRetries = nPassRetries;
+    rep.programsVerified = nProgramsVerified;
+    rep.verifyMs = verifyMsTotal;
     return rep;
 }
 
@@ -528,8 +531,14 @@ CompiledModel::canarySweepAndRepair(unsigned &budget)
         if (repairOne(l))
             break;
     }
-    // Re-prove the healed plan before trusting it with a retry.
+    // Re-prove the healed plan before trusting it with a retry —
+    // the placement audit and the program verifier, exactly the
+    // compile-time gates, since repair may have re-placed layers
+    // and re-prepared their programs.
     mapping::auditPlanOrDie(*this);
+    verify::VerifySummary vs = verify::verifyCompiledModelOrDie(*this);
+    nProgramsVerified += vs.programsVerified;
+    verifyMsTotal += vs.verifyMs;
     return false;
 }
 

@@ -261,6 +261,15 @@ class CompiledModel
     uint64_t liveArrayExtent() const;
     /// @}
 
+    /** @name Static program verification (core/program_verify.hh) */
+    /// @{
+    /** Layer programs the compile-time verifier proved legal
+     * (cumulative: runtime repair re-verifies after re-placement). */
+    uint64_t programsVerified() const { return nProgramsVerified; }
+    /** Wall milliseconds spent verifying (part of compile time). */
+    double verifyMs() const { return verifyMsTotal; }
+    /// @}
+
   private:
     friend class Engine;
     CompiledModel();
@@ -343,6 +352,12 @@ class CompiledModel
     uint64_t nFaultsDetected = 0;
     uint64_t nArraysRetired = 0;
     uint64_t nPassRetries = 0;
+    /// @}
+
+    /** @name Static program verification counters */
+    /// @{
+    uint64_t nProgramsVerified = 0;
+    double verifyMsTotal = 0.0;
     /// @}
 
     std::unique_ptr<cache::ComputeCache> cc;

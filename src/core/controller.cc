@@ -11,6 +11,67 @@ namespace nc::core
 
 namespace bs = bitserial;
 
+namespace
+{
+
+void
+requireWidth(const Instruction &inst, const bs::VecSlice &s,
+             const char *which)
+{
+    if (s.bits == 0)
+        nc_fatal("broadcast of %s rejected: zero-width %s operand",
+                 opcodeName(inst.op), which);
+}
+
+/**
+ * Operand sanity at the broadcast boundary: a zero-width slice would
+ * make the bank FSM expand zero micro-ops and silently compute
+ * nothing on every array in the group, so it is rejected by name
+ * before any array sees the instruction.
+ */
+void
+validateOperands(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Copy:
+      case Opcode::CopyInv:
+        requireWidth(inst, inst.a, "a");
+        requireWidth(inst, inst.out, "out");
+        break;
+      case Opcode::Zero:
+        requireWidth(inst, inst.out, "out");
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Multiply:
+      case Opcode::Mac:
+      case Opcode::Divide:
+        requireWidth(inst, inst.a, "a");
+        requireWidth(inst, inst.b, "b");
+        requireWidth(inst, inst.out, "out");
+        break;
+      case Opcode::ReduceSum:
+      case Opcode::ReduceMax:
+      case Opcode::Relu:
+      case Opcode::ShiftUp:
+      case Opcode::ShiftDown:
+      case Opcode::Saturate:
+      case Opcode::Search:
+        requireWidth(inst, inst.a, "a");
+        break;
+      case Opcode::MaxInto:
+      case Opcode::MinInto:
+      case Opcode::BatchNorm:
+        requireWidth(inst, inst.a, "a");
+        requireWidth(inst, inst.b, "b");
+        break;
+      case Opcode::LoadTag:
+        break; // one raw row, no width to check
+    }
+}
+
+} // namespace
+
 void
 Controller::enroll(const cache::ArrayCoord &coord)
 {
@@ -22,6 +83,7 @@ uint64_t
 Controller::broadcast(const Instruction &inst)
 {
     nc_assert(!group.empty(), "broadcast to an empty array group");
+    validateOperands(inst);
     uint64_t cycles = 0;
     bool first = true;
     for (const auto &coord : group) {
@@ -48,6 +110,10 @@ Controller::run(const std::vector<Instruction> &program,
                 const std::function<void(const cache::ArrayCoord &)>
                     *prologue)
 {
+    if (program.empty())
+        nc_fatal("Controller::run rejected: empty broadcast program "
+                 "(%zu arrays enrolled, nothing to execute)",
+                 group.size());
     if (!pool || pool->size() <= 1 || group.size() <= 1) {
         if (prologue) {
             for (const auto &coord : group)
@@ -67,6 +133,8 @@ Controller::run(const std::vector<Instruction> &program,
     // reused scratch and the lock-step divergence check runs after
     // the join.
     const size_t np = program.size();
+    for (const auto &inst : program)
+        validateOperands(inst);
     runCycles.assign(group.size() * np, 0);
     pool->parallelFor(group.size(), [&](size_t g) {
         // Race detector (debug): each task owns its enrolled array.
@@ -115,7 +183,7 @@ Controller::execute(sram::Array &arr, const Instruction &inst)
         return bs::zero(arr, inst.out, inst.pred);
       case Opcode::Add:
         return bs::add(arr, inst.a, inst.b, inst.out, inst.zeroRow,
-                       inst.pred);
+                       inst.pred, inst.carryIn);
       case Opcode::Sub:
         return bs::sub(arr, inst.a, inst.b, inst.out, inst.scratch,
                        inst.zeroRow, inst.pred);

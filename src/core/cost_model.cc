@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bitserial/extensions.hh"
 #include "common/bits.hh"
 #include "common/logging.hh"
 
@@ -79,6 +80,42 @@ CostModel::quantCyclesPerPass() const
         bitserial::implMulCycles(cfg.bits, 32) +
         bitserial::implShiftCycles(32) +
         bitserial::implAddCycles(32, false));
+}
+
+uint64_t
+CostModel::convWindowProgramCycles(unsigned lanes,
+                                   unsigned eff_rs) const
+{
+    // zero(partial[redBits]) + eff_rs MACs through the 2-byte
+    // scratchpad + one cross-lane reduction — exactly the macro-op
+    // stream convWindowProgram() emits and both conv kernels issue.
+    unsigned red_bits =
+        cfg.accumulatorBits + log2Ceil(lanes);
+    return bitserial::implCopyCycles(red_bits) +
+           uint64_t(eff_rs) * bitserial::implMacScratchCycles(
+                                  cfg.bits, cfg.accumulatorBits) +
+           bitserial::implReduceSumCycles(cfg.accumulatorBits, lanes,
+                                          cfg.alu.moveCyclesPerRow);
+}
+
+uint64_t
+CostModel::eltwiseProgramCycles() const
+{
+    // Widen-add (carry-out stored), multiply by the requant scalar,
+    // truncating shift, in-array clamp (§IV-D residual merge).
+    unsigned b = cfg.bits;
+    return bitserial::implAddCycles(b, /*store_carry=*/true) +
+           bitserial::implMulCycles(b + 1, b) +
+           bitserial::implShiftCycles(2 * b + 1) +
+           bitserial::implSaturateCycles(2 * b + 1, b);
+}
+
+uint64_t
+CostModel::maxPoolWindowProgramCycles(unsigned window) const
+{
+    nc_assert(window >= 1, "empty pooling window");
+    return bitserial::implCopyCycles(cfg.bits) +
+           uint64_t(window - 1) * bitserial::implMaxCycles(cfg.bits);
 }
 
 namespace

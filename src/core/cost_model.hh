@@ -152,6 +152,24 @@ class CostModel
     double quantCyclesPerPass() const;
     /// @}
 
+    /** @name Canonical program charges (program_verify cross-check)
+     * Exact cycle totals of the per-layer instruction streams both
+     * functional kernels issue, from the same impl* formulas the ALU
+     * returns. The static program verifier proves its per-opcode sum
+     * equals these bit-exact, so the analytic constants and the
+     * verified programs can never drift apart.
+     */
+    /// @{
+    /** One conv output window: zero the partial, @p eff_rs MACs,
+     * one cross-lane reduction over @p lanes lanes (Figure 10). */
+    uint64_t convWindowProgramCycles(unsigned lanes,
+                                     unsigned eff_rs) const;
+    /** The four-instruction §IV-D residual merge. */
+    uint64_t eltwiseProgramCycles() const;
+    /** One max-pool window: seed + (window-1) MaxInto folds. */
+    uint64_t maxPoolWindowProgramCycles(unsigned window) const;
+    /// @}
+
     /** Cost of one convolution op. */
     StageCost convCost(const dnn::ConvOp &op) const;
     /** Cost of one pooling op. */

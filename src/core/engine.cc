@@ -6,6 +6,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "dnn/random.hh"
+#include "core/program_verify.hh"
 #include "mapping/plan_audit.hh"
 #include "mapping/weight_layout.hh"
 
@@ -143,6 +144,13 @@ Engine::compile(const dnn::Network &net,
         m.bandPlan = mapping::planBatchBands(
             net, opts.config.geometry);
         mapping::auditPlanOrDie(m);
+        // No prepared kernels exist, but the programs the functional
+        // mapper would run are still derivable — verify them, so an
+        // illegal canonical stream dies even on analytic compiles.
+        verify::VerifySummary vs =
+            verify::verifyNetworkProgramsOrDie(net, opts.config);
+        m.nProgramsVerified += vs.programsVerified;
+        m.verifyMsTotal += vs.verifyMs;
         return m;
     }
 
@@ -371,6 +379,16 @@ Engine::compile(const dnn::Network &net,
     //    Unconditional — a placement bug must die here, with names,
     //    not as a corrupted activation ten layers later.
     mapping::auditPlanOrDie(m);
+
+    // 5. The static program verifier: abstractly interpret every
+    //    prepared layer's instruction stream (bounds, dataflow,
+    //    guard row, latch discipline) and prove its cycle sum equals
+    //    the analytic charge bit-exact. Unconditional, like the
+    //    audit: a malformed program dies here with its layer name
+    //    and instruction index, not mid-inference.
+    verify::VerifySummary vs = verify::verifyCompiledModelOrDie(m);
+    m.nProgramsVerified += vs.programsVerified;
+    m.verifyMsTotal += vs.verifyMs;
     return m;
 }
 

@@ -383,7 +383,6 @@ Executor::maxPoolAt(uint64_t scratch_array, const dnn::QTensor &in,
                     unsigned r, unsigned s, unsigned stride,
                     bool same_pad)
 {
-    const unsigned bits = 8;
     unsigned cols = cc.geometry().arrayCols;
     unsigned arows = cc.geometry().arrayRows;
     // Channel ranges beyond one array's bit lines run as extra
@@ -423,10 +422,13 @@ Executor::maxPoolAt(uint64_t scratch_array, const dnn::QTensor &in,
     pool.parallelFor(chunks, [&](size_t chunk) {
         sram::Array arr(arows, cols);
         arr.setReferenceMode(model.referenceMode());
-        bs::RowAllocator rows(arows);
-        bs::VecSlice cur = rows.alloc(bits);
-        bs::VecSlice best = rows.alloc(bits);
-        bs::VecSlice cmp = rows.alloc(bits);
+        // The shared carve-up the broadcast engine and the program
+        // verifier use too — one slice map for every max-pool kernel.
+        mapping::PoolRowLayout prows =
+            mapping::makePoolRowLayout(cc.geometry());
+        bs::VecSlice cur = prows.cur;
+        bs::VecSlice best = prows.best;
+        bs::VecSlice cmp = prows.cmp;
 
         size_t lo = windows * chunk / chunks;
         size_t hi = windows * (chunk + 1) / chunks;
@@ -671,8 +673,6 @@ Executor::PreparedEltwise
 Executor::prepareEltwise(uint8_t mult, unsigned shift,
                          uint64_t scratch_array)
 {
-    const unsigned bits = 8;
-
     PreparedEltwise p;
     p.ex = this;
     p.mult = mult;
@@ -680,16 +680,12 @@ Executor::prepareEltwise(uint8_t mult, unsigned shift,
     p.scratch = scratch_array;
     cc.array(cc.coordOf(scratch_array)); // materialize up front
 
-    // Row carve-up, fixed once: two operand bytes, the 9-bit sum, the
-    // broadcast multiplier, and the 17-bit product that is shifted
-    // and saturated in place.
-    bs::RowAllocator rows(cc.geometry().arrayRows);
-    p.va = rows.alloc(bits);
-    p.vb = rows.alloc(bits);
-    p.acc = rows.alloc(bits + 1);
-    p.gain = rows.alloc(bits);
-    p.prod = rows.alloc((bits + 1) + bits); // acc.bits + gain.bits
-    p.zrow = rows.zeroRow();
+    // Row carve-up, fixed once: the shared mapping-layer map (two
+    // operand bytes, the 9-bit sum, the broadcast multiplier, the
+    // 17-bit product shifted and saturated in place) — identical to
+    // the ISA backend's, which is what lets the program verifier
+    // check one canonical merge program for both.
+    p.rows = mapping::makeEltwiseRowLayout(cc.geometry());
     return p;
 }
 
@@ -715,7 +711,7 @@ Executor::PreparedEltwise::run(const std::vector<uint8_t> &a,
 
     // The multiplier is one broadcast scalar per run (other layers
     // may have scribbled on the scratch array in between).
-    bs::storeSplat(arr, gain, mult, cols);
+    bs::storeSplat(arr, rows.gain, mult, cols);
 
     common::ArenaScope scratch;
     std::span<uint64_t> iv = scratch.alloc(cols);
@@ -724,21 +720,21 @@ Executor::PreparedEltwise::run(const std::vector<uint8_t> &a,
         size_t n = std::min<size_t>(cols, a.size() - base);
         for (size_t i = 0; i < n; ++i)
             iv[i] = a[base + i];
-        bs::storeVector(arr, va, iv.first(n));
+        bs::storeVector(arr, rows.va, iv.first(n));
         for (size_t i = 0; i < n; ++i)
             iv[i] = b[base + i];
-        bs::storeVector(arr, vb, iv.first(n));
+        bs::storeVector(arr, rows.vb, iv.first(n));
 
         // sat8(((a + b) * mult) >> shift): widen add, multiply by
         // the calibrated 8-bit scalar, truncating shift, in-array
         // clamp (the §IV-D sequence, one lane per element).
-        bs::add(arr, va, vb, acc, zrow);
-        bs::multiply(arr, acc, gain, prod);
-        bs::shiftDown(arr, prod, sh);
-        bs::saturate(arr, prod, bits);
+        bs::add(arr, rows.va, rows.vb, rows.acc, rows.zrow);
+        bs::multiply(arr, rows.acc, rows.gain, rows.prod);
+        bs::shiftDown(arr, rows.prod, sh);
+        bs::saturate(arr, rows.prod, bits);
         for (size_t i = 0; i < n; ++i) {
             out[base + i] = static_cast<uint8_t>(bs::loadLane(
-                arr, prod.slice(0, bits),
+                arr, rows.prod.slice(0, bits),
                 static_cast<unsigned>(i)));
         }
     }

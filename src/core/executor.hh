@@ -125,6 +125,12 @@ class Executor
         {
             return fplan;
         }
+        /** The shared Figure-10 row carve-up (program_verify checks
+         * the canonical window program against exactly this map). */
+        const mapping::ConvRowLayout &rowLayout() const
+        {
+            return rows;
+        }
 
       private:
         friend class Executor;
@@ -185,6 +191,11 @@ class Executor
 
         uint8_t multiplier() const { return mult; }
         unsigned shift() const { return sh; }
+        /** The shared merge carve-up (same map as the ISA backend). */
+        const mapping::EltwiseRowLayout &rowLayout() const
+        {
+            return rows;
+        }
 
       private:
         friend class Executor;
@@ -194,8 +205,7 @@ class Executor
         uint8_t mult = 1;
         unsigned sh = 0;
         uint64_t scratch = 0;
-        bitserial::VecSlice va, vb, acc, gain, prod;
-        unsigned zrow = 0;
+        mapping::EltwiseRowLayout rows;
     };
 
     /**

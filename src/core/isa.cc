@@ -72,7 +72,8 @@ Instruction::zero(bitserial::VecSlice out)
 
 Instruction
 Instruction::add(bitserial::VecSlice a, bitserial::VecSlice b,
-                 bitserial::VecSlice out, unsigned zero_row)
+                 bitserial::VecSlice out, unsigned zero_row,
+                 bool carry_in)
 {
     Instruction i;
     i.op = Opcode::Add;
@@ -80,6 +81,7 @@ Instruction::add(bitserial::VecSlice a, bitserial::VecSlice b,
     i.b = b;
     i.out = out;
     i.zeroRow = zero_row;
+    i.carryIn = carry_in;
     return i;
 }
 

@@ -26,25 +26,33 @@
 namespace nc::core
 {
 
-/** Macro-opcodes the bank FSM can expand. */
+/**
+ * Macro-opcodes the bank FSM can expand. Latch effects matter to
+ * program legality (program_verify.hh polices them statically):
+ * Add/Sub leave the lane carry latches holding the final carry-out;
+ * Search and LoadTag define the tag latches; and every multi-step op
+ * that runs its own internal compare/carry sequence (Multiply, Mac,
+ * MaxInto, MinInto, Relu, Saturate, Divide, BatchNorm, ReduceMax)
+ * clobbers both latch sets on the way through.
+ */
 enum class Opcode
 {
-    Copy,      ///< out <= a
-    CopyInv,   ///< out <= ~a
-    Zero,      ///< out <= 0
-    Add,       ///< out <= a + b
-    Sub,       ///< out <= a - b (scratch: b.bits)
+    Copy,      ///< out <= a (honors pred)
+    CopyInv,   ///< out <= ~a (honors pred)
+    Zero,      ///< out <= 0 (honors pred)
+    Add,       ///< out <= a + b (honors pred/carryIn; defines carry)
+    Sub,       ///< out <= a - b (scratch: b.bits; honors pred)
     Multiply,  ///< out <= a * b (out = a.bits + b.bits)
     Mac,       ///< out += a * b through scratch (Fig 10 flow)
     ReduceSum, ///< lane-tree sum over imm lanes (a live in low bits)
     ReduceMax, ///< lane-tree max over imm lanes
-    MaxInto,   ///< a <= max(a, b)
-    MinInto,   ///< a <= min(a, b)
+    MaxInto,   ///< a <= max(a, b) (scratch: compare band)
+    MinInto,   ///< a <= min(a, b) (scratch: compare band)
     Relu,      ///< a <= max(a, 0), two's complement
     ShiftUp,   ///< a <<= imm
     ShiftDown, ///< a >>= imm
     Saturate,  ///< a <= min(a, 2^imm - 1) (the §IV-D clamp)
-    Divide,    ///< out <= a / b (scratch bands required)
+    Divide,    ///< out <= a / b (scratch, scratch2, c as dwork)
     BatchNorm, ///< a <= ((a * b) >> imm) + c (paper §IV-D)
     Search,    ///< tag <= (a == key)
     LoadTag,   ///< tag <= row a.base
@@ -58,7 +66,7 @@ struct Instruction
     Opcode op = Opcode::Zero;
     bitserial::VecSlice a;       ///< first operand / in-place target
     bitserial::VecSlice b;       ///< second operand
-    bitserial::VecSlice c;       ///< third operand (BatchNorm beta)
+    bitserial::VecSlice c;       ///< BatchNorm beta / Divide dwork
     bitserial::VecSlice out;     ///< destination
     bitserial::VecSlice scratch; ///< primary scratch band
     bitserial::VecSlice scratch2; ///< secondary scratch band
@@ -67,6 +75,7 @@ struct Instruction
     uint64_t key = 0;            ///< Search key
     unsigned zeroRow = bitserial::kNoRow;
     bool pred = false;           ///< tag-predicated write-back
+    bool carryIn = false;        ///< Add consumes the carry latches
 
     /** @name Assembly-style factories */
     /// @{
@@ -76,7 +85,8 @@ struct Instruction
     static Instruction zero(bitserial::VecSlice out);
     static Instruction add(bitserial::VecSlice a, bitserial::VecSlice b,
                            bitserial::VecSlice out,
-                           unsigned zero_row = bitserial::kNoRow);
+                           unsigned zero_row = bitserial::kNoRow,
+                           bool carry_in = false);
     static Instruction sub(bitserial::VecSlice a, bitserial::VecSlice b,
                            bitserial::VecSlice out,
                            bitserial::VecSlice scratch);

@@ -265,7 +265,6 @@ LayerEngine::maxPoolBroadcast(Controller &grp, uint64_t scratch_array,
                               unsigned s, unsigned stride,
                               bool same_pad)
 {
-    const unsigned bits = 8;
     unsigned cols = cc.geometry().arrayCols;
     unsigned lanes = static_cast<unsigned>(roundUpPow2(in.channels()));
     nc_assert(lanes <= cols, "maxPoolLayer: %u channels exceed %u "
@@ -276,10 +275,13 @@ LayerEngine::maxPoolBroadcast(Controller &grp, uint64_t scratch_array,
     unsigned ph = padBefore(in.height(), r, stride, same_pad);
     unsigned pw = padBefore(in.width(), s, stride, same_pad);
 
-    bs::RowAllocator rows(cc.geometry().arrayRows);
-    bs::VecSlice cur = rows.alloc(bits);
-    bs::VecSlice best = rows.alloc(bits);
-    bs::VecSlice cmp = rows.alloc(bits);
+    // The shared carve-up (mapping layer): streamed element, running
+    // maximum, compare scratch — the same map the program verifier
+    // checks the fold program against.
+    mapping::PoolRowLayout prows =
+        mapping::makePoolRowLayout(cc.geometry());
+    const bs::VecSlice cur = prows.cur;
+    const bs::VecSlice best = prows.best;
 
     sram::Array &arr = cc.array(cc.coordOf(scratch_array));
 
@@ -288,7 +290,7 @@ LayerEngine::maxPoolBroadcast(Controller &grp, uint64_t scratch_array,
     fold.op = Opcode::MaxInto;
     fold.a = best;
     fold.b = cur;
-    fold.scratch = cmp;
+    fold.scratch = prows.cmp;
 
     // One streaming buffer for every window, on the arena.
     common::ArenaScope scratch;
@@ -348,22 +350,17 @@ LayerEngine::prepareEltwise(uint8_t mult, unsigned shift,
 
     // Row carve-up and the fixed merge program, built exactly once:
     // widen add, multiply by the calibrated scalar, truncating shift,
-    // in-array clamp — the same §IV-D sequence the direct-ALU kernel
+    // in-array clamp — the same §IV-D sequence (and the same shared
+    // mapping::EltwiseRowLayout carve-up) the direct-ALU kernel
     // drives, here as four broadcast instructions.
-    bs::RowAllocator rows(cc.geometry().arrayRows);
-    p.va = rows.alloc(bits);
-    p.vb = rows.alloc(bits);
-    p.acc = rows.alloc(bits + 1);
-    p.gain = rows.alloc(bits);
-    p.prod = rows.alloc((bits + 1) + bits);
-    unsigned zrow = rows.zeroRow();
-
+    p.rows = mapping::makeEltwiseRowLayout(cc.geometry());
     p.program.push_back(
-        Instruction::add(p.va, p.vb, p.acc, zrow));
+        Instruction::add(p.rows.va, p.rows.vb, p.rows.acc,
+                         p.rows.zrow));
     p.program.push_back(
-        Instruction::multiply(p.acc, p.gain, p.prod));
-    p.program.push_back(Instruction::shiftDown(p.prod, shift));
-    p.program.push_back(Instruction::saturate(p.prod, bits));
+        Instruction::multiply(p.rows.acc, p.rows.gain, p.rows.prod));
+    p.program.push_back(Instruction::shiftDown(p.rows.prod, shift));
+    p.program.push_back(Instruction::saturate(p.rows.prod, bits));
     return p;
 }
 
@@ -402,7 +399,7 @@ LayerEngine::PreparedEltwiseLayer::run(const std::vector<uint8_t> &a,
         sram::ownership::Range{g.scratch, 1}, 0,
         "ISA eltwise merge kernel");
     sram::Array &arr = cc.array(cc.coordOf(g.scratch));
-    bs::storeSplat(arr, gain, mult, cols);
+    bs::storeSplat(arr, rows.gain, mult, cols);
 
     common::ArenaScope scratch;
     std::span<uint64_t> iv = scratch.alloc(cols);
@@ -411,17 +408,17 @@ LayerEngine::PreparedEltwiseLayer::run(const std::vector<uint8_t> &a,
         size_t n = std::min<size_t>(cols, a.size() - base);
         for (size_t i = 0; i < n; ++i)
             iv[i] = a[base + i];
-        bs::storeVector(arr, va, iv.first(n));
+        bs::storeVector(arr, rows.va, iv.first(n));
         for (size_t i = 0; i < n; ++i)
             iv[i] = b[base + i];
-        bs::storeVector(arr, vb, iv.first(n));
+        bs::storeVector(arr, rows.vb, iv.first(n));
 
         g.ctrl->run(program);
         ++eng->nPrograms;
 
         for (size_t i = 0; i < n; ++i) {
             out[base + i] = static_cast<uint8_t>(bs::loadLane(
-                arr, prod.slice(0, bits),
+                arr, rows.prod.slice(0, bits),
                 static_cast<unsigned>(i)));
         }
     }

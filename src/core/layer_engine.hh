@@ -113,6 +113,9 @@ class LayerEngine
         {
             return static_cast<unsigned>(groups.size());
         }
+        /** The fixed per-window broadcast program and its slice map
+         * (program_verify checks this stream verbatim). */
+        const IsaConvProgram &program() const { return prog; }
 
       private:
         friend class LayerEngine;
@@ -195,6 +198,19 @@ class LayerEngine
          * replica (scratch + offset); returns the slot index. */
         unsigned pinReplica(uint64_t array_offset);
 
+        /** The fixed four-instruction merge program (program_verify
+         * checks this stream verbatim). */
+        const std::vector<Instruction> &mergeProgram() const
+        {
+            return program;
+        }
+        /** The shared merge carve-up (same map as the functional
+         * backend). */
+        const mapping::EltwiseRowLayout &rowLayout() const
+        {
+            return rows;
+        }
+
       private:
         friend class LayerEngine;
         PreparedEltwiseLayer() = default;
@@ -211,7 +227,7 @@ class LayerEngine
         std::vector<Instruction> program;
         uint8_t mult = 1;
         unsigned sh = 0;
-        bitserial::VecSlice va, vb, acc, gain, prod;
+        mapping::EltwiseRowLayout rows;
     };
 
     /** Compile-once half of the ISA eltwise merge. */

@@ -59,6 +59,20 @@ struct InferenceReport
     uint64_t passRetries = 0;
     /// @}
 
+    /**
+     * @name Static program verification (compile-time, cumulative)
+     *
+     * Layer programs the abstract interpreter
+     * (core/program_verify.hh) proved legal at compile (and after
+     * any runtime repair re-placement), and the wall milliseconds
+     * that proof cost — always part of compile time, never of the
+     * modeled inference latency.
+     */
+    /// @{
+    uint64_t programsVerified = 0;
+    double verifyMs = 0.0;
+    /// @}
+
     /** Batch-1 equivalent per-image latency, picoseconds. */
     double latencyPs = 0;
     /** Whole-batch wall time, picoseconds (one socket). */

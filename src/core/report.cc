@@ -63,6 +63,8 @@ dumpStats(std::ostream &os, const InferenceReport &rep)
     os << "sim.faults_detected " << rep.faultsDetected << "\n";
     os << "sim.arrays_retired " << rep.arraysRetired << "\n";
     os << "sim.pass_retries " << rep.passRetries << "\n";
+    os << "sim.programs_verified " << rep.programsVerified << "\n";
+    os << "sim.verify_ms " << rep.verifyMs << "\n";
 
     const auto &p = rep.phases;
     os << "phase.filter_load_ms " << p.filterLoadPs * picoToMs << "\n";

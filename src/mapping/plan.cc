@@ -269,6 +269,36 @@ fitsFunctionalExecutor(const dnn::ConvOp &op,
     return planFunctionalConv(op, geom).fits;
 }
 
+EltwiseRowLayout
+makeEltwiseRowLayout(const cache::Geometry &geom)
+{
+    constexpr unsigned bits = 8;
+
+    EltwiseRowLayout l;
+    bitserial::RowAllocator rows(geom.arrayRows);
+    l.va = rows.alloc(bits);
+    l.vb = rows.alloc(bits);
+    l.acc = rows.alloc(bits + 1);
+    l.gain = rows.alloc(bits);
+    l.prod = rows.alloc((bits + 1) + bits); // acc.bits + gain.bits
+    l.zrow = rows.zeroRow();
+    return l;
+}
+
+PoolRowLayout
+makePoolRowLayout(const cache::Geometry &geom)
+{
+    constexpr unsigned bits = 8;
+
+    PoolRowLayout l;
+    bitserial::RowAllocator rows(geom.arrayRows);
+    l.cur = rows.alloc(bits);
+    l.best = rows.alloc(bits);
+    l.cmp = rows.alloc(bits);
+    l.zrow = rows.zeroRow();
+    return l;
+}
+
 namespace
 {
 

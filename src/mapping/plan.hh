@@ -182,6 +182,45 @@ bool fitsFunctionalExecutor(const dnn::ConvOp &op,
                             const cache::Geometry &geom);
 
 /**
+ * The per-array row carve-up of the §IV-D residual merge,
+ * sat8(((a + b) * mult) >> shift): two operand bytes, the widened
+ * 9-bit sum, the broadcast multiplier, and the 17-bit product that
+ * is shifted and saturated in place. Both eltwise kernels (the
+ * direct-ALU Executor and the broadcast LayerEngine) build their
+ * slice maps from this one definition — the same single-source rule
+ * ConvRowLayout enforces for convolutions — which is also what lets
+ * the static program verifier (core/program_verify.hh) check one
+ * canonical instruction stream for both.
+ */
+struct EltwiseRowLayout
+{
+    bitserial::VecSlice va, vb;  ///< the two operand bytes
+    bitserial::VecSlice acc;     ///< widened sum (bits + 1)
+    bitserial::VecSlice gain;    ///< broadcast requant multiplier
+    bitserial::VecSlice prod;    ///< acc.bits + gain.bits product
+    unsigned zrow = 0;           ///< reserved all-zero word line
+};
+
+/** Build the eltwise carve-up on @p geom's array shape. */
+EltwiseRowLayout makeEltwiseRowLayout(const cache::Geometry &geom);
+
+/**
+ * The per-array carve-up of the broadcast max-pool fold (§IV-D
+ * "designating a temporary maximum ... selective copy"): the
+ * streamed element, the running maximum, and the compare scratch.
+ */
+struct PoolRowLayout
+{
+    bitserial::VecSlice cur;  ///< the window element streamed in
+    bitserial::VecSlice best; ///< running maximum
+    bitserial::VecSlice cmp;  ///< MaxInto compare scratch
+    unsigned zrow = 0;        ///< reserved all-zero word line
+};
+
+/** Build the max-pool carve-up on @p geom's array shape. */
+PoolRowLayout makePoolRowLayout(const cache::Geometry &geom);
+
+/**
  * Functional execution plan of one stage's branch structure: per-
  * branch output shapes, the channel offset each non-shortcut branch's
  * output occupies in the stage's channel-concatenated output, and the

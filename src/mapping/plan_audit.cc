@@ -160,17 +160,25 @@ auditRanges(const std::vector<AuditRange> &ranges,
     return rep;
 }
 
-AuditReport
-auditPlan(const core::CompiledModel &model)
+namespace
 {
-    const cache::Geometry &geom = model.config().geometry;
+
+/**
+ * Walk @p model's placement and build the live-range list; the
+ * structural defects found along the way (mis-wired scratch slots,
+ * bandless convs, residency mismatches) go into @p structural when
+ * given, and are silently skipped for callers that only want the
+ * ranges themselves (planRanges).
+ */
+std::vector<AuditRange>
+collectRanges(const core::CompiledModel &model, AuditReport *structural)
+{
     const BatchBandPlan &bands = model.batchBands();
     const dnn::Network &net = model.network();
     const auto &layers = model.compiledLayers();
     const auto &stages = model.compiledStages();
 
     std::vector<AuditRange> ranges;
-    AuditReport structural;
     uint32_t resident_seq = 0;
 
     for (size_t si = 0; si < stages.size(); ++si) {
@@ -190,10 +198,11 @@ auditPlan(const core::CompiledModel &model)
                     continue;
                 // Branch slot wiring: concurrently executing
                 // branches must scribble on distinct scratch arrays.
-                if (layer.scratchArray !=
-                    model.scratchBaseArray() + bi)
+                if (structural &&
+                    layer.scratchArray !=
+                        model.scratchBaseArray() + bi)
                     addViolation(
-                        structural,
+                        *structural,
                         "layer '" + layer.op.name() +
                             "' scratch array " +
                             std::to_string(layer.scratchArray) +
@@ -204,14 +213,16 @@ auditPlan(const core::CompiledModel &model)
                 if (!layer.op.isConv())
                     continue;
                 if (layer.bandArrays == 0) {
-                    addViolation(structural,
-                                 "conv '" + layer.op.name() +
-                                     "' has no filter band" + where);
+                    if (structural)
+                        addViolation(*structural,
+                                     "conv '" + layer.op.name() +
+                                         "' has no filter band" +
+                                         where);
                     continue;
                 }
-                if (layer.bandResident != bands.resident)
+                if (structural && layer.bandResident != bands.resident)
                     addViolation(
-                        structural,
+                        *structural,
                         "conv '" + layer.op.name() + "' placed " +
                             (layer.bandResident ? "resident"
                                                 : "streaming") +
@@ -250,6 +261,25 @@ auditPlan(const core::CompiledModel &model)
             ranges.push_back(std::move(r));
         }
     }
+    return ranges;
+}
+
+} // namespace
+
+std::vector<AuditRange>
+planRanges(const core::CompiledModel &model)
+{
+    return collectRanges(model, nullptr);
+}
+
+AuditReport
+auditPlan(const core::CompiledModel &model)
+{
+    const cache::Geometry &geom = model.config().geometry;
+    const BatchBandPlan &bands = model.batchBands();
+
+    AuditReport structural;
+    std::vector<AuditRange> ranges = collectRanges(model, &structural);
 
     const cache::ComputeCache *cc = model.computeCache();
     uint64_t usable = 0;

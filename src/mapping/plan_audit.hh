@@ -98,6 +98,17 @@ AuditReport auditRanges(const std::vector<AuditRange> &ranges,
                         uint64_t usable_arrays = 0);
 
 /**
+ * The placed array ranges of @p model, exactly as auditPlan() checks
+ * them: one range per on-array conv filter band (with the resident /
+ * streaming epoch-unit coordinates) plus the always-live scratch
+ * slots of placed models. Exposed so other static passes — the
+ * program verifier cross-references every prepared layer's band
+ * against this list — prove their claims against the same placement
+ * facts the auditor proves disjoint, not a second derivation of them.
+ */
+std::vector<AuditRange> planRanges(const core::CompiledModel &model);
+
+/**
  * Audit @p model's compiled placement. Pure inspection: walks the
  * per-layer bands, scratch assignment, stage/branch structure, and
  * batch banding; never mutates the model or touches arrays. Analytic
